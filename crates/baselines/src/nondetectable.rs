@@ -1,0 +1,302 @@
+//! Recoverable but **non-detectable** register and CAS.
+//!
+//! The paper's introduction observes that external auxiliary state "is, in
+//! general, not required if the recoverable algorithm is not detectable".
+//! These objects are that general case: they preserve durable
+//! linearizability across crashes (every primitive is applied and persisted
+//! atomically), but their recovery functions cannot tell whether the crashed
+//! operation was linearized — they always answer `fail`, meaning "unknown,
+//! assume not linearized", and make no claim the checker could hold them to
+//! ([`RecoverableObject::detectable`] returns `false`).
+//!
+//! Their shared space is exactly the object's value: no toggle vectors, no
+//! tags, no announcements. Running the Theorem 1 census against
+//! [`NonDetectableCas`] therefore shows a configuration count equal to the
+//! value domain — flat in N — isolating detectability as the cause of
+//! Algorithm 2's Θ(N) extra bits.
+//!
+//! The price shows up at the client: a caller that re-invokes after `fail`
+//! may double-apply an operation that did take effect (see the crate tests),
+//! which is exactly why composable recoverable software wants detectability.
+
+
+use nvm::{
+    LayoutBuilder, Loc, Machine, Memory, Pid, Poll, Word, ACK, FALSE, RESP_FAIL, TRUE,
+};
+
+use detectable::{MemExt, ObjectKind, OpSpec, RecoverableObject};
+
+/// A recoverable, durably linearizable, non-detectable register: one shared
+/// word, nothing else.
+#[derive(Clone, Debug)]
+pub struct NonDetectableRegister {
+    r: Loc,
+    n: u32,
+}
+
+impl NonDetectableRegister {
+    /// Allocates the register for `n` processes, initially 0.
+    pub fn new(b: &mut LayoutBuilder, n: u32) -> Self {
+        let r = b.shared("nd-reg.R", 1, 32);
+        NonDetectableRegister { r, n }
+    }
+
+    /// Current value (diagnostic helper).
+    pub fn peek_value(&self, mem: &dyn Memory) -> u32 {
+        mem.read(Pid::new(0), self.r) as u32
+    }
+}
+
+impl RecoverableObject for NonDetectableRegister {
+    fn prepare(&self, _mem: &dyn Memory, _pid: Pid, _op: &OpSpec) {
+        // No auxiliary state: nothing is written between invocations.
+    }
+
+    fn invoke(&self, pid: Pid, op: &OpSpec) -> Box<dyn Machine> {
+        match *op {
+            OpSpec::Write(v) => Box::new(OneShot::write(self.r, pid, v)),
+            OpSpec::Read => Box::new(OneShot::read(self.r, pid)),
+            ref other => panic!("nd register does not support {other}"),
+        }
+    }
+
+    fn recover(&self, pid: Pid, _op: &OpSpec) -> Box<dyn Machine> {
+        Box::new(AlwaysFail { pid })
+    }
+
+    fn processes(&self) -> u32 {
+        self.n
+    }
+
+    fn kind(&self) -> ObjectKind {
+        ObjectKind::Register
+    }
+
+    fn detectable(&self) -> bool {
+        false
+    }
+
+    fn name(&self) -> &'static str {
+        "nondetectable-register"
+    }
+}
+
+/// A recoverable, durably linearizable, non-detectable CAS: one shared word.
+#[derive(Clone, Debug)]
+pub struct NonDetectableCas {
+    c: Loc,
+    n: u32,
+}
+
+impl NonDetectableCas {
+    /// Allocates the CAS object for `n` processes, initially 0.
+    pub fn new(b: &mut LayoutBuilder, n: u32) -> Self {
+        let c = b.shared("nd-cas.C", 1, 32);
+        NonDetectableCas { c, n }
+    }
+
+    /// Current value (diagnostic helper).
+    pub fn peek_value(&self, mem: &dyn Memory) -> u32 {
+        mem.read(Pid::new(0), self.c) as u32
+    }
+}
+
+impl RecoverableObject for NonDetectableCas {
+    fn prepare(&self, _mem: &dyn Memory, _pid: Pid, _op: &OpSpec) {}
+
+    fn invoke(&self, pid: Pid, op: &OpSpec) -> Box<dyn Machine> {
+        match *op {
+            OpSpec::Cas { old, new } => Box::new(OneShot::cas(self.c, pid, old, new)),
+            OpSpec::Read => Box::new(OneShot::read(self.c, pid)),
+            ref other => panic!("nd cas does not support {other}"),
+        }
+    }
+
+    fn recover(&self, pid: Pid, _op: &OpSpec) -> Box<dyn Machine> {
+        Box::new(AlwaysFail { pid })
+    }
+
+    fn processes(&self) -> u32 {
+        self.n
+    }
+
+    fn kind(&self) -> ObjectKind {
+        ObjectKind::Cas
+    }
+
+    fn detectable(&self) -> bool {
+        false
+    }
+
+    fn name(&self) -> &'static str {
+        "nondetectable-cas"
+    }
+}
+
+/// Single-primitive operations (write / read / cas) as one-step machines.
+#[derive(Clone)]
+enum OneShotKind {
+    Write(u32),
+    Read,
+    Cas { old: u32, new: u32 },
+}
+
+#[derive(Clone)]
+struct OneShot {
+    loc: Loc,
+    pid: Pid,
+    kind: OneShotKind,
+    done: bool,
+}
+
+impl OneShot {
+    fn write(loc: Loc, pid: Pid, v: u32) -> Self {
+        OneShot { loc, pid, kind: OneShotKind::Write(v), done: false }
+    }
+
+    fn read(loc: Loc, pid: Pid) -> Self {
+        OneShot { loc, pid, kind: OneShotKind::Read, done: false }
+    }
+
+    fn cas(loc: Loc, pid: Pid, old: u32, new: u32) -> Self {
+        OneShot { loc, pid, kind: OneShotKind::Cas { old, new }, done: false }
+    }
+}
+
+impl Machine for OneShot {
+    fn step(&mut self, mem: &dyn Memory) -> Poll {
+        assert!(!self.done, "stepped a completed one-shot machine");
+        self.done = true;
+        match self.kind {
+            OneShotKind::Write(v) => {
+                mem.write_pp(self.pid, self.loc, u64::from(v));
+                Poll::Ready(ACK)
+            }
+            OneShotKind::Read => Poll::Ready(mem.read_pp(self.pid, self.loc)),
+            OneShotKind::Cas { old, new } => {
+                let ok = mem.cas_pp(self.pid, self.loc, u64::from(old), u64::from(new));
+                Poll::Ready(if ok { TRUE } else { FALSE })
+            }
+        }
+    }
+
+    fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    fn label(&self) -> &'static str {
+        match self.kind {
+            OneShotKind::Write(_) => "nd:write",
+            OneShotKind::Read => "nd:read",
+            OneShotKind::Cas { .. } => "nd:cas",
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Machine> {
+        Box::new(self.clone())
+    }
+
+    fn encode(&self) -> Vec<Word> {
+        let k = match self.kind {
+            OneShotKind::Write(v) => 100 + u64::from(v),
+            OneShotKind::Read => 1,
+            OneShotKind::Cas { old, new } => 10_000 + u64::from(old) * 100 + u64::from(new),
+        };
+        vec![k, u64::from(self.done)]
+    }
+}
+
+/// The non-detectable recovery: always "unknown / not linearized".
+#[derive(Clone)]
+struct AlwaysFail {
+    pid: Pid,
+}
+
+impl Machine for AlwaysFail {
+    fn step(&mut self, _mem: &dyn Memory) -> Poll {
+        Poll::Ready(RESP_FAIL)
+    }
+
+    fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    fn label(&self) -> &'static str {
+        "nd:recover"
+    }
+
+    fn clone_box(&self) -> Box<dyn Machine> {
+        Box::new(self.clone())
+    }
+
+    fn encode(&self) -> Vec<Word> {
+        vec![0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm::{run_to_completion, SimMemory};
+
+    #[test]
+    fn register_roundtrip() {
+        let mut b = LayoutBuilder::new();
+        let reg = NonDetectableRegister::new(&mut b, 2);
+        let mem = SimMemory::new(b.finish());
+        let mut w = reg.invoke(Pid::new(0), &OpSpec::Write(4));
+        assert_eq!(run_to_completion(&mut *w, &mem, 10).unwrap(), ACK);
+        let mut r = reg.invoke(Pid::new(1), &OpSpec::Read);
+        assert_eq!(run_to_completion(&mut *r, &mem, 10).unwrap(), 4);
+    }
+
+    #[test]
+    fn recovery_cannot_tell() {
+        // The defining limitation: even when the operation completed fully
+        // before the crash, recovery still answers fail/unknown.
+        let mut b = LayoutBuilder::new();
+        let cas = NonDetectableCas::new(&mut b, 2);
+        let mem = SimMemory::new(b.finish());
+        let op = OpSpec::Cas { old: 0, new: 5 };
+        let mut m = cas.invoke(Pid::new(0), &op);
+        assert_eq!(run_to_completion(&mut *m, &mem, 10).unwrap(), TRUE);
+        let mut rec = cas.recover(Pid::new(0), &op);
+        assert_eq!(run_to_completion(&mut *rec, &mem, 10).unwrap(), RESP_FAIL);
+        assert_eq!(cas.peek_value(&mem), 5, "the CAS did happen");
+    }
+
+    #[test]
+    fn naive_retry_double_applies() {
+        // The composability hazard of non-detectability: a client that
+        // retries a FAA-like sequence (read + cas) after `fail` can apply
+        // the effect twice. Demonstrated as the paper motivates.
+        let mut b = LayoutBuilder::new();
+        let cas = NonDetectableCas::new(&mut b, 1);
+        let mem = SimMemory::new(b.finish());
+        let p = Pid::new(0);
+
+        // "Increment": cas(0, 1) runs to completion, then crash before the
+        // client records the response.
+        let op = OpSpec::Cas { old: 0, new: 1 };
+        let mut m = cas.invoke(p, &op);
+        let _ = run_to_completion(&mut *m, &mem, 10).unwrap();
+        // Crash; recovery says fail; naive client retries with the value it
+        // re-reads — and increments again.
+        let mut rec = cas.recover(p, &op);
+        assert_eq!(run_to_completion(&mut *rec, &mem, 10).unwrap(), RESP_FAIL);
+        let cur = cas.peek_value(&mem);
+        let retry = OpSpec::Cas { old: cur, new: cur + 1 };
+        let mut m2 = cas.invoke(p, &retry);
+        assert_eq!(run_to_completion(&mut *m2, &mem, 10).unwrap(), TRUE);
+        assert_eq!(cas.peek_value(&mem), 2, "incremented twice for one logical op");
+    }
+
+    #[test]
+    fn shared_space_is_value_only() {
+        let mut b = LayoutBuilder::new();
+        let _ = NonDetectableCas::new(&mut b, 32);
+        let layout = b.finish();
+        assert_eq!(layout.shared_bits(), 32, "no per-process bits at all");
+        assert_eq!(layout.private_bits(), 0);
+    }
+}

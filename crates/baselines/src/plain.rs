@@ -1,0 +1,198 @@
+//! Plain volatile register and CAS — non-recoverable performance baselines.
+//!
+//! These objects make no persistence or recovery effort at all: one
+//! primitive per operation, no announcement writes, no checkpoints. They
+//! bound from above what any recoverable implementation can achieve in the
+//! throughput benchmarks (experiment E8), quantifying the overhead of
+//! detectability.
+
+use nvm::{LayoutBuilder, Loc, Machine, Memory, Pid, Poll, Word, ACK, FALSE, TRUE};
+
+use detectable::{ObjectKind, OpSpec, RecoverableObject};
+
+/// A volatile (non-recoverable) read/write register.
+#[derive(Clone, Debug)]
+pub struct PlainRegister {
+    r: Loc,
+    n: u32,
+}
+
+impl PlainRegister {
+    /// Allocates the register for `n` processes, initially 0.
+    pub fn new(b: &mut LayoutBuilder, n: u32) -> Self {
+        PlainRegister { r: b.shared("plain-reg.R", 1, 32), n }
+    }
+}
+
+/// A volatile (non-recoverable) CAS object.
+#[derive(Clone, Debug)]
+pub struct PlainCas {
+    c: Loc,
+    n: u32,
+}
+
+impl PlainCas {
+    /// Allocates the CAS object for `n` processes, initially 0.
+    pub fn new(b: &mut LayoutBuilder, n: u32) -> Self {
+        PlainCas { c: b.shared("plain-cas.C", 1, 32), n }
+    }
+}
+
+macro_rules! impl_plain {
+    ($ty:ty, $kind:expr, $name:expr, $loc:ident, $($op:pat => $mk:expr),+ $(,)?) => {
+        impl RecoverableObject for $ty {
+            fn prepare(&self, _mem: &dyn Memory, _pid: Pid, _op: &OpSpec) {}
+
+            fn invoke(&self, pid: Pid, op: &OpSpec) -> Box<dyn Machine> {
+                let loc = self.$loc;
+                match *op {
+                    $($op => $mk(loc, pid, op),)+
+                    ref other => panic!("plain object does not support {other}"),
+                }
+            }
+
+            fn recover(&self, _pid: Pid, op: &OpSpec) -> Box<dyn Machine> {
+                panic!("plain objects are not recoverable (op {op})")
+            }
+
+            fn processes(&self) -> u32 {
+                self.n
+            }
+
+            fn kind(&self) -> ObjectKind {
+                $kind
+            }
+
+            fn detectable(&self) -> bool {
+                false
+            }
+
+            fn name(&self) -> &'static str {
+                $name
+            }
+        }
+    };
+}
+
+fn mk_write(loc: Loc, pid: Pid, op: &OpSpec) -> Box<dyn Machine> {
+    let OpSpec::Write(v) = *op else { unreachable!() };
+    Box::new(PlainOp { loc, pid, kind: PlainKind::Write(v), done: false })
+}
+
+fn mk_read(loc: Loc, pid: Pid, _op: &OpSpec) -> Box<dyn Machine> {
+    Box::new(PlainOp { loc, pid, kind: PlainKind::Read, done: false })
+}
+
+fn mk_cas(loc: Loc, pid: Pid, op: &OpSpec) -> Box<dyn Machine> {
+    let OpSpec::Cas { old, new } = *op else { unreachable!() };
+    Box::new(PlainOp { loc, pid, kind: PlainKind::Cas { old, new }, done: false })
+}
+
+impl_plain!(PlainRegister, ObjectKind::Register, "plain-register", r,
+    OpSpec::Write(_) => mk_write,
+    OpSpec::Read => mk_read,
+);
+
+impl_plain!(PlainCas, ObjectKind::Cas, "plain-cas", c,
+    OpSpec::Cas { .. } => mk_cas,
+    OpSpec::Read => mk_read,
+);
+
+#[derive(Clone)]
+enum PlainKind {
+    Write(u32),
+    Read,
+    Cas { old: u32, new: u32 },
+}
+
+#[derive(Clone)]
+struct PlainOp {
+    loc: Loc,
+    pid: Pid,
+    kind: PlainKind,
+    done: bool,
+}
+
+impl Machine for PlainOp {
+    fn step(&mut self, mem: &dyn Memory) -> Poll {
+        assert!(!self.done, "stepped a completed plain op");
+        self.done = true;
+        match self.kind {
+            PlainKind::Write(v) => {
+                mem.write(self.pid, self.loc, u64::from(v));
+                Poll::Ready(ACK)
+            }
+            PlainKind::Read => Poll::Ready(mem.read(self.pid, self.loc)),
+            PlainKind::Cas { old, new } => {
+                let ok = mem.cas(self.pid, self.loc, u64::from(old), u64::from(new));
+                Poll::Ready(if ok { TRUE } else { FALSE })
+            }
+        }
+    }
+
+    fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    fn label(&self) -> &'static str {
+        match self.kind {
+            PlainKind::Write(_) => "plain:write",
+            PlainKind::Read => "plain:read",
+            PlainKind::Cas { .. } => "plain:cas",
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Machine> {
+        Box::new(self.clone())
+    }
+
+    fn encode(&self) -> Vec<Word> {
+        vec![u64::from(self.done)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm::{run_to_completion, SimMemory};
+
+    #[test]
+    fn register_ops() {
+        let mut b = LayoutBuilder::new();
+        let reg = PlainRegister::new(&mut b, 2);
+        let mem = SimMemory::new(b.finish());
+        let mut w = reg.invoke(Pid::new(0), &OpSpec::Write(3));
+        assert_eq!(run_to_completion(&mut *w, &mem, 10).unwrap(), ACK);
+        let mut r = reg.invoke(Pid::new(1), &OpSpec::Read);
+        assert_eq!(run_to_completion(&mut *r, &mem, 10).unwrap(), 3);
+    }
+
+    #[test]
+    fn cas_ops() {
+        let mut b = LayoutBuilder::new();
+        let cas = PlainCas::new(&mut b, 2);
+        let mem = SimMemory::new(b.finish());
+        let mut m = cas.invoke(Pid::new(0), &OpSpec::Cas { old: 0, new: 2 });
+        assert_eq!(run_to_completion(&mut *m, &mem, 10).unwrap(), TRUE);
+        let mut m2 = cas.invoke(Pid::new(1), &OpSpec::Cas { old: 0, new: 9 });
+        assert_eq!(run_to_completion(&mut *m2, &mem, 10).unwrap(), FALSE);
+    }
+
+    #[test]
+    fn single_primitive_per_op() {
+        let mut b = LayoutBuilder::new();
+        let reg = PlainRegister::new(&mut b, 1);
+        let mem = SimMemory::new(b.finish());
+        let mut w = reg.invoke(Pid::new(0), &OpSpec::Write(3));
+        let _ = run_to_completion(&mut *w, &mem, 10).unwrap();
+        assert_eq!(mem.stats().total_ops(), 1, "no persistence overhead at all");
+    }
+
+    #[test]
+    #[should_panic(expected = "not recoverable")]
+    fn recovery_panics() {
+        let mut b = LayoutBuilder::new();
+        let reg = PlainRegister::new(&mut b, 1);
+        let _ = reg.recover(Pid::new(0), &OpSpec::Write(1));
+    }
+}

@@ -1,0 +1,67 @@
+//! **Experiment E8b** — CAS throughput: bounded detectable (Alg 2) vs
+//! unbounded-tag detectable (\[4\]-style) vs non-detectable recoverable vs
+//! plain volatile, across thread counts.
+//!
+//! Expected shape: plain ≥ non-detectable ≥ Algorithm 2 ≥ tagged baseline at
+//! high contention (the tagged scheme adds an announcement store per
+//! attempt); all remain live (wait-free single attempts).
+
+use std::time::Duration;
+
+use baselines::{NonDetectableCas, PlainCas, TaggedCas};
+use bench::{build_atomic_world, run_concurrent};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use detectable::{DetectableCas, OpSpec, RecoverableObject};
+use nvm::Pid;
+
+const OPS_PER_THREAD: usize = 2_000;
+
+/// High-contention workload: everyone CASes over a tiny value domain.
+fn contended(pid: Pid, i: usize) -> OpSpec {
+    OpSpec::Cas {
+        old: (i as u32) % 3,
+        new: (pid.get() + i as u32 + 1) % 3,
+    }
+}
+
+fn bench_one(
+    c: &mut Criterion,
+    name: &str,
+    threads: u32,
+    make: impl Fn(&mut nvm::LayoutBuilder) -> Box<dyn RecoverableObject> + Copy,
+) {
+    let mut g = c.benchmark_group("cas_throughput");
+    g.throughput(criterion::Throughput::Elements(
+        (threads as usize * OPS_PER_THREAD) as u64,
+    ));
+    g.bench_with_input(BenchmarkId::new(name, threads), &threads, |b, &t| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let (obj, mem) = build_atomic_world(make);
+                total += run_concurrent(&*obj, &mem, t, OPS_PER_THREAD, contended);
+            }
+            total
+        });
+    });
+    g.finish();
+}
+
+fn cas_throughput(c: &mut Criterion) {
+    for threads in [1u32, 2, 4, 8] {
+        bench_one(c, "detectable-alg2", threads, |b| Box::new(DetectableCas::new(b, 8, 0)));
+        bench_one(c, "tagged-unbounded", threads, |b| Box::new(TaggedCas::new(b, 8)));
+        bench_one(c, "non-detectable", threads, |b| Box::new(NonDetectableCas::new(b, 8)));
+        bench_one(c, "plain-volatile", threads, |b| Box::new(PlainCas::new(b, 8)));
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    targets = cas_throughput
+}
+criterion_main!(benches);

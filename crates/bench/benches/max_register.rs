@@ -1,0 +1,72 @@
+//! **Experiment E10a** — max-register scaling (Algorithm 3).
+//!
+//! `Read` collects an N-entry array twice (double collect), so solo read
+//! cost grows linearly in N; concurrent `WriteMax` traffic forces
+//! re-collection (the operation is obstruction-free, not wait-free), so
+//! contended reads degrade with writer count — unlike the wait-free
+//! operations of Algorithms 1 and 2.
+
+use std::time::Duration;
+
+use bench::{build_atomic_world, run_concurrent};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use detectable::{MaxRegister, OpSpec};
+use nvm::Pid;
+
+const OPS_PER_THREAD: usize = 2_000;
+
+fn solo_read_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("maxreg_solo_read");
+    for n in [2u32, 8, 32, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let (mr, mem) = build_atomic_world(|bl| MaxRegister::new(bl, n));
+            b.iter(|| run_concurrent(&mr, &mem, 1, 100, |_, _| OpSpec::Read));
+        });
+    }
+    g.finish();
+}
+
+fn contended_read(c: &mut Criterion) {
+    let mut g = c.benchmark_group("maxreg_contended");
+    g.throughput(criterion::Throughput::Elements(OPS_PER_THREAD as u64));
+    for writers in [0u32, 1, 3, 7] {
+        g.bench_with_input(
+            BenchmarkId::new("read_with_writers", writers),
+            &writers,
+            |b, &writers| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let (mr, mem) = build_atomic_world(|bl| MaxRegister::new(bl, 8));
+                        // Thread 0 reads; the rest write increasing maxima.
+                        total += run_concurrent(
+                            &mr,
+                            &mem,
+                            writers + 1,
+                            OPS_PER_THREAD,
+                            |pid: Pid, i| {
+                                if pid.get() == 0 {
+                                    OpSpec::Read
+                                } else {
+                                    OpSpec::WriteMax(i as u32)
+                                }
+                            },
+                        );
+                    }
+                    total
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    targets = solo_read_scaling, contended_read
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! **Experiment E10b** — detectable durable queue throughput.
+//!
+//! Enq/Deq pairs across thread counts. The queue is lock-free with helping,
+//! so throughput should scale sub-linearly but not collapse; each operation
+//! pays the per-op unique-id persistence (\[9\]-style auxiliary state).
+
+use std::time::Duration;
+
+use bench::{build_atomic_world, run_concurrent};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use detectable::{DetectableQueue, OpSpec};
+use nvm::Pid;
+
+const OPS_PER_THREAD: usize = 1_000;
+
+fn queue_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queue_throughput");
+    for threads in [1u32, 2, 4, 8] {
+        g.throughput(criterion::Throughput::Elements(
+            (threads as usize * OPS_PER_THREAD) as u64,
+        ));
+        g.bench_with_input(
+            BenchmarkId::new("enq_deq_pairs", threads),
+            &threads,
+            |b, &t| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        // Arena sized for the full run: nodes are not
+                        // reclaimed (every enq consumes a slot), and slabs
+                        // are per-process, so size the world to the active
+                        // thread count.
+                        let cap = (t as usize * OPS_PER_THREAD) as u32 + 64;
+                        let (q, mem) = build_atomic_world(|bl| DetectableQueue::new(bl, t, cap));
+                        total += run_concurrent(&q, &mem, t, OPS_PER_THREAD, |pid: Pid, i| {
+                            if i % 2 == 0 {
+                                OpSpec::Enq(pid.get() * 10_000 + i as u32)
+                            } else {
+                                OpSpec::Deq
+                            }
+                        });
+                    }
+                    total
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    targets = queue_throughput
+}
+criterion_main!(benches);

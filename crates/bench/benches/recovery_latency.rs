@@ -1,0 +1,99 @@
+//! **Experiment E9** — recovery latency: cost of `Op.Recover` per algorithm
+//! and crash point.
+//!
+//! Measures the full recovery path (fresh recovery machine run to its
+//! verdict) after crashing a solo operation at its most interesting points:
+//! before the checkpoint (`fail` path), between checkpoint and effect
+//! (ambiguity-resolution path — Algorithm 1's toggle-bit inspection,
+//! Algorithm 2's vector comparison), and after completion (persisted
+//! response path).
+//!
+//! Expected shape: all recoveries are constant-time except Algorithm 1's
+//! post-effect path, which replays the Θ(N) toggle loop, and the queue's
+//! scans, which are O(arena).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use detectable::{DetectableCas, DetectableQueue, DetectableRegister, OpSpec, RecoverableObject};
+use harness::build_world;
+use nvm::{run_to_completion, SimMemory, Pid};
+
+/// Builds a world with a solo operation crashed after `steps` steps and
+/// returns everything needed to run recovery.
+fn crashed_world<O: RecoverableObject>(
+    make: impl FnOnce(&mut nvm::LayoutBuilder) -> O,
+    op: OpSpec,
+    steps: usize,
+) -> (O, SimMemory, OpSpec) {
+    let (obj, mem) = build_world(make);
+    let p = Pid::new(0);
+    obj.prepare(&mem, p, &op);
+    let mut m = obj.invoke(p, &op);
+    for _ in 0..steps {
+        if m.step(&mem).is_ready() {
+            break;
+        }
+    }
+    drop(m); // crash
+    (obj, mem, op)
+}
+
+fn bench_recovery(
+    c: &mut Criterion,
+    name: &str,
+    crash_point: &str,
+    setup: impl Fn() -> (Box<dyn RecoverableObject>, SimMemory, OpSpec),
+) {
+    let mut g = c.benchmark_group("recovery_latency");
+    g.bench_function(BenchmarkId::new(name, crash_point), |b| {
+        // Recovery is repeatable from the same NVM state (it is re-entrant
+        // by design), so one crashed world serves all iterations.
+        let (obj, mem, op) = setup();
+        b.iter(|| {
+            let mut rec = obj.recover(Pid::new(0), &op);
+            run_to_completion(&mut *rec, &mem, 1_000_000).expect("recovery terminates")
+        });
+    });
+    g.finish();
+}
+
+fn recovery_latency(c: &mut Criterion) {
+    // Algorithm 1 register, N = 8.
+    for (label, steps) in [("pre-checkpoint", 2usize), ("mid-ambiguous", 6), ("post-effect", 7)] {
+        bench_recovery(c, "register-alg1", label, move || {
+            let (o, m, op) =
+                crashed_world(|b| DetectableRegister::new(b, 8, 0), OpSpec::Write(7), steps);
+            (Box::new(o) as Box<dyn RecoverableObject>, m, op)
+        });
+    }
+    // Algorithm 2 CAS, N = 8.
+    for (label, steps) in [("pre-checkpoint", 1usize), ("mid-ambiguous", 3), ("post-effect", 4)] {
+        bench_recovery(c, "cas-alg2", label, move || {
+            let (o, m, op) = crashed_world(
+                |b| DetectableCas::new(b, 8, 0),
+                OpSpec::Cas { old: 0, new: 5 },
+                steps,
+            );
+            (Box::new(o) as Box<dyn RecoverableObject>, m, op)
+        });
+    }
+    // Queue (recovery scans the arena).
+    for (label, steps) in [("pre-checkpoint", 2usize), ("post-link", 9)] {
+        bench_recovery(c, "queue", label, move || {
+            let (o, m, op) =
+                crashed_world(|b| DetectableQueue::new(b, 8, 256), OpSpec::Enq(3), steps);
+            (Box::new(o) as Box<dyn RecoverableObject>, m, op)
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    targets = recovery_latency
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! **Experiment E8a** — register throughput: bounded detectable (Alg 1) vs
+//! unbounded-tag detectable (\[3\]-style) vs plain volatile, across thread
+//! counts and read/write mixes.
+//!
+//! Expected shape: plain ≥ detectable variants (persistence bookkeeping has
+//! a cost); Algorithm 1 pays its N-step toggle loop per write, the tagged
+//! baseline pays tag maintenance — neither should collapse under contention
+//! (both wait-free).
+
+use std::time::Duration;
+
+use baselines::{PlainRegister, TaggedRegister};
+use bench::{build_atomic_world, run_concurrent};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use detectable::{DetectableRegister, OpSpec, RecoverableObject};
+use nvm::Pid;
+
+const OPS_PER_THREAD: usize = 2_000;
+
+fn mixed_workload(pid: Pid, i: usize) -> OpSpec {
+    if (pid.idx() + i) % 4 == 0 {
+        OpSpec::Read
+    } else {
+        OpSpec::Write((pid.get() * 1_000 + i as u32) % 97)
+    }
+}
+
+fn bench_one(
+    c: &mut Criterion,
+    group: &str,
+    name: &str,
+    threads: u32,
+    make: impl Fn(&mut nvm::LayoutBuilder) -> Box<dyn RecoverableObject> + Copy,
+) {
+    let mut g = c.benchmark_group(group);
+    g.throughput(criterion::Throughput::Elements(
+        (threads as usize * OPS_PER_THREAD) as u64,
+    ));
+    g.bench_with_input(BenchmarkId::new(name, threads), &threads, |b, &t| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let (obj, mem) = build_atomic_world(make);
+                total += run_concurrent(&*obj, &mem, t, OPS_PER_THREAD, mixed_workload);
+            }
+            total
+        });
+    });
+    g.finish();
+}
+
+fn register_throughput(c: &mut Criterion) {
+    for threads in [1u32, 2, 4, 8] {
+        bench_one(c, "register_throughput", "detectable-alg1", threads, |b| {
+            Box::new(DetectableRegister::new(b, 8, 0))
+        });
+        bench_one(c, "register_throughput", "tagged-unbounded", threads, |b| {
+            Box::new(TaggedRegister::new(b, 8))
+        });
+        bench_one(c, "register_throughput", "plain-volatile", threads, |b| {
+            Box::new(PlainRegister::new(b, 8))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    targets = register_throughput
+}
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! **Experiment E1** — Theorem 1 / Figure 1: the reachable-configuration
+//! census.
+//!
+//! Counts distinct shared-memory configurations (memory-equivalence classes)
+//! reachable by the detectable CAS (Algorithm 2), by the unbounded-tag
+//! detectable CAS baseline, and by the non-detectable recoverable CAS:
+//!
+//! * *witness* rows drive the constructive Gray-code walk (one successful
+//!   CAS per step, flipping one process's vector bit) — Algorithm 2 realizes
+//!   all `2^N` vectors, meeting the `2^N − 1` lower bound;
+//! * *bfs* rows exhaustively explore every interleaving of a bounded CAS
+//!   workload for small N;
+//! * the non-detectable baseline stays at the value-domain size, flat in N —
+//!   the ablation isolating detectability as the cause of the blow-up.
+//!
+//! Run: `cargo run --release -p bench --bin census_table`
+
+use baselines::NonDetectableCas;
+use bench::markdown_table;
+use detectable::{DetectableCas, OpSpec};
+use harness::{build_world, census_bfs, census_drive, gray_code_cas_ops, BfsConfig};
+
+fn main() {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    // Constructive witness: Algorithm 2, N = 1..=12.
+    for n in 1..=12u32 {
+        let (cas, mem) = build_world(|b| DetectableCas::new(b, n, 0));
+        let ops = gray_code_cas_ops(n);
+        let r = census_drive(&cas, &mem, &ops);
+        rows.push(vec![
+            "detectable-cas (Alg 2)".into(),
+            "witness".into(),
+            n.to_string(),
+            r.distinct_shared.to_string(),
+            r.theorem_bound.to_string(),
+            if r.meets_bound() { "yes".into() } else { "NO".into() },
+        ]);
+    }
+
+    // Ablation: the non-detectable recoverable CAS driven through the same
+    // walk — configurations collapse to the value domain {0, 1}.
+    for n in [2u32, 4, 8, 12] {
+        let (cas, mem) = build_world(|b| NonDetectableCas::new(b, n));
+        let ops = gray_code_cas_ops(n);
+        let r = census_drive(&cas, &mem, &ops);
+        rows.push(vec![
+            "non-detectable cas".into(),
+            "witness".into(),
+            n.to_string(),
+            r.distinct_shared.to_string(),
+            r.theorem_bound.to_string(),
+            "exempt (not detectable)".into(),
+        ]);
+    }
+
+    // Exhaustive BFS for small N.
+    let alphabet = [OpSpec::Cas { old: 0, new: 1 }, OpSpec::Cas { old: 1, new: 0 }];
+    for n in 1..=3u32 {
+        let (cas, mem) = build_world(|b| DetectableCas::new(b, n, 0));
+        let cfg = BfsConfig { max_ops: 2 * n as usize, max_states: 3_000_000 };
+        let r = census_bfs(&cas, &mem, &alphabet, &cfg);
+        rows.push(vec![
+            "detectable-cas (Alg 2)".into(),
+            format!("bfs (≤{} ops, {} states)", cfg.max_ops, r.work),
+            n.to_string(),
+            r.distinct_shared.to_string(),
+            r.theorem_bound.to_string(),
+            if r.meets_bound() { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    for n in 1..=3u32 {
+        let (cas, mem) = build_world(|b| NonDetectableCas::new(b, n));
+        let cfg = BfsConfig { max_ops: 2 * n as usize, max_states: 3_000_000 };
+        let r = census_bfs(&cas, &mem, &alphabet, &cfg);
+        rows.push(vec![
+            "non-detectable cas".into(),
+            format!("bfs (≤{} ops, {} states)", cfg.max_ops, r.work),
+            n.to_string(),
+            r.distinct_shared.to_string(),
+            r.theorem_bound.to_string(),
+            "exempt (not detectable)".into(),
+        ]);
+    }
+
+    println!("# E1 — Theorem 1 census: reachable shared-memory configurations\n");
+    println!(
+        "{}",
+        markdown_table(
+            &["object", "mode", "N", "distinct shared configs", "2^N - 1 bound", "meets bound"],
+            &rows,
+        )
+    );
+    println!(
+        "\nShape check: Algorithm 2 grows as 2^N (meeting Theorem 1's 2^N - 1), the\n\
+         non-detectable ablation stays flat at the value-domain size."
+    );
+}

@@ -1,0 +1,73 @@
+//! **Experiment E6** — the doubly-perturbing classification (Lemmas 3–8).
+//!
+//! Machine-checks Definition 3 against the sequential specifications:
+//! searches bounded histories for a doubly-perturbing witness per object
+//! kind. Register, CAS, counter, FAA, TAS and FIFO queue must yield
+//! witnesses (Lemmas 3, 5–8); the max register must yield none (Lemma 4).
+//!
+//! Run: `cargo run --release -p bench --bin perturb_table`
+
+use bench::markdown_table;
+use detectable::ObjectKind;
+use harness::{default_alphabet, find_doubly_perturbing_witness};
+
+fn fmt_ops(ops: &[detectable::OpSpec]) -> String {
+    if ops.is_empty() {
+        "ε".into()
+    } else {
+        ops.iter().map(|o| o.to_string()).collect::<Vec<_>>().join(" ∘ ")
+    }
+}
+
+fn main() {
+    let kinds = [
+        (ObjectKind::Register, "read/write register", "Lemma 3: doubly-perturbing"),
+        (ObjectKind::MaxRegister, "max register", "Lemma 4: NOT doubly-perturbing"),
+        (ObjectKind::Counter, "counter", "Lemma 5: doubly-perturbing"),
+        (ObjectKind::Cas, "compare-and-swap", "Lemma 6: doubly-perturbing"),
+        (ObjectKind::Faa, "fetch-and-add", "Lemma 7: doubly-perturbing"),
+        (ObjectKind::Queue, "FIFO queue", "Lemma 8: doubly-perturbing"),
+        (ObjectKind::Swap, "swap (fetch-and-store)", "§5 class member"),
+        (ObjectKind::Tas, "resettable test-and-set", "§5 class member"),
+    ];
+
+    let mut rows = Vec::new();
+    for (kind, name, claim) in kinds {
+        let alphabet = default_alphabet(kind);
+        let found = find_doubly_perturbing_witness(kind, &alphabet, 3, 3);
+        match found {
+            Some(w) => rows.push(vec![
+                name.into(),
+                claim.into(),
+                format!("Opp = {}", w.opp),
+                format!("H1 = {}", fmt_ops(&w.h1)),
+                format!("Op' = {}", w.op_prime),
+                format!("ext = {}", fmt_ops(&w.extension)),
+                format!("Opq = {}", w.opq),
+            ]),
+            None => rows.push(vec![
+                name.into(),
+                claim.into(),
+                "no witness (exhaustive to len 3/3)".into(),
+                "—".into(),
+                "—".into(),
+                "—".into(),
+                "—".into(),
+            ]),
+        }
+    }
+
+    println!("# E6 — doubly-perturbing witnesses (Definition 3, machine-checked)\n");
+    println!(
+        "{}",
+        markdown_table(
+            &["object", "paper claim", "witness Opp", "H1", "Op'", "extension", "Opq"],
+            &rows,
+        )
+    );
+    println!(
+        "\nShape check: every kind the paper's lemmas classify as doubly-perturbing\n\
+         yields a witness; the max register yields none, which is why Algorithm 3 can\n\
+         be detectable without auxiliary state (and Theorem 2 does not apply to it)."
+    );
+}

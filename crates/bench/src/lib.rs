@@ -1,0 +1,145 @@
+//! Benchmark utilities shared by the Criterion benches and the experiment
+//! table binaries.
+//!
+//! The binaries in `src/bin/` regenerate every evaluation artifact indexed
+//! in `DESIGN.md` §4 (experiments E1–E7); the Criterion benches under
+//! `benches/` cover the throughput/latency experiments (E8–E10).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+use detectable::{OpSpec, RecoverableObject};
+use nvm::{AtomicMemory, Pid, Poll};
+
+/// Drives `threads` real OS threads, each performing `ops_per_thread`
+/// operations of `workload` against `obj` over shared atomic memory, and
+/// returns the wall-clock time from the start barrier to the last join.
+///
+/// Used by the throughput benchmarks (experiment E8): the same step machines
+/// that the simulator checks for correctness run here over `AtomicU64`
+/// memory with sequentially consistent ordering.
+pub fn run_concurrent(
+    obj: &dyn RecoverableObject,
+    mem: &AtomicMemory,
+    threads: u32,
+    ops_per_thread: usize,
+    workload: impl Fn(Pid, usize) -> OpSpec + Sync,
+) -> Duration {
+    assert!(threads <= obj.processes());
+    let barrier = Barrier::new(threads as usize + 1);
+    let workload = &workload;
+    let barrier_ref = &barrier;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            s.spawn(move || {
+                let pid = Pid::new(t);
+                barrier_ref.wait();
+                for i in 0..ops_per_thread {
+                    let op = workload(pid, i);
+                    obj.prepare(mem, pid, &op);
+                    let mut m = obj.invoke(pid, &op);
+                    while let Poll::Pending = m.step(mem) {}
+                }
+            });
+        }
+        barrier_ref.wait();
+        // Scope joins all threads before the closure returns; the elapsed
+        // time therefore covers every worker's completion.
+        Instant::now()
+    })
+    .elapsed()
+}
+
+/// Throughput in operations per second for a completed run.
+pub fn ops_per_sec(total_ops: usize, elapsed: Duration) -> f64 {
+    total_ops as f64 / elapsed.as_secs_f64()
+}
+
+/// Renders a Markdown table (used by every experiment binary so outputs can
+/// be pasted into `EXPERIMENTS.md` verbatim).
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (i, c) in cells.iter().enumerate() {
+            line.push_str(&format!(" {:w$} |", c, w = widths[i]));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&fmt_row(
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &widths,
+    ));
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&fmt_row(&sep, &widths));
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+/// Builds an `(object, AtomicMemory)` world for the thread benches.
+pub fn build_atomic_world<O>(f: impl FnOnce(&mut nvm::LayoutBuilder) -> O) -> (O, AtomicMemory) {
+    let mut b = nvm::LayoutBuilder::new();
+    let obj = f(&mut b);
+    (obj, AtomicMemory::new(b.finish()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detectable::DetectableCas;
+
+    #[test]
+    fn concurrent_driver_completes_all_ops() {
+        let (cas, mem) = build_atomic_world(|b| DetectableCas::new(b, 4, 0));
+        let elapsed = run_concurrent(&cas, &mem, 4, 50, |pid, i| OpSpec::Cas {
+            old: 0,
+            new: (pid.get() + 1) * 1000 + i as u32,
+        });
+        assert!(elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn concurrent_register_writes_complete() {
+        use detectable::DetectableRegister;
+        let (reg, mem) = build_atomic_world(|b| DetectableRegister::new(b, 4, 0));
+        let elapsed = run_concurrent(&reg, &mem, 4, 100, |pid, i| {
+            if i % 2 == 0 {
+                OpSpec::Write(pid.get() * 100 + i as u32)
+            } else {
+                OpSpec::Read
+            }
+        });
+        assert!(elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn markdown_table_formats() {
+        let t = markdown_table(
+            &["name", "value"],
+            &[vec!["a".into(), "1".into()], vec!["long-name".into(), "2".into()]],
+        );
+        assert!(t.contains("| name "));
+        assert!(t.contains("| long-name |"));
+        assert_eq!(t.lines().count(), 4);
+    }
+
+    #[test]
+    fn ops_per_sec_math() {
+        let r = ops_per_sec(1000, Duration::from_millis(500));
+        assert!((r - 2000.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Bounded-space **detectable** recoverable objects — a reproduction of
+//! Ben-Baruch, Hendler & Rusanovsky, *Upper and Lower Bounds on the Space
+//! Complexity of Detectable Objects* (PODC 2020).
+//!
+//! A *recoverable* object survives system-wide crash-failures using state
+//! retained in non-volatile memory. A *detectable* one additionally lets the
+//! recovery code of a crashed operation infer whether the operation was
+//! linearized, and obtain its response if so. This crate implements the
+//! paper's three algorithms plus detectable objects derived from them:
+//!
+//! * [`DetectableRegister`] — Algorithm 1, the first wait-free,
+//!   bounded-space detectable read/write register;
+//! * [`DetectableCas`] — Algorithm 2, the first wait-free, bounded-space
+//!   detectable CAS object, using Θ(N) shared bits beyond the value
+//!   (asymptotically optimal by the paper's Theorem 1);
+//! * [`MaxRegister`] — Algorithm 3, a detectable max register needing **no
+//!   auxiliary state**, separating doubly-perturbing objects (Theorem 2)
+//!   from merely perturbable ones;
+//! * [`DetectableCounter`], [`DetectableFaa`], [`DetectableSwap`],
+//!   [`DetectableTas`] — members of
+//!   the paper's "large class" of doubly-perturbing objects, built
+//!   compositionally on the detectable CAS (the composability detectability
+//!   exists to enable);
+//! * [`DetectableQueue`] — a durable FIFO queue in the style of Friedman et
+//!   al. \[9\], whose detectability relies on unbounded per-operation
+//!   identifiers — the paper's standing example of auxiliary state passed
+//!   via arguments;
+//! * [`NrlAdapter`] — the Section 6 transformation from durable
+//!   linearizability + detectability to nesting-safe recoverable
+//!   linearizability (re-invoke on `fail`).
+//!
+//! All objects implement [`RecoverableObject`] and execute as line-level
+//! step machines over the [`nvm`] substrate, so the accompanying `harness`
+//! crate can inject crashes between any two instructions, model-check small
+//! configurations exhaustively, and reproduce both of the paper's theorems
+//! as executable experiments.
+//!
+//! # Quick start
+//!
+//! ```
+//! use detectable::{DetectableCas, OpSpec, RecoverableObject};
+//! use nvm::{run_to_completion, LayoutBuilder, Pid, SimMemory, RESP_FAIL, TRUE};
+//!
+//! // Build a world: layout first, then memory.
+//! let mut b = LayoutBuilder::new();
+//! let cas = DetectableCas::new(&mut b, 2, 0);
+//! let mem = SimMemory::new(b.finish());
+//! let p = Pid::new(0);
+//!
+//! // The caller protocol (announce + reset auxiliary state), then invoke.
+//! let op = OpSpec::Cas { old: 0, new: 42 };
+//! cas.prepare(&mem, p, &op);
+//! let mut m = cas.invoke(p, &op);
+//!
+//! // Crash after two steps: the machine (volatile state) is dropped.
+//! let _ = m.step(&mem);
+//! let _ = m.step(&mem);
+//! drop(m);
+//!
+//! // Recovery tells us whether the CAS took effect.
+//! let mut rec = cas.recover(p, &op);
+//! let verdict = run_to_completion(&mut *rec, &mem, 100).unwrap();
+//! assert!(verdict == RESP_FAIL || verdict == TRUE);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cas;
+pub mod counter;
+pub mod max_register;
+pub mod nrl;
+pub mod object;
+pub mod queue;
+pub mod register;
+pub mod swap;
+pub mod tas;
+
+pub use cas::{DetectableCas, MAX_CAS_PROCESSES};
+pub use counter::{DetectableCounter, DetectableFaa};
+pub use max_register::MaxRegister;
+pub use nrl::NrlAdapter;
+pub use object::{MemExt, ObjectKind, OpSpec, RecoverableObject, EMPTY};
+pub use queue::DetectableQueue;
+pub use register::{DetectableRegister, MAX_REGISTER_PROCESSES};
+pub use swap::DetectableSwap;
+pub use tas::DetectableTas;

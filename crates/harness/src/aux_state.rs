@@ -1,0 +1,239 @@
+//! The auxiliary-state experiment — Theorem 2 as an executable search.
+//!
+//! Theorem 2: every (weakly obstruction-free, durably linearizable,
+//! detectable) implementation of a doubly-perturbing object must receive
+//! auxiliary state, via NVM writes between invocations or via operation
+//! arguments. The proof (Figure 2) builds an execution where a deprived
+//! implementation must confuse "my operation was linearized long ago" with
+//! "my re-invoked operation was linearized", and thereby violate durable
+//! linearizability.
+//!
+//! This module makes that executable. [`theorem2_script`] emits the
+//! Figure 2-shaped operation sequence for each doubly-perturbing kind
+//! (derived from the Lemma 3/5–8 witnesses); [`probe_aux_state`] explores
+//! that script with one crash allowed at *every* position. Run against:
+//!
+//! * the paper's algorithms (which receive auxiliary state through
+//!   `prepare`) — the exploration is clean;
+//! * the same algorithms wrapped in `baselines::WithoutPrepare` (auxiliary
+//!   state withheld: nothing is written between invocations) — the
+//!   exploration finds a durable-linearizability/detectability violation,
+//!   exactly as the theorem predicts;
+//! * the max register (not doubly-perturbing; `prepare` is already a no-op)
+//!   — clean, separating the class boundary.
+
+use detectable::{ObjectKind, OpSpec, RecoverableObject};
+use nvm::{Pid, SimMemory};
+
+use crate::explore::{explore, ExploreConfig, ExploreOutcome, Workload};
+
+/// The Figure 2-shaped script for a doubly-perturbing object kind:
+/// `H1 ∘ Opp ∘ Op′ ∘ extension ∘ Opp(again) ∘ Opq`, with process `p0`
+/// playing the theorem's `p` and `p1` playing `r`/`q`.
+///
+/// Crashing right after the second `Opp` invocation (one of the positions
+/// the explorer enumerates) reproduces the theorem's adversarial execution:
+/// an implementation without auxiliary state cannot distinguish the crashed
+/// re-invocation from the completed first instance.
+///
+/// # Panics
+///
+/// Panics for [`ObjectKind::MaxRegister`] — it is not doubly-perturbing
+/// (Lemma 4), which is exactly why no such script exists for it; use any
+/// workload to confirm its crash-safety instead.
+pub fn theorem2_script(kind: ObjectKind) -> Vec<(Pid, OpSpec)> {
+    let p = Pid::new(0);
+    let q = Pid::new(1);
+    match kind {
+        ObjectKind::Register => vec![
+            (p, OpSpec::Write(1)), // Opp: perturbing w.r.t. readq after ε
+            (q, OpSpec::Read),     // Op′
+            (q, OpSpec::Write(0)), // extension: restores perturbability
+            (p, OpSpec::Write(1)), // Opp again — crash lands here
+            (q, OpSpec::Read),     // Opq: observes the contradiction
+        ],
+        ObjectKind::Cas => vec![
+            (p, OpSpec::Cas { old: 0, new: 1 }), // Opp
+            (q, OpSpec::Cas { old: 0, new: 1 }), // Op′ (perturbed: loses)
+            (q, OpSpec::Cas { old: 1, new: 0 }), // extension
+            (p, OpSpec::Cas { old: 0, new: 1 }), // Opp again
+            (q, OpSpec::Cas { old: 0, new: 1 }), // Opq
+        ],
+        ObjectKind::Counter => vec![
+            (p, OpSpec::Inc),
+            (q, OpSpec::Read),
+            (p, OpSpec::Inc),
+            (q, OpSpec::Read),
+        ],
+        ObjectKind::Faa => vec![
+            (p, OpSpec::Faa(1)),
+            (q, OpSpec::Read),
+            (p, OpSpec::Faa(1)),
+            (q, OpSpec::Read),
+        ],
+        ObjectKind::Swap => vec![
+            (p, OpSpec::Swap(1)),
+            (q, OpSpec::Read),
+            (q, OpSpec::Swap(0)),
+            (p, OpSpec::Swap(1)),
+            (q, OpSpec::Read),
+        ],
+        ObjectKind::Tas => vec![
+            (p, OpSpec::TestAndSet),
+            (q, OpSpec::TestAndSet),
+            (q, OpSpec::Reset),
+            (p, OpSpec::TestAndSet),
+            (q, OpSpec::TestAndSet),
+        ],
+        ObjectKind::Queue => vec![
+            (p, OpSpec::Enq(1)),
+            (p, OpSpec::Enq(2)),
+            (p, OpSpec::Deq),
+            (q, OpSpec::Deq),
+            (q, OpSpec::Enq(1)),
+            (q, OpSpec::Enq(2)),
+            (p, OpSpec::Deq),
+            (q, OpSpec::Deq),
+        ],
+        ObjectKind::MaxRegister => {
+            panic!("max register is not doubly-perturbing (Lemma 4); no Figure 2 script exists")
+        }
+    }
+}
+
+/// Explores the Theorem 2 script against `obj` with a one-crash budget at
+/// every position, checking durable linearizability + detectability of each
+/// complete execution.
+///
+/// A `Some(violation)` in the outcome is the Figure 2 contradiction
+/// materialized; `None` means the object survived every adversarial crash
+/// placement.
+pub fn probe_aux_state(obj: &dyn RecoverableObject, mem: &SimMemory) -> ExploreOutcome {
+    let script = theorem2_script(obj.kind());
+    let cfg = ExploreConfig {
+        max_crashes: 1,
+        retry_on_fail: true,
+        max_retries: 2,
+        ..Default::default()
+    };
+    explore(obj, mem, Workload::Script(&script), &cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::build_world;
+    use detectable::{
+        DetectableCas, DetectableCounter, DetectableQueue, DetectableRegister, DetectableTas,
+    };
+
+    #[test]
+    fn paper_algorithms_survive_the_theorem2_probe() {
+        let (reg, mem) = build_world(|b| DetectableRegister::new(b, 2, 0));
+        probe_aux_state(&reg, &mem).assert_clean();
+
+        let (cas, mem) = build_world(|b| DetectableCas::new(b, 2, 0));
+        probe_aux_state(&cas, &mem).assert_clean();
+    }
+
+    #[test]
+    fn composed_objects_survive_the_theorem2_probe() {
+        let (ctr, mem) = build_world(|b| DetectableCounter::new(b, 2));
+        probe_aux_state(&ctr, &mem).assert_clean();
+
+        let (tas, mem) = build_world(|b| DetectableTas::new(b, 2));
+        probe_aux_state(&tas, &mem).assert_clean();
+
+        let (sw, mem) = build_world(|b| detectable::DetectableSwap::new(b, 2));
+        probe_aux_state(&sw, &mem).assert_clean();
+    }
+
+    #[test]
+    fn deprived_swap_violates_theorem2() {
+        let (sw, mem) =
+            build_world(|b| baselines::WithoutPrepare::new(detectable::DetectableSwap::new(b, 2)));
+        let out = probe_aux_state(&sw, &mem);
+        assert!(out.violation.is_some(), "no violation in {} executions", out.leaves);
+    }
+
+    #[test]
+    fn queue_survives_the_theorem2_probe() {
+        let (q, mem) = build_world(|b| DetectableQueue::new(b, 2, 64));
+        probe_aux_state(&q, &mem).assert_clean();
+    }
+
+    #[test]
+    #[should_panic(expected = "not doubly-perturbing")]
+    fn no_script_for_max_register() {
+        let _ = theorem2_script(ObjectKind::MaxRegister);
+    }
+
+    #[test]
+    fn deprived_register_violates_theorem2() {
+        // Withhold the auxiliary state from Algorithm 1: the Figure 2 probe
+        // must find a durable-linearizability/detectability violation.
+        let (reg, mem) =
+            build_world(|b| baselines::WithoutPrepare::new(DetectableRegister::new(b, 2, 0)));
+        let out = probe_aux_state(&reg, &mem);
+        assert!(
+            out.violation.is_some(),
+            "Theorem 2 predicts a violation, none found in {} executions",
+            out.leaves
+        );
+    }
+
+    #[test]
+    fn deprived_cas_violates_theorem2() {
+        let (cas, mem) =
+            build_world(|b| baselines::WithoutPrepare::new(DetectableCas::new(b, 2, 0)));
+        let out = probe_aux_state(&cas, &mem);
+        assert!(
+            out.violation.is_some(),
+            "Theorem 2 predicts a violation, none found in {} executions",
+            out.leaves
+        );
+    }
+
+    #[test]
+    fn deprived_counter_violates_theorem2() {
+        let (ctr, mem) =
+            build_world(|b| baselines::WithoutPrepare::new(DetectableCounter::new(b, 2)));
+        let out = probe_aux_state(&ctr, &mem);
+        assert!(out.violation.is_some(), "no violation in {} executions", out.leaves);
+    }
+
+    #[test]
+    fn deprived_tagged_baselines_also_violate_theorem2() {
+        // Theorem 2 applies to *any* detectable implementation, including
+        // the unbounded-tag baselines: deprived of their per-op tags and
+        // announcement resets, they too must fail.
+        let (reg, mem) =
+            build_world(|b| baselines::WithoutPrepare::new(baselines::TaggedRegister::new(b, 2)));
+        let out = probe_aux_state(&reg, &mem);
+        assert!(out.violation.is_some(), "no violation in {} executions", out.leaves);
+
+        let (cas, mem) =
+            build_world(|b| baselines::WithoutPrepare::new(baselines::TaggedCas::new(b, 2)));
+        let out = probe_aux_state(&cas, &mem);
+        assert!(out.violation.is_some(), "no violation in {} executions", out.leaves);
+    }
+
+    #[test]
+    fn max_register_needs_no_auxiliary_state() {
+        // The positive side of the boundary: Algorithm 3 has no prepare at
+        // all (wrapping it changes nothing), and survives crash exploration
+        // over a WriteMax/Read workload.
+        use crate::explore::{explore, ExploreConfig, Workload};
+        use detectable::MaxRegister;
+        let (mr, mem) = build_world(|b| baselines::WithoutPrepare::new(MaxRegister::new(b, 2)));
+        let script = [
+            (Pid::new(0), OpSpec::WriteMax(1)),
+            (Pid::new(1), OpSpec::Read),
+            (Pid::new(1), OpSpec::WriteMax(2)),
+            (Pid::new(0), OpSpec::WriteMax(1)),
+            (Pid::new(1), OpSpec::Read),
+        ];
+        let out = explore(&mr, &mem, Workload::Script(&script), &ExploreConfig::default());
+        out.assert_clean();
+    }
+}

@@ -1,0 +1,435 @@
+//! Exhaustive state-space exploration for small configurations.
+//!
+//! Enumerates **every** interleaving of step-machine actions and every crash
+//! point (within a crash budget), checking each complete execution with the
+//! durable-linearizability + detectability checker. This is how the
+//! reproduction machine-verifies Lemmas 1 and 2 at small scale, and how the
+//! Theorem 2 experiment automatically finds the adversarial execution of
+//! Figure 2 against no-auxiliary-state candidates.
+//!
+//! Two sources of work are supported:
+//!
+//! * [`Workload::PerProcess`] — each process has its own operation list; the
+//!   explorer branches over *all* interleavings (use tiny configurations:
+//!   the tree is exponential in total step count);
+//! * [`Workload::Script`] — one global sequence of operations executed one
+//!   at a time (no concurrency), but with crashes allowed between any two
+//!   primitive steps. The Figure 2 construction is essentially sequential,
+//!   so this mode finds it cheaply.
+
+use detectable::{OpSpec, RecoverableObject};
+use nvm::{CrashPolicy, Machine, Pid, Poll, SimMemory, RESP_FAIL};
+
+use crate::history::{Event, History};
+use crate::linearize::{check_history, Violation};
+
+/// Where operations come from.
+#[derive(Copy, Clone, Debug)]
+pub enum Workload<'a> {
+    /// `workload[p]` is the operation list of process `p`; all interleavings
+    /// are explored.
+    PerProcess(&'a [Vec<OpSpec>]),
+    /// A single global sequence, executed one operation at a time.
+    Script(&'a [(Pid, OpSpec)]),
+}
+
+/// Exploration parameters.
+#[derive(Clone, Debug)]
+pub struct ExploreConfig {
+    /// Maximum system-wide crashes per execution.
+    pub max_crashes: usize,
+    /// Re-invoke operations whose recovery said `fail` (bounded per process
+    /// by `max_retries`).
+    pub retry_on_fail: bool,
+    /// Retry budget per process (prevents unbounded fail/retry chains when
+    /// crashes keep arriving).
+    pub max_retries: usize,
+    /// Stop after this many complete executions (safety valve; reaching it
+    /// is reported in the outcome).
+    pub max_leaves: usize,
+    /// Crash policy applied at each injected crash.
+    pub crash_policy: CrashPolicy,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            max_crashes: 1,
+            retry_on_fail: true,
+            max_retries: 2,
+            max_leaves: 5_000_000,
+            crash_policy: CrashPolicy::DropAll,
+        }
+    }
+}
+
+/// The result of an exploration.
+#[derive(Debug)]
+pub struct ExploreOutcome {
+    /// Complete executions checked.
+    pub leaves: usize,
+    /// First violation found, if any.
+    pub violation: Option<Violation>,
+    /// Whether the leaf budget was exhausted (coverage incomplete).
+    pub truncated: bool,
+}
+
+impl ExploreOutcome {
+    /// Panics with the violation if one was found, and on truncation (test
+    /// helper for fully exhaustive runs).
+    pub fn assert_clean(&self) {
+        self.assert_no_violation();
+        assert!(!self.truncated, "exploration truncated at {} leaves", self.leaves);
+    }
+
+    /// Panics with the violation if one was found; tolerates truncation
+    /// (test helper for *bounded*-exhaustive runs, where the DFS covers the
+    /// first `max_leaves` executions systematically).
+    pub fn assert_no_violation(&self) {
+        if let Some(v) = &self.violation {
+            panic!("exploration found a violation after {} leaves:\n{v}", self.leaves);
+        }
+    }
+}
+
+#[derive(Clone)]
+enum PState {
+    Idle,
+    Running { op: OpSpec, m: Box<dyn Machine> },
+    NeedRecovery { op: OpSpec },
+    Recovering { op: OpSpec, m: Box<dyn Machine> },
+}
+
+#[derive(Clone)]
+struct Node {
+    procs: Vec<PState>,
+    next_op: Vec<usize>,
+    script_pos: usize,
+    crashes_used: usize,
+    retries: Vec<usize>,
+    history: History,
+}
+
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum Action {
+    Crash,
+    Proc(usize),
+}
+
+struct Ctx<'a> {
+    obj: &'a dyn RecoverableObject,
+    mem: &'a SimMemory,
+    cfg: &'a ExploreConfig,
+    source: Workload<'a>,
+    leaves: usize,
+    violation: Option<Violation>,
+    truncated: bool,
+}
+
+/// Exhaustively explores executions of `obj` and checks every complete one.
+///
+/// The memory must be freshly initialized; it is restored to its starting
+/// state before returning.
+pub fn explore(
+    obj: &dyn RecoverableObject,
+    mem: &SimMemory,
+    source: Workload<'_>,
+    cfg: &ExploreConfig,
+) -> ExploreOutcome {
+    let n = obj.processes() as usize;
+    let root = Node {
+        procs: vec![PState::Idle; n].iter().map(|_| PState::Idle).collect(),
+        next_op: vec![0; n],
+        script_pos: 0,
+        crashes_used: 0,
+        retries: vec![0; n],
+        history: History::new(),
+    };
+    let mut ctx = Ctx {
+        obj,
+        mem,
+        cfg,
+        source,
+        leaves: 0,
+        violation: None,
+        truncated: false,
+    };
+    let start = mem.snapshot();
+    dfs(&mut ctx, &root);
+    mem.restore(&start);
+    ExploreOutcome {
+        leaves: ctx.leaves,
+        violation: ctx.violation,
+        truncated: ctx.truncated,
+    }
+}
+
+fn actions(ctx: &Ctx<'_>, node: &Node) -> Vec<Action> {
+    let mut out = Vec::new();
+    let in_flight = node
+        .procs
+        .iter()
+        .any(|s| matches!(s, PState::Running { .. } | PState::Recovering { .. }));
+    if in_flight && node.crashes_used < ctx.cfg.max_crashes {
+        out.push(Action::Crash);
+    }
+    match ctx.source {
+        Workload::PerProcess(w) => {
+            for (i, st) in node.procs.iter().enumerate() {
+                match st {
+                    PState::Idle => {
+                        if node.next_op[i] < w[i].len() {
+                            out.push(Action::Proc(i));
+                        }
+                    }
+                    _ => out.push(Action::Proc(i)),
+                }
+            }
+        }
+        Workload::Script(script) => {
+            // One operation at a time: if some process is mid-operation (or
+            // mid-recovery), only it may act; otherwise the script advances.
+            if let Some(i) = node
+                .procs
+                .iter()
+                .position(|s| !matches!(s, PState::Idle))
+            {
+                out.push(Action::Proc(i));
+            } else if node.script_pos < script.len() {
+                out.push(Action::Proc(script[node.script_pos].0.idx()));
+            }
+        }
+    }
+    out
+}
+
+/// Executes one scheduling action's worth of machine steps.
+///
+/// In full-interleaving mode this performs **partial-order reduction**: after
+/// the first step, subsequent steps that touch only the acting process's
+/// private cells are folded into the same action (they commute with every
+/// other process's actions, so exploring their interleavings separately adds
+/// nothing). The speculative extra step is rolled back if it turns out to
+/// touch shared memory. Scripted explorations do not merge, keeping crash
+/// granularity at single primitives.
+fn step_merged(ctx: &Ctx<'_>, m: &mut Box<dyn Machine>, merge: bool) -> Poll {
+    ctx.mem.reset_shared_touch();
+    let mut r = m.step(ctx.mem);
+    if merge {
+        while matches!(r, Poll::Pending) {
+            let snap = ctx.mem.snapshot();
+            let saved = m.clone_box();
+            ctx.mem.reset_shared_touch();
+            let speculative = m.step(ctx.mem);
+            if ctx.mem.shared_touched() {
+                ctx.mem.restore(&snap);
+                *m = saved;
+                break;
+            }
+            r = speculative;
+        }
+    }
+    r
+}
+
+fn apply(ctx: &mut Ctx<'_>, node: &mut Node, action: Action) {
+    let merge = matches!(ctx.source, Workload::PerProcess(_));
+    match action {
+        Action::Crash => {
+            node.crashes_used += 1;
+            ctx.mem.crash(ctx.cfg.crash_policy);
+            node.history.push(Event::Crash);
+            for st in node.procs.iter_mut() {
+                let cur = std::mem::replace(st, PState::Idle);
+                *st = match cur {
+                    PState::Running { op, .. } | PState::Recovering { op, .. } => {
+                        PState::NeedRecovery { op }
+                    }
+                    other => other,
+                };
+            }
+        }
+        Action::Proc(i) => {
+            let pid = Pid::new(i as u32);
+            let cur = std::mem::replace(&mut node.procs[i], PState::Idle);
+            node.procs[i] = match cur {
+                PState::Idle => {
+                    let op = match ctx.source {
+                        Workload::PerProcess(w) => {
+                            let op = w[i][node.next_op[i]];
+                            node.next_op[i] += 1;
+                            op
+                        }
+                        Workload::Script(script) => {
+                            let (_, op) = script[node.script_pos];
+                            node.script_pos += 1;
+                            op
+                        }
+                    };
+                    ctx.obj.prepare(ctx.mem, pid, &op);
+                    node.history.push(Event::Invoke { pid, op });
+                    PState::Running { m: ctx.obj.invoke(pid, &op), op }
+                }
+                PState::Running { op, mut m } => match step_merged(ctx, &mut m, merge) {
+                    Poll::Ready(resp) => {
+                        node.history.push(Event::Return { pid, resp });
+                        PState::Idle
+                    }
+                    Poll::Pending => PState::Running { op, m },
+                },
+                PState::NeedRecovery { op } => {
+                    PState::Recovering { m: ctx.obj.recover(pid, &op), op }
+                }
+                PState::Recovering { op, mut m } => match step_merged(ctx, &mut m, merge) {
+                    Poll::Ready(verdict) => {
+                        node.history.push(Event::RecoveryReturn { pid, verdict });
+                        if verdict == RESP_FAIL
+                            && ctx.cfg.retry_on_fail
+                            && node.retries[i] < ctx.cfg.max_retries
+                        {
+                            node.retries[i] += 1;
+                            ctx.obj.prepare(ctx.mem, pid, &op);
+                            node.history.push(Event::Invoke { pid, op });
+                            PState::Running { m: ctx.obj.invoke(pid, &op), op }
+                        } else {
+                            PState::Idle
+                        }
+                    }
+                    Poll::Pending => PState::Recovering { op, m },
+                },
+            };
+        }
+    }
+}
+
+fn dfs(ctx: &mut Ctx<'_>, node: &Node) {
+    if ctx.violation.is_some() || ctx.truncated {
+        return;
+    }
+    let acts = actions(ctx, node);
+    if acts.is_empty() {
+        ctx.leaves += 1;
+        if ctx.leaves >= ctx.cfg.max_leaves {
+            ctx.truncated = true;
+        }
+        if ctx.obj.detectable() {
+            if let Err(v) = check_history(ctx.obj.kind(), &node.history) {
+                ctx.violation = Some(v);
+            }
+        } else {
+            // Non-detectable objects: verdict words carry no linearization
+            // claim; recovered operations become Unresolved (effect unknown,
+            // interval preserved) and only durable linearizability remains.
+            let records = node.history.to_records_relaxed();
+            if let Err(mut v) = crate::linearize::check_records(ctx.obj.kind(), &records) {
+                v.rendered = node.history.to_string();
+                ctx.violation = Some(v);
+            }
+        }
+        return;
+    }
+    for a in acts {
+        let snap = ctx.mem.snapshot();
+        let mut child = node.clone();
+        apply(ctx, &mut child, a);
+        dfs(ctx, &child);
+        ctx.mem.restore(&snap);
+        if ctx.violation.is_some() || ctx.truncated {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::build_world;
+    use detectable::{DetectableCas, DetectableRegister, MaxRegister};
+
+    #[test]
+    fn script_register_with_one_crash_is_clean() {
+        let (reg, mem) = build_world(|b| DetectableRegister::new(b, 2, 0));
+        let p = Pid::new(0);
+        let q = Pid::new(1);
+        let script = [
+            (p, OpSpec::Write(1)),
+            (q, OpSpec::Read),
+            (q, OpSpec::Write(2)),
+            (p, OpSpec::Write(1)),
+            (q, OpSpec::Read),
+        ];
+        let out = explore(&reg, &mem, Workload::Script(&script), &ExploreConfig::default());
+        out.assert_clean();
+        assert!(out.leaves > 10, "expected many crash positions, got {}", out.leaves);
+    }
+
+    #[test]
+    fn script_cas_with_one_crash_is_clean() {
+        let (cas, mem) = build_world(|b| DetectableCas::new(b, 2, 0));
+        let p = Pid::new(0);
+        let q = Pid::new(1);
+        let script = [
+            (p, OpSpec::Cas { old: 0, new: 1 }),
+            (q, OpSpec::Cas { old: 1, new: 0 }),
+            (p, OpSpec::Cas { old: 0, new: 1 }),
+            (q, OpSpec::Read),
+        ];
+        let out = explore(&cas, &mem, Workload::Script(&script), &ExploreConfig::default());
+        out.assert_clean();
+    }
+
+    #[test]
+    fn concurrent_writes_all_interleavings_crash_free() {
+        let (reg, mem) = build_world(|b| DetectableRegister::new(b, 2, 0));
+        let w = vec![
+            vec![OpSpec::Write(1), OpSpec::Read],
+            vec![OpSpec::Write(2)],
+        ];
+        let cfg = ExploreConfig { max_crashes: 0, ..Default::default() };
+        let out = explore(&reg, &mem, Workload::PerProcess(&w), &cfg);
+        out.assert_clean();
+        assert!(out.leaves > 100);
+    }
+
+    #[test]
+    fn concurrent_cas_all_interleavings_one_crash() {
+        let (cas, mem) = build_world(|b| DetectableCas::new(b, 2, 0));
+        let w = vec![
+            vec![OpSpec::Cas { old: 0, new: 1 }],
+            vec![OpSpec::Cas { old: 0, new: 2 }],
+        ];
+        let out = explore(&cas, &mem, Workload::PerProcess(&w), &ExploreConfig::default());
+        out.assert_clean();
+    }
+
+    #[test]
+    fn max_register_explorations_are_clean() {
+        let (mr, mem) = build_world(|b| MaxRegister::new(b, 2));
+        let w = vec![
+            vec![OpSpec::WriteMax(2), OpSpec::Read],
+            vec![OpSpec::WriteMax(1)],
+        ];
+        let out = explore(&mr, &mem, Workload::PerProcess(&w), &ExploreConfig::default());
+        out.assert_clean();
+    }
+
+    #[test]
+    fn leaf_budget_truncates() {
+        let (reg, mem) = build_world(|b| DetectableRegister::new(b, 2, 0));
+        let w = vec![vec![OpSpec::Write(1)], vec![OpSpec::Write(2)]];
+        let cfg = ExploreConfig { max_leaves: 5, max_crashes: 0, ..Default::default() };
+        let out = explore(&reg, &mem, Workload::PerProcess(&w), &cfg);
+        assert!(out.truncated);
+        assert_eq!(out.leaves, 5);
+    }
+
+    #[test]
+    fn memory_is_restored_after_exploration() {
+        let (reg, mem) = build_world(|b| DetectableRegister::new(b, 2, 0));
+        let before = mem.shared_key();
+        let w = vec![vec![OpSpec::Write(9)], vec![]];
+        let cfg = ExploreConfig { max_crashes: 0, ..Default::default() };
+        let _ = explore(&reg, &mem, Workload::PerProcess(&w), &cfg);
+        assert_eq!(mem.shared_key(), before);
+    }
+}

@@ -1,0 +1,317 @@
+//! Execution histories: invocations, responses, crashes and recovery
+//! verdicts, plus compilation into the operation records the checker
+//! consumes.
+
+use std::fmt;
+
+use detectable::OpSpec;
+use nvm::{Pid, Word, RESP_FAIL};
+
+/// One event of an execution, in global time order.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Event {
+    /// Process `pid` invoked `op` (the caller protocol ran just before).
+    Invoke {
+        /// Invoking process.
+        pid: Pid,
+        /// The operation.
+        op: OpSpec,
+    },
+    /// Process `pid`'s operation returned `resp` without crashing.
+    Return {
+        /// Returning process.
+        pid: Pid,
+        /// Response word.
+        resp: Word,
+    },
+    /// A system-wide crash: all in-flight operations lose volatile state.
+    Crash,
+    /// Process `pid`'s recovery function completed with `verdict` —
+    /// [`RESP_FAIL`] ("not linearized") or the operation's response.
+    RecoveryReturn {
+        /// Recovering process.
+        pid: Pid,
+        /// `fail` or the response.
+        verdict: Word,
+    },
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Invoke { pid, op } => write!(f, "{pid} invokes {op}"),
+            Event::Return { pid, resp } => write!(f, "{pid} returns {resp}"),
+            Event::Crash => write!(f, "CRASH"),
+            Event::RecoveryReturn { pid, verdict } => {
+                if *verdict == RESP_FAIL {
+                    write!(f, "{pid} recovery: fail")
+                } else {
+                    write!(f, "{pid} recovery: {verdict}")
+                }
+            }
+        }
+    }
+}
+
+/// How an operation ended.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Outcome {
+    /// Returned `resp` — either directly or through a recovery verdict. The
+    /// operation **must** be linearized within its interval, with exactly
+    /// this response.
+    Completed(Word),
+    /// Recovery returned `fail`: the object asserts the operation was never
+    /// linearized. The checker excludes it and the exclusion must make the
+    /// history explainable — if only *including* it works, detectability is
+    /// violated.
+    RecoveredFail,
+    /// Still in flight when the history ends (crashed and never recovered,
+    /// or simply unfinished). May be linearized with any legal response, or
+    /// not at all.
+    Pending,
+    /// Resolved at a known time but with an effect the object could not
+    /// report (non-detectable recovery): may be linearized with any legal
+    /// response **within its interval**, or not at all.
+    Unresolved,
+}
+
+/// One operation instance extracted from a history.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct OpRecord {
+    /// Executing process.
+    pub pid: Pid,
+    /// The operation.
+    pub op: OpSpec,
+    /// How it ended.
+    pub outcome: Outcome,
+    /// Index of the `Invoke` event.
+    pub invoked_at: usize,
+    /// Index of the resolving event (`Return` / `RecoveryReturn`), or
+    /// `usize::MAX` while pending.
+    pub resolved_at: usize,
+}
+
+impl OpRecord {
+    /// Real-time precedence: `self` finished before `other` was invoked.
+    pub fn precedes(&self, other: &OpRecord) -> bool {
+        self.resolved_at < other.invoked_at
+    }
+}
+
+/// A recorded execution.
+#[derive(Clone, Debug, Default)]
+pub struct History {
+    events: Vec<Event>,
+}
+
+impl History {
+    /// An empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, e: Event) {
+        self.events.push(e);
+    }
+
+    /// The events in order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of crashes recorded.
+    pub fn crash_count(&self) -> usize {
+        self.events.iter().filter(|e| matches!(e, Event::Crash)).count()
+    }
+
+    /// Compiles the event list into per-operation records.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed histories (response without invocation, two
+    /// in-flight operations for one process) — these indicate harness bugs.
+    pub fn to_records(&self) -> Vec<OpRecord> {
+        let mut records: Vec<OpRecord> = Vec::new();
+        // Per-pid index into `records` of the in-flight op.
+        let mut open: std::collections::HashMap<Pid, usize> = std::collections::HashMap::new();
+        for (i, e) in self.events.iter().enumerate() {
+            match *e {
+                Event::Invoke { pid, op } => {
+                    assert!(
+                        !open.contains_key(&pid),
+                        "{pid} invoked {op} while another op is in flight"
+                    );
+                    open.insert(pid, records.len());
+                    records.push(OpRecord {
+                        pid,
+                        op,
+                        outcome: Outcome::Pending,
+                        invoked_at: i,
+                        resolved_at: usize::MAX,
+                    });
+                }
+                Event::Return { pid, resp } => {
+                    let idx = open.remove(&pid).expect("return without invocation");
+                    records[idx].outcome = Outcome::Completed(resp);
+                    records[idx].resolved_at = i;
+                }
+                Event::Crash => {}
+                Event::RecoveryReturn { pid, verdict } => {
+                    let idx = open.remove(&pid).expect("recovery without invocation");
+                    records[idx].outcome = if verdict == RESP_FAIL {
+                        Outcome::RecoveredFail
+                    } else {
+                        Outcome::Completed(verdict)
+                    };
+                    records[idx].resolved_at = i;
+                }
+            }
+        }
+        records
+    }
+
+    /// Like [`to_records`](Self::to_records) but for **non-detectable**
+    /// objects: recovery verdicts carry no linearization claim, so every
+    /// recovered operation becomes [`Outcome::Unresolved`] — it may have
+    /// taken effect within its interval, or not. Only durable
+    /// linearizability remains checkable.
+    pub fn to_records_relaxed(&self) -> Vec<OpRecord> {
+        let mut records = self.to_records();
+        for r in &mut records {
+            if matches!(r.outcome, Outcome::RecoveredFail | Outcome::Completed(_))
+                && self.resolved_by_recovery(r)
+            {
+                r.outcome = Outcome::Unresolved;
+            }
+        }
+        records
+    }
+
+    fn resolved_by_recovery(&self, r: &OpRecord) -> bool {
+        r.resolved_at != usize::MAX
+            && matches!(self.events[r.resolved_at], Event::RecoveryReturn { .. })
+    }
+}
+
+impl fmt::Display for History {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, e) in self.events.iter().enumerate() {
+            writeln!(f, "{i:4}: {e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvm::ACK;
+
+    #[test]
+    fn records_from_plain_history() {
+        let mut h = History::new();
+        let p = Pid::new(0);
+        h.push(Event::Invoke { pid: p, op: OpSpec::Write(1) });
+        h.push(Event::Return { pid: p, resp: ACK });
+        let r = h.to_records();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].outcome, Outcome::Completed(ACK));
+        assert_eq!((r[0].invoked_at, r[0].resolved_at), (0, 1));
+    }
+
+    #[test]
+    fn records_through_crash_and_recovery() {
+        let mut h = History::new();
+        let p = Pid::new(0);
+        let q = Pid::new(1);
+        h.push(Event::Invoke { pid: p, op: OpSpec::Write(1) });
+        h.push(Event::Invoke { pid: q, op: OpSpec::Read });
+        h.push(Event::Crash);
+        h.push(Event::RecoveryReturn { pid: p, verdict: RESP_FAIL });
+        h.push(Event::RecoveryReturn { pid: q, verdict: 0 });
+        let r = h.to_records();
+        assert_eq!(r[0].outcome, Outcome::RecoveredFail);
+        assert_eq!(r[1].outcome, Outcome::Completed(0));
+        assert_eq!(h.crash_count(), 1);
+    }
+
+    #[test]
+    fn pending_ops_stay_pending() {
+        let mut h = History::new();
+        h.push(Event::Invoke { pid: Pid::new(0), op: OpSpec::Read });
+        let r = h.to_records();
+        assert_eq!(r[0].outcome, Outcome::Pending);
+        assert_eq!(r[0].resolved_at, usize::MAX);
+    }
+
+    #[test]
+    fn precedence() {
+        let mut h = History::new();
+        let p = Pid::new(0);
+        h.push(Event::Invoke { pid: p, op: OpSpec::Write(1) });
+        h.push(Event::Return { pid: p, resp: ACK });
+        h.push(Event::Invoke { pid: p, op: OpSpec::Write(2) });
+        h.push(Event::Return { pid: p, resp: ACK });
+        let r = h.to_records();
+        assert!(r[0].precedes(&r[1]));
+        assert!(!r[1].precedes(&r[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "in flight")]
+    fn double_invoke_panics() {
+        let mut h = History::new();
+        let p = Pid::new(0);
+        h.push(Event::Invoke { pid: p, op: OpSpec::Read });
+        h.push(Event::Invoke { pid: p, op: OpSpec::Read });
+        let _ = h.to_records();
+    }
+
+    #[test]
+    fn relaxed_records_turn_recovery_verdicts_into_unresolved() {
+        let mut h = History::new();
+        let p = Pid::new(0);
+        let q = Pid::new(1);
+        // p: normal return — stays Completed even in relaxed mode.
+        h.push(Event::Invoke { pid: p, op: OpSpec::Write(1) });
+        h.push(Event::Return { pid: p, resp: ACK });
+        // q: crashed, recovery said fail — becomes Unresolved.
+        h.push(Event::Invoke { pid: q, op: OpSpec::Write(2) });
+        h.push(Event::Crash);
+        h.push(Event::RecoveryReturn { pid: q, verdict: RESP_FAIL });
+        // p again: crashed, recovery claimed a response — also Unresolved
+        // (non-detectable verdicts are not trusted either way).
+        h.push(Event::Invoke { pid: p, op: OpSpec::Write(3) });
+        h.push(Event::Crash);
+        h.push(Event::RecoveryReturn { pid: p, verdict: ACK });
+
+        let r = h.to_records_relaxed();
+        assert_eq!(r[0].outcome, Outcome::Completed(ACK));
+        assert_eq!(r[1].outcome, Outcome::Unresolved);
+        assert_eq!(r[2].outcome, Outcome::Unresolved);
+        // Intervals are preserved for real-time ordering.
+        assert_eq!(r[1].resolved_at, 4);
+        assert_eq!(r[2].resolved_at, 7);
+    }
+
+    #[test]
+    fn relaxed_records_keep_pending_pending() {
+        let mut h = History::new();
+        h.push(Event::Invoke { pid: Pid::new(0), op: OpSpec::Read });
+        let r = h.to_records_relaxed();
+        assert_eq!(r[0].outcome, Outcome::Pending);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut h = History::new();
+        h.push(Event::Invoke { pid: Pid::new(0), op: OpSpec::Write(3) });
+        h.push(Event::Crash);
+        h.push(Event::RecoveryReturn { pid: Pid::new(0), verdict: RESP_FAIL });
+        let s = h.to_string();
+        assert!(s.contains("p0 invokes Write(3)"));
+        assert!(s.contains("CRASH"));
+        assert!(s.contains("recovery: fail"));
+    }
+}

@@ -1,0 +1,44 @@
+//! Correctness harness for the detectable-objects reproduction.
+//!
+//! This crate is the "evaluation testbed" of the reproduction: it drives the
+//! objects of the [`detectable`] and [`baselines`] crates through crashes
+//! and adversarial schedules, and checks the paper's claims:
+//!
+//! * [`spec`] — sequential specifications of every object kind;
+//! * [`history`] — execution recording (invocations, responses, crashes,
+//!   recovery verdicts);
+//! * [`linearize`] — the durable-linearizability + detectability checker
+//!   (Wing–Gong search adapted to the crash-recovery model);
+//! * [`sim`] — seeded randomized simulator with crash injection at
+//!   primitive-step granularity and asynchronous per-process recovery;
+//! * [`explore`](mod@explore) — exhaustive interleaving + crash-point exploration for
+//!   small configurations (machine-checks Lemmas 1 and 2 at small scale);
+//! * [`census`] — the reachable-configuration census reproducing
+//!   **Theorem 1** (detectable CAS needs `2^N − 1` shared-memory
+//!   configurations, and Algorithm 2 realizes them);
+//! * [`aux_state`] — the **Theorem 2** experiment (detectability requires
+//!   externally provided auxiliary state; withholding it produces the
+//!   Figure 2 violation);
+//! * [`perturb`] — machine-checks the doubly-perturbing classification
+//!   (Lemmas 3–8).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aux_state;
+pub mod census;
+pub mod explore;
+pub mod history;
+pub mod linearize;
+pub mod perturb;
+pub mod sim;
+pub mod spec;
+
+pub use aux_state::{probe_aux_state, theorem2_script};
+pub use census::{census_bfs, census_drive, gray_code_cas_ops, BfsConfig, CensusReport};
+pub use explore::{explore, ExploreConfig, ExploreOutcome, Workload};
+pub use history::{Event, History, OpRecord, Outcome};
+pub use linearize::{check_history, check_records, Violation, MAX_CHECKED_OPS};
+pub use perturb::{default_alphabet, find_doubly_perturbing_witness, PerturbWitness};
+pub use sim::{build_world, build_world_mode, run_sim, SimConfig, SimReport};
+pub use spec::{spec_apply, spec_init, spec_run, SpecState};

@@ -1,0 +1,482 @@
+//! Durable-linearizability + detectability checker.
+//!
+//! A Wing–Gong-style depth-first search with memoization, adapted to the
+//! crash-recovery model:
+//!
+//! * **Completed** operations (normal return, or a recovery verdict carrying
+//!   a response) must be linearized within their interval with exactly that
+//!   response — this is durable linearizability plus the "obtain its
+//!   response" half of detectability.
+//! * **Recovered-fail** operations are excluded: the object asserted "not
+//!   linearized". If the history is explainable only by *including* such an
+//!   operation, the object lied and we report a violation — the "infer if it
+//!   was linearized" half of detectability.
+//! * **Pending** operations (in flight at history end, e.g. crashed without
+//!   recovery) may be linearized with any spec-conforming response or
+//!   dropped, exactly as durable linearizability allows.
+//!
+//! Real-time order is taken from event indices, so operations separated by a
+//! crash (invocation before, recovery return after) keep their full
+//! intervals, and anything invoked after a resolution is ordered after it.
+
+use std::collections::HashSet;
+
+use detectable::ObjectKind;
+
+use crate::history::{History, OpRecord, Outcome};
+use crate::spec::{spec_apply, spec_init, SpecState};
+
+/// Maximum operations per checked history (bitmask-bounded search).
+pub const MAX_CHECKED_OPS: usize = 64;
+
+/// A linearizability violation, with enough context to debug it.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Object kind checked.
+    pub kind: ObjectKind,
+    /// The operation records that could not be explained.
+    pub records: Vec<OpRecord>,
+    /// Human-readable rendering of the history, when available.
+    pub rendered: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "history is not durably linearizable / detectable for {:?} ({} ops):",
+            self.kind,
+            self.records.len()
+        )?;
+        for r in &self.records {
+            writeln!(
+                f,
+                "  {} {} -> {:?} [{}..{}]",
+                r.pid,
+                r.op,
+                r.outcome,
+                r.invoked_at,
+                if r.resolved_at == usize::MAX { -1 } else { r.resolved_at as i64 }
+            )?;
+        }
+        if !self.rendered.is_empty() {
+            writeln!(f, "events:\n{}", self.rendered)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Checks a compiled record set against `kind`'s sequential specification.
+///
+/// # Errors
+///
+/// Returns a [`Violation`] if no legal linearization exists.
+///
+/// # Panics
+///
+/// Panics if the history holds more than [`MAX_CHECKED_OPS`] operations or
+/// contains an operation outside `kind`'s interface.
+pub fn check_records(kind: ObjectKind, records: &[OpRecord]) -> Result<(), Violation> {
+    assert!(
+        records.len() <= MAX_CHECKED_OPS,
+        "history too large for the exhaustive checker ({} ops)",
+        records.len()
+    );
+    let mut searcher = Searcher {
+        kind,
+        records,
+        memo: HashSet::new(),
+        must_mask: {
+            let mut m: u64 = 0;
+            for (i, r) in records.iter().enumerate() {
+                if matches!(r.outcome, Outcome::Completed(_)) {
+                    m |= 1 << i;
+                }
+            }
+            m
+        },
+    };
+    if searcher.dfs(&spec_init(kind), 0) {
+        Ok(())
+    } else {
+        Err(Violation {
+            kind,
+            records: records.to_vec(),
+            rendered: String::new(),
+        })
+    }
+}
+
+/// Checks a full [`History`]: compiles it to records and runs
+/// [`check_records`], attaching the rendered events to any violation.
+///
+/// # Errors
+///
+/// Returns a [`Violation`] if no legal linearization exists.
+pub fn check_history(kind: ObjectKind, history: &History) -> Result<(), Violation> {
+    check_records(kind, &history.to_records()).map_err(|mut v| {
+        v.rendered = history.to_string();
+        v
+    })
+}
+
+struct Searcher<'a> {
+    kind: ObjectKind,
+    records: &'a [OpRecord],
+    memo: HashSet<(SpecState, u64)>,
+    /// Bits of operations that must eventually be linearized.
+    must_mask: u64,
+}
+
+impl Searcher<'_> {
+    /// Is `i` eligible to linearize next? Every record that precedes it and
+    /// is *not yet linearized* must not force an earlier point. Excluded
+    /// (failed) records impose no constraints; pending records only
+    /// constrain if we choose to linearize them.
+    fn eligible(&self, i: usize, done: u64) -> bool {
+        if done & (1 << i) != 0 {
+            return false;
+        }
+        let r = &self.records[i];
+        if matches!(r.outcome, Outcome::RecoveredFail) {
+            return false; // never linearized
+        }
+        for (j, other) in self.records.iter().enumerate() {
+            if j == i {
+                continue;
+            }
+            if done & (1 << j) != 0 {
+                // `other` already linearized: if `i` finished before `other`
+                // was even invoked, putting `i` after it would violate
+                // real-time order. (Reachable only for optional, resolved
+                // operations — Unresolved — since required predecessors
+                // block below.)
+                if r.precedes(other) {
+                    return false;
+                }
+                continue;
+            }
+            // `other` not yet linearized. If `other` must be linearized and
+            // precedes `i`, then `i` cannot go first.
+            let other_required = matches!(other.outcome, Outcome::Completed(_));
+            if other_required && other.precedes(r) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn dfs(&mut self, state: &SpecState, done: u64) -> bool {
+        if done & self.must_mask == self.must_mask {
+            return true; // every completed op explained
+        }
+        if !self.memo.insert((state.clone(), done)) {
+            return false; // visited and failed before
+        }
+        for i in 0..self.records.len() {
+            if !self.eligible(i, done) {
+                continue;
+            }
+            let r = &self.records[i];
+            let Some((next, resp)) = spec_apply(self.kind, state, &r.op) else {
+                panic!("operation {} not in the interface of {:?}", r.op, self.kind);
+            };
+            match r.outcome {
+                Outcome::Completed(expected) => {
+                    if resp != expected {
+                        continue;
+                    }
+                }
+                Outcome::Pending | Outcome::Unresolved => {
+                    // Any spec response is acceptable — the caller never saw
+                    // one (or, for non-detectable recovery, could not trust
+                    // it). Also allowed: never linearizing it, which the
+                    // search covers by simply not picking `i`.
+                }
+                Outcome::RecoveredFail => unreachable!("filtered by eligible()"),
+            }
+            if self.dfs(&next, done | (1 << i)) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::Event;
+    use detectable::OpSpec;
+    use nvm::{Pid, Word, ACK, FALSE, RESP_FAIL, TRUE};
+
+    fn h(events: Vec<Event>) -> History {
+        let mut hist = History::new();
+        for e in events {
+            hist.push(e);
+        }
+        hist
+    }
+
+    fn inv(p: u32, op: OpSpec) -> Event {
+        Event::Invoke { pid: Pid::new(p), op }
+    }
+
+    fn ret(p: u32, resp: Word) -> Event {
+        Event::Return { pid: Pid::new(p), resp }
+    }
+
+    fn rec(p: u32, verdict: Word) -> Event {
+        Event::RecoveryReturn { pid: Pid::new(p), verdict }
+    }
+
+    #[test]
+    fn sequential_register_history_passes() {
+        let hist = h(vec![
+            inv(0, OpSpec::Write(5)),
+            ret(0, ACK),
+            inv(1, OpSpec::Read),
+            ret(1, 5),
+        ]);
+        check_history(ObjectKind::Register, &hist).unwrap();
+    }
+
+    #[test]
+    fn stale_read_fails() {
+        let hist = h(vec![
+            inv(0, OpSpec::Write(5)),
+            ret(0, ACK),
+            inv(1, OpSpec::Read),
+            ret(1, 0), // must be 5
+        ]);
+        assert!(check_history(ObjectKind::Register, &hist).is_err());
+    }
+
+    #[test]
+    fn concurrent_read_may_see_either_value() {
+        // Read overlaps the write: both 0 and 5 are linearizable.
+        for seen in [0u64, 5] {
+            let hist = h(vec![
+                inv(1, OpSpec::Read),
+                inv(0, OpSpec::Write(5)),
+                ret(0, ACK),
+                ret(1, seen),
+            ]);
+            check_history(ObjectKind::Register, &hist).unwrap();
+        }
+    }
+
+    #[test]
+    fn cas_winner_loser() {
+        let hist = h(vec![
+            inv(0, OpSpec::Cas { old: 0, new: 1 }),
+            inv(1, OpSpec::Cas { old: 0, new: 2 }),
+            ret(0, TRUE),
+            ret(1, FALSE),
+        ]);
+        check_history(ObjectKind::Cas, &hist).unwrap();
+        // Two winners is impossible.
+        let bad = h(vec![
+            inv(0, OpSpec::Cas { old: 0, new: 1 }),
+            inv(1, OpSpec::Cas { old: 0, new: 2 }),
+            ret(0, TRUE),
+            ret(1, TRUE),
+        ]);
+        assert!(check_history(ObjectKind::Cas, &bad).is_err());
+    }
+
+    #[test]
+    fn recovered_fail_is_excluded() {
+        // p's write crashed and recovery said fail; a later read must see
+        // the original value.
+        let hist = h(vec![
+            inv(0, OpSpec::Write(5)),
+            Event::Crash,
+            rec(0, RESP_FAIL),
+            inv(1, OpSpec::Read),
+            ret(1, 0),
+        ]);
+        check_history(ObjectKind::Register, &hist).unwrap();
+    }
+
+    #[test]
+    fn detectability_lie_fail_but_effect_visible() {
+        // Recovery said fail, but the read observed the write: the object
+        // lied about linearization.
+        let hist = h(vec![
+            inv(0, OpSpec::Write(5)),
+            Event::Crash,
+            rec(0, RESP_FAIL),
+            inv(1, OpSpec::Read),
+            ret(1, 5),
+        ]);
+        assert!(check_history(ObjectKind::Register, &hist).is_err());
+    }
+
+    #[test]
+    fn recovery_response_requires_effect() {
+        // Recovery claimed the write was linearized (ack), so a later read
+        // must see it.
+        let ok = h(vec![
+            inv(0, OpSpec::Write(5)),
+            Event::Crash,
+            rec(0, ACK),
+            inv(1, OpSpec::Read),
+            ret(1, 5),
+        ]);
+        check_history(ObjectKind::Register, &ok).unwrap();
+        let bad = h(vec![
+            inv(0, OpSpec::Write(5)),
+            Event::Crash,
+            rec(0, ACK),
+            inv(1, OpSpec::Read),
+            ret(1, 0),
+        ]);
+        assert!(check_history(ObjectKind::Register, &bad).is_err());
+    }
+
+    #[test]
+    fn pending_op_may_or_may_not_take_effect() {
+        for seen in [0u64, 5] {
+            let hist = h(vec![
+                inv(0, OpSpec::Write(5)), // never resolves
+                inv(1, OpSpec::Read),
+                ret(1, seen),
+            ]);
+            check_history(ObjectKind::Register, &hist).unwrap();
+        }
+    }
+
+    #[test]
+    fn pending_op_cannot_time_travel() {
+        // The pending write was invoked after the read returned: the read
+        // cannot have seen it.
+        let hist = h(vec![
+            inv(1, OpSpec::Read),
+            ret(1, 5),
+            inv(0, OpSpec::Write(5)),
+        ]);
+        assert!(check_history(ObjectKind::Register, &hist).is_err());
+    }
+
+    #[test]
+    fn real_time_order_enforced_across_crash() {
+        // Write completed before the crash; read after must see it.
+        let hist = h(vec![
+            inv(0, OpSpec::Write(7)),
+            ret(0, ACK),
+            Event::Crash,
+            inv(1, OpSpec::Read),
+            ret(1, 0),
+        ]);
+        assert!(check_history(ObjectKind::Register, &hist).is_err());
+    }
+
+    #[test]
+    fn queue_fifo_enforced() {
+        let ok = h(vec![
+            inv(0, OpSpec::Enq(1)),
+            ret(0, ACK),
+            inv(0, OpSpec::Enq(2)),
+            ret(0, ACK),
+            inv(1, OpSpec::Deq),
+            ret(1, 1),
+        ]);
+        check_history(ObjectKind::Queue, &ok).unwrap();
+        let bad = h(vec![
+            inv(0, OpSpec::Enq(1)),
+            ret(0, ACK),
+            inv(0, OpSpec::Enq(2)),
+            ret(0, ACK),
+            inv(1, OpSpec::Deq),
+            ret(1, 2), // out of order
+        ]);
+        assert!(check_history(ObjectKind::Queue, &bad).is_err());
+    }
+
+    #[test]
+    fn concurrent_faa_sum_must_be_consistent() {
+        // Two concurrent Faa(1): responses {0,1} in some order.
+        let ok = h(vec![
+            inv(0, OpSpec::Faa(1)),
+            inv(1, OpSpec::Faa(1)),
+            ret(0, 1),
+            ret(1, 0),
+        ]);
+        check_history(ObjectKind::Faa, &ok).unwrap();
+        let bad = h(vec![
+            inv(0, OpSpec::Faa(1)),
+            inv(1, OpSpec::Faa(1)),
+            ret(0, 0),
+            ret(1, 0), // both claim pre-value 0
+        ]);
+        assert!(check_history(ObjectKind::Faa, &bad).is_err());
+    }
+
+    #[test]
+    fn violation_display_mentions_ops() {
+        let hist = h(vec![inv(0, OpSpec::Write(5)), ret(0, ACK), inv(1, OpSpec::Read), ret(1, 9)]);
+        let err = check_history(ObjectKind::Register, &hist).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("Read"));
+        assert!(text.contains("p1"));
+    }
+
+    #[test]
+    fn empty_history_passes() {
+        check_history(ObjectKind::Register, &History::new()).unwrap();
+    }
+
+    use crate::history::OpRecord;
+
+    fn rec_of(pid: u32, op: OpSpec, outcome: Outcome, iv: usize, rv: usize) -> OpRecord {
+        OpRecord { pid: Pid::new(pid), op, outcome, invoked_at: iv, resolved_at: rv }
+    }
+
+    #[test]
+    fn unresolved_op_may_explain_later_reads() {
+        // Non-detectable write of unknown effect, then a read seeing it:
+        // including the write explains the read.
+        let records = [
+            rec_of(0, OpSpec::Write(5), Outcome::Unresolved, 0, 1),
+            rec_of(1, OpSpec::Read, Outcome::Completed(5), 2, 3),
+        ];
+        check_records(ObjectKind::Register, &records).unwrap();
+        // Excluding it explains a read of 0 equally well.
+        let records = [
+            rec_of(0, OpSpec::Write(5), Outcome::Unresolved, 0, 1),
+            rec_of(1, OpSpec::Read, Outcome::Completed(0), 2, 3),
+        ];
+        check_records(ObjectKind::Register, &records).unwrap();
+    }
+
+    #[test]
+    fn unresolved_op_cannot_linearize_after_its_interval() {
+        // The real-time guard: the unresolved write resolved at time 1, so
+        // it cannot take effect between the two later reads (0 then 5 is
+        // inexplicable).
+        let records = [
+            rec_of(0, OpSpec::Write(5), Outcome::Unresolved, 0, 1),
+            rec_of(1, OpSpec::Read, Outcome::Completed(0), 2, 3),
+            rec_of(1, OpSpec::Read, Outcome::Completed(5), 4, 5),
+        ];
+        assert!(check_records(ObjectKind::Register, &records).is_err());
+    }
+
+    #[test]
+    fn unresolved_cas_winner_ambiguity_is_tolerated() {
+        // A crashed, non-detectable Cas(0,1): a later Cas(0,2) may succeed
+        // (crashed one excluded) or fail (crashed one included).
+        for (resp, read_val) in [(TRUE, 2u64), (FALSE, 1u64)] {
+            let records = [
+                rec_of(0, OpSpec::Cas { old: 0, new: 1 }, Outcome::Unresolved, 0, 1),
+                rec_of(1, OpSpec::Cas { old: 0, new: 2 }, Outcome::Completed(resp), 2, 3),
+                rec_of(1, OpSpec::Read, Outcome::Completed(read_val), 4, 5),
+            ];
+            check_records(ObjectKind::Cas, &records)
+                .unwrap_or_else(|v| panic!("resp={resp}: {v}"));
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Randomized crash-injecting simulator.
+//!
+//! Drives a [`RecoverableObject`] with N simulated processes under a seeded
+//! random scheduler, injecting system-wide crashes at primitive-operation
+//! granularity, running recovery functions per the paper's model (recovery
+//! may itself crash and be re-entered), and recording the full [`History`]
+//! for the checker.
+//!
+//! The driver plays the role of the *system and caller* from Section 2: it
+//! executes the announcement protocol before each invocation, remembers
+//! which operation each process was executing (the `Ann_p.op` field), and
+//! decides — per [`SimConfig::retry_on_fail`] — whether to re-invoke
+//! operations whose recovery returned `fail`.
+
+use detectable::{OpSpec, RecoverableObject};
+use nvm::{CacheMode, CrashPolicy, LayoutBuilder, Machine, Pid, Poll, SimMemory, RESP_FAIL};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::history::{Event, History};
+
+/// Configuration of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// PRNG seed: equal seeds give identical executions.
+    pub seed: u64,
+    /// Operations each process performs (from the workload function).
+    pub ops_per_process: usize,
+    /// Probability that a scheduler step is a system-wide crash.
+    pub crash_prob: f64,
+    /// Which persistence model the memory simulates.
+    pub cache_mode: CacheMode,
+    /// What happens to dirty cache lines at a crash.
+    pub crash_policy: CrashPolicy,
+    /// Re-invoke an operation whose recovery verdict was `fail` (counts as a
+    /// fresh invocation in the history).
+    pub retry_on_fail: bool,
+    /// Retry budget per logical operation (bounds history growth under
+    /// crash storms so the exhaustive checker stays applicable).
+    pub max_retries: usize,
+    /// Abort the run after this many scheduler steps (guards against
+    /// livelock under pathological crash rates).
+    pub max_steps: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0,
+            ops_per_process: 2,
+            crash_prob: 0.0,
+            cache_mode: CacheMode::PrivateCache,
+            crash_policy: CrashPolicy::DropAll,
+            retry_on_fail: true,
+            max_retries: 3,
+            max_steps: 1_000_000,
+        }
+    }
+}
+
+/// Outcome of a simulation run.
+#[derive(Debug)]
+pub struct SimReport {
+    /// The recorded execution.
+    pub history: History,
+    /// Crashes injected.
+    pub crashes: u64,
+    /// Operations that resolved (returned or got a recovery verdict).
+    pub resolved_ops: usize,
+    /// Scheduler steps consumed.
+    pub steps: usize,
+}
+
+enum ProcState {
+    Idle,
+    Running { op: OpSpec, m: Box<dyn Machine> },
+    NeedRecovery { op: OpSpec },
+    Recovering { op: OpSpec, m: Box<dyn Machine> },
+    Done,
+}
+
+/// Builds a `(object, memory)` world in one call.
+///
+/// # Example
+///
+/// ```
+/// use detectable::DetectableCas;
+/// use harness::build_world;
+/// let (cas, mem) = build_world(|b| DetectableCas::new(b, 2, 0));
+/// # let _ = (cas, mem);
+/// ```
+pub fn build_world<O>(f: impl FnOnce(&mut LayoutBuilder) -> O) -> (O, SimMemory) {
+    build_world_mode(CacheMode::PrivateCache, f)
+}
+
+/// [`build_world`] with an explicit cache mode.
+pub fn build_world_mode<O>(
+    mode: CacheMode,
+    f: impl FnOnce(&mut LayoutBuilder) -> O,
+) -> (O, SimMemory) {
+    let mut b = LayoutBuilder::new();
+    let obj = f(&mut b);
+    (obj, SimMemory::with_mode(b.finish(), mode))
+}
+
+/// Runs one simulation of `obj` over `mem`.
+///
+/// `workload(pid, i)` supplies the `i`-th operation of process `pid`.
+///
+/// # Panics
+///
+/// Panics if the step budget is exhausted (livelock) — crash-heavy runs of
+/// lock-free operations should use `retry_on_fail: false` or a generous
+/// budget.
+pub fn run_sim(
+    obj: &dyn RecoverableObject,
+    mem: &SimMemory,
+    cfg: &SimConfig,
+    mut workload: impl FnMut(Pid, usize) -> OpSpec,
+) -> SimReport {
+    let n = obj.processes();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut history = History::new();
+    let mut states: Vec<ProcState> = (0..n).map(|_| ProcState::Idle).collect();
+    let mut next_op: Vec<usize> = vec![0; n as usize];
+    let mut retries: Vec<usize> = vec![0; n as usize];
+    let mut crashes = 0u64;
+    let mut resolved = 0usize;
+    let mut steps = 0usize;
+
+    let all_done = |states: &[ProcState]| states.iter().all(|s| matches!(s, ProcState::Done));
+
+    while !all_done(&states) {
+        steps += 1;
+        assert!(steps <= cfg.max_steps, "simulation exceeded {} steps", cfg.max_steps);
+
+        // A crash is a global scheduler event.
+        if cfg.crash_prob > 0.0 && rng.gen_bool(cfg.crash_prob) {
+            crashes += 1;
+            mem.crash(cfg.crash_policy);
+            history.push(Event::Crash);
+            for st in states.iter_mut() {
+                let cur = std::mem::replace(st, ProcState::Idle);
+                *st = match cur {
+                    ProcState::Running { op, m } => {
+                        drop(m); // volatile state lost
+                        ProcState::NeedRecovery { op }
+                    }
+                    ProcState::Recovering { op, m } => {
+                        drop(m); // recovery itself crashed; re-enter it
+                        ProcState::NeedRecovery { op }
+                    }
+                    other => other,
+                };
+            }
+            continue;
+        }
+
+        // Pick a runnable process uniformly.
+        let runnable: Vec<usize> = states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !matches!(s, ProcState::Done))
+            .map(|(i, _)| i)
+            .collect();
+        let i = runnable[rng.gen_range(0..runnable.len())];
+        let pid = Pid::new(i as u32);
+
+        let cur = std::mem::replace(&mut states[i], ProcState::Idle);
+        states[i] = match cur {
+            ProcState::Idle => {
+                if next_op[i] >= cfg.ops_per_process {
+                    ProcState::Done
+                } else {
+                    let op = workload(pid, next_op[i]);
+                    next_op[i] += 1;
+                    retries[i] = 0;
+                    obj.prepare(mem, pid, &op);
+                    history.push(Event::Invoke { pid, op });
+                    ProcState::Running { op, m: obj.invoke(pid, &op) }
+                }
+            }
+            ProcState::Running { op, mut m } => match m.step(mem) {
+                Poll::Ready(resp) => {
+                    history.push(Event::Return { pid, resp });
+                    resolved += 1;
+                    ProcState::Idle
+                }
+                Poll::Pending => ProcState::Running { op, m },
+            },
+            ProcState::NeedRecovery { op } => {
+                ProcState::Recovering { m: obj.recover(pid, &op), op }
+            }
+            ProcState::Recovering { op, mut m } => match m.step(mem) {
+                Poll::Ready(verdict) => {
+                    history.push(Event::RecoveryReturn { pid, verdict });
+                    resolved += 1;
+                    if verdict == RESP_FAIL && cfg.retry_on_fail && retries[i] < cfg.max_retries {
+                        // The caller chooses to re-attempt: a fresh
+                        // invocation of the same abstract operation.
+                        retries[i] += 1;
+                        obj.prepare(mem, pid, &op);
+                        history.push(Event::Invoke { pid, op });
+                        ProcState::Running { m: obj.invoke(pid, &op), op }
+                    } else {
+                        ProcState::Idle
+                    }
+                }
+                Poll::Pending => ProcState::Recovering { op, m },
+            },
+            ProcState::Done => ProcState::Done,
+        };
+    }
+
+    SimReport { history, crashes, resolved_ops: resolved, steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linearize::check_history;
+    use detectable::{DetectableCas, DetectableRegister, ObjectKind};
+
+    fn reg_workload(pid: Pid, i: usize) -> OpSpec {
+        if (pid.idx() + i) % 2 == 0 {
+            OpSpec::Write((pid.idx() * 10 + i) as u32 + 1)
+        } else {
+            OpSpec::Read
+        }
+    }
+
+    #[test]
+    fn crash_free_register_runs_linearize() {
+        for seed in 0..20 {
+            let (reg, mem) = build_world(|b| DetectableRegister::new(b, 3, 0));
+            let cfg = SimConfig { seed, ops_per_process: 3, ..SimConfig::default() };
+            let report = run_sim(&reg, &mem, &cfg, reg_workload);
+            assert_eq!(report.crashes, 0);
+            check_history(ObjectKind::Register, &report.history)
+                .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+        }
+    }
+
+    #[test]
+    fn crashing_register_runs_linearize() {
+        for seed in 0..20 {
+            let (reg, mem) = build_world(|b| DetectableRegister::new(b, 2, 0));
+            let cfg = SimConfig {
+                seed,
+                ops_per_process: 3,
+                crash_prob: 0.05,
+                ..SimConfig::default()
+            };
+            let report = run_sim(&reg, &mem, &cfg, reg_workload);
+            check_history(ObjectKind::Register, &report.history)
+                .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+        }
+    }
+
+    #[test]
+    fn crashing_cas_runs_linearize() {
+        for seed in 0..20 {
+            let (cas, mem) = build_world(|b| DetectableCas::new(b, 2, 0));
+            let cfg = SimConfig {
+                seed,
+                ops_per_process: 3,
+                crash_prob: 0.08,
+                ..SimConfig::default()
+            };
+            let report = run_sim(&cas, &mem, &cfg, |pid, i| OpSpec::Cas {
+                old: i as u32,
+                new: i as u32 + 1 + pid.get(),
+            });
+            check_history(ObjectKind::Cas, &report.history)
+                .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+        }
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let run = |seed| {
+            let (reg, mem) = build_world(|b| DetectableRegister::new(b, 2, 0));
+            let cfg = SimConfig { seed, ops_per_process: 2, crash_prob: 0.1, ..Default::default() };
+            run_sim(&reg, &mem, &cfg, reg_workload).history.to_string()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn no_retry_leaves_failed_ops_unretried() {
+        let (reg, mem) = build_world(|b| DetectableRegister::new(b, 2, 0));
+        let cfg = SimConfig {
+            seed: 3,
+            ops_per_process: 4,
+            crash_prob: 0.2,
+            retry_on_fail: false,
+            ..Default::default()
+        };
+        let report = run_sim(&reg, &mem, &cfg, reg_workload);
+        check_history(ObjectKind::Register, &report.history).unwrap();
+    }
+}

@@ -1,0 +1,198 @@
+//! Sequential specifications of the objects under test.
+//!
+//! The linearizability checker and the doubly-perturbing witness search both
+//! need an oracle saying what each operation *should* return from a given
+//! abstract state. [`SpecState`] is that abstract state and [`spec_apply`]
+//! the transition function.
+
+use std::collections::VecDeque;
+
+use detectable::{ObjectKind, OpSpec, EMPTY};
+use nvm::{Word, ACK};
+
+/// The abstract state of a sequential object.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum SpecState {
+    /// Register, CAS object, max register, counter and FAA: a single value.
+    Value(u32),
+    /// Test-and-set: the bit.
+    Bit(bool),
+    /// FIFO queue contents, front first.
+    Queue(VecDeque<u32>),
+}
+
+/// The initial abstract state of an object kind (all objects in this
+/// reproduction initialize to zero / empty).
+pub fn spec_init(kind: ObjectKind) -> SpecState {
+    match kind {
+        ObjectKind::Register
+        | ObjectKind::Cas
+        | ObjectKind::MaxRegister
+        | ObjectKind::Counter
+        | ObjectKind::Faa
+        | ObjectKind::Swap => SpecState::Value(0),
+        ObjectKind::Tas => SpecState::Bit(false),
+        ObjectKind::Queue => SpecState::Queue(VecDeque::new()),
+    }
+}
+
+/// Applies `op` to `state`, returning the successor state and the response.
+///
+/// Returns `None` if the operation is not part of `kind`'s interface — the
+/// checker treats that as a harness bug, not an object bug.
+pub fn spec_apply(kind: ObjectKind, state: &SpecState, op: &OpSpec) -> Option<(SpecState, Word)> {
+    match (kind, state, op) {
+        (ObjectKind::Register, SpecState::Value(v), OpSpec::Read) => {
+            Some((SpecState::Value(*v), u64::from(*v)))
+        }
+        (ObjectKind::Register, SpecState::Value(_), OpSpec::Write(w)) => {
+            Some((SpecState::Value(*w), ACK))
+        }
+
+        (ObjectKind::Cas, SpecState::Value(v), OpSpec::Read) => {
+            Some((SpecState::Value(*v), u64::from(*v)))
+        }
+        (ObjectKind::Cas, SpecState::Value(v), OpSpec::Cas { old, new }) => {
+            if v == old {
+                Some((SpecState::Value(*new), nvm::TRUE))
+            } else {
+                Some((SpecState::Value(*v), nvm::FALSE))
+            }
+        }
+
+        (ObjectKind::MaxRegister, SpecState::Value(v), OpSpec::Read) => {
+            Some((SpecState::Value(*v), u64::from(*v)))
+        }
+        (ObjectKind::MaxRegister, SpecState::Value(v), OpSpec::WriteMax(w)) => {
+            Some((SpecState::Value((*v).max(*w)), ACK))
+        }
+
+        (ObjectKind::Counter, SpecState::Value(v), OpSpec::Read) => {
+            Some((SpecState::Value(*v), u64::from(*v)))
+        }
+        (ObjectKind::Counter, SpecState::Value(v), OpSpec::Inc) => {
+            Some((SpecState::Value(v.wrapping_add(1)), ACK))
+        }
+
+        (ObjectKind::Faa, SpecState::Value(v), OpSpec::Read) => {
+            Some((SpecState::Value(*v), u64::from(*v)))
+        }
+        (ObjectKind::Faa, SpecState::Value(v), OpSpec::Faa(d)) => {
+            Some((SpecState::Value(v.wrapping_add(*d)), u64::from(*v)))
+        }
+
+        (ObjectKind::Swap, SpecState::Value(v), OpSpec::Read) => {
+            Some((SpecState::Value(*v), u64::from(*v)))
+        }
+        (ObjectKind::Swap, SpecState::Value(v), OpSpec::Swap(w)) => {
+            Some((SpecState::Value(*w), u64::from(*v)))
+        }
+
+        (ObjectKind::Tas, SpecState::Bit(b), OpSpec::Read) => {
+            Some((SpecState::Bit(*b), u64::from(*b)))
+        }
+        (ObjectKind::Tas, SpecState::Bit(b), OpSpec::TestAndSet) => {
+            Some((SpecState::Bit(true), u64::from(*b)))
+        }
+        (ObjectKind::Tas, SpecState::Bit(_), OpSpec::Reset) => {
+            Some((SpecState::Bit(false), ACK))
+        }
+
+        (ObjectKind::Queue, SpecState::Queue(q), OpSpec::Enq(v)) => {
+            let mut q = q.clone();
+            q.push_back(*v);
+            Some((SpecState::Queue(q), ACK))
+        }
+        (ObjectKind::Queue, SpecState::Queue(q), OpSpec::Deq) => {
+            let mut q = q.clone();
+            match q.pop_front() {
+                Some(v) => Some((SpecState::Queue(q), u64::from(v))),
+                None => Some((SpecState::Queue(q), EMPTY)),
+            }
+        }
+
+        _ => None,
+    }
+}
+
+/// Runs a sequential history from the initial state, returning the final
+/// state and every response (convenience for the perturbation checker).
+pub fn spec_run(kind: ObjectKind, ops: &[OpSpec]) -> Option<(SpecState, Vec<Word>)> {
+    let mut st = spec_init(kind);
+    let mut resps = Vec::with_capacity(ops.len());
+    for op in ops {
+        let (next, r) = spec_apply(kind, &st, op)?;
+        st = next;
+        resps.push(r);
+    }
+    Some((st, resps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_spec() {
+        let s0 = spec_init(ObjectKind::Register);
+        let (s1, r) = spec_apply(ObjectKind::Register, &s0, &OpSpec::Write(5)).unwrap();
+        assert_eq!(r, ACK);
+        let (_, r) = spec_apply(ObjectKind::Register, &s1, &OpSpec::Read).unwrap();
+        assert_eq!(r, 5);
+    }
+
+    #[test]
+    fn cas_spec() {
+        let s0 = spec_init(ObjectKind::Cas);
+        let (s1, r) = spec_apply(ObjectKind::Cas, &s0, &OpSpec::Cas { old: 0, new: 3 }).unwrap();
+        assert_eq!(r, nvm::TRUE);
+        let (s2, r) = spec_apply(ObjectKind::Cas, &s1, &OpSpec::Cas { old: 0, new: 9 }).unwrap();
+        assert_eq!(r, nvm::FALSE);
+        assert_eq!(s2, SpecState::Value(3));
+    }
+
+    #[test]
+    fn max_register_spec() {
+        let (st, resps) = spec_run(
+            ObjectKind::MaxRegister,
+            &[OpSpec::WriteMax(5), OpSpec::WriteMax(2), OpSpec::Read],
+        )
+        .unwrap();
+        assert_eq!(st, SpecState::Value(5));
+        assert_eq!(resps[2], 5);
+    }
+
+    #[test]
+    fn counter_and_faa_spec() {
+        let (_, r) = spec_run(ObjectKind::Counter, &[OpSpec::Inc, OpSpec::Inc, OpSpec::Read]).unwrap();
+        assert_eq!(r[2], 2);
+        let (_, r) = spec_run(ObjectKind::Faa, &[OpSpec::Faa(4), OpSpec::Faa(3)]).unwrap();
+        assert_eq!(r, vec![0, 4]);
+    }
+
+    #[test]
+    fn tas_spec() {
+        let (_, r) = spec_run(
+            ObjectKind::Tas,
+            &[OpSpec::TestAndSet, OpSpec::TestAndSet, OpSpec::Reset, OpSpec::TestAndSet],
+        )
+        .unwrap();
+        assert_eq!(r, vec![0, 1, ACK, 0]);
+    }
+
+    #[test]
+    fn queue_spec() {
+        let (_, r) = spec_run(
+            ObjectKind::Queue,
+            &[OpSpec::Enq(7), OpSpec::Enq(8), OpSpec::Deq, OpSpec::Deq, OpSpec::Deq],
+        )
+        .unwrap();
+        assert_eq!(r, vec![ACK, ACK, 7, 8, EMPTY]);
+    }
+
+    #[test]
+    fn foreign_op_is_none() {
+        let s = spec_init(ObjectKind::Register);
+        assert!(spec_apply(ObjectKind::Register, &s, &OpSpec::Inc).is_none());
+    }
+}

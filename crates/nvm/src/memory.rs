@@ -1,0 +1,575 @@
+//! Memory back-ends: deterministic simulation and real atomics.
+//!
+//! The [`Memory`] trait is the only interface algorithms use to touch NVM.
+//! Each call is one *primitive operation* in the sense of the paper's model —
+//! the unit of atomicity, and the granularity at which crashes are injected.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::layout::{Layout, Loc};
+use crate::stats::Stats;
+use crate::word::{Pid, Word};
+
+/// Atomic primitive operations on non-volatile memory.
+///
+/// `pid` identifies the executing process; the simulated back-end uses it to
+/// enforce private-region ownership and to attribute operation counts.
+pub trait Memory {
+    /// Atomically reads the word at `loc`.
+    fn read(&self, pid: Pid, loc: Loc) -> Word;
+
+    /// Atomically writes `val` to `loc`.
+    fn write(&self, pid: Pid, loc: Loc, val: Word);
+
+    /// Atomically compares-and-swaps `loc` from `old` to `new`; returns
+    /// whether the swap happened.
+    fn cas(&self, pid: Pid, loc: Loc, old: Word, new: Word) -> bool;
+
+    /// Explicitly persists the cell at `loc` (shared-cache model). A no-op in
+    /// the private-cache model and on real atomics, where every primitive is
+    /// applied directly to NVM.
+    fn persist(&self, pid: Pid, loc: Loc);
+
+    /// The layout this memory was built from.
+    fn layout(&self) -> &Layout;
+}
+
+/// Which persistence model the simulated memory follows (paper Sections 2, 6).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum CacheMode {
+    /// The paper's presentation model: primitives are applied directly to
+    /// NVM; nothing is lost on a crash except process-local state.
+    #[default]
+    PrivateCache,
+    /// The realistic model of Izraelevitz et al.: primitives are applied to a
+    /// volatile cache; dirty cells survive a crash only if persisted
+    /// explicitly (or written back by the crash policy).
+    SharedCache,
+}
+
+/// What happens to dirty (unpersisted) cache cells at a crash.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum CrashPolicy {
+    /// Adversarial: every dirty cell is lost. The default for testing.
+    DropAll,
+    /// Benign: every dirty cell is written back (equivalent to the
+    /// private-cache model).
+    PersistAll,
+    /// Each dirty cell is independently persisted or dropped, decided by a
+    /// deterministic PRNG seeded with the given seed and the crash ordinal.
+    RandomSubset(u64),
+}
+
+/// A restorable copy of the full simulated memory state.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MemSnapshot {
+    nvm: Vec<Word>,
+    cache: BTreeMap<u32, Word>,
+    crashes: u64,
+}
+
+/// Deterministic single-threaded simulated NVM.
+///
+/// Supports both cache modes, system-wide crashes, snapshot/restore (used by
+/// the exhaustive explorer), shared-state fingerprints (used by the Theorem 1
+/// census) and per-process operation statistics.
+///
+/// # Example
+///
+/// ```
+/// use nvm::{CacheMode, CrashPolicy, LayoutBuilder, Memory, Pid, SimMemory};
+/// let mut b = LayoutBuilder::new();
+/// let x = b.shared("X", 1, 64);
+/// let mem = SimMemory::with_mode(b.finish(), CacheMode::SharedCache);
+/// let p = Pid::new(0);
+///
+/// mem.write(p, x, 7);          // lands in the volatile cache
+/// mem.crash(CrashPolicy::DropAll);
+/// assert_eq!(mem.read(p, x), 0); // lost: never persisted
+///
+/// mem.write(p, x, 7);
+/// mem.persist(p, x);           // explicit persist survives the crash
+/// mem.crash(CrashPolicy::DropAll);
+/// assert_eq!(mem.read(p, x), 7);
+/// ```
+#[derive(Debug)]
+pub struct SimMemory {
+    layout: Arc<Layout>,
+    nvm: RefCell<Vec<Word>>,
+    cache: RefCell<BTreeMap<u32, Word>>,
+    mode: CacheMode,
+    stats: RefCell<Stats>,
+    crashes: RefCell<u64>,
+    check_ownership: bool,
+    touched_shared: std::cell::Cell<bool>,
+}
+
+impl SimMemory {
+    /// Creates a zero-initialized memory in the private-cache model.
+    pub fn new(layout: Layout) -> Self {
+        Self::with_mode(layout, CacheMode::PrivateCache)
+    }
+
+    /// Creates a zero-initialized memory in the given cache mode.
+    pub fn with_mode(layout: Layout, mode: CacheMode) -> Self {
+        let words = layout.total_words();
+        SimMemory {
+            layout: Arc::new(layout),
+            nvm: RefCell::new(vec![0; words]),
+            cache: RefCell::new(BTreeMap::new()),
+            mode,
+            stats: RefCell::new(Stats::default()),
+            crashes: RefCell::new(0),
+            check_ownership: true,
+            touched_shared: std::cell::Cell::new(false),
+        }
+    }
+
+    /// Clears the shared-access flag (see [`shared_touched`]).
+    ///
+    /// [`shared_touched`]: Self::shared_touched
+    pub fn reset_shared_touch(&self) {
+        self.touched_shared.set(false);
+    }
+
+    /// Whether any primitive has touched a **shared** cell since the last
+    /// [`reset_shared_touch`](Self::reset_shared_touch). The exhaustive
+    /// explorer uses this for partial-order reduction: steps that only touch
+    /// a process's private cells commute with every other process's actions.
+    pub fn shared_touched(&self) -> bool {
+        self.touched_shared.get()
+    }
+
+    fn note_touch(&self, loc: Loc) {
+        if self.layout.is_shared(loc) {
+            self.touched_shared.set(true);
+        }
+    }
+
+    /// Disables the private-region ownership assertion (used by harness code
+    /// that legitimately inspects another process's announcement cells).
+    pub fn set_ownership_checks(&mut self, on: bool) {
+        self.check_ownership = on;
+    }
+
+    /// The cache mode this memory simulates.
+    pub fn mode(&self) -> CacheMode {
+        self.mode
+    }
+
+    fn check_access(&self, pid: Pid, loc: Loc) {
+        if self.check_ownership {
+            if let Some(owner) = self.layout.owner_of(loc) {
+                assert_eq!(
+                    owner, pid,
+                    "model violation: {pid} accessed private cell {loc} owned by {owner}"
+                );
+            }
+        }
+        assert!(
+            loc.index() < self.layout.total_words(),
+            "access outside layout: {loc}"
+        );
+    }
+
+    /// The current logical value of `loc` (cache overlay over NVM), without
+    /// ownership checks or statistics. For harness/checker use.
+    pub fn peek(&self, loc: Loc) -> Word {
+        if let Some(&w) = self.cache.borrow().get(&(loc.index() as u32)) {
+            return w;
+        }
+        self.nvm.borrow()[loc.index()]
+    }
+
+    /// Directly sets the logical value of `loc`, bypassing the model (used by
+    /// tests to fabricate states). In shared-cache mode the value is written
+    /// through to NVM.
+    pub fn poke(&self, loc: Loc, val: Word) {
+        self.cache.borrow_mut().remove(&(loc.index() as u32));
+        self.nvm.borrow_mut()[loc.index()] = val;
+    }
+
+    /// Simulates a system-wide crash: dirty cache cells are persisted or
+    /// dropped per `policy`, then the cache is cleared. Local (volatile)
+    /// state of processes is *not* this type's concern — the driver drops the
+    /// in-flight step machines.
+    pub fn crash(&self, policy: CrashPolicy) {
+        let mut cache = self.cache.borrow_mut();
+        let mut nvm = self.nvm.borrow_mut();
+        let ordinal = {
+            let mut c = self.crashes.borrow_mut();
+            *c += 1;
+            *c
+        };
+        match policy {
+            CrashPolicy::DropAll => {}
+            CrashPolicy::PersistAll => {
+                for (&i, &w) in cache.iter() {
+                    nvm[i as usize] = w;
+                }
+            }
+            CrashPolicy::RandomSubset(seed) => {
+                let mut state = seed ^ ordinal.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                for (&i, &w) in cache.iter() {
+                    // xorshift64*
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    if state & 1 == 1 {
+                        nvm[i as usize] = w;
+                    }
+                }
+            }
+        }
+        cache.clear();
+        self.stats.borrow_mut().crashes += 1;
+    }
+
+    /// Number of crashes simulated so far.
+    pub fn crash_count(&self) -> u64 {
+        *self.crashes.borrow()
+    }
+
+    /// Captures the full NVM + cache state.
+    pub fn snapshot(&self) -> MemSnapshot {
+        MemSnapshot {
+            nvm: self.nvm.borrow().clone(),
+            cache: self.cache.borrow().clone(),
+            crashes: *self.crashes.borrow(),
+        }
+    }
+
+    /// Restores a previously captured state. Statistics are not restored.
+    pub fn restore(&self, snap: &MemSnapshot) {
+        *self.nvm.borrow_mut() = snap.nvm.clone();
+        *self.cache.borrow_mut() = snap.cache.clone();
+        *self.crashes.borrow_mut() = snap.crashes;
+    }
+
+    /// Hash of the logical shared-memory state (Theorem 1's
+    /// memory-equivalence classes, up to hash collision).
+    pub fn shared_fingerprint(&self) -> u64 {
+        self.layout.shared_fingerprint(&self.logical_words())
+    }
+
+    /// Exact logical shared-memory contents, usable as a census key.
+    pub fn shared_key(&self) -> Vec<Word> {
+        self.layout.shared_words(&self.logical_words())
+    }
+
+    /// Exact logical contents of *all* NVM (shared and private), usable as a
+    /// full-configuration key in state-space searches.
+    pub fn full_key(&self) -> Vec<Word> {
+        self.logical_words()
+    }
+
+    fn logical_words(&self) -> Vec<Word> {
+        let mut words = self.nvm.borrow().clone();
+        for (&i, &w) in self.cache.borrow().iter() {
+            words[i as usize] = w;
+        }
+        words
+    }
+
+    /// A copy of the operation statistics.
+    pub fn stats(&self) -> Stats {
+        self.stats.borrow().clone()
+    }
+
+    /// Resets the operation statistics.
+    pub fn reset_stats(&self) {
+        *self.stats.borrow_mut() = Stats::default();
+    }
+}
+
+impl Memory for SimMemory {
+    fn read(&self, pid: Pid, loc: Loc) -> Word {
+        self.check_access(pid, loc);
+        self.note_touch(loc);
+        self.stats.borrow_mut().record_read(pid);
+        self.peek(loc)
+    }
+
+    fn write(&self, pid: Pid, loc: Loc, val: Word) {
+        self.check_access(pid, loc);
+        self.note_touch(loc);
+        self.stats.borrow_mut().record_write(pid);
+        match self.mode {
+            CacheMode::PrivateCache => self.nvm.borrow_mut()[loc.index()] = val,
+            CacheMode::SharedCache => {
+                self.cache.borrow_mut().insert(loc.index() as u32, val);
+            }
+        }
+    }
+
+    fn cas(&self, pid: Pid, loc: Loc, old: Word, new: Word) -> bool {
+        self.check_access(pid, loc);
+        self.note_touch(loc);
+        let cur = self.peek(loc);
+        let ok = cur == old;
+        self.stats.borrow_mut().record_cas(pid, ok);
+        if ok {
+            match self.mode {
+                CacheMode::PrivateCache => self.nvm.borrow_mut()[loc.index()] = new,
+                CacheMode::SharedCache => {
+                    self.cache.borrow_mut().insert(loc.index() as u32, new);
+                }
+            }
+        }
+        ok
+    }
+
+    fn persist(&self, pid: Pid, loc: Loc) {
+        self.check_access(pid, loc);
+        self.note_touch(loc);
+        self.stats.borrow_mut().record_persist(pid);
+        if self.mode == CacheMode::SharedCache {
+            if let Some(w) = self.cache.borrow_mut().remove(&(loc.index() as u32)) {
+                self.nvm.borrow_mut()[loc.index()] = w;
+            }
+        }
+    }
+
+    fn layout(&self) -> &Layout {
+        &self.layout
+    }
+}
+
+/// `AtomicU64`-backed memory for multi-threaded benchmarks and stress tests.
+///
+/// All operations use sequentially consistent ordering, matching the model's
+/// assumption that primitives are atomic and totally ordered. `persist` is a
+/// no-op: real CPUs persist through cache flushes this harness does not model
+/// at benchmark fidelity.
+#[derive(Debug)]
+pub struct AtomicMemory {
+    layout: Arc<Layout>,
+    words: Vec<AtomicU64>,
+}
+
+impl AtomicMemory {
+    /// Creates a zero-initialized atomic memory.
+    pub fn new(layout: Layout) -> Self {
+        let n = layout.total_words();
+        AtomicMemory {
+            layout: Arc::new(layout),
+            words: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// The current value of `loc` (for assertions in tests).
+    pub fn peek(&self, loc: Loc) -> Word {
+        self.words[loc.index()].load(Ordering::SeqCst)
+    }
+}
+
+impl Memory for AtomicMemory {
+    fn read(&self, _pid: Pid, loc: Loc) -> Word {
+        self.words[loc.index()].load(Ordering::SeqCst)
+    }
+
+    fn write(&self, _pid: Pid, loc: Loc, val: Word) {
+        self.words[loc.index()].store(val, Ordering::SeqCst);
+    }
+
+    fn cas(&self, _pid: Pid, loc: Loc, old: Word, new: Word) -> bool {
+        self.words[loc.index()]
+            .compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    fn persist(&self, _pid: Pid, _loc: Loc) {}
+
+    fn layout(&self) -> &Layout {
+        &self.layout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::LayoutBuilder;
+
+    fn mem(mode: CacheMode) -> (SimMemory, Loc, Loc) {
+        let mut b = LayoutBuilder::new();
+        let x = b.shared("X", 2, 64);
+        let r = b.private_array("RD", 2, 1, 64);
+        (SimMemory::with_mode(b.finish(), mode), x, r)
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let (m, x, _) = mem(CacheMode::PrivateCache);
+        let p = Pid::new(0);
+        m.write(p, x, 11);
+        assert_eq!(m.read(p, x), 11);
+        assert_eq!(m.read(p, x.at(1)), 0);
+    }
+
+    #[test]
+    fn cas_semantics() {
+        let (m, x, _) = mem(CacheMode::PrivateCache);
+        let p = Pid::new(0);
+        assert!(m.cas(p, x, 0, 5));
+        assert!(!m.cas(p, x, 0, 6));
+        assert_eq!(m.read(p, x), 5);
+        assert!(m.cas(p, x, 5, 6));
+        assert_eq!(m.read(p, x), 6);
+    }
+
+    #[test]
+    fn private_cache_survives_crash() {
+        let (m, x, _) = mem(CacheMode::PrivateCache);
+        let p = Pid::new(0);
+        m.write(p, x, 9);
+        m.crash(CrashPolicy::DropAll);
+        assert_eq!(m.read(p, x), 9);
+    }
+
+    #[test]
+    fn shared_cache_drops_unpersisted() {
+        let (m, x, _) = mem(CacheMode::SharedCache);
+        let p = Pid::new(0);
+        m.write(p, x, 9);
+        assert_eq!(m.read(p, x), 9); // visible before the crash
+        m.crash(CrashPolicy::DropAll);
+        assert_eq!(m.read(p, x), 0);
+    }
+
+    #[test]
+    fn shared_cache_persist_survives() {
+        let (m, x, _) = mem(CacheMode::SharedCache);
+        let p = Pid::new(0);
+        m.write(p, x, 9);
+        m.persist(p, x);
+        m.crash(CrashPolicy::DropAll);
+        assert_eq!(m.read(p, x), 9);
+    }
+
+    #[test]
+    fn shared_cache_persist_all_policy() {
+        let (m, x, _) = mem(CacheMode::SharedCache);
+        let p = Pid::new(0);
+        m.write(p, x, 9);
+        m.crash(CrashPolicy::PersistAll);
+        assert_eq!(m.read(p, x), 9);
+    }
+
+    #[test]
+    fn shared_cache_cas_applies_to_cache() {
+        let (m, x, _) = mem(CacheMode::SharedCache);
+        let p = Pid::new(0);
+        assert!(m.cas(p, x, 0, 3));
+        assert_eq!(m.read(p, x), 3);
+        m.crash(CrashPolicy::DropAll);
+        // The CAS result was never persisted.
+        assert_eq!(m.read(p, x), 0);
+    }
+
+    #[test]
+    fn random_subset_policy_is_deterministic() {
+        let run = |seed| {
+            let (m, x, _) = mem(CacheMode::SharedCache);
+            let p = Pid::new(0);
+            m.write(p, x, 1);
+            m.write(p, x.at(1), 2);
+            m.crash(CrashPolicy::RandomSubset(seed));
+            (m.read(p, x), m.read(p, x.at(1)))
+        };
+        assert_eq!(run(42), run(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "model violation")]
+    fn ownership_is_enforced() {
+        let (m, _, rd) = mem(CacheMode::PrivateCache);
+        // p1 touches p0's private cell.
+        m.read(Pid::new(1), rd);
+    }
+
+    #[test]
+    fn ownership_allows_owner() {
+        let (m, _, rd) = mem(CacheMode::PrivateCache);
+        m.write(Pid::new(1), rd.at(1), 3);
+        assert_eq!(m.read(Pid::new(1), rd.at(1)), 3);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let (m, x, _) = mem(CacheMode::SharedCache);
+        let p = Pid::new(0);
+        m.write(p, x, 1);
+        m.persist(p, x);
+        m.write(p, x.at(1), 2); // dirty
+        let snap = m.snapshot();
+        m.write(p, x, 100);
+        m.persist(p, x);
+        m.crash(CrashPolicy::DropAll);
+        m.restore(&snap);
+        assert_eq!(m.read(p, x), 1);
+        assert_eq!(m.read(p, x.at(1)), 2);
+    }
+
+    #[test]
+    fn fingerprint_ignores_private_cells() {
+        let (m, _x, rd) = mem(CacheMode::PrivateCache);
+        let f0 = m.shared_fingerprint();
+        m.write(Pid::new(0), rd, 55);
+        assert_eq!(m.shared_fingerprint(), f0);
+        m.write(Pid::new(0), Loc(0), 1);
+        assert_ne!(m.shared_fingerprint(), f0);
+    }
+
+    #[test]
+    fn shared_key_reflects_cache_overlay() {
+        let (m, x, _) = mem(CacheMode::SharedCache);
+        let p = Pid::new(0);
+        m.write(p, x, 77); // dirty, not persisted
+        assert_eq!(m.shared_key()[0], 77);
+    }
+
+    #[test]
+    fn stats_accounting() {
+        let (m, x, _) = mem(CacheMode::PrivateCache);
+        let p = Pid::new(0);
+        m.write(p, x, 1);
+        let _ = m.read(p, x);
+        let _ = m.cas(p, x, 1, 2);
+        let _ = m.cas(p, x, 1, 3);
+        m.persist(p, x);
+        let s = m.stats();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.cas_ops, 2);
+        assert_eq!(s.cas_failures, 1);
+        assert_eq!(s.persists, 1);
+    }
+
+    #[test]
+    fn atomic_memory_matches_semantics() {
+        let mut b = LayoutBuilder::new();
+        let x = b.shared("X", 1, 64);
+        let m = AtomicMemory::new(b.finish());
+        let p = Pid::new(0);
+        m.write(p, x, 4);
+        assert_eq!(m.read(p, x), 4);
+        assert!(m.cas(p, x, 4, 5));
+        assert!(!m.cas(p, x, 4, 6));
+        assert_eq!(m.peek(x), 5);
+        m.persist(p, x); // no-op, must not panic
+    }
+
+    #[test]
+    fn poke_bypasses_cache() {
+        let (m, x, _) = mem(CacheMode::SharedCache);
+        let p = Pid::new(0);
+        m.write(p, x, 9); // dirty
+        m.poke(x, 2);
+        assert_eq!(m.read(p, x), 2);
+        m.crash(CrashPolicy::DropAll);
+        assert_eq!(m.read(p, x), 2); // poke wrote through
+    }
+}

@@ -1,0 +1,115 @@
+//! Operation statistics for step-complexity and persistence-cost tables.
+
+use crate::word::Pid;
+
+/// Counters of primitive operations executed against a [`crate::SimMemory`].
+///
+/// Global totals plus per-process breakdowns; the benchmark harness uses these
+/// for the step-complexity table (paper Lemmas 1–2 claim wait-freedom with
+/// O(N) / O(1) step bounds) and the persist-instruction counts of the
+/// shared-cache experiments.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Total atomic reads.
+    pub reads: u64,
+    /// Total atomic writes.
+    pub writes: u64,
+    /// Total CAS attempts (successful or not).
+    pub cas_ops: u64,
+    /// CAS attempts that failed.
+    pub cas_failures: u64,
+    /// Explicit persist instructions.
+    pub persists: u64,
+    /// System-wide crashes simulated.
+    pub crashes: u64,
+    per_pid: Vec<PidStats>,
+}
+
+/// Per-process operation counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PidStats {
+    /// Atomic reads by this process.
+    pub reads: u64,
+    /// Atomic writes by this process.
+    pub writes: u64,
+    /// CAS attempts by this process.
+    pub cas_ops: u64,
+    /// Explicit persists by this process.
+    pub persists: u64,
+}
+
+impl PidStats {
+    /// Total primitive operations (reads + writes + CAS + persists).
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes + self.cas_ops + self.persists
+    }
+}
+
+impl Stats {
+    fn pid_mut(&mut self, pid: Pid) -> &mut PidStats {
+        if self.per_pid.len() <= pid.idx() {
+            self.per_pid.resize(pid.idx() + 1, PidStats::default());
+        }
+        &mut self.per_pid[pid.idx()]
+    }
+
+    /// The counters attributed to `pid` (zeros if it never ran).
+    pub fn for_pid(&self, pid: Pid) -> PidStats {
+        self.per_pid.get(pid.idx()).copied().unwrap_or_default()
+    }
+
+    /// Total primitive operations across all processes.
+    pub fn total_ops(&self) -> u64 {
+        self.reads + self.writes + self.cas_ops + self.persists
+    }
+
+    pub(crate) fn record_read(&mut self, pid: Pid) {
+        self.reads += 1;
+        self.pid_mut(pid).reads += 1;
+    }
+
+    pub(crate) fn record_write(&mut self, pid: Pid) {
+        self.writes += 1;
+        self.pid_mut(pid).writes += 1;
+    }
+
+    pub(crate) fn record_cas(&mut self, pid: Pid, ok: bool) {
+        self.cas_ops += 1;
+        if !ok {
+            self.cas_failures += 1;
+        }
+        self.pid_mut(pid).cas_ops += 1;
+    }
+
+    pub(crate) fn record_persist(&mut self, pid: Pid) {
+        self.persists += 1;
+        self.pid_mut(pid).persists += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_pid_attribution() {
+        let mut s = Stats::default();
+        s.record_read(Pid::new(0));
+        s.record_read(Pid::new(2));
+        s.record_write(Pid::new(2));
+        s.record_cas(Pid::new(2), false);
+        s.record_persist(Pid::new(0));
+        assert_eq!(s.for_pid(Pid::new(0)).reads, 1);
+        assert_eq!(s.for_pid(Pid::new(0)).persists, 1);
+        assert_eq!(s.for_pid(Pid::new(1)), PidStats::default());
+        assert_eq!(s.for_pid(Pid::new(2)).total(), 3);
+        assert_eq!(s.total_ops(), 5);
+        assert_eq!(s.cas_failures, 1);
+    }
+
+    #[test]
+    fn unknown_pid_reads_as_zero() {
+        let s = Stats::default();
+        assert_eq!(s.for_pid(Pid::new(9)).total(), 0);
+    }
+}

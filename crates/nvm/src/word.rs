@@ -1,0 +1,268 @@
+//! Machine words, process identifiers and bit-field packing.
+//!
+//! Every NVM cell holds one 64-bit [`Word`]. Object values in this
+//! reproduction are at most 32 bits wide, so the top of the word range is
+//! reserved for sentinels ([`RESP_NONE`], [`RESP_FAIL`]) that can never
+//! collide with a real packed value.
+
+use std::fmt;
+
+/// The contents of one NVM cell.
+pub type Word = u64;
+
+/// The ⊥ (bottom) sentinel: "no response recorded yet" in `Ann_p.resp`.
+pub const RESP_NONE: Word = u64::MAX;
+
+/// The special `fail` value returned by a recovery function when it infers
+/// that the crashed operation was **not** linearized (paper, Section 2).
+pub const RESP_FAIL: Word = u64::MAX - 1;
+
+/// The `ack` response of operations that return no value (e.g. `Write`).
+pub const ACK: Word = 1;
+
+/// Boolean `true` encoded as a response word.
+pub const TRUE: Word = 1;
+
+/// Boolean `false` encoded as a response word.
+pub const FALSE: Word = 0;
+
+/// A process identifier in `0..N`.
+///
+/// The paper considers `N` asynchronous crash-prone processes; a `Pid` names
+/// one of them. Private NVM regions are owned by a single `Pid` and the
+/// simulated memory asserts the ownership discipline.
+///
+/// # Example
+///
+/// ```
+/// use nvm::Pid;
+/// let p = Pid::new(3);
+/// assert_eq!(p.idx(), 3);
+/// assert_eq!(p.to_string(), "p3");
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Pid(u32);
+
+impl Pid {
+    /// Creates a process identifier.
+    pub fn new(id: u32) -> Self {
+        Pid(id)
+    }
+
+    /// Returns the identifier as an array index.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw identifier.
+    pub fn get(self) -> u32 {
+        self.0
+    }
+
+    /// Iterates over all process identifiers `0..n`.
+    pub fn all(n: u32) -> impl Iterator<Item = Pid> {
+        (0..n).map(Pid)
+    }
+}
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<Pid> for usize {
+    fn from(p: Pid) -> usize {
+        p.idx()
+    }
+}
+
+/// A contiguous bit-field inside a [`Word`].
+///
+/// Algorithms in the paper pack several logical values into a single atomic
+/// register (e.g. Algorithm 1's `R = ⟨val, q, toggle⟩` and Algorithm 2's
+/// `C = ⟨val, vec⟩`). `Field` provides checked get/set access to such
+/// packings.
+///
+/// # Example
+///
+/// ```
+/// use nvm::{Field, FieldBuilder};
+/// let mut b = FieldBuilder::new();
+/// let val: Field = b.field(32);
+/// let pid: Field = b.field(6);
+/// let toggle: Field = b.field(1);
+///
+/// let mut w = 0u64;
+/// w = val.set(w, 0xDEAD_BEEF);
+/// w = pid.set(w, 17);
+/// w = toggle.set(w, 1);
+/// assert_eq!(val.get(w), 0xDEAD_BEEF);
+/// assert_eq!(pid.get(w), 17);
+/// assert_eq!(toggle.get(w), 1);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Field {
+    shift: u32,
+    width: u32,
+}
+
+impl Field {
+    /// Creates a field occupying `width` bits starting at bit `shift`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the field does not fit in 64 bits or has zero width.
+    pub fn new(shift: u32, width: u32) -> Self {
+        assert!(width > 0, "zero-width field");
+        assert!(shift + width <= 64, "field exceeds word width");
+        Field { shift, width }
+    }
+
+    /// The bit position of the field's least significant bit.
+    pub fn shift(self) -> u32 {
+        self.shift
+    }
+
+    /// The field width in bits.
+    pub fn width(self) -> u32 {
+        self.width
+    }
+
+    /// The maximum value representable by this field.
+    pub fn max(self) -> Word {
+        if self.width == 64 {
+            Word::MAX
+        } else {
+            (1 << self.width) - 1
+        }
+    }
+
+    /// Extracts the field's value from `w`.
+    pub fn get(self, w: Word) -> Word {
+        (w >> self.shift) & self.max()
+    }
+
+    /// Returns `w` with the field replaced by `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not fit in the field.
+    pub fn set(self, w: Word, v: Word) -> Word {
+        assert!(v <= self.max(), "value {v} exceeds field width {}", self.width);
+        (w & !(self.max() << self.shift)) | (v << self.shift)
+    }
+}
+
+/// Allocates consecutive [`Field`]s from the least significant bit of a word.
+///
+/// See [`Field`] for an example.
+#[derive(Clone, Debug, Default)]
+pub struct FieldBuilder {
+    used: u32,
+}
+
+impl FieldBuilder {
+    /// Creates a builder with no bits allocated.
+    pub fn new() -> Self {
+        FieldBuilder { used: 0 }
+    }
+
+    /// Allocates the next `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the word is exhausted.
+    pub fn field(&mut self, width: u32) -> Field {
+        let f = Field::new(self.used, width);
+        self.used += width;
+        f
+    }
+
+    /// Total bits allocated so far.
+    pub fn bits_used(&self) -> u32 {
+        self.used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pid_roundtrip() {
+        let p = Pid::new(7);
+        assert_eq!(p.idx(), 7);
+        assert_eq!(p.get(), 7);
+        assert_eq!(usize::from(p), 7);
+    }
+
+    #[test]
+    fn pid_all_enumerates() {
+        let v: Vec<Pid> = Pid::all(3).collect();
+        assert_eq!(v, vec![Pid::new(0), Pid::new(1), Pid::new(2)]);
+    }
+
+    #[test]
+    fn pid_display() {
+        assert_eq!(Pid::new(12).to_string(), "p12");
+    }
+
+    #[test]
+    fn sentinels_are_distinct_and_above_values() {
+        assert_ne!(RESP_NONE, RESP_FAIL);
+        assert!(RESP_FAIL > u64::from(u32::MAX));
+        assert!(RESP_NONE > u64::from(u32::MAX));
+    }
+
+    #[test]
+    fn field_get_set_roundtrip() {
+        let f = Field::new(5, 11);
+        let w = f.set(0, 0x3FF);
+        assert_eq!(f.get(w), 0x3FF);
+        // Neighbouring bits untouched.
+        assert_eq!(w & 0b11111, 0);
+    }
+
+    #[test]
+    fn field_set_preserves_other_fields() {
+        let mut b = FieldBuilder::new();
+        let a = b.field(8);
+        let c = b.field(8);
+        let w = c.set(a.set(0, 0xAB), 0xCD);
+        assert_eq!(a.get(w), 0xAB);
+        assert_eq!(c.get(w), 0xCD);
+        let w2 = a.set(w, 0x01);
+        assert_eq!(c.get(w2), 0xCD);
+    }
+
+    #[test]
+    fn field_full_width() {
+        let f = Field::new(0, 64);
+        assert_eq!(f.max(), Word::MAX);
+        assert_eq!(f.get(f.set(0, Word::MAX)), Word::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds field width")]
+    fn field_overflow_panics() {
+        let f = Field::new(0, 4);
+        let _ = f.set(0, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "field exceeds word width")]
+    fn field_too_wide_panics() {
+        let _ = Field::new(60, 5);
+    }
+
+    #[test]
+    fn builder_allocates_consecutively() {
+        let mut b = FieldBuilder::new();
+        let x = b.field(3);
+        let y = b.field(7);
+        assert_eq!(x.shift(), 0);
+        assert_eq!(y.shift(), 3);
+        assert_eq!(b.bits_used(), 10);
+    }
+}

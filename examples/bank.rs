@@ -1,0 +1,135 @@
+//! Concurrent bank transfers on real threads with cooperative crash points.
+//!
+//! Four teller threads move money between accounts guarded by one
+//! detectable FAA object per account (built on Algorithm 2's detectable
+//! CAS), over `AtomicU64` shared memory. A chaos flag forces tellers to
+//! "crash" (abandon their volatile state) at random points inside a
+//! transfer; recovery uses the detectable verdicts to finish or roll
+//! forward, so **money is conserved** despite crashes landing between the
+//! withdraw and the deposit.
+//!
+//! Run: `cargo run --release --example bank`
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use detectable_repro::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const ACCOUNTS: usize = 4;
+const TELLERS: u32 = 4;
+const TRANSFERS_PER_TELLER: usize = 500;
+const INITIAL_BALANCE: u32 = 10_000;
+
+fn run_op(obj: &dyn RecoverableObject, mem: &dyn Memory, pid: Pid, op: OpSpec) -> Word {
+    obj.prepare(mem, pid, &op);
+    let mut m = obj.invoke(pid, &op);
+    loop {
+        if let Poll::Ready(w) = m.step(mem) {
+            return w;
+        }
+    }
+}
+
+/// Runs `op` but crashes after `crash_after` steps; returns the recovery
+/// verdict (or the response if the op finished first).
+fn run_op_with_crash(
+    obj: &dyn RecoverableObject,
+    mem: &dyn Memory,
+    pid: Pid,
+    op: OpSpec,
+    crash_after: usize,
+) -> (Word, bool) {
+    obj.prepare(mem, pid, &op);
+    let mut m = obj.invoke(pid, &op);
+    for _ in 0..crash_after {
+        if let Poll::Ready(w) = m.step(mem) {
+            return (w, false);
+        }
+    }
+    drop(m); // the teller's volatile state is gone
+    let mut rec = obj.recover(pid, &op);
+    loop {
+        if let Poll::Ready(w) = rec.step(mem) {
+            return (w, true);
+        }
+    }
+}
+
+fn main() {
+    let mut b = LayoutBuilder::new();
+    // One FAA per account; deposits add, withdrawals add (wrapping) the
+    // two's-complement negative — conservation is checked on the sum.
+    let accounts: Vec<DetectableFaa> = (0..ACCOUNTS)
+        .map(|a| DetectableFaa::with_name(&mut b, &format!("acct{a}"), TELLERS))
+        .collect();
+    let mem = AtomicMemory::new(b.finish());
+
+    // Seed balances.
+    for acct in &accounts {
+        run_op(acct, &mem, Pid::new(0), OpSpec::Faa(INITIAL_BALANCE));
+    }
+
+    let crashes = AtomicUsize::new(0);
+    let retries = AtomicUsize::new(0);
+
+    std::thread::scope(|s| {
+        for t in 0..TELLERS {
+            let accounts = &accounts;
+            let mem = &mem;
+            let crashes = &crashes;
+            let retries = &retries;
+            s.spawn(move || {
+                let pid = Pid::new(t);
+                let mut rng = StdRng::seed_from_u64(7_000 + u64::from(t));
+                for _ in 0..TRANSFERS_PER_TELLER {
+                    let from = rng.gen_range(0..ACCOUNTS);
+                    let to = (from + rng.gen_range(1..ACCOUNTS)) % ACCOUNTS;
+                    let amount = rng.gen_range(1..100u32);
+
+                    // Withdraw: FAA(-amount) in two's complement.
+                    let withdraw = OpSpec::Faa(amount.wrapping_neg());
+                    let deposit = OpSpec::Faa(amount);
+
+                    // Each leg may crash; detectability gives exactly-once.
+                    for (acct, op) in [(from, withdraw), (to, deposit)] {
+                        loop {
+                            let crash = rng.gen_bool(0.05);
+                            let (w, crashed) = if crash {
+                                let point = rng.gen_range(0..10);
+                                run_op_with_crash(&accounts[acct], mem, pid, op, point)
+                            } else {
+                                (run_op(&accounts[acct], mem, pid, op), false)
+                            };
+                            if crashed {
+                                crashes.fetch_add(1, Ordering::Relaxed);
+                            }
+                            if w == RESP_FAIL {
+                                // Not linearized: retry the same leg.
+                                retries.fetch_add(1, Ordering::Relaxed);
+                                continue;
+                            }
+                            break; // leg applied exactly once
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // Audit: total money must be conserved (mod 2^32 arithmetic).
+    let total: u32 = accounts
+        .iter()
+        .map(|a| run_op(a, &mem, Pid::new(0), OpSpec::Read) as u32)
+        .fold(0u32, u32::wrapping_add);
+    let expected = (INITIAL_BALANCE).wrapping_mul(ACCOUNTS as u32);
+
+    println!("bank audit after {} transfers on {TELLERS} teller threads:", TELLERS as usize * TRANSFERS_PER_TELLER);
+    println!("  simulated crashes: {}", crashes.load(Ordering::Relaxed));
+    println!("  failed-and-retried legs: {}", retries.load(Ordering::Relaxed));
+    for (i, a) in accounts.iter().enumerate() {
+        println!("  account {i}: {}", run_op(a, &mem, Pid::new(0), OpSpec::Read) as u32 as i32);
+    }
+    assert_eq!(total, expected, "money was created or destroyed!");
+    println!("  total: {total} == {expected} ✓ money conserved despite crashes");
+}

@@ -1,0 +1,72 @@
+//! # Detectable Objects — a PODC 2020 reproduction
+//!
+//! Facade crate re-exporting the whole reproduction of Ben-Baruch, Hendler &
+//! Rusanovsky, *Upper and Lower Bounds on the Space Complexity of Detectable
+//! Objects* (PODC 2020):
+//!
+//! * [`nvm`] — the simulated non-volatile-memory substrate (shared/private
+//!   regions, private- and shared-cache persistence models, system-wide
+//!   crashes, space accounting, step machines);
+//! * [`detectable`] — the paper's algorithms: the bounded-space detectable
+//!   register (Algorithm 1), CAS (Algorithm 2) and max register
+//!   (Algorithm 3), plus composed detectable objects (counter, fetch&add,
+//!   test&set), a Friedman-style detectable queue, and the NRL adapter;
+//! * [`baselines`] — unbounded-tag detectable baselines, non-detectable
+//!   recoverable objects, the auxiliary-state-deprived adversarial wrapper,
+//!   and plain volatile comparators;
+//! * [`harness`] — sequential specs, the durable-linearizability +
+//!   detectability checker, the crash-injecting simulator, the exhaustive
+//!   explorer, and the executable versions of Theorem 1 (configuration
+//!   census) and Theorem 2 (auxiliary-state probe).
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory and
+//! experiment index, and `EXPERIMENTS.md` for reproduced results.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use detectable_repro::prelude::*;
+//!
+//! // A crash-safe CAS shared by two processes.
+//! let (cas, mem) = build_world(|b| DetectableCas::new(b, 2, 0));
+//! let p = Pid::new(0);
+//! let op = OpSpec::Cas { old: 0, new: 7 };
+//!
+//! cas.prepare(&mem, p, &op);
+//! let mut m = cas.invoke(p, &op);
+//! let _ = m.step(&mem);
+//! drop(m); // crash!
+//!
+//! let mut rec = cas.recover(p, &op);
+//! let verdict = run_to_completion(&mut *rec, &mem, 100)?;
+//! assert!(verdict == RESP_FAIL || verdict == TRUE);
+//! # Ok::<(), nvm::StepLimitError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use baselines;
+pub use detectable;
+pub use harness;
+pub use nvm;
+
+/// One-import convenience for examples and downstream experiments.
+pub mod prelude {
+    pub use baselines::{
+        NonDetectableCas, NonDetectableRegister, PlainCas, PlainRegister, TaggedCas,
+        TaggedRegister, WithoutPrepare,
+    };
+    pub use detectable::{
+        DetectableCas, DetectableCounter, DetectableFaa, DetectableQueue, DetectableRegister,
+        DetectableSwap, DetectableTas, MaxRegister, NrlAdapter, ObjectKind, OpSpec, RecoverableObject, EMPTY,
+    };
+    pub use harness::{
+        build_world, build_world_mode, census_drive, check_history, explore, gray_code_cas_ops,
+        probe_aux_state, run_sim, ExploreConfig, SimConfig, Workload,
+    };
+    pub use nvm::{
+        run_to_completion, AtomicMemory, CacheMode, CrashPolicy, LayoutBuilder, Machine, Memory,
+        Pid, Poll, SimMemory, Word, ACK, FALSE, RESP_FAIL, RESP_NONE, TRUE,
+    };
+}

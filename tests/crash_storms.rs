@@ -1,0 +1,200 @@
+//! Integration: randomized crash storms across every object, both cache
+//! modes, with full durable-linearizability + detectability checking.
+
+use detectable::{
+    DetectableCas, DetectableCounter, DetectableFaa, DetectableQueue, DetectableRegister,
+    DetectableTas, MaxRegister, ObjectKind, OpSpec, RecoverableObject,
+};
+use harness::{build_world_mode, check_history, run_sim, SimConfig};
+use nvm::{CacheMode, CrashPolicy, Pid};
+
+fn workload(kind: ObjectKind) -> fn(Pid, usize) -> OpSpec {
+    match kind {
+        ObjectKind::Register => |pid, i| {
+            if (pid.idx() + i) % 3 == 0 {
+                OpSpec::Read
+            } else {
+                OpSpec::Write((pid.idx() * 10 + i) as u32 % 5)
+            }
+        },
+        ObjectKind::Cas => |pid, i| OpSpec::Cas {
+            old: i as u32 % 3,
+            new: (pid.get() + i as u32 + 1) % 3,
+        },
+        ObjectKind::MaxRegister => |pid, i| {
+            if (pid.idx() + i) % 3 == 0 {
+                OpSpec::Read
+            } else {
+                OpSpec::WriteMax((pid.idx() * 2 + i) as u32 % 7)
+            }
+        },
+        ObjectKind::Counter => |pid, i| {
+            if (pid.idx() + i) % 4 == 0 {
+                OpSpec::Read
+            } else {
+                OpSpec::Inc
+            }
+        },
+        ObjectKind::Faa => |pid, i| {
+            if (pid.idx() + i) % 4 == 0 {
+                OpSpec::Read
+            } else {
+                OpSpec::Faa(1 + pid.get() % 2)
+            }
+        },
+        ObjectKind::Swap => |pid, i| {
+            if (pid.idx() + i) % 3 == 0 {
+                OpSpec::Read
+            } else {
+                OpSpec::Swap((pid.idx() * 7 + i) as u32 % 5)
+            }
+        },
+        ObjectKind::Tas => |pid, i| match (pid.idx() + i) % 3 {
+            0 => OpSpec::TestAndSet,
+            1 => OpSpec::Reset,
+            _ => OpSpec::Read,
+        },
+        ObjectKind::Queue => |pid, i| {
+            if (pid.idx() + i) % 2 == 0 {
+                OpSpec::Enq((pid.idx() * 100 + i) as u32)
+            } else {
+                OpSpec::Deq
+            }
+        },
+    }
+}
+
+fn storm(
+    seeds: std::ops::Range<u64>,
+    mode: CacheMode,
+    crash_prob: f64,
+    make: impl Fn(&mut nvm::LayoutBuilder) -> Box<dyn RecoverableObject>,
+) {
+    for seed in seeds {
+        let (obj, mem) = build_world_mode(mode, &make);
+        let cfg = SimConfig {
+            seed,
+            ops_per_process: 3,
+            crash_prob,
+            cache_mode: mode,
+            crash_policy: CrashPolicy::DropAll,
+            retry_on_fail: true,
+            max_retries: 3,
+            max_steps: 1_000_000,
+        };
+        let report = run_sim(&*obj, &mem, &cfg, workload(obj.kind()));
+        check_history(obj.kind(), &report.history).unwrap_or_else(|v| {
+            panic!("{} seed {seed} mode {mode:?}: {v}", obj.name());
+        });
+    }
+}
+
+macro_rules! storm_tests {
+    ($($name:ident => $make:expr),+ $(,)?) => {
+        $(
+            mod $name {
+                use super::*;
+
+                #[test]
+                fn private_cache_no_crashes() {
+                    storm(0..40, CacheMode::PrivateCache, 0.0, $make);
+                }
+
+                #[test]
+                fn private_cache_moderate_crashes() {
+                    storm(0..40, CacheMode::PrivateCache, 0.04, $make);
+                }
+
+                #[test]
+                fn private_cache_heavy_crashes() {
+                    storm(0..25, CacheMode::PrivateCache, 0.12, $make);
+                }
+
+                #[test]
+                fn shared_cache_adversarial_line_loss() {
+                    storm(0..40, CacheMode::SharedCache, 0.05, $make);
+                }
+            }
+        )+
+    };
+}
+
+storm_tests! {
+    register => |b: &mut nvm::LayoutBuilder| Box::new(DetectableRegister::new(b, 3, 0)) as Box<dyn RecoverableObject>,
+    cas => |b: &mut nvm::LayoutBuilder| Box::new(DetectableCas::new(b, 3, 0)) as Box<dyn RecoverableObject>,
+    max_register => |b: &mut nvm::LayoutBuilder| Box::new(MaxRegister::new(b, 3)) as Box<dyn RecoverableObject>,
+    counter => |b: &mut nvm::LayoutBuilder| Box::new(DetectableCounter::new(b, 3)) as Box<dyn RecoverableObject>,
+    faa => |b: &mut nvm::LayoutBuilder| Box::new(DetectableFaa::new(b, 3)) as Box<dyn RecoverableObject>,
+    swap => |b: &mut nvm::LayoutBuilder| Box::new(detectable::DetectableSwap::new(b, 3)) as Box<dyn RecoverableObject>,
+    tas => |b: &mut nvm::LayoutBuilder| Box::new(DetectableTas::new(b, 3)) as Box<dyn RecoverableObject>,
+    queue => |b: &mut nvm::LayoutBuilder| Box::new(DetectableQueue::new(b, 3, 128)) as Box<dyn RecoverableObject>,
+}
+
+mod baselines_storms {
+    use super::*;
+    use baselines::{TaggedCas, TaggedRegister};
+
+    #[test]
+    fn tagged_register_survives_storms() {
+        storm(0..40, CacheMode::PrivateCache, 0.06, |b| {
+            Box::new(TaggedRegister::new(b, 3))
+        });
+        storm(0..25, CacheMode::SharedCache, 0.05, |b| {
+            Box::new(TaggedRegister::new(b, 3))
+        });
+    }
+
+    #[test]
+    fn tagged_cas_survives_storms() {
+        storm(0..40, CacheMode::PrivateCache, 0.06, |b| Box::new(TaggedCas::new(b, 3)));
+        storm(0..25, CacheMode::SharedCache, 0.05, |b| Box::new(TaggedCas::new(b, 3)));
+    }
+
+    #[test]
+    fn random_subset_line_loss_policy() {
+        // Not just DropAll: arbitrary subsets of dirty lines may persist.
+        for seed in 0..30 {
+            let (obj, mem) = build_world_mode(CacheMode::SharedCache, |b| {
+                DetectableRegister::new(b, 3, 0)
+            });
+            let cfg = SimConfig {
+                seed,
+                ops_per_process: 3,
+                crash_prob: 0.06,
+                cache_mode: CacheMode::SharedCache,
+                crash_policy: CrashPolicy::RandomSubset(seed * 31 + 7),
+                retry_on_fail: true,
+                max_retries: 3,
+                max_steps: 1_000_000,
+            };
+            let report = run_sim(&obj, &mem, &cfg, workload(ObjectKind::Register));
+            check_history(ObjectKind::Register, &report.history)
+                .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+        }
+    }
+}
+
+mod scale {
+    use super::*;
+
+    #[test]
+    fn five_processes_register() {
+        storm(0..15, CacheMode::PrivateCache, 0.05, |b| {
+            Box::new(DetectableRegister::new(b, 5, 0))
+        });
+    }
+
+    #[test]
+    fn five_processes_cas() {
+        storm(0..15, CacheMode::PrivateCache, 0.05, |b| {
+            Box::new(DetectableCas::new(b, 5, 0))
+        });
+    }
+
+    #[test]
+    fn two_process_queue_heavy() {
+        storm(0..30, CacheMode::PrivateCache, 0.10, |b| {
+            Box::new(DetectableQueue::new(b, 2, 128))
+        });
+    }
+}

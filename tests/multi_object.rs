@@ -1,0 +1,177 @@
+//! Integration: several objects coexisting in one NVM world, the NRL
+//! adapter end to end, and cross-crate workflows.
+
+use detectable::{
+    DetectableCas, DetectableCounter, DetectableQueue, DetectableRegister, MaxRegister,
+    NrlAdapter, OpSpec, RecoverableObject,
+};
+use harness::{check_history, run_sim, Event, History, SimConfig};
+use nvm::{run_to_completion, CrashPolicy, LayoutBuilder, Pid, SimMemory, ACK, RESP_FAIL};
+
+fn run_op(obj: &dyn RecoverableObject, mem: &SimMemory, pid: Pid, op: OpSpec) -> u64 {
+    obj.prepare(mem, pid, &op);
+    let mut m = obj.invoke(pid, &op);
+    run_to_completion(&mut *m, mem, 100_000).unwrap()
+}
+
+#[test]
+fn many_objects_one_world() {
+    let mut b = LayoutBuilder::new();
+    let reg = DetectableRegister::new(&mut b, 2, 0);
+    let cas = DetectableCas::new(&mut b, 2, 0);
+    let ctr = DetectableCounter::new(&mut b, 2);
+    let mr = MaxRegister::new(&mut b, 2);
+    let q = DetectableQueue::new(&mut b, 2, 32);
+    let mem = SimMemory::new(b.finish());
+    let p = Pid::new(0);
+
+    run_op(&reg, &mem, p, OpSpec::Write(1));
+    run_op(&cas, &mem, p, OpSpec::Cas { old: 0, new: 2 });
+    run_op(&ctr, &mem, p, OpSpec::Inc);
+    run_op(&mr, &mem, p, OpSpec::WriteMax(3));
+    run_op(&q, &mem, p, OpSpec::Enq(4));
+
+    // A crash touches every object's in-flight state but none of the
+    // completed effects.
+    mem.crash(CrashPolicy::DropAll);
+
+    assert_eq!(run_op(&reg, &mem, p, OpSpec::Read), 1);
+    assert_eq!(run_op(&cas, &mem, p, OpSpec::Read), 2);
+    assert_eq!(run_op(&ctr, &mem, p, OpSpec::Read), 1);
+    assert_eq!(run_op(&mr, &mem, p, OpSpec::Read), 3);
+    assert_eq!(run_op(&q, &mem, p, OpSpec::Deq), 4);
+}
+
+#[test]
+fn objects_do_not_interfere_under_simulation() {
+    // Run a crashy simulation against one object while a second object in
+    // the same world holds a sentinel value that must survive untouched.
+    let mut b = LayoutBuilder::new();
+    let reg = DetectableRegister::new(&mut b, 2, 0);
+    let sentinel = DetectableRegister::with_name(&mut b, "sentinel", 2, 0);
+    let mem = SimMemory::new(b.finish());
+
+    run_op(&sentinel, &mem, Pid::new(0), OpSpec::Write(777));
+
+    let cfg = SimConfig {
+        seed: 5,
+        ops_per_process: 4,
+        crash_prob: 0.08,
+        retry_on_fail: true,
+        ..Default::default()
+    };
+    let report = run_sim(&reg, &mem, &cfg, |pid, i| {
+        if (pid.idx() + i) % 2 == 0 {
+            OpSpec::Write(i as u32)
+        } else {
+            OpSpec::Read
+        }
+    });
+    check_history(detectable::ObjectKind::Register, &report.history).unwrap();
+    assert_eq!(run_op(&sentinel, &mem, Pid::new(0), OpSpec::Read), 777);
+}
+
+#[test]
+fn nrl_recovery_always_completes_with_a_response() {
+    // NRL semantics: recovery never answers fail, for any crash point.
+    let mut b = LayoutBuilder::new();
+    let obj = NrlAdapter::new(DetectableRegister::new(&mut b, 2, 0));
+    let mem = SimMemory::new(b.finish());
+    let p = Pid::new(0);
+
+    for crash_after in 0..12 {
+        let op = OpSpec::Write(5);
+        obj.prepare(&mem, p, &op);
+        let mut m = obj.invoke(p, &op);
+        for _ in 0..crash_after {
+            if m.step(&mem).is_ready() {
+                break;
+            }
+        }
+        drop(m);
+        let mut rec = obj.recover(p, &op);
+        let w = run_to_completion(&mut *rec, &mem, 100_000).unwrap();
+        assert_ne!(w, RESP_FAIL, "NRL recovery must complete the operation");
+        assert_eq!(w, ACK);
+        assert_eq!(obj.inner().peek_value(&mem), 5);
+    }
+}
+
+#[test]
+fn nrl_composed_client_needs_no_retry_logic() {
+    // A client using NRL objects can treat recovery's answer as the final
+    // response — the "client operation continues after the crash" story of
+    // paper Section 6.
+    let mut b = LayoutBuilder::new();
+    let obj = NrlAdapter::new(DetectableCounter::new(&mut b, 1));
+    let mem = SimMemory::new(b.finish());
+    let p = Pid::new(0);
+
+    let mut completed = 0u32;
+    for round in 0..20 {
+        let op = OpSpec::Inc;
+        obj.prepare(&mem, p, &op);
+        let mut m = obj.invoke(p, &op);
+        let crash_after = round % 13;
+        let mut resp = None;
+        for _ in 0..crash_after {
+            if let nvm::Poll::Ready(w) = m.step(&mem) {
+                resp = Some(w);
+                break;
+            }
+        }
+        let w = match resp {
+            Some(w) => w,
+            None => {
+                drop(m);
+                let mut rec = obj.recover(p, &op);
+                run_to_completion(&mut *rec, &mem, 100_000).unwrap()
+            }
+        };
+        assert_eq!(w, ACK);
+        completed += 1;
+    }
+    assert_eq!(obj.inner().peek_value(&mem), completed, "exactly-once through NRL");
+}
+
+#[test]
+fn history_builder_round_trips_through_checker() {
+    // Cross-crate sanity: histories assembled by hand behave like recorded
+    // ones.
+    let mut h = History::new();
+    h.push(Event::Invoke { pid: Pid::new(0), op: OpSpec::Enq(1) });
+    h.push(Event::Return { pid: Pid::new(0), resp: ACK });
+    h.push(Event::Crash);
+    h.push(Event::Invoke { pid: Pid::new(1), op: OpSpec::Deq });
+    h.push(Event::Return { pid: Pid::new(1), resp: 1 });
+    check_history(detectable::ObjectKind::Queue, &h).unwrap();
+}
+
+#[test]
+fn deep_crash_chains_during_recovery() {
+    // Crash during recovery of a crash of a recovery... five levels deep.
+    let mut b = LayoutBuilder::new();
+    let cas = DetectableCas::new(&mut b, 2, 0);
+    let mem = SimMemory::new(b.finish());
+    let p = Pid::new(0);
+    let op = OpSpec::Cas { old: 0, new: 9 };
+
+    cas.prepare(&mem, p, &op);
+    let mut m = cas.invoke(p, &op);
+    for _ in 0..4 {
+        let _ = m.step(&mem); // through the CAS itself
+    }
+    drop(m);
+    for depth in 0..5 {
+        let mut rec = cas.recover(p, &op);
+        for _ in 0..depth {
+            if rec.step(&mem).is_ready() {
+                break;
+            }
+        }
+        drop(rec); // crash inside recovery, again
+    }
+    let mut rec = cas.recover(p, &op);
+    assert_eq!(run_to_completion(&mut *rec, &mem, 1000).unwrap(), nvm::TRUE);
+    assert_eq!(cas.peek_value(&mem), 9);
+}

@@ -1,0 +1,207 @@
+//! Integration: real-thread stress over `AtomicU64` memory.
+//!
+//! The same step machines the simulator model-checks run here on OS threads
+//! with sequentially consistent atomics. Object-specific invariants replace
+//! full history checking (which needs a global order the threads don't
+//! record): counters count, CAS winners are unique, queues neither lose nor
+//! duplicate, and cooperative crash/recovery keeps exactly-once semantics.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use detectable::{
+    DetectableCas, DetectableCounter, DetectableQueue, DetectableRegister, OpSpec,
+    RecoverableObject, EMPTY,
+};
+use nvm::{AtomicMemory, LayoutBuilder, Pid, Poll, Word, ACK, RESP_FAIL, TRUE};
+
+fn atomic_world<O>(f: impl FnOnce(&mut LayoutBuilder) -> O) -> (O, AtomicMemory) {
+    let mut b = LayoutBuilder::new();
+    let obj = f(&mut b);
+    (obj, AtomicMemory::new(b.finish()))
+}
+
+fn run_op(obj: &dyn RecoverableObject, mem: &AtomicMemory, pid: Pid, op: OpSpec) -> Word {
+    obj.prepare(mem, pid, &op);
+    let mut m = obj.invoke(pid, &op);
+    loop {
+        if let Poll::Ready(w) = m.step(mem) {
+            return w;
+        }
+    }
+}
+
+#[test]
+fn counter_counts_under_contention() {
+    const THREADS: u32 = 4;
+    const INCS: usize = 300;
+    let (ctr, mem) = atomic_world(|b| DetectableCounter::new(b, THREADS));
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let ctr = &ctr;
+            let mem = &mem;
+            s.spawn(move || {
+                for _ in 0..INCS {
+                    assert_eq!(run_op(ctr, mem, Pid::new(t), OpSpec::Inc), ACK);
+                }
+            });
+        }
+    });
+    assert_eq!(
+        run_op(&ctr, &mem, Pid::new(0), OpSpec::Read),
+        (THREADS as u64) * (INCS as u64)
+    );
+}
+
+#[test]
+fn cas_exactly_one_winner_per_round() {
+    const THREADS: u32 = 4;
+    const ROUNDS: u32 = 200;
+    let (cas, mem) = atomic_world(|b| DetectableCas::new(b, THREADS, 0));
+    let wins = AtomicU32::new(0);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let cas = &cas;
+            let mem = &mem;
+            let wins = &wins;
+            s.spawn(move || {
+                for r in 0..ROUNDS {
+                    let op = OpSpec::Cas { old: r, new: r + 1 };
+                    if run_op(cas, mem, Pid::new(t), op) == TRUE {
+                        wins.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // Wait until the round has advanced before the next one.
+                    while (run_op(cas, mem, Pid::new(t), OpSpec::Read) as u32) <= r {
+                        std::hint::spin_loop();
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(wins.load(Ordering::Relaxed), ROUNDS, "exactly one winner per round");
+    assert_eq!(run_op(&cas, &mem, Pid::new(0), OpSpec::Read) as u32, ROUNDS);
+}
+
+#[test]
+fn queue_no_loss_no_duplication() {
+    const THREADS: u32 = 4;
+    const PER_THREAD: usize = 150;
+    let cap = THREADS * PER_THREAD as u32 + 16;
+    let (q, mem) = atomic_world(|b| DetectableQueue::new(b, THREADS, cap));
+    let deq_log: Vec<std::sync::Mutex<Vec<u32>>> =
+        (0..THREADS).map(|_| std::sync::Mutex::new(Vec::new())).collect();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let q = &q;
+            let mem = &mem;
+            let log = &deq_log[t as usize];
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    let v = t * 10_000 + i as u32;
+                    assert_eq!(run_op(q, mem, Pid::new(t), OpSpec::Enq(v)), ACK);
+                    let d = run_op(q, mem, Pid::new(t), OpSpec::Deq);
+                    if d != EMPTY {
+                        log.lock().unwrap().push(d as u32);
+                    }
+                }
+            });
+        }
+    });
+    // Drain the remainder.
+    let mut drained = Vec::new();
+    loop {
+        let d = run_op(&q, &mem, Pid::new(0), OpSpec::Deq);
+        if d == EMPTY {
+            break;
+        }
+        drained.push(d as u32);
+    }
+    let mut all: Vec<u32> = deq_log
+        .iter()
+        .flat_map(|l| l.lock().unwrap().clone())
+        .chain(drained)
+        .collect();
+    all.sort_unstable();
+    let mut expected: Vec<u32> = (0..THREADS)
+        .flat_map(|t| (0..PER_THREAD).map(move |i| t * 10_000 + i as u32))
+        .collect();
+    expected.sort_unstable();
+    assert_eq!(all, expected, "every enqueued value dequeued exactly once");
+}
+
+#[test]
+fn register_last_write_wins_quiescence() {
+    const THREADS: u32 = 4;
+    let (reg, mem) = atomic_world(|b| DetectableRegister::new(b, THREADS, 0));
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let reg = &reg;
+            let mem = &mem;
+            s.spawn(move || {
+                for i in 0..200u32 {
+                    run_op(reg, mem, Pid::new(t), OpSpec::Write(t * 1_000 + i));
+                }
+            });
+        }
+    });
+    // At quiescence the register holds one of the last writes.
+    let v = run_op(&reg, &mem, Pid::new(0), OpSpec::Read) as u32;
+    assert_eq!(v % 1_000, 199, "final value must be some thread's last write, got {v}");
+}
+
+#[test]
+fn cooperative_crash_recovery_exactly_once_counter() {
+    // Threads "crash" (abandon their machine) at pseudo-random points and
+    // recover; confirmed increments are tallied; the counter must agree.
+    const THREADS: u32 = 4;
+    const OPS: usize = 200;
+    let (ctr, mem) = atomic_world(|b| DetectableCounter::new(b, THREADS));
+    let confirmed = AtomicU32::new(0);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let ctr = &ctr;
+            let mem = &mem;
+            let confirmed = &confirmed;
+            s.spawn(move || {
+                let mut state: u64 = u64::from(t) + 99;
+                for _ in 0..OPS {
+                    // xorshift for the crash point.
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    let crash_after = (state % 17) as usize;
+
+                    let op = OpSpec::Inc;
+                    ctr.prepare(mem, Pid::new(t), &op);
+                    let mut m = ctr.invoke(Pid::new(t), &op);
+                    let mut done = false;
+                    for _ in 0..crash_after {
+                        if let Poll::Ready(w) = m.step(mem) {
+                            assert_eq!(w, ACK);
+                            done = true;
+                            break;
+                        }
+                    }
+                    if done {
+                        confirmed.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    drop(m); // crash
+                    let mut rec = ctr.recover(Pid::new(t), &op);
+                    loop {
+                        if let Poll::Ready(w) = rec.step(mem) {
+                            if w != RESP_FAIL {
+                                confirmed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(
+        run_op(&ctr, &mem, Pid::new(0), OpSpec::Read) as u32,
+        confirmed.load(Ordering::Relaxed),
+        "counter value must equal confirmed increments (exactly-once)"
+    );
+}
