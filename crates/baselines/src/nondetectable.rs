@@ -19,10 +19,7 @@
 //! may double-apply an operation that did take effect (see the crate tests),
 //! which is exactly why composable recoverable software wants detectability.
 
-
-use nvm::{
-    LayoutBuilder, Loc, Machine, Memory, Pid, Poll, Word, ACK, FALSE, RESP_FAIL, TRUE,
-};
+use nvm::{LayoutBuilder, Loc, Machine, Memory, Pid, Poll, Word, ACK, FALSE, RESP_FAIL, TRUE};
 
 use detectable::{MemExt, ObjectKind, OpSpec, RecoverableObject};
 
@@ -151,15 +148,30 @@ struct OneShot {
 
 impl OneShot {
     fn write(loc: Loc, pid: Pid, v: u32) -> Self {
-        OneShot { loc, pid, kind: OneShotKind::Write(v), done: false }
+        OneShot {
+            loc,
+            pid,
+            kind: OneShotKind::Write(v),
+            done: false,
+        }
     }
 
     fn read(loc: Loc, pid: Pid) -> Self {
-        OneShot { loc, pid, kind: OneShotKind::Read, done: false }
+        OneShot {
+            loc,
+            pid,
+            kind: OneShotKind::Read,
+            done: false,
+        }
     }
 
     fn cas(loc: Loc, pid: Pid, old: u32, new: u32) -> Self {
-        OneShot { loc, pid, kind: OneShotKind::Cas { old, new }, done: false }
+        OneShot {
+            loc,
+            pid,
+            kind: OneShotKind::Cas { old, new },
+            done: false,
+        }
     }
 }
 
@@ -285,10 +297,17 @@ mod tests {
         let mut rec = cas.recover(p, &op);
         assert_eq!(run_to_completion(&mut *rec, &mem, 10).unwrap(), RESP_FAIL);
         let cur = cas.peek_value(&mem);
-        let retry = OpSpec::Cas { old: cur, new: cur + 1 };
+        let retry = OpSpec::Cas {
+            old: cur,
+            new: cur + 1,
+        };
         let mut m2 = cas.invoke(p, &retry);
         assert_eq!(run_to_completion(&mut *m2, &mem, 10).unwrap(), TRUE);
-        assert_eq!(cas.peek_value(&mem), 2, "incremented twice for one logical op");
+        assert_eq!(
+            cas.peek_value(&mem),
+            2,
+            "incremented twice for one logical op"
+        );
     }
 
     #[test]

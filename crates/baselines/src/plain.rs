@@ -20,7 +20,10 @@ pub struct PlainRegister {
 impl PlainRegister {
     /// Allocates the register for `n` processes, initially 0.
     pub fn new(b: &mut LayoutBuilder, n: u32) -> Self {
-        PlainRegister { r: b.shared("plain-reg.R", 1, 32), n }
+        PlainRegister {
+            r: b.shared("plain-reg.R", 1, 32),
+            n,
+        }
     }
 }
 
@@ -34,7 +37,10 @@ pub struct PlainCas {
 impl PlainCas {
     /// Allocates the CAS object for `n` processes, initially 0.
     pub fn new(b: &mut LayoutBuilder, n: u32) -> Self {
-        PlainCas { c: b.shared("plain-cas.C", 1, 32), n }
+        PlainCas {
+            c: b.shared("plain-cas.C", 1, 32),
+            n,
+        }
     }
 }
 
@@ -75,17 +81,36 @@ macro_rules! impl_plain {
 }
 
 fn mk_write(loc: Loc, pid: Pid, op: &OpSpec) -> Box<dyn Machine> {
-    let OpSpec::Write(v) = *op else { unreachable!() };
-    Box::new(PlainOp { loc, pid, kind: PlainKind::Write(v), done: false })
+    let OpSpec::Write(v) = *op else {
+        unreachable!()
+    };
+    Box::new(PlainOp {
+        loc,
+        pid,
+        kind: PlainKind::Write(v),
+        done: false,
+    })
 }
 
 fn mk_read(loc: Loc, pid: Pid, _op: &OpSpec) -> Box<dyn Machine> {
-    Box::new(PlainOp { loc, pid, kind: PlainKind::Read, done: false })
+    Box::new(PlainOp {
+        loc,
+        pid,
+        kind: PlainKind::Read,
+        done: false,
+    })
 }
 
 fn mk_cas(loc: Loc, pid: Pid, op: &OpSpec) -> Box<dyn Machine> {
-    let OpSpec::Cas { old, new } = *op else { unreachable!() };
-    Box::new(PlainOp { loc, pid, kind: PlainKind::Cas { old, new }, done: false })
+    let OpSpec::Cas { old, new } = *op else {
+        unreachable!()
+    };
+    Box::new(PlainOp {
+        loc,
+        pid,
+        kind: PlainKind::Cas { old, new },
+        done: false,
+    })
 }
 
 impl_plain!(PlainRegister, ObjectKind::Register, "plain-register", r,

@@ -52,11 +52,19 @@ impl TaggedCasInner {
             seq <= self.c_seq.max(),
             "tag overflow: the unbounded-tag baseline ran out of its {TAG_SEQ_BITS}-bit simulation field"
         );
-        self.c_seq.set(self.c_pid.set(self.c_val.set(0, u64::from(val)), u64::from(pid)), seq)
+        self.c_seq.set(
+            self.c_pid
+                .set(self.c_val.set(0, u64::from(val)), u64::from(pid)),
+            seq,
+        )
     }
 
     fn unpack(&self, w: Word) -> (u32, u32, Word) {
-        (self.c_val.get(w) as u32, self.c_pid.get(w) as u32, self.c_seq.get(w))
+        (
+            self.c_val.get(w) as u32,
+            self.c_pid.get(w) as u32,
+            self.c_seq.get(w),
+        )
     }
 
     /// `OBS[victim][writer]`.
@@ -105,7 +113,7 @@ impl TaggedCas {
 
     /// Like [`new`](Self::new) with a custom layout-region name prefix.
     pub fn with_name(b: &mut LayoutBuilder, name: &str, n: u32) -> Self {
-        assert!(n >= 1 && n <= 64, "n must be in 1..=64");
+        assert!((1..=64).contains(&n), "n must be in 1..=64");
         let mut f = FieldBuilder::new();
         let c_val = f.field(32);
         let c_pid = f.field(6);
@@ -115,7 +123,16 @@ impl TaggedCas {
         let seq = b.private_array(&format!("{name}.SEQ"), n, 1, TAG_SEQ_BITS);
         let ann = AnnBank::alloc(b, name, n, 1);
         TaggedCas {
-            inner: Arc::new(TaggedCasInner { n, c_val, c_pid, c_seq, c, obs, seq, ann }),
+            inner: Arc::new(TaggedCasInner {
+                n,
+                c_val,
+                c_pid,
+                c_seq,
+                c,
+                obs,
+                seq,
+                ann,
+            }),
         }
     }
 
@@ -251,8 +268,7 @@ impl Machine for TCasMachine {
                 Poll::Pending
             }
             TCState::DoCas => {
-                let ok =
-                    mem.cas_pp(p, o.c, self.cur, o.pack(self.new, p.get(), self.seq));
+                let ok = mem.cas_pp(p, o.c, self.cur, o.pack(self.new, p.get(), self.seq));
                 self.state = TCState::PersistResp(ok);
                 Poll::Pending
             }
@@ -298,7 +314,13 @@ impl Machine for TCasMachine {
             TCState::PersistResp(ok) => 7 + u64::from(ok),
             TCState::Done => 9,
         };
-        vec![s, u64::from(self.old), u64::from(self.new), self.seq, self.cur]
+        vec![
+            s,
+            u64::from(self.old),
+            u64::from(self.new),
+            self.seq,
+            self.cur,
+        ]
     }
 }
 
@@ -460,11 +482,17 @@ impl Machine for TCasReadRecoverMachine {
             if resp != RESP_NONE {
                 return Poll::Ready(resp);
             }
-            self.inner =
-                Some(TCasReadMachine { obj: Arc::clone(&self.obj), pid: self.pid, val: None });
+            self.inner = Some(TCasReadMachine {
+                obj: Arc::clone(&self.obj),
+                pid: self.pid,
+                val: None,
+            });
             return Poll::Pending;
         }
-        self.inner.as_mut().expect("re-invocation missing").step(mem)
+        self.inner
+            .as_mut()
+            .expect("re-invocation missing")
+            .step(mem)
     }
 
     fn pid(&self) -> Pid {

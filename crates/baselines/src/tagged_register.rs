@@ -52,7 +52,11 @@ impl TaggedRegInner {
             seq <= self.r_seq.max(),
             "tag overflow: the unbounded-tag baseline ran out of its {TAG_SEQ_BITS}-bit simulation field"
         );
-        self.r_seq.set(self.r_pid.set(self.r_val.set(0, u64::from(val)), u64::from(pid)), seq)
+        self.r_seq.set(
+            self.r_pid
+                .set(self.r_val.set(0, u64::from(val)), u64::from(pid)),
+            seq,
+        )
     }
 
     fn val_of(&self, w: Word) -> u32 {
@@ -100,7 +104,7 @@ impl TaggedRegister {
 
     /// Like [`new`](Self::new) with a custom layout-region name prefix.
     pub fn with_name(b: &mut LayoutBuilder, name: &str, n: u32) -> Self {
-        assert!(n >= 1 && n <= 64, "n must be in 1..=64");
+        assert!((1..=64).contains(&n), "n must be in 1..=64");
         let mut f = FieldBuilder::new();
         let r_val = f.field(32);
         let r_pid = f.field(6);
@@ -110,7 +114,16 @@ impl TaggedRegister {
         let seq = b.private_array(&format!("{name}.SEQ"), n, 1, TAG_SEQ_BITS);
         let ann = AnnBank::alloc(b, name, n, 2);
         TaggedRegister {
-            inner: Arc::new(TaggedRegInner { n, r_val, r_pid, r_seq, r, rd, seq, ann }),
+            inner: Arc::new(TaggedRegInner {
+                n,
+                r_val,
+                r_pid,
+                r_seq,
+                r,
+                rd,
+                seq,
+                ann,
+            }),
         }
     }
 
@@ -312,7 +325,11 @@ impl Machine for TWriteRecoverMachine {
                     self.state = TWRState::Done;
                     return Poll::Ready(RESP_FAIL);
                 }
-                self.state = if cp == 1 { TWRState::CompareR } else { TWRState::Finish };
+                self.state = if cp == 1 {
+                    TWRState::CompareR
+                } else {
+                    TWRState::Finish
+                };
                 Poll::Pending
             }
             TWRState::CompareR => {
@@ -413,10 +430,17 @@ impl Machine for TReadRecoverMachine {
             if resp != RESP_NONE {
                 return Poll::Ready(resp);
             }
-            self.inner = Some(TReadMachine { obj: Arc::clone(&self.obj), pid: self.pid, val: None });
+            self.inner = Some(TReadMachine {
+                obj: Arc::clone(&self.obj),
+                pid: self.pid,
+                val: None,
+            });
             return Poll::Pending;
         }
-        self.inner.as_mut().expect("re-invocation missing").step(mem)
+        self.inner
+            .as_mut()
+            .expect("re-invocation missing")
+            .step(mem)
     }
 
     fn pid(&self) -> Pid {
@@ -478,7 +502,11 @@ mod tests {
         for i in 0..10 {
             write(&r, &mem, p, i);
         }
-        assert_eq!(r.peek_seq(&mem, p), s0 + 10, "one tag consumed per operation");
+        assert_eq!(
+            r.peek_seq(&mem, p),
+            s0 + 10,
+            "one tag consumed per operation"
+        );
     }
 
     #[test]

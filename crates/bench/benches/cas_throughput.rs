@@ -49,10 +49,18 @@ fn bench_one(
 
 fn cas_throughput(c: &mut Criterion) {
     for threads in [1u32, 2, 4, 8] {
-        bench_one(c, "detectable-alg2", threads, |b| Box::new(DetectableCas::new(b, 8, 0)));
-        bench_one(c, "tagged-unbounded", threads, |b| Box::new(TaggedCas::new(b, 8)));
-        bench_one(c, "non-detectable", threads, |b| Box::new(NonDetectableCas::new(b, 8)));
-        bench_one(c, "plain-volatile", threads, |b| Box::new(PlainCas::new(b, 8)));
+        bench_one(c, "detectable-alg2", threads, |b| {
+            Box::new(DetectableCas::new(b, 8, 0))
+        });
+        bench_one(c, "tagged-unbounded", threads, |b| {
+            Box::new(TaggedCas::new(b, 8))
+        });
+        bench_one(c, "non-detectable", threads, |b| {
+            Box::new(NonDetectableCas::new(b, 8))
+        });
+        bench_one(c, "plain-volatile", threads, |b| {
+            Box::new(PlainCas::new(b, 8))
+        });
     }
 }
 

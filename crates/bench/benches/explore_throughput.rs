@@ -1,0 +1,105 @@
+//! **Experiment E11** — exhaustive-explorer throughput: covered executions
+//! (leaves) per second on a fixed small configuration, with and without
+//! state-hash pruning.
+//!
+//! The pruned explorer accounts converging subtrees by memoized leaf
+//! counts, so its leaves/sec figure dwarfs the unpruned one on the same
+//! workload — the headline number future PRs track via the committed
+//! `BENCH_explore.json` baseline (regenerate it with
+//! `cargo bench -p bench --bench explore_throughput`).
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use detectable::{DetectableCas, OpSpec};
+use harness::{build_world, explore, ExploreConfig, Workload};
+
+/// The fixed benchmark configuration: the CAS triangle from the integration
+/// suite, bounded to a budget both engines can finish.
+fn workload() -> Vec<Vec<OpSpec>> {
+    vec![
+        vec![
+            OpSpec::Cas { old: 0, new: 1 },
+            OpSpec::Cas { old: 1, new: 2 },
+        ],
+        vec![OpSpec::Cas { old: 0, new: 2 }, OpSpec::Read],
+    ]
+}
+
+fn config(prune: bool) -> ExploreConfig {
+    ExploreConfig {
+        max_crashes: 1,
+        max_retries: 1,
+        max_leaves: 100_000,
+        prune,
+        ..Default::default()
+    }
+}
+
+fn explore_throughput(c: &mut Criterion) {
+    let (cas, mem) = build_world(|b| DetectableCas::new(b, 2, 0));
+    let w = workload();
+    let mut g = c.benchmark_group("explore_throughput");
+    for (label, prune) in [("pruned", true), ("unpruned", false)] {
+        let cfg = config(prune);
+        let probe = explore(&cas, &mem, Workload::PerProcess(&w), &cfg);
+        probe.assert_no_violation();
+        g.throughput(criterion::Throughput::Elements(probe.leaves as u64));
+        g.bench_with_input(BenchmarkId::new(label, probe.leaves), &cfg, |b, cfg| {
+            b.iter(|| explore(&cas, &mem, Workload::PerProcess(&w), cfg));
+        });
+    }
+    g.finish();
+}
+
+/// Records `BENCH_explore.json` next to the workspace root: one sample per
+/// engine variant with leaves, unique node expansions, wall time, and the
+/// derived leaves/sec.
+fn record_baseline(_c: &mut Criterion) {
+    let (cas, mem) = build_world(|b| DetectableCas::new(b, 2, 0));
+    let w = workload();
+    let mut entries = Vec::new();
+    for (label, prune) in [("pruned", true), ("unpruned", false)] {
+        let cfg = config(prune);
+        // Warm once, then time a fixed number of runs.
+        let _ = explore(&cas, &mem, Workload::PerProcess(&w), &cfg);
+        let runs = 3;
+        let start = Instant::now();
+        let mut out = None;
+        for _ in 0..runs {
+            out = Some(explore(&cas, &mem, Workload::PerProcess(&w), &cfg));
+        }
+        let elapsed = start.elapsed() / runs;
+        let out = out.expect("at least one run");
+        let leaves_per_sec = out.leaves as f64 / elapsed.as_secs_f64();
+        entries.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"engine\": \"{}\",\n",
+                "      \"leaves\": {},\n",
+                "      \"unique_nodes\": {},\n",
+                "      \"memo_hits\": {},\n",
+                "      \"mean_seconds\": {:.6},\n",
+                "      \"leaves_per_sec\": {:.0}\n",
+                "    }}"
+            ),
+            label,
+            out.leaves,
+            out.unique_nodes,
+            out.memo_hits,
+            elapsed.as_secs_f64(),
+            leaves_per_sec
+        ));
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"explore_throughput\",\n  \"workload\": \
+         \"cas-triangle 2p x 2op, 1 crash, max_leaves 100000\",\n  \"samples\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_explore.json");
+    std::fs::write(path, &json).expect("write BENCH_explore.json");
+    println!("baseline written to {path}");
+}
+
+criterion_group!(benches, explore_throughput, record_baseline);
+criterion_main!(benches);

@@ -17,7 +17,7 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use detectable::{DetectableCas, DetectableQueue, DetectableRegister, OpSpec, RecoverableObject};
 use harness::build_world;
-use nvm::{run_to_completion, SimMemory, Pid};
+use nvm::{run_to_completion, Pid, SimMemory};
 
 /// Builds a world with a solo operation crashed after `steps` steps and
 /// returns everything needed to run recovery.
@@ -60,15 +60,26 @@ fn bench_recovery(
 
 fn recovery_latency(c: &mut Criterion) {
     // Algorithm 1 register, N = 8.
-    for (label, steps) in [("pre-checkpoint", 2usize), ("mid-ambiguous", 6), ("post-effect", 7)] {
+    for (label, steps) in [
+        ("pre-checkpoint", 2usize),
+        ("mid-ambiguous", 6),
+        ("post-effect", 7),
+    ] {
         bench_recovery(c, "register-alg1", label, move || {
-            let (o, m, op) =
-                crashed_world(|b| DetectableRegister::new(b, 8, 0), OpSpec::Write(7), steps);
+            let (o, m, op) = crashed_world(
+                |b| DetectableRegister::new(b, 8, 0),
+                OpSpec::Write(7),
+                steps,
+            );
             (Box::new(o) as Box<dyn RecoverableObject>, m, op)
         });
     }
     // Algorithm 2 CAS, N = 8.
-    for (label, steps) in [("pre-checkpoint", 1usize), ("mid-ambiguous", 3), ("post-effect", 4)] {
+    for (label, steps) in [
+        ("pre-checkpoint", 1usize),
+        ("mid-ambiguous", 3),
+        ("post-effect", 4),
+    ] {
         bench_recovery(c, "cas-alg2", label, move || {
             let (o, m, op) = crashed_world(
                 |b| DetectableCas::new(b, 8, 0),

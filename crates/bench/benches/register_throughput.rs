@@ -18,7 +18,7 @@ use nvm::Pid;
 const OPS_PER_THREAD: usize = 2_000;
 
 fn mixed_workload(pid: Pid, i: usize) -> OpSpec {
-    if (pid.idx() + i) % 4 == 0 {
+    if (pid.idx() + i).is_multiple_of(4) {
         OpSpec::Read
     } else {
         OpSpec::Write((pid.get() * 1_000 + i as u32) % 97)

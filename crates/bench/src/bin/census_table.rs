@@ -34,7 +34,11 @@ fn main() {
             n.to_string(),
             r.distinct_shared.to_string(),
             r.theorem_bound.to_string(),
-            if r.meets_bound() { "yes".into() } else { "NO".into() },
+            if r.meets_bound() {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ]);
     }
 
@@ -55,10 +59,16 @@ fn main() {
     }
 
     // Exhaustive BFS for small N.
-    let alphabet = [OpSpec::Cas { old: 0, new: 1 }, OpSpec::Cas { old: 1, new: 0 }];
+    let alphabet = [
+        OpSpec::Cas { old: 0, new: 1 },
+        OpSpec::Cas { old: 1, new: 0 },
+    ];
     for n in 1..=3u32 {
         let (cas, mem) = build_world(|b| DetectableCas::new(b, n, 0));
-        let cfg = BfsConfig { max_ops: 2 * n as usize, max_states: 3_000_000 };
+        let cfg = BfsConfig {
+            max_ops: 2 * n as usize,
+            max_states: 3_000_000,
+        };
         let r = census_bfs(&cas, &mem, &alphabet, &cfg);
         rows.push(vec![
             "detectable-cas (Alg 2)".into(),
@@ -66,12 +76,19 @@ fn main() {
             n.to_string(),
             r.distinct_shared.to_string(),
             r.theorem_bound.to_string(),
-            if r.meets_bound() { "yes".into() } else { "NO".into() },
+            if r.meets_bound() {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ]);
     }
     for n in 1..=3u32 {
         let (cas, mem) = build_world(|b| NonDetectableCas::new(b, n));
-        let cfg = BfsConfig { max_ops: 2 * n as usize, max_states: 3_000_000 };
+        let cfg = BfsConfig {
+            max_ops: 2 * n as usize,
+            max_states: 3_000_000,
+        };
         let r = census_bfs(&cas, &mem, &alphabet, &cfg);
         rows.push(vec![
             "non-detectable cas".into(),
@@ -87,7 +104,14 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["object", "mode", "N", "distinct shared configs", "2^N - 1 bound", "meets bound"],
+            &[
+                "object",
+                "mode",
+                "N",
+                "distinct shared configs",
+                "2^N - 1 bound",
+                "meets bound"
+            ],
             &rows,
         )
     );

@@ -15,20 +15,51 @@ fn fmt_ops(ops: &[detectable::OpSpec]) -> String {
     if ops.is_empty() {
         "ε".into()
     } else {
-        ops.iter().map(|o| o.to_string()).collect::<Vec<_>>().join(" ∘ ")
+        ops.iter()
+            .map(|o| o.to_string())
+            .collect::<Vec<_>>()
+            .join(" ∘ ")
     }
 }
 
 fn main() {
     let kinds = [
-        (ObjectKind::Register, "read/write register", "Lemma 3: doubly-perturbing"),
-        (ObjectKind::MaxRegister, "max register", "Lemma 4: NOT doubly-perturbing"),
+        (
+            ObjectKind::Register,
+            "read/write register",
+            "Lemma 3: doubly-perturbing",
+        ),
+        (
+            ObjectKind::MaxRegister,
+            "max register",
+            "Lemma 4: NOT doubly-perturbing",
+        ),
         (ObjectKind::Counter, "counter", "Lemma 5: doubly-perturbing"),
-        (ObjectKind::Cas, "compare-and-swap", "Lemma 6: doubly-perturbing"),
-        (ObjectKind::Faa, "fetch-and-add", "Lemma 7: doubly-perturbing"),
-        (ObjectKind::Queue, "FIFO queue", "Lemma 8: doubly-perturbing"),
-        (ObjectKind::Swap, "swap (fetch-and-store)", "§5 class member"),
-        (ObjectKind::Tas, "resettable test-and-set", "§5 class member"),
+        (
+            ObjectKind::Cas,
+            "compare-and-swap",
+            "Lemma 6: doubly-perturbing",
+        ),
+        (
+            ObjectKind::Faa,
+            "fetch-and-add",
+            "Lemma 7: doubly-perturbing",
+        ),
+        (
+            ObjectKind::Queue,
+            "FIFO queue",
+            "Lemma 8: doubly-perturbing",
+        ),
+        (
+            ObjectKind::Swap,
+            "swap (fetch-and-store)",
+            "§5 class member",
+        ),
+        (
+            ObjectKind::Tas,
+            "resettable test-and-set",
+            "§5 class member",
+        ),
     ];
 
     let mut rows = Vec::new();
@@ -61,7 +92,15 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["object", "paper claim", "witness Opp", "H1", "Op'", "extension", "Opq"],
+            &[
+                "object",
+                "paper claim",
+                "witness Opp",
+                "H1",
+                "Op'",
+                "extension",
+                "Opq"
+            ],
             &rows,
         )
     );

@@ -124,9 +124,7 @@ fn soak(
 }
 
 fn main() {
-    let mode = if std::env::args().any(|a| a == "shared") {
-        CacheMode::SharedCache
-    } else if std::env::args().any(|a| a == "--cache") {
+    let mode = if std::env::args().any(|a| a == "shared" || a == "--cache") {
         CacheMode::SharedCache
     } else {
         CacheMode::PrivateCache
@@ -137,17 +135,33 @@ fn main() {
         soak("detectable-register (Alg 1)", mode, seeds, |b| {
             Box::new(DetectableRegister::new(b, 3, 0))
         }),
-        soak("detectable-cas (Alg 2)", mode, seeds, |b| Box::new(DetectableCas::new(b, 3, 0))),
-        soak("max-register (Alg 3)", mode, seeds, |b| Box::new(MaxRegister::new(b, 3))),
-        soak("detectable-counter", mode, seeds, |b| Box::new(DetectableCounter::new(b, 3))),
-        soak("detectable-faa", mode, seeds, |b| Box::new(DetectableFaa::new(b, 3))),
+        soak("detectable-cas (Alg 2)", mode, seeds, |b| {
+            Box::new(DetectableCas::new(b, 3, 0))
+        }),
+        soak("max-register (Alg 3)", mode, seeds, |b| {
+            Box::new(MaxRegister::new(b, 3))
+        }),
+        soak("detectable-counter", mode, seeds, |b| {
+            Box::new(DetectableCounter::new(b, 3))
+        }),
+        soak("detectable-faa", mode, seeds, |b| {
+            Box::new(DetectableFaa::new(b, 3))
+        }),
         soak("detectable-swap", mode, seeds, |b| {
             Box::new(detectable::DetectableSwap::new(b, 3))
         }),
-        soak("detectable-tas", mode, seeds, |b| Box::new(DetectableTas::new(b, 3))),
-        soak("detectable-queue", mode, seeds, |b| Box::new(DetectableQueue::new(b, 3, 128))),
-        soak("tagged-register [3]-style", mode, seeds, |b| Box::new(TaggedRegister::new(b, 3))),
-        soak("tagged-cas [4]-style", mode, seeds, |b| Box::new(TaggedCas::new(b, 3))),
+        soak("detectable-tas", mode, seeds, |b| {
+            Box::new(DetectableTas::new(b, 3))
+        }),
+        soak("detectable-queue", mode, seeds, |b| {
+            Box::new(DetectableQueue::new(b, 3, 128))
+        }),
+        soak("tagged-register [3]-style", mode, seeds, |b| {
+            Box::new(TaggedRegister::new(b, 3))
+        }),
+        soak("tagged-cas [4]-style", mode, seeds, |b| {
+            Box::new(TaggedCas::new(b, 3))
+        }),
     ];
 
     let rows: Vec<Vec<String>> = soaks
@@ -175,7 +189,14 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["object", "histories", "resolved ops", "crashes", "persists/op", "violations"],
+            &[
+                "object",
+                "histories",
+                "resolved ops",
+                "crashes",
+                "persists/op",
+                "violations"
+            ],
             &rows,
         )
     );

@@ -100,7 +100,10 @@ fn main() {
     println!("# E3 — NVM space by object and process count\n");
     println!(
         "{}",
-        markdown_table(&["object", "N", "shared bits", "private bits", "boundedness"], &rows)
+        markdown_table(
+            &["object", "N", "shared bits", "private bits", "boundedness"],
+            &rows
+        )
     );
 
     // Tag growth model: bits an unbounded-tag object needs after K ops.

@@ -57,7 +57,10 @@ fn measure(
             all.push((op, steps[i]));
             done += 1;
         }
-        assert!(steps[i] < 5_000_000, "operation starved beyond plausibility");
+        assert!(
+            steps[i] < 5_000_000,
+            "operation starved beyond plausibility"
+        );
     }
     all
 }
@@ -122,7 +125,13 @@ fn main() {
             "Read",
             n,
             |b| Box::new(DetectableRegister::new(b, n, 0)),
-            |pid, i| if pid.get() == 0 { OpSpec::Read } else { OpSpec::Write(i as u32 % 7) },
+            |pid, i| {
+                if pid.get() == 0 {
+                    OpSpec::Read
+                } else {
+                    OpSpec::Write(i as u32 % 7)
+                }
+            },
             |o| matches!(o, OpSpec::Read),
         ));
     }
@@ -132,7 +141,10 @@ fn main() {
             "Cas",
             n,
             |b| Box::new(DetectableCas::new(b, n, 0)),
-            |pid, i| OpSpec::Cas { old: i as u32 % 5, new: pid.get() + i as u32 % 5 },
+            |pid, i| OpSpec::Cas {
+                old: i as u32 % 5,
+                new: pid.get() + i as u32 % 5,
+            },
             |o| matches!(o, OpSpec::Cas { .. }),
         ));
     }
@@ -142,7 +154,13 @@ fn main() {
             "Read (contended)",
             n,
             |b| Box::new(MaxRegister::new(b, n)),
-            |pid, i| if pid.get() == 0 { OpSpec::Read } else { OpSpec::WriteMax(i as u32) },
+            |pid, i| {
+                if pid.get() == 0 {
+                    OpSpec::Read
+                } else {
+                    OpSpec::WriteMax(i as u32)
+                }
+            },
             |o| matches!(o, OpSpec::Read),
         ));
     }

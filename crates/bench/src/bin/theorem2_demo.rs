@@ -28,7 +28,11 @@ fn probe(name: &str, aux: bool, obj: &dyn RecoverableObject, mem: &SimMemory) ->
     let out = probe_aux_state(obj, mem);
     vec![
         name.into(),
-        if aux { "provided".into() } else { "withheld".into() },
+        if aux {
+            "provided".into()
+        } else {
+            "withheld".into()
+        },
         out.leaves.to_string(),
         match &out.violation {
             None => "clean".into(),
@@ -49,17 +53,34 @@ fn main() {
         }};
     }
 
-    both!("detectable-register (Alg 1)", |b: &mut nvm::LayoutBuilder| {
-        DetectableRegister::new(b, 2, 0)
+    both!(
+        "detectable-register (Alg 1)",
+        |b: &mut nvm::LayoutBuilder| { DetectableRegister::new(b, 2, 0) }
+    );
+    both!("detectable-cas (Alg 2)", |b: &mut nvm::LayoutBuilder| {
+        DetectableCas::new(b, 2, 0)
     });
-    both!("detectable-cas (Alg 2)", |b: &mut nvm::LayoutBuilder| DetectableCas::new(b, 2, 0));
-    both!("detectable-counter", |b: &mut nvm::LayoutBuilder| DetectableCounter::new(b, 2));
-    both!("detectable-faa", |b: &mut nvm::LayoutBuilder| DetectableFaa::new(b, 2));
-    both!("detectable-swap", |b: &mut nvm::LayoutBuilder| DetectableSwap::new(b, 2));
-    both!("detectable-tas", |b: &mut nvm::LayoutBuilder| DetectableTas::new(b, 2));
-    both!("detectable-queue", |b: &mut nvm::LayoutBuilder| DetectableQueue::new(b, 2, 64));
-    both!("tagged-register [3]-style", |b: &mut nvm::LayoutBuilder| TaggedRegister::new(b, 2));
-    both!("tagged-cas [4]-style", |b: &mut nvm::LayoutBuilder| TaggedCas::new(b, 2));
+    both!("detectable-counter", |b: &mut nvm::LayoutBuilder| {
+        DetectableCounter::new(b, 2)
+    });
+    both!("detectable-faa", |b: &mut nvm::LayoutBuilder| {
+        DetectableFaa::new(b, 2)
+    });
+    both!("detectable-swap", |b: &mut nvm::LayoutBuilder| {
+        DetectableSwap::new(b, 2)
+    });
+    both!("detectable-tas", |b: &mut nvm::LayoutBuilder| {
+        DetectableTas::new(b, 2)
+    });
+    both!("detectable-queue", |b: &mut nvm::LayoutBuilder| {
+        DetectableQueue::new(b, 2, 64)
+    });
+    both!("tagged-register [3]-style", |b: &mut nvm::LayoutBuilder| {
+        TaggedRegister::new(b, 2)
+    });
+    both!("tagged-cas [4]-style", |b: &mut nvm::LayoutBuilder| {
+        TaggedCas::new(b, 2)
+    });
 
     // The boundary case: Algorithm 3 receives no auxiliary state by design
     // and must survive the same adversarial exploration.
@@ -71,7 +92,12 @@ fn main() {
         (Pid::new(0), OpSpec::WriteMax(1)),
         (Pid::new(1), OpSpec::Read),
     ];
-    let out = explore(&mr, &mem, Workload::Script(&script), &ExploreConfig::default());
+    let out = explore(
+        &mr,
+        &mem,
+        Workload::Script(&script),
+        &ExploreConfig::default(),
+    );
     rows.push(vec![
         "max-register (Alg 3)".into(),
         "none exists".into(),
@@ -85,7 +111,10 @@ fn main() {
     println!("# E2 — Theorem 2: auxiliary state is necessary for detectability\n");
     println!(
         "{}",
-        markdown_table(&["object", "auxiliary state", "executions checked", "result"], &rows)
+        markdown_table(
+            &["object", "auxiliary state", "executions checked", "result"],
+            &rows
+        )
     );
 
     // Show one concrete Figure 2 execution for the deprived register.

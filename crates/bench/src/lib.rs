@@ -12,15 +12,18 @@ use std::sync::Barrier;
 use std::time::{Duration, Instant};
 
 use detectable::{OpSpec, RecoverableObject};
-use nvm::{AtomicMemory, Pid, Poll};
+use harness::Driver;
+use nvm::{AtomicMemory, Pid};
 
 /// Drives `threads` real OS threads, each performing `ops_per_thread`
 /// operations of `workload` against `obj` over shared atomic memory, and
 /// returns the wall-clock time from the start barrier to the last join.
 ///
-/// Used by the throughput benchmarks (experiment E8): the same step machines
-/// that the simulator checks for correctness run here over `AtomicU64`
-/// memory with sequentially consistent ordering.
+/// Used by the throughput benchmarks (experiment E8): the same step
+/// machines that the simulator checks for correctness run here over
+/// `AtomicU64` memory with sequentially consistent ordering, and each
+/// thread runs its operations through the same [`Driver`] caller protocol
+/// the correctness harness uses (crash-free, so recovery never triggers).
 pub fn run_concurrent(
     obj: &dyn RecoverableObject,
     mem: &AtomicMemory,
@@ -36,12 +39,13 @@ pub fn run_concurrent(
         for t in 0..threads {
             s.spawn(move || {
                 let pid = Pid::new(t);
+                // History-free: recording two events per op inside the
+                // timed loop would be measured as algorithm cost.
+                let mut driver = Driver::without_history(obj.processes());
                 barrier_ref.wait();
                 for i in 0..ops_per_thread {
                     let op = workload(pid, i);
-                    obj.prepare(mem, pid, &op);
-                    let mut m = obj.invoke(pid, &op);
-                    while let Poll::Pending = m.step(mem) {}
+                    driver.run_solo(obj, mem, pid.idx(), op, usize::MAX);
                 }
             });
         }
@@ -130,7 +134,10 @@ mod tests {
     fn markdown_table_formats() {
         let t = markdown_table(
             &["name", "value"],
-            &[vec!["a".into(), "1".into()], vec!["long-name".into(), "2".into()]],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "2".into()],
+            ],
         );
         assert!(t.contains("| name "));
         assert!(t.contains("| long-name |"));

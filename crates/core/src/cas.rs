@@ -100,7 +100,7 @@ impl DetectableCas {
 
     /// Like [`new`](Self::new) with a custom layout-region name prefix.
     pub fn with_name(b: &mut LayoutBuilder, name: &str, n: u32, init: u32) -> Self {
-        assert!(n >= 1 && n <= MAX_CAS_PROCESSES, "n must be in 1..=32");
+        assert!((1..=MAX_CAS_PROCESSES).contains(&n), "n must be in 1..=32");
         let mut cf = FieldBuilder::new();
         let c_val = cf.field(32);
         let c_vec = cf.field(n);
@@ -108,13 +108,25 @@ impl DetectableCas {
         let rd = b.private_array(&format!("{name}.RD"), n, 1, 1);
         let ann = AnnBank::alloc(b, name, n, 1);
         DetectableCas {
-            inner: Arc::new(CasInner { n, init, c_val, c_vec, c, rd, ann }),
+            inner: Arc::new(CasInner {
+                n,
+                init,
+                c_val,
+                c_vec,
+                c,
+                rd,
+                ann,
+            }),
         }
     }
 
     /// Materializes a nonzero initial value `⟨init, 0…0⟩` in fresh memory.
     pub fn initialize(&self, mem: &dyn Memory) {
-        mem.write_pp(Pid::new(0), self.inner.c, self.inner.pack(self.inner.init, 0));
+        mem.write_pp(
+            Pid::new(0),
+            self.inner.c,
+            self.inner.pack(self.inner.init, 0),
+        );
     }
 
     /// The current logical value of the object (diagnostic helper).
@@ -160,9 +172,12 @@ impl RecoverableObject for DetectableCas {
 
     fn recover(&self, pid: Pid, op: &OpSpec) -> Box<dyn Machine> {
         match *op {
-            OpSpec::Cas { old, new } => {
-                Box::new(CasRecoverMachine::new(Arc::clone(&self.inner), pid, old, new))
-            }
+            OpSpec::Cas { old, new } => Box::new(CasRecoverMachine::new(
+                Arc::clone(&self.inner),
+                pid,
+                old,
+                new,
+            )),
             OpSpec::Read => Box::new(CasReadRecoverMachine::new(Arc::clone(&self.inner), pid)),
             ref other => panic!("cas object does not support {other}"),
         }
@@ -190,7 +205,9 @@ enum CState {
     L28,
     /// Fast path: persist `resp` (false for value mismatch, true for the
     /// effect-free `Cas(x, x)`) and return without touching `C`.
-    L30 { resp: Word },
+    L30 {
+        resp: Word,
+    },
     L33, // RD_p := newvec[p]
     L34, // CP := 1
     L35, // the CAS
@@ -364,7 +381,14 @@ struct CasRecoverMachine {
 
 impl CasRecoverMachine {
     fn new(obj: Arc<CasInner>, pid: Pid, old: u32, new: u32) -> Self {
-        CasRecoverMachine { obj, pid, old, new, state: CRState::L38, vec: 0 }
+        CasRecoverMachine {
+            obj,
+            pid,
+            old,
+            new,
+            state: CRState::L38,
+            vec: 0,
+        }
     }
 }
 
@@ -471,7 +495,12 @@ struct CasReadMachine {
 
 impl CasReadMachine {
     fn new(obj: Arc<CasInner>, pid: Pid) -> Self {
-        CasReadMachine { obj, pid, state: CRdState::ReadC, val: 0 }
+        CasReadMachine {
+            obj,
+            pid,
+            state: CRdState::ReadC,
+            val: 0,
+        }
     }
 }
 
@@ -529,7 +558,12 @@ struct CasReadRecoverMachine {
 
 impl CasReadRecoverMachine {
     fn new(obj: Arc<CasInner>, pid: Pid) -> Self {
-        CasReadRecoverMachine { obj, pid, checked: false, inner: None }
+        CasReadRecoverMachine {
+            obj,
+            pid,
+            checked: false,
+            inner: None,
+        }
     }
 }
 
@@ -657,10 +691,16 @@ mod tests {
             let verdict = run_to_completion(&mut *rec, &mem, 100).unwrap();
             let value = cas.peek_value(&mem);
             if verdict == RESP_FAIL {
-                assert_eq!(value, 0, "fail verdict but CAS visible (crash_after={crash_after})");
+                assert_eq!(
+                    value, 0,
+                    "fail verdict but CAS visible (crash_after={crash_after})"
+                );
             } else {
                 assert_eq!(verdict, TRUE);
-                assert_eq!(value, 5, "true verdict but CAS missing (crash_after={crash_after})");
+                assert_eq!(
+                    value, 5,
+                    "true verdict but CAS missing (crash_after={crash_after})"
+                );
             }
         }
     }

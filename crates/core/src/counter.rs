@@ -20,8 +20,7 @@
 use std::sync::Arc;
 
 use nvm::{
-    AnnBank, LayoutBuilder, Loc, Machine, Memory, Pid, Poll, Word, ACK, RESP_FAIL, RESP_NONE,
-    TRUE,
+    AnnBank, LayoutBuilder, Loc, Machine, Memory, Pid, Poll, Word, ACK, RESP_FAIL, RESP_NONE, TRUE,
 };
 
 use crate::cas::DetectableCas;
@@ -102,7 +101,14 @@ fn build(b: &mut LayoutBuilder, name: &str, n: u32, flavor: Flavor) -> Arc<Count
     let arg = b.private_array(&format!("{name}.ARG"), n, 1, 32);
     let delta = b.private_array(&format!("{name}.DELTA"), n, 1, 32);
     let ann = AnnBank::alloc(b, name, n, 1);
-    Arc::new(CounterInner { cas, arg, delta, ann, n, flavor })
+    Arc::new(CounterInner {
+        cas,
+        arg,
+        delta,
+        ann,
+        n,
+        flavor,
+    })
 }
 
 impl DetectableCounter {
@@ -113,7 +119,9 @@ impl DetectableCounter {
 
     /// Like [`new`](Self::new) with a custom layout-region name prefix.
     pub fn with_name(b: &mut LayoutBuilder, name: &str, n: u32) -> Self {
-        DetectableCounter { inner: build(b, name, n, Flavor::Counter) }
+        DetectableCounter {
+            inner: build(b, name, n, Flavor::Counter),
+        }
     }
 
     /// The current counter value (diagnostic helper).
@@ -130,7 +138,9 @@ impl DetectableFaa {
 
     /// Like [`new`](Self::new) with a custom layout-region name prefix.
     pub fn with_name(b: &mut LayoutBuilder, name: &str, n: u32) -> Self {
-        DetectableFaa { inner: build(b, name, n, Flavor::Faa) }
+        DetectableFaa {
+            inner: build(b, name, n, Flavor::Faa),
+        }
     }
 
     /// The current value (diagnostic helper).
@@ -191,8 +201,20 @@ macro_rules! impl_recoverable {
     };
 }
 
-impl_recoverable!(DetectableCounter, ObjectKind::Counter, "detectable-counter", OpSpec::Read, OpSpec::Inc);
-impl_recoverable!(DetectableFaa, ObjectKind::Faa, "detectable-faa", OpSpec::Read, OpSpec::Faa(_));
+impl_recoverable!(
+    DetectableCounter,
+    ObjectKind::Counter,
+    "detectable-counter",
+    OpSpec::Read,
+    OpSpec::Inc
+);
+impl_recoverable!(
+    DetectableFaa,
+    ObjectKind::Faa,
+    "detectable-faa",
+    OpSpec::Read,
+    OpSpec::Faa(_)
+);
 
 // ---------------------------------------------------------------------------
 // Add (Inc / Faa): CAS retry loop with checkpointed attempts
@@ -233,7 +255,12 @@ struct AddMachine {
 
 impl AddMachine {
     fn new(obj: Arc<CounterInner>, pid: Pid, delta: u32) -> Self {
-        AddMachine { obj, pid, delta, state: AddState::ReadValue }
+        AddMachine {
+            obj,
+            pid,
+            delta,
+            state: AddState::ReadValue,
+        }
     }
 
     fn response(&self, v: u32) -> Word {
@@ -274,7 +301,10 @@ impl Machine for AddMachine {
             }
             AddState::OuterCheckpoint { v } => {
                 o.ann.write_cp(mem, p, 1);
-                let op = OpSpec::Cas { old: *v, new: v.wrapping_add(self.delta) };
+                let op = OpSpec::Cas {
+                    old: *v,
+                    new: v.wrapping_add(self.delta),
+                };
                 let m = o.cas.invoke(p, &op);
                 self.state = AddState::RunCas { v: *v, m };
                 Poll::Pending
@@ -348,8 +378,13 @@ enum AddRecState {
     CheckResp,
     CheckCp,
     ReadArg,
-    RunInnerRecover { v: u32, m: Box<dyn Machine> },
-    PersistResp { v: u32 },
+    RunInnerRecover {
+        v: u32,
+        m: Box<dyn Machine>,
+    },
+    PersistResp {
+        v: u32,
+    },
     /// Inner verdict was false/fail: continue as a fresh operation.
     Retry(AddMachine),
     Done,
@@ -365,7 +400,12 @@ struct AddRecoverMachine {
 
 impl AddRecoverMachine {
     fn new(obj: Arc<CounterInner>, pid: Pid, delta: u32) -> Self {
-        AddRecoverMachine { obj, pid, delta, state: AddRecState::CheckResp }
+        AddRecoverMachine {
+            obj,
+            pid,
+            delta,
+            state: AddRecState::CheckResp,
+        }
     }
 
     fn response(&self, v: u32) -> Word {
@@ -403,7 +443,10 @@ impl Machine for AddRecoverMachine {
             AddRecState::ReadArg => {
                 let v = mem.read_pp(p, o.arg_loc(p)) as u32;
                 let d = mem.read_pp(p, o.delta_loc(p)) as u32;
-                let op = OpSpec::Cas { old: v, new: v.wrapping_add(d) };
+                let op = OpSpec::Cas {
+                    old: v,
+                    new: v.wrapping_add(d),
+                };
                 let m = o.cas.recover(p, &op);
                 self.state = AddRecState::RunInnerRecover { v, m };
                 Poll::Pending
@@ -419,11 +462,8 @@ impl Machine for AddRecoverMachine {
                         // operation with fresh attempts (NRL-style), so the
                         // caller gets exactly-once semantics without retry
                         // logic of its own.
-                        self.state = AddRecState::Retry(AddMachine::new(
-                            Arc::clone(&o),
-                            p,
-                            self.delta,
-                        ));
+                        self.state =
+                            AddRecState::Retry(AddMachine::new(Arc::clone(&o), p, self.delta));
                     }
                 }
                 Poll::Pending
@@ -500,7 +540,11 @@ struct ReadMachine {
 
 impl ReadMachine {
     fn new(obj: Arc<CounterInner>, pid: Pid) -> Self {
-        ReadMachine { obj, pid, val: None }
+        ReadMachine {
+            obj,
+            pid,
+            val: None,
+        }
     }
 }
 
@@ -551,7 +595,12 @@ struct ReadRecoverMachine {
 
 impl ReadRecoverMachine {
     fn new(obj: Arc<CounterInner>, pid: Pid) -> Self {
-        ReadRecoverMachine { obj, pid, checked: false, inner: None }
+        ReadRecoverMachine {
+            obj,
+            pid,
+            checked: false,
+            inner: None,
+        }
     }
 }
 
@@ -566,7 +615,10 @@ impl Machine for ReadRecoverMachine {
             self.inner = Some(ReadMachine::new(Arc::clone(&self.obj), self.pid));
             return Poll::Pending;
         }
-        self.inner.as_mut().expect("re-invocation missing").step(mem)
+        self.inner
+            .as_mut()
+            .expect("re-invocation missing")
+            .step(mem)
     }
 
     fn pid(&self) -> Pid {

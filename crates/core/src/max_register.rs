@@ -78,7 +78,9 @@ impl MaxRegister {
         assert!(n >= 1, "n must be positive");
         let mr = b.shared(&format!("{name}.MR"), n, 32);
         let ann = AnnBank::alloc(b, name, n, 1);
-        MaxRegister { inner: Arc::new(MaxRegInner { n, mr, ann }) }
+        MaxRegister {
+            inner: Arc::new(MaxRegInner { n, mr, ann }),
+        }
     }
 
     /// The current logical value `max_i MR[i]` (diagnostic helper).
@@ -96,9 +98,7 @@ impl RecoverableObject for MaxRegister {
 
     fn invoke(&self, pid: Pid, op: &OpSpec) -> Box<dyn Machine> {
         match *op {
-            OpSpec::WriteMax(v) => {
-                Box::new(WriteMaxMachine::new(Arc::clone(&self.inner), pid, v))
-            }
+            OpSpec::WriteMax(v) => Box::new(WriteMaxMachine::new(Arc::clone(&self.inner), pid, v)),
             OpSpec::Read => Box::new(MaxReadMachine::new(Arc::clone(&self.inner), pid)),
             ref other => panic!("max register does not support {other}"),
         }
@@ -145,7 +145,12 @@ struct WriteMaxMachine {
 
 impl WriteMaxMachine {
     fn new(obj: Arc<MaxRegInner>, pid: Pid, val: u32) -> Self {
-        WriteMaxMachine { obj, pid, val, state: WMState::L47 }
+        WriteMaxMachine {
+            obj,
+            pid,
+            val,
+            state: WMState::L47,
+        }
     }
 }
 
@@ -230,7 +235,13 @@ impl MaxReadMachine {
     fn new(obj: Arc<MaxRegInner>, pid: Pid) -> Self {
         // 50: a[N], initially all 0.
         let n = obj.n as usize;
-        MaxReadMachine { obj, pid, state: MRState::Verify(0), a: vec![0; n], res: 0 }
+        MaxReadMachine {
+            obj,
+            pid,
+            state: MRState::Verify(0),
+            a: vec![0; n],
+            res: 0,
+        }
     }
 }
 

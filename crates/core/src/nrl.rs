@@ -49,7 +49,9 @@ pub struct NrlAdapter<O> {
 impl<O: RecoverableObject> NrlAdapter<O> {
     /// Wraps `inner` with NRL recovery semantics.
     pub fn new(inner: O) -> Self {
-        NrlAdapter { inner: Arc::new(inner) }
+        NrlAdapter {
+            inner: Arc::new(inner),
+        }
     }
 
     /// The wrapped object.
@@ -260,7 +262,10 @@ mod tests {
         assert_eq!(run_to_completion(&mut *mq, &mem, 1000).unwrap(), TRUE);
 
         let mut rec = obj.recover(p, &op);
-        assert_eq!(run_to_completion(&mut *rec, &mem, 1000).unwrap(), nvm::FALSE);
+        assert_eq!(
+            run_to_completion(&mut *rec, &mem, 1000).unwrap(),
+            nvm::FALSE
+        );
     }
 
     #[test]

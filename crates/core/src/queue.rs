@@ -140,7 +140,7 @@ impl DetectableQueue {
 
     /// Like [`new`](Self::new) with a custom layout-region name prefix.
     pub fn with_name(b: &mut LayoutBuilder, name: &str, n: u32, cap: u32) -> Self {
-        assert!(n >= 1 && n <= 64, "n must be in 1..=64");
+        assert!((1..=64).contains(&n), "n must be in 1..=64");
         let slab = (cap.saturating_sub(1)) / n;
         assert!(slab >= 1, "arena too small: need at least {} nodes", n + 1);
         let head = b.shared(&format!("{name}.HEAD"), 1, 32);
@@ -326,7 +326,11 @@ impl Machine for EnqMachine {
             }
             EState::ReadNext => {
                 self.nxt = mem.read_pp(p, o.next_loc(self.last));
-                self.state = if self.nxt == 0 { EState::PersistLast } else { EState::HelpSwing };
+                self.state = if self.nxt == 0 {
+                    EState::PersistLast
+                } else {
+                    EState::HelpSwing
+                };
                 Poll::Pending
             }
             EState::PersistLast => {
@@ -428,7 +432,13 @@ struct EnqRecoverMachine {
 
 impl EnqRecoverMachine {
     fn new(obj: Arc<QueueInner>, pid: Pid) -> Self {
-        EnqRecoverMachine { obj, pid, state: ERState::CheckResp, idx: 0, last: 0 }
+        EnqRecoverMachine {
+            obj,
+            pid,
+            state: ERState::CheckResp,
+            idx: 0,
+            last: 0,
+        }
     }
 }
 
@@ -706,10 +716,20 @@ impl Machine for DeqMachine {
             DState::ReadValue => 9,
             DState::SwingHead => 10,
             DState::HelpSwingHead => 11,
-            DState::PersistResp(w) => 100 + w,
+            // Wrapping: response sentinels (EMPTY, RESP_*) sit near
+            // `u64::MAX` and land on 97..=99 — still disjoint from the
+            // plain tags (1..=13) and from `100 + value` for real values.
+            DState::PersistResp(w) => 100u64.wrapping_add(w),
             DState::Done => 12,
         };
-        vec![s, self.id, u64::from(self.h), u64::from(self.t), self.nxt, self.val]
+        vec![
+            s,
+            self.id,
+            u64::from(self.h),
+            u64::from(self.t),
+            self.nxt,
+            self.val,
+        ]
     }
 }
 
@@ -737,7 +757,14 @@ struct DeqRecoverMachine {
 
 impl DeqRecoverMachine {
     fn new(obj: Arc<QueueInner>, pid: Pid) -> Self {
-        DeqRecoverMachine { obj, pid, state: DRState::CheckResp, id: 0, target: 0, val: 0 }
+        DeqRecoverMachine {
+            obj,
+            pid,
+            state: DRState::CheckResp,
+            id: 0,
+            target: 0,
+            val: 0,
+        }
     }
 }
 

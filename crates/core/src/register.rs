@@ -151,7 +151,10 @@ impl DetectableRegister {
     /// Like [`new`](Self::new) with a custom layout-region name prefix, for
     /// worlds containing several objects.
     pub fn with_name(b: &mut LayoutBuilder, name: &str, n: u32, init: u32) -> Self {
-        assert!(n >= 1 && n <= MAX_REGISTER_PROCESSES, "n must be in 1..=64");
+        assert!(
+            (1..=MAX_REGISTER_PROCESSES).contains(&n),
+            "n must be in 1..=64"
+        );
         let mut rf = FieldBuilder::new();
         let r_val = rf.field(32);
         let r_q = rf.field(6);
@@ -184,7 +187,9 @@ impl DetectableRegister {
             t,
             ann,
         };
-        DetectableRegister { inner: Arc::new(inner) }
+        DetectableRegister {
+            inner: Arc::new(inner),
+        }
     }
 
     /// Materializes the initial value `⟨init, 0, 0⟩` in a freshly created
@@ -218,9 +223,7 @@ impl RecoverableObject for DetectableRegister {
 
     fn recover(&self, pid: Pid, op: &OpSpec) -> Box<dyn Machine> {
         match *op {
-            OpSpec::Write(v) => {
-                Box::new(WriteRecoverMachine::new(Arc::clone(&self.inner), pid, v))
-            }
+            OpSpec::Write(v) => Box::new(WriteRecoverMachine::new(Arc::clone(&self.inner), pid, v)),
             OpSpec::Read => Box::new(ReadRecoverMachine::new(Arc::clone(&self.inner), pid)),
             ref other => panic!("register does not support {other}"),
         }
@@ -623,7 +626,12 @@ struct ReadMachine {
 
 impl ReadMachine {
     fn new(obj: Arc<RegisterInner>, pid: Pid) -> Self {
-        ReadMachine { obj, pid, state: RState::ReadR, val: 0 }
+        ReadMachine {
+            obj,
+            pid,
+            state: RState::ReadR,
+            val: 0,
+        }
     }
 }
 
@@ -683,7 +691,12 @@ struct ReadRecoverMachine {
 
 impl ReadRecoverMachine {
     fn new(obj: Arc<RegisterInner>, pid: Pid) -> Self {
-        ReadRecoverMachine { obj, pid, checked: false, inner: None }
+        ReadRecoverMachine {
+            obj,
+            pid,
+            checked: false,
+            inner: None,
+        }
     }
 }
 
@@ -814,10 +827,16 @@ mod tests {
             let verdict = run_to_completion(&mut *rec, &mem, 1000).unwrap();
             let value_now = reg.peek_value(&mem);
             if verdict == RESP_FAIL {
-                assert_eq!(value_now, 5, "fail verdict but write visible (crash_after={crash_after})");
+                assert_eq!(
+                    value_now, 5,
+                    "fail verdict but write visible (crash_after={crash_after})"
+                );
             } else {
                 assert_eq!(verdict, ACK);
-                assert_eq!(value_now, 7, "ack verdict but write lost (crash_after={crash_after})");
+                assert_eq!(
+                    value_now, 7,
+                    "ack verdict but write lost (crash_after={crash_after})"
+                );
             }
         }
     }

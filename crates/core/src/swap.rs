@@ -79,7 +79,9 @@ impl DetectableSwap {
         let cas = DetectableCas::with_name(b, &format!("{name}.cas"), n, 0);
         let arg = b.private_array(&format!("{name}.ARG"), n, 1, 32);
         let ann = AnnBank::alloc(b, name, n, 1);
-        DetectableSwap { inner: Arc::new(SwapInner { cas, arg, ann, n }) }
+        DetectableSwap {
+            inner: Arc::new(SwapInner { cas, arg, ann, n }),
+        }
     }
 
     /// The current value (diagnostic helper).
@@ -96,7 +98,11 @@ impl RecoverableObject for DetectableSwap {
     fn invoke(&self, pid: Pid, op: &OpSpec) -> Box<dyn Machine> {
         match *op {
             OpSpec::Swap(v) => Box::new(SwapMachine::new(Arc::clone(&self.inner), pid, v)),
-            OpSpec::Read => Box::new(SwapReadMachine { obj: Arc::clone(&self.inner), pid, val: None }),
+            OpSpec::Read => Box::new(SwapReadMachine {
+                obj: Arc::clone(&self.inner),
+                pid,
+                val: None,
+            }),
             ref other => panic!("swap does not support {other}"),
         }
     }
@@ -151,7 +157,12 @@ struct SwapMachine {
 
 impl SwapMachine {
     fn new(obj: Arc<SwapInner>, pid: Pid, val: u32) -> Self {
-        SwapMachine { obj, pid, val, state: SwState::ReadValue }
+        SwapMachine {
+            obj,
+            pid,
+            val,
+            state: SwState::ReadValue,
+        }
     }
 }
 
@@ -190,7 +201,13 @@ impl Machine for SwapMachine {
             }
             SwState::OuterCheckpoint { v } => {
                 o.ann.write_cp(mem, p, 1);
-                let m = o.cas.invoke(p, &OpSpec::Cas { old: *v, new: self.val });
+                let m = o.cas.invoke(
+                    p,
+                    &OpSpec::Cas {
+                        old: *v,
+                        new: self.val,
+                    },
+                );
                 self.state = SwState::RunCas { v: *v, m };
                 Poll::Pending
             }
@@ -273,7 +290,12 @@ struct SwapRecoverMachine {
 
 impl SwapRecoverMachine {
     fn new(obj: Arc<SwapInner>, pid: Pid, val: u32) -> Self {
-        SwapRecoverMachine { obj, pid, val, state: SwRecState::CheckResp }
+        SwapRecoverMachine {
+            obj,
+            pid,
+            val,
+            state: SwRecState::CheckResp,
+        }
     }
 }
 
@@ -301,7 +323,13 @@ impl Machine for SwapRecoverMachine {
             }
             SwRecState::ReadArg => {
                 let v = mem.read_pp(p, o.arg_loc(p)) as u32;
-                let m = o.cas.recover(p, &OpSpec::Cas { old: v, new: self.val });
+                let m = o.cas.recover(
+                    p,
+                    &OpSpec::Cas {
+                        old: v,
+                        new: self.val,
+                    },
+                );
                 self.state = SwRecState::RunInnerRecover { v, m };
                 Poll::Pending
             }
@@ -428,11 +456,17 @@ impl Machine for SwapReadRecoverMachine {
             if resp != RESP_NONE {
                 return Poll::Ready(resp);
             }
-            self.inner =
-                Some(SwapReadMachine { obj: Arc::clone(&self.obj), pid: self.pid, val: None });
+            self.inner = Some(SwapReadMachine {
+                obj: Arc::clone(&self.obj),
+                pid: self.pid,
+                val: None,
+            });
             return Poll::Pending;
         }
-        self.inner.as_mut().expect("re-invocation missing").step(mem)
+        self.inner
+            .as_mut()
+            .expect("re-invocation missing")
+            .step(mem)
     }
 
     fn pid(&self) -> Pid {

@@ -64,7 +64,9 @@ impl DetectableTas {
     pub fn with_name(b: &mut LayoutBuilder, name: &str, n: u32) -> Self {
         let cas = DetectableCas::with_name(b, &format!("{name}.cas"), n, 0);
         let ann = AnnBank::alloc(b, name, n, 1);
-        DetectableTas { inner: Arc::new(TasInner { cas, ann, n }) }
+        DetectableTas {
+            inner: Arc::new(TasInner { cas, ann, n }),
+        }
     }
 
     /// The current bit (diagnostic helper).
@@ -80,13 +82,21 @@ impl RecoverableObject for DetectableTas {
 
     fn invoke(&self, pid: Pid, op: &OpSpec) -> Box<dyn Machine> {
         match op {
-            OpSpec::TestAndSet => {
-                Box::new(TasMachine::new(Arc::clone(&self.inner), pid, TasFlavor::Set))
-            }
-            OpSpec::Reset => {
-                Box::new(TasMachine::new(Arc::clone(&self.inner), pid, TasFlavor::Reset))
-            }
-            OpSpec::Read => Box::new(TasReadMachine { obj: Arc::clone(&self.inner), pid, val: None }),
+            OpSpec::TestAndSet => Box::new(TasMachine::new(
+                Arc::clone(&self.inner),
+                pid,
+                TasFlavor::Set,
+            )),
+            OpSpec::Reset => Box::new(TasMachine::new(
+                Arc::clone(&self.inner),
+                pid,
+                TasFlavor::Reset,
+            )),
+            OpSpec::Read => Box::new(TasReadMachine {
+                obj: Arc::clone(&self.inner),
+                pid,
+                val: None,
+            }),
             other => panic!("tas does not support {other}"),
         }
     }
@@ -165,7 +175,12 @@ struct TasMachine {
 
 impl TasMachine {
     fn new(obj: Arc<TasInner>, pid: Pid, flavor: TasFlavor) -> Self {
-        TasMachine { obj, pid, flavor, state: TState::ReadValue }
+        TasMachine {
+            obj,
+            pid,
+            flavor,
+            state: TState::ReadValue,
+        }
     }
 }
 
@@ -285,7 +300,12 @@ struct TasRecoverMachine {
 
 impl TasRecoverMachine {
     fn new(obj: Arc<TasInner>, pid: Pid, flavor: TasFlavor) -> Self {
-        TasRecoverMachine { obj, pid, flavor, state: TRecState::CheckResp }
+        TasRecoverMachine {
+            obj,
+            pid,
+            flavor,
+            state: TRecState::CheckResp,
+        }
     }
 }
 
@@ -446,10 +466,17 @@ impl Machine for TasReadRecoverMachine {
             if resp != RESP_NONE {
                 return Poll::Ready(resp);
             }
-            self.inner = Some(TasReadMachine { obj: Arc::clone(&self.obj), pid: self.pid, val: None });
+            self.inner = Some(TasReadMachine {
+                obj: Arc::clone(&self.obj),
+                pid: self.pid,
+                val: None,
+            });
             return Poll::Pending;
         }
-        self.inner.as_mut().expect("re-invocation missing").step(mem)
+        self.inner
+            .as_mut()
+            .expect("re-invocation missing")
+            .step(mem)
     }
 
     fn pid(&self) -> Pid {

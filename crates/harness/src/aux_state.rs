@@ -153,7 +153,11 @@ mod tests {
         let (sw, mem) =
             build_world(|b| baselines::WithoutPrepare::new(detectable::DetectableSwap::new(b, 2)));
         let out = probe_aux_state(&sw, &mem);
-        assert!(out.violation.is_some(), "no violation in {} executions", out.leaves);
+        assert!(
+            out.violation.is_some(),
+            "no violation in {} executions",
+            out.leaves
+        );
     }
 
     #[test]
@@ -199,7 +203,11 @@ mod tests {
         let (ctr, mem) =
             build_world(|b| baselines::WithoutPrepare::new(DetectableCounter::new(b, 2)));
         let out = probe_aux_state(&ctr, &mem);
-        assert!(out.violation.is_some(), "no violation in {} executions", out.leaves);
+        assert!(
+            out.violation.is_some(),
+            "no violation in {} executions",
+            out.leaves
+        );
     }
 
     #[test]
@@ -210,12 +218,20 @@ mod tests {
         let (reg, mem) =
             build_world(|b| baselines::WithoutPrepare::new(baselines::TaggedRegister::new(b, 2)));
         let out = probe_aux_state(&reg, &mem);
-        assert!(out.violation.is_some(), "no violation in {} executions", out.leaves);
+        assert!(
+            out.violation.is_some(),
+            "no violation in {} executions",
+            out.leaves
+        );
 
         let (cas, mem) =
             build_world(|b| baselines::WithoutPrepare::new(baselines::TaggedCas::new(b, 2)));
         let out = probe_aux_state(&cas, &mem);
-        assert!(out.violation.is_some(), "no violation in {} executions", out.leaves);
+        assert!(
+            out.violation.is_some(),
+            "no violation in {} executions",
+            out.leaves
+        );
     }
 
     #[test]
@@ -233,7 +249,12 @@ mod tests {
             (Pid::new(0), OpSpec::WriteMax(1)),
             (Pid::new(1), OpSpec::Read),
         ];
-        let out = explore(&mr, &mem, Workload::Script(&script), &ExploreConfig::default());
+        let out = explore(
+            &mr,
+            &mem,
+            Workload::Script(&script),
+            &ExploreConfig::default(),
+        );
         out.assert_clean();
     }
 }

@@ -21,7 +21,9 @@
 use std::collections::{HashSet, VecDeque};
 
 use detectable::{OpSpec, RecoverableObject};
-use nvm::{run_to_completion, Machine, Pid, Poll, SimMemory, Word};
+use nvm::{Pid, SimMemory, Word};
+
+use crate::driver::{Driver, RetryPolicy};
 
 /// Result of a census run.
 #[derive(Clone, Debug)]
@@ -50,11 +52,10 @@ pub fn census_drive(
     ops: &[(Pid, OpSpec)],
 ) -> CensusReport {
     let mut seen: HashSet<Vec<Word>> = HashSet::new();
+    let mut driver = Driver::for_object(obj);
     seen.insert(mem.shared_key());
     for (pid, op) in ops {
-        obj.prepare(mem, *pid, op);
-        let mut m = obj.invoke(*pid, op);
-        run_to_completion(&mut *m, mem, 1_000_000).expect("census op did not terminate");
+        driver.run_solo(obj, mem, pid.idx(), *op, 1_000_000);
         seen.insert(mem.shared_key());
     }
     CensusReport {
@@ -93,21 +94,38 @@ pub struct BfsConfig {
 
 impl Default for BfsConfig {
     fn default() -> Self {
-        BfsConfig { max_ops: 6, max_states: 2_000_000 }
+        BfsConfig {
+            max_ops: 6,
+            max_states: 2_000_000,
+        }
     }
 }
 
 #[derive(Clone)]
 struct BfsNode {
     snap: nvm::MemSnapshot,
-    machines: Vec<Option<(OpSpec, Box<dyn Machine>)>>,
+    driver: Driver,
     ops_used: usize,
+}
+
+/// Node key: operation budget, the driver's volatile state (machine
+/// encodings included), and full NVM contents (shared + private). Two nodes
+/// with equal keys have identical future behaviour. The driver's *history*
+/// is deliberately not part of the key — the census counts configurations,
+/// not paths.
+fn encode_node(mem: &SimMemory, driver: &Driver, ops_used: usize) -> Vec<Word> {
+    let mut key: Vec<Word> = vec![ops_used as Word];
+    driver.encode_key(&mut key);
+    key.extend(mem.full_key());
+    key
 }
 
 /// Exhaustive crash-free reachability: explores every interleaving of up to
 /// `cfg.max_ops` operations drawn from `alphabet` (any process, any time)
 /// and counts the distinct shared-memory configurations of all reachable
-/// states.
+/// states. The breadth-first order revisits states arbitrarily, so nodes
+/// carry full [`nvm::MemSnapshot`]s rather than the explorer's LIFO
+/// checkpoints.
 pub fn census_bfs(
     obj: &dyn RecoverableObject,
     mem: &SimMemory,
@@ -115,38 +133,25 @@ pub fn census_bfs(
     cfg: &BfsConfig,
 ) -> CensusReport {
     let n = obj.processes() as usize;
+    let retry = RetryPolicy {
+        retry_on_fail: false,
+        max_retries: 0,
+        reset_per_op: false,
+    };
     let mut shared_seen: HashSet<Vec<Word>> = HashSet::new();
     let mut visited: HashSet<Vec<Word>> = HashSet::new();
     let mut queue: VecDeque<BfsNode> = VecDeque::new();
     let start = mem.snapshot();
 
-    let encode_node = |mem: &SimMemory, machines: &[Option<(OpSpec, Box<dyn Machine>)>], ops_used: usize| {
-        let mut key: Vec<Word> = Vec::new();
-        key.push(ops_used as Word);
-        for m in machines {
-            match m {
-                None => key.push(u64::MAX),
-                Some((op, mach)) => {
-                    key.push(op_tag(op));
-                    let e = mach.encode();
-                    key.push(e.len() as Word);
-                    key.extend(e);
-                }
-            }
-        }
-        // Full NVM contents (shared + private) complete the key: two nodes
-        // with equal keys have identical future behaviour.
-        key.extend(mem.full_key());
-        key
-    };
-
     let root = BfsNode {
         snap: mem.snapshot(),
-        machines: (0..n).map(|_| None).collect(),
+        // History-free: BFS nodes are cloned per successor and the census
+        // counts configurations, never paths.
+        driver: Driver::without_history(obj.processes()),
         ops_used: 0,
     };
     shared_seen.insert(mem.shared_key());
-    visited.insert(encode_node(mem, &root.machines, 0));
+    visited.insert(encode_node(mem, &root.driver, 0));
     queue.push_back(root);
 
     let mut processed = 0usize;
@@ -157,47 +162,33 @@ pub fn census_bfs(
         }
         // Enumerate successor actions.
         for i in 0..n {
-            let pid = Pid::new(i as u32);
-            match &node.machines[i] {
-                Some(_) => {
-                    // Step the in-flight machine.
+            if node.driver.state(i).in_flight() {
+                // Step the in-flight machine.
+                mem.restore(&node.snap);
+                let mut driver = node.driver.clone();
+                let _ = driver.step(obj, mem, i, &retry);
+                push_state(
+                    mem,
+                    driver,
+                    node.ops_used,
+                    &mut shared_seen,
+                    &mut visited,
+                    &mut queue,
+                );
+            } else if node.ops_used < cfg.max_ops {
+                for op in alphabet {
                     mem.restore(&node.snap);
-                    let mut machines = node.machines.clone();
-                    let (op, m) = machines[i].as_mut().expect("machine present");
-                    let op = *op;
-                    match m.step(mem) {
-                        Poll::Ready(_) => machines[i] = None,
-                        Poll::Pending => {}
-                    }
-                    let _ = op;
+                    let mut driver = node.driver.clone();
+                    driver.invoke(obj, mem, i, *op, &retry);
                     push_state(
                         mem,
-                        machines,
-                        node.ops_used,
+                        driver,
+                        node.ops_used + 1,
                         &mut shared_seen,
                         &mut visited,
                         &mut queue,
-                        &encode_node,
                     );
                 }
-                None if node.ops_used < cfg.max_ops => {
-                    for op in alphabet {
-                        mem.restore(&node.snap);
-                        obj.prepare(mem, pid, op);
-                        let mut machines = node.machines.clone();
-                        machines[i] = Some((*op, obj.invoke(pid, op)));
-                        push_state(
-                            mem,
-                            machines,
-                            node.ops_used + 1,
-                            &mut shared_seen,
-                            &mut visited,
-                            &mut queue,
-                            &encode_node,
-                        );
-                    }
-                }
-                None => {}
             }
         }
     }
@@ -210,36 +201,22 @@ pub fn census_bfs(
     }
 }
 
-fn op_tag(op: &OpSpec) -> Word {
-    match op {
-        OpSpec::Read => 1,
-        OpSpec::Write(v) => 100 + u64::from(*v),
-        OpSpec::Cas { old, new } => 10_000 + u64::from(*old) * 100 + u64::from(*new),
-        OpSpec::WriteMax(v) => 20_000 + u64::from(*v),
-        OpSpec::Inc => 2,
-        OpSpec::Faa(d) => 30_000 + u64::from(*d),
-        OpSpec::Swap(v) => 50_000 + u64::from(*v),
-        OpSpec::TestAndSet => 3,
-        OpSpec::Reset => 4,
-        OpSpec::Enq(v) => 40_000 + u64::from(*v),
-        OpSpec::Deq => 5,
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
 fn push_state(
     mem: &SimMemory,
-    machines: Vec<Option<(OpSpec, Box<dyn Machine>)>>,
+    driver: Driver,
     ops_used: usize,
     shared_seen: &mut HashSet<Vec<Word>>,
     visited: &mut HashSet<Vec<Word>>,
     queue: &mut VecDeque<BfsNode>,
-    encode_node: &impl Fn(&SimMemory, &[Option<(OpSpec, Box<dyn Machine>)>], usize) -> Vec<Word>,
 ) {
     shared_seen.insert(mem.shared_key());
-    let key = encode_node(mem, &machines, ops_used);
+    let key = encode_node(mem, &driver, ops_used);
     if visited.insert(key) {
-        queue.push_back(BfsNode { snap: mem.snapshot(), machines, ops_used });
+        queue.push_back(BfsNode {
+            snap: mem.snapshot(),
+            driver,
+            ops_used,
+        });
     }
 }
 
@@ -287,8 +264,14 @@ mod tests {
     #[test]
     fn bfs_census_small_n_meets_bound() {
         let (cas, mem) = build_world(|b| DetectableCas::new(b, 2, 0));
-        let alphabet = [OpSpec::Cas { old: 0, new: 1 }, OpSpec::Cas { old: 1, new: 0 }];
-        let cfg = BfsConfig { max_ops: 4, max_states: 200_000 };
+        let alphabet = [
+            OpSpec::Cas { old: 0, new: 1 },
+            OpSpec::Cas { old: 1, new: 0 },
+        ];
+        let cfg = BfsConfig {
+            max_ops: 4,
+            max_states: 200_000,
+        };
         let report = census_bfs(&cas, &mem, &alphabet, &cfg);
         assert!(report.meets_bound(), "{report:?}");
     }

@@ -10,17 +10,62 @@
 //! Two sources of work are supported:
 //!
 //! * [`Workload::PerProcess`] — each process has its own operation list; the
-//!   explorer branches over *all* interleavings (use tiny configurations:
-//!   the tree is exponential in total step count);
+//!   explorer branches over *all* interleavings;
 //! * [`Workload::Script`] — one global sequence of operations executed one
 //!   at a time (no concurrency), but with crashes allowed between any two
 //!   primitive steps. The Figure 2 construction is essentially sequential,
 //!   so this mode finds it cheaply.
+//!
+//! # Engine
+//!
+//! The explorer is an explicit work-stack depth-first search over
+//! [`Driver`] system configurations, with three cost reducers layered on
+//! the naive exponential tree:
+//!
+//! 1. **Undo-log branching** — child states are entered under a memory
+//!    [`checkpoint`](SimMemory::checkpoint) and left via
+//!    [`rollback`](SimMemory::rollback), so branch cost is O(writes along
+//!    the edge) instead of O(memory size) full-copy snapshots.
+//! 2. **Partial-order reduction** — in full-interleaving mode, consecutive
+//!    steps of one process that touch only its private cells are folded
+//!    into a single scheduler action ([`Driver::step_merged`]).
+//! 3. **State-hash pruning** — each node is fingerprinted by
+//!    `(memory [`state_hash`], driver volatile state, workload positions,
+//!    crash budget, history)`. When two prefixes converge to the same
+//!    fingerprint (commuting steps do this constantly), the second is not
+//!    re-explored: the memoized subtree **leaf count** is added instead, so
+//!    reported totals are identical to the unpruned search while the work
+//!    is often exponentially smaller. Keys are 128-bit hashes; a collision
+//!    (vanishingly unlikely) could misattribute a subtree, the same
+//!    trade-off the census fingerprints make.
+//!
+//! Setting [`ExploreConfig::parallelism`] ≥ 2 splits the tree at a frontier
+//! of subtree roots (each on a [`fork`](SimMemory::fork) of the memory) and
+//! explores subtrees on worker threads. Results are merged in canonical
+//! (depth-first) order, so on runs that complete within the leaf budget
+//! the outcome — leaf count, violation found or not, and *which*
+//! violation — is deterministic regardless of thread count. Two
+//! qualifications: when a violation is found, `leaves` reports only
+//! executions examined up to discovery (its exact value is
+//! scheduling-dependent in parallel runs); and when the `max_leaves`
+//! budget truncates a parallel run, *which* leaves got covered before the
+//! budget tripped is scheduling-dependent, so a violation hiding near the
+//! budget boundary may be found in one run and missed in another
+//! (sequential truncation always covers the canonical first `max_leaves`
+//! executions).
+//!
+//! [`state_hash`]: SimMemory::state_hash
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use detectable::{OpSpec, RecoverableObject};
-use nvm::{CrashPolicy, Machine, Pid, Poll, SimMemory, RESP_FAIL};
+use nvm::{Checkpoint, CrashPolicy, Pid, SimMemory, Word};
 
-use crate::history::{Event, History};
+use crate::driver::{Driver, ProcState, RetryPolicy};
 use crate::linearize::{check_history, Violation};
 
 /// Where operations come from.
@@ -49,6 +94,14 @@ pub struct ExploreConfig {
     pub max_leaves: usize,
     /// Crash policy applied at each injected crash.
     pub crash_policy: CrashPolicy,
+    /// Deduplicate converging prefixes through the state-hash memo. Leaf
+    /// counts are unchanged by pruning; disable only to measure the win.
+    pub prune: bool,
+    /// Worker threads for subtree exploration. `0` and `1` both mean
+    /// in-place sequential search; results on runs that finish within the
+    /// leaf budget are deterministic regardless of the setting (see the
+    /// [module docs](self) for the truncation caveat).
+    pub parallelism: usize,
 }
 
 impl Default for ExploreConfig {
@@ -59,6 +112,8 @@ impl Default for ExploreConfig {
             max_retries: 2,
             max_leaves: 5_000_000,
             crash_policy: CrashPolicy::DropAll,
+            prune: true,
+            parallelism: 1,
         }
     }
 }
@@ -66,12 +121,19 @@ impl Default for ExploreConfig {
 /// The result of an exploration.
 #[derive(Debug)]
 pub struct ExploreOutcome {
-    /// Complete executions checked.
+    /// Complete executions checked (counted with multiplicity: a subtree
+    /// skipped by the state-hash memo contributes its full leaf count;
+    /// saturates at `usize::MAX` for astronomically large trees).
     pub leaves: usize,
-    /// First violation found, if any.
+    /// First violation found, in canonical depth-first order.
     pub violation: Option<Violation>,
     /// Whether the leaf budget was exhausted (coverage incomplete).
     pub truncated: bool,
+    /// Distinct system configurations actually expanded.
+    pub unique_nodes: usize,
+    /// Subtrees skipped because their root configuration was already
+    /// explored (per worker; informational).
+    pub memo_hits: usize,
 }
 
 impl ExploreOutcome {
@@ -79,7 +141,11 @@ impl ExploreOutcome {
     /// helper for fully exhaustive runs).
     pub fn assert_clean(&self) {
         self.assert_no_violation();
-        assert!(!self.truncated, "exploration truncated at {} leaves", self.leaves);
+        assert!(
+            !self.truncated,
+            "exploration truncated at {} leaves",
+            self.leaves
+        );
     }
 
     /// Panics with the violation if one was found; tolerates truncation
@@ -87,27 +153,33 @@ impl ExploreOutcome {
     /// first `max_leaves` executions systematically).
     pub fn assert_no_violation(&self) {
         if let Some(v) = &self.violation {
-            panic!("exploration found a violation after {} leaves:\n{v}", self.leaves);
+            panic!(
+                "exploration found a violation after {} leaves:\n{v}",
+                self.leaves
+            );
         }
     }
 }
 
-#[derive(Clone)]
-enum PState {
-    Idle,
-    Running { op: OpSpec, m: Box<dyn Machine> },
-    NeedRecovery { op: OpSpec },
-    Recovering { op: OpSpec, m: Box<dyn Machine> },
-}
-
+/// One system configuration in the search tree: driver (process states,
+/// retries, history) plus workload positions and the crash budget used.
 #[derive(Clone)]
 struct Node {
-    procs: Vec<PState>,
+    driver: Driver,
     next_op: Vec<usize>,
     script_pos: usize,
     crashes_used: usize,
-    retries: Vec<usize>,
-    history: History,
+}
+
+impl Node {
+    fn root(n: u32) -> Node {
+        Node {
+            driver: Driver::new(n),
+            next_op: vec![0; n as usize],
+            script_pos: 0,
+            crashes_used: 0,
+        }
+    }
 }
 
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -116,72 +188,25 @@ enum Action {
     Proc(usize),
 }
 
-struct Ctx<'a> {
-    obj: &'a dyn RecoverableObject,
-    mem: &'a SimMemory,
-    cfg: &'a ExploreConfig,
-    source: Workload<'a>,
-    leaves: usize,
-    violation: Option<Violation>,
-    truncated: bool,
-}
-
-/// Exhaustively explores executions of `obj` and checks every complete one.
-///
-/// The memory must be freshly initialized; it is restored to its starting
-/// state before returning.
-pub fn explore(
-    obj: &dyn RecoverableObject,
-    mem: &SimMemory,
-    source: Workload<'_>,
-    cfg: &ExploreConfig,
-) -> ExploreOutcome {
-    let n = obj.processes() as usize;
-    let root = Node {
-        procs: vec![PState::Idle; n].iter().map(|_| PState::Idle).collect(),
-        next_op: vec![0; n],
-        script_pos: 0,
-        crashes_used: 0,
-        retries: vec![0; n],
-        history: History::new(),
-    };
-    let mut ctx = Ctx {
-        obj,
-        mem,
-        cfg,
-        source,
-        leaves: 0,
-        violation: None,
-        truncated: false,
-    };
-    let start = mem.snapshot();
-    dfs(&mut ctx, &root);
-    mem.restore(&start);
-    ExploreOutcome {
-        leaves: ctx.leaves,
-        violation: ctx.violation,
-        truncated: ctx.truncated,
-    }
-}
-
-fn actions(ctx: &Ctx<'_>, node: &Node) -> Vec<Action> {
+/// The scheduler actions available from `node`, in canonical order.
+fn actions(cfg: &ExploreConfig, source: Workload<'_>, node: &Node) -> Vec<Action> {
     let mut out = Vec::new();
-    let in_flight = node
-        .procs
-        .iter()
-        .any(|s| matches!(s, PState::Running { .. } | PState::Recovering { .. }));
-    if in_flight && node.crashes_used < ctx.cfg.max_crashes {
+    if node.driver.any_in_flight() && node.crashes_used < cfg.max_crashes {
         out.push(Action::Crash);
     }
-    match ctx.source {
+    match source {
         Workload::PerProcess(w) => {
-            for (i, st) in node.procs.iter().enumerate() {
-                match st {
-                    PState::Idle => {
+            // Process index addresses three parallel structures (driver
+            // state, workload list, op cursor), so a plain index loop it is.
+            #[allow(clippy::needless_range_loop)]
+            for i in 0..node.driver.processes() {
+                match node.driver.state(i) {
+                    ProcState::Idle => {
                         if node.next_op[i] < w[i].len() {
                             out.push(Action::Proc(i));
                         }
                     }
+                    ProcState::Done => {}
                     _ => out.push(Action::Proc(i)),
                 }
             }
@@ -189,10 +214,7 @@ fn actions(ctx: &Ctx<'_>, node: &Node) -> Vec<Action> {
         Workload::Script(script) => {
             // One operation at a time: if some process is mid-operation (or
             // mid-recovery), only it may act; otherwise the script advances.
-            if let Some(i) = node
-                .procs
-                .iter()
-                .position(|s| !matches!(s, PState::Idle))
+            if let Some(i) = (0..node.driver.processes()).find(|&i| !node.driver.state(i).is_idle())
             {
                 out.push(Action::Proc(i));
             } else if node.script_pos < script.len() {
@@ -203,58 +225,361 @@ fn actions(ctx: &Ctx<'_>, node: &Node) -> Vec<Action> {
     out
 }
 
-/// Executes one scheduling action's worth of machine steps.
-///
-/// In full-interleaving mode this performs **partial-order reduction**: after
-/// the first step, subsequent steps that touch only the acting process's
-/// private cells are folded into the same action (they commute with every
-/// other process's actions, so exploring their interleavings separately adds
-/// nothing). The speculative extra step is rolled back if it turns out to
-/// touch shared memory. Scripted explorations do not merge, keeping crash
-/// granularity at single primitives.
-fn step_merged(ctx: &Ctx<'_>, m: &mut Box<dyn Machine>, merge: bool) -> Poll {
-    ctx.mem.reset_shared_touch();
-    let mut r = m.step(ctx.mem);
-    if merge {
-        while matches!(r, Poll::Pending) {
-            let snap = ctx.mem.snapshot();
-            let saved = m.clone_box();
-            ctx.mem.reset_shared_touch();
-            let speculative = m.step(ctx.mem);
-            if ctx.mem.shared_touched() {
-                ctx.mem.restore(&snap);
-                *m = saved;
-                break;
-            }
-            r = speculative;
-        }
-    }
-    r
+/// The visited-node memo: configuration fingerprint → exact subtree leaf
+/// count, sharded so parallel workers share pruning knowledge with low
+/// contention. Only violation-free, fully-counted subtrees are entered, so
+/// concurrent duplicate computation is benign (both writers insert the same
+/// value).
+struct Memo {
+    shards: Vec<Mutex<HashMap<(u64, u64), u64>>>,
 }
 
-fn apply(ctx: &mut Ctx<'_>, node: &mut Node, action: Action) {
-    let merge = matches!(ctx.source, Workload::PerProcess(_));
-    match action {
-        Action::Crash => {
-            node.crashes_used += 1;
-            ctx.mem.crash(ctx.cfg.crash_policy);
-            node.history.push(Event::Crash);
-            for st in node.procs.iter_mut() {
-                let cur = std::mem::replace(st, PState::Idle);
-                *st = match cur {
-                    PState::Running { op, .. } | PState::Recovering { op, .. } => {
-                        PState::NeedRecovery { op }
-                    }
-                    other => other,
-                };
+impl Memo {
+    const SHARDS: usize = 64;
+
+    fn new() -> Self {
+        Memo {
+            shards: (0..Self::SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, key: (u64, u64)) -> &Mutex<HashMap<(u64, u64), u64>> {
+        &self.shards[(key.0 as usize) % Self::SHARDS]
+    }
+
+    fn get(&self, key: (u64, u64)) -> Option<u64> {
+        self.shard(key)
+            .lock()
+            .expect("memo shard poisoned")
+            .get(&key)
+            .copied()
+    }
+
+    fn insert(&self, key: (u64, u64), count: u64) {
+        self.shard(key)
+            .lock()
+            .expect("memo shard poisoned")
+            .insert(key, count);
+    }
+}
+
+/// Progress counters shared by all workers of one exploration.
+struct Progress {
+    leaves: AtomicUsize,
+    abort: AtomicBool,
+    /// Lowest canonical subtree index with a violation so far.
+    min_violation: AtomicUsize,
+    max_leaves: usize,
+    memo: Memo,
+}
+
+impl Progress {
+    fn new(max_leaves: usize) -> Self {
+        Progress {
+            leaves: AtomicUsize::new(0),
+            abort: AtomicBool::new(false),
+            min_violation: AtomicUsize::new(usize::MAX),
+            max_leaves,
+            memo: Memo::new(),
+        }
+    }
+
+    /// Adds `n` leaves; returns true if the global budget is now exhausted.
+    /// Saturating: astronomically large memoized subtree counts must not
+    /// wrap the counter past the budget check.
+    fn add_leaves(&self, n: usize) -> bool {
+        let total = self
+            .leaves
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |t| {
+                Some(t.saturating_add(n))
+            })
+            .expect("fetch_update closure always returns Some")
+            .saturating_add(n);
+        // `usize::MAX` means unbounded: saturation there is not exhaustion.
+        if self.max_leaves != usize::MAX && total >= self.max_leaves {
+            self.abort.store(true, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn report_violation(&self, subtree: usize) {
+        self.min_violation.fetch_min(subtree, Ordering::Relaxed);
+    }
+
+    /// Whether work on subtree `index` is moot (budget exhausted, or a
+    /// violation exists in an earlier subtree).
+    fn moot(&self, index: usize) -> bool {
+        self.abort.load(Ordering::Relaxed) || self.min_violation.load(Ordering::Relaxed) < index
+    }
+}
+
+/// One DFS frame: a configuration, its remaining actions, and the memory
+/// checkpoint that entering it opened.
+struct Frame {
+    node: Node,
+    acts: Vec<Action>,
+    next: usize,
+    cp: Option<Checkpoint>,
+    key: Option<(u64, u64)>,
+    entry_leaves: usize,
+}
+
+/// Per-worker sequential search engine.
+struct Engine<'a> {
+    obj: &'a dyn RecoverableObject,
+    cfg: &'a ExploreConfig,
+    source: Workload<'a>,
+    retry: RetryPolicy,
+    progress: &'a Progress,
+    /// This worker's canonical subtree index (for violation ordering).
+    subtree: usize,
+    stack: Vec<Frame>,
+    key_scratch: Vec<Word>,
+    leaves: usize,
+    truncated: bool,
+    violation: Option<Violation>,
+    unique_nodes: usize,
+    memo_hits: usize,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        obj: &'a dyn RecoverableObject,
+        cfg: &'a ExploreConfig,
+        source: Workload<'a>,
+        progress: &'a Progress,
+        subtree: usize,
+    ) -> Self {
+        Engine {
+            obj,
+            cfg,
+            source,
+            retry: RetryPolicy {
+                retry_on_fail: cfg.retry_on_fail,
+                max_retries: cfg.max_retries,
+                reset_per_op: false,
+            },
+            progress,
+            subtree,
+            stack: Vec::new(),
+            key_scratch: Vec::new(),
+            leaves: 0,
+            truncated: false,
+            violation: None,
+            unique_nodes: 0,
+            memo_hits: 0,
+        }
+    }
+
+    fn aborted(&self) -> bool {
+        self.violation.is_some() || self.truncated || self.progress.moot(self.subtree)
+    }
+
+    /// Explores the whole subtree rooted at `root` over `mem`, leaving the
+    /// memory exactly as it was on entry.
+    fn run(&mut self, mem: &SimMemory, root: Node) {
+        let outer = mem.checkpoint();
+        self.enter(mem, root, None);
+        while !self.stack.is_empty() {
+            if self.aborted() {
+                break;
+            }
+            let top = self.stack.last_mut().expect("stack non-empty");
+            if top.next < top.acts.len() {
+                let action = top.acts[top.next];
+                top.next += 1;
+                let cp = mem.checkpoint();
+                let mut child = top.node.clone();
+                self.apply(mem, &mut child, action);
+                self.enter(mem, child, Some(cp));
+            } else {
+                let frame = self.stack.pop().expect("stack non-empty");
+                if let Some(key) = frame.key {
+                    self.progress
+                        .memo
+                        .insert(key, (self.leaves - frame.entry_leaves) as u64);
+                }
+                if let Some(cp) = frame.cp {
+                    mem.rollback(cp);
+                }
             }
         }
-        Action::Proc(i) => {
-            let pid = Pid::new(i as u32);
-            let cur = std::mem::replace(&mut node.procs[i], PState::Idle);
-            node.procs[i] = match cur {
-                PState::Idle => {
-                    let op = match ctx.source {
+        // Abort unwind: rewind the memory without memoizing partial counts.
+        while let Some(frame) = self.stack.pop() {
+            if let Some(cp) = frame.cp {
+                mem.rollback(cp);
+            }
+        }
+        mem.rollback(outer);
+    }
+
+    /// Processes a freshly reached configuration: memo lookup, leaf check,
+    /// or push as a new DFS frame.
+    fn enter(&mut self, mem: &SimMemory, node: Node, cp: Option<Checkpoint>) {
+        if self.aborted() {
+            if let Some(cp) = cp {
+                mem.rollback(cp);
+            }
+            return;
+        }
+        let key = self.cfg.prune.then(|| self.node_key(mem, &node));
+        if let Some(k) = key {
+            if let Some(count) = self.progress.memo.get(k) {
+                self.memo_hits += 1;
+                self.count_leaves(count as usize);
+                if let Some(cp) = cp {
+                    mem.rollback(cp);
+                }
+                return;
+            }
+        }
+        self.unique_nodes += 1;
+        let acts = actions(self.cfg, self.source, &node);
+        if acts.is_empty() {
+            self.count_leaves(1);
+            self.check_leaf(&node);
+            // Violating configurations must never enter the memo: a memo
+            // hit skips check_leaf, which would let a converging prefix in
+            // another subtree silently count a violating leaf as checked —
+            // and make the reported violation depend on thread scheduling.
+            if self.violation.is_none() {
+                if let Some(k) = key {
+                    self.progress.memo.insert(k, 1);
+                }
+            }
+            if let Some(cp) = cp {
+                mem.rollback(cp);
+            }
+            return;
+        }
+        self.stack.push(Frame {
+            node,
+            acts,
+            next: 0,
+            cp,
+            key,
+            entry_leaves: self.leaves,
+        });
+    }
+
+    fn count_leaves(&mut self, n: usize) {
+        self.leaves = self.leaves.saturating_add(n);
+        if self.progress.add_leaves(n) {
+            self.truncated = true;
+        }
+    }
+
+    /// The full durable-linearizability + detectability check of one
+    /// complete execution.
+    fn check_leaf(&mut self, node: &Node) {
+        let history = node.driver.history();
+        if self.obj.detectable() {
+            if let Err(v) = check_history(self.obj.kind(), history) {
+                self.violation = Some(v);
+            }
+        } else {
+            // Non-detectable objects: verdict words carry no linearization
+            // claim; recovered operations become Unresolved (effect unknown,
+            // interval preserved) and only durable linearizability remains.
+            let records = history.to_records_relaxed();
+            if let Err(mut v) = crate::linearize::check_records(self.obj.kind(), &records) {
+                v.rendered = history.to_string();
+                self.violation = Some(v);
+            }
+        }
+        if self.violation.is_some() {
+            self.progress.report_violation(self.subtree);
+        }
+    }
+
+    /// 128-bit fingerprint of a configuration: memory state hash, driver
+    /// volatile state, workload positions, crash budget, and the
+    /// *canonicalized* history.
+    ///
+    /// The leaf check is path-sensitive, so two nodes are interchangeable
+    /// only when their recorded pasts agree **as far as the checker can
+    /// tell**. The checker consumes only the compiled [`OpRecord`]s — per
+    /// operation: process, op, outcome, and the relative order of interval
+    /// endpoints — never the raw event sequence (crashes are dropped by the
+    /// compilation; their effects live entirely in the memory/driver
+    /// state). Hashing that canonical structure instead of the event list
+    /// soundly merges prefixes that differ only in the order of commuting
+    /// events (two adjacent invocations by different processes, two
+    /// adjacent returns, a crash's position between resolved operations),
+    /// which is where most of the interleaving explosion lives.
+    ///
+    /// [`OpRecord`]: crate::history::OpRecord
+    fn node_key(&mut self, mem: &SimMemory, node: &Node) -> (u64, u64) {
+        self.key_scratch.clear();
+        node.driver.encode_key(&mut self.key_scratch);
+
+        // Canonical history: records with interval endpoints dense-ranked,
+        // compiled exactly the way the leaf check will compile them.
+        let history = node.driver.history();
+        let records = if self.obj.detectable() {
+            history.to_records()
+        } else {
+            history.to_records_relaxed()
+        };
+        let mut endpoints: Vec<usize> = records
+            .iter()
+            .flat_map(|r| [r.invoked_at, r.resolved_at])
+            .filter(|&i| i != usize::MAX)
+            .collect();
+        endpoints.sort_unstable();
+        let rank = |i: usize| {
+            if i == usize::MAX {
+                u64::MAX
+            } else {
+                endpoints.binary_search(&i).expect("endpoint present") as u64
+            }
+        };
+
+        let mut halves = [0u64; 2];
+        for (salt, half) in halves.iter_mut().enumerate() {
+            let mut h = DefaultHasher::new();
+            (salt as u64).hash(&mut h);
+            mem.state_hash().hash(&mut h);
+            self.key_scratch.hash(&mut h);
+            node.next_op.hash(&mut h);
+            node.script_pos.hash(&mut h);
+            node.crashes_used.hash(&mut h);
+            records.len().hash(&mut h);
+            for r in &records {
+                r.pid.hash(&mut h);
+                crate::driver::op_key(&r.op).hash(&mut h);
+                match r.outcome {
+                    crate::history::Outcome::Completed(w) => (0u8, w).hash(&mut h),
+                    crate::history::Outcome::RecoveredFail => (1u8, 0u64).hash(&mut h),
+                    crate::history::Outcome::Pending => (2u8, 0u64).hash(&mut h),
+                    crate::history::Outcome::Unresolved => (3u8, 0u64).hash(&mut h),
+                }
+                rank(r.invoked_at).hash(&mut h);
+                rank(r.resolved_at).hash(&mut h);
+            }
+            *half = h.finish();
+        }
+        (halves[0], halves[1])
+    }
+
+    /// Executes one scheduler action, mutating `node` and the memory.
+    fn apply(&mut self, mem: &SimMemory, node: &mut Node, action: Action) {
+        // In full-interleaving mode, private-only step runs merge into one
+        // action (partial-order reduction); scripted explorations keep
+        // crash granularity at single primitives.
+        let merge = matches!(self.source, Workload::PerProcess(_));
+        match action {
+            Action::Crash => {
+                node.crashes_used += 1;
+                node.driver.crash(mem, self.cfg.crash_policy);
+            }
+            Action::Proc(i) => {
+                if node.driver.state(i).is_idle() {
+                    let op = match self.source {
                         Workload::PerProcess(w) => {
                             let op = w[i][node.next_op[i]];
                             node.next_op[i] += 1;
@@ -266,77 +591,197 @@ fn apply(ctx: &mut Ctx<'_>, node: &mut Node, action: Action) {
                             op
                         }
                     };
-                    ctx.obj.prepare(ctx.mem, pid, &op);
-                    node.history.push(Event::Invoke { pid, op });
-                    PState::Running { m: ctx.obj.invoke(pid, &op), op }
+                    node.driver.invoke(self.obj, mem, i, op, &self.retry);
+                } else if merge {
+                    node.driver.step_merged(self.obj, mem, i, &self.retry);
+                } else {
+                    node.driver.step(self.obj, mem, i, &self.retry);
                 }
-                PState::Running { op, mut m } => match step_merged(ctx, &mut m, merge) {
-                    Poll::Ready(resp) => {
-                        node.history.push(Event::Return { pid, resp });
-                        PState::Idle
-                    }
-                    Poll::Pending => PState::Running { op, m },
-                },
-                PState::NeedRecovery { op } => {
-                    PState::Recovering { m: ctx.obj.recover(pid, &op), op }
-                }
-                PState::Recovering { op, mut m } => match step_merged(ctx, &mut m, merge) {
-                    Poll::Ready(verdict) => {
-                        node.history.push(Event::RecoveryReturn { pid, verdict });
-                        if verdict == RESP_FAIL
-                            && ctx.cfg.retry_on_fail
-                            && node.retries[i] < ctx.cfg.max_retries
-                        {
-                            node.retries[i] += 1;
-                            ctx.obj.prepare(ctx.mem, pid, &op);
-                            node.history.push(Event::Invoke { pid, op });
-                            PState::Running { m: ctx.obj.invoke(pid, &op), op }
-                        } else {
-                            PState::Idle
-                        }
-                    }
-                    Poll::Pending => PState::Recovering { op, m },
-                },
-            };
+            }
         }
     }
 }
 
-fn dfs(ctx: &mut Ctx<'_>, node: &Node) {
-    if ctx.violation.is_some() || ctx.truncated {
-        return;
+/// Exhaustively explores executions of `obj` and checks every complete one.
+///
+/// The memory must be freshly initialized; it is left in its starting state
+/// on return. See the [module docs](self) for the engine design and the
+/// determinism guarantees of parallel runs.
+pub fn explore(
+    obj: &dyn RecoverableObject,
+    mem: &SimMemory,
+    source: Workload<'_>,
+    cfg: &ExploreConfig,
+) -> ExploreOutcome {
+    let root = Node::root(obj.processes());
+    let progress = Progress::new(cfg.max_leaves);
+    if cfg.parallelism <= 1 {
+        let mut engine = Engine::new(obj, cfg, source, &progress, 0);
+        engine.run(mem, root);
+        return ExploreOutcome {
+            leaves: engine.leaves.min(cfg.max_leaves),
+            violation: engine.violation,
+            truncated: engine.truncated,
+            unique_nodes: engine.unique_nodes,
+            memo_hits: engine.memo_hits,
+        };
     }
-    let acts = actions(ctx, node);
-    if acts.is_empty() {
-        ctx.leaves += 1;
-        if ctx.leaves >= ctx.cfg.max_leaves {
-            ctx.truncated = true;
-        }
-        if ctx.obj.detectable() {
-            if let Err(v) = check_history(ctx.obj.kind(), &node.history) {
-                ctx.violation = Some(v);
-            }
-        } else {
-            // Non-detectable objects: verdict words carry no linearization
-            // claim; recovered operations become Unresolved (effect unknown,
-            // interval preserved) and only durable linearizability remains.
-            let records = node.history.to_records_relaxed();
-            if let Err(mut v) = crate::linearize::check_records(ctx.obj.kind(), &records) {
-                v.rendered = node.history.to_string();
-                ctx.violation = Some(v);
-            }
-        }
-        return;
+    explore_parallel(obj, mem, source, cfg, root, &progress)
+}
+
+/// A frontier entry: a subtree root plus the forked memory it runs on.
+struct SubtreeJob {
+    index: usize,
+    node: Node,
+    mem: SimMemory,
+}
+
+struct SubtreeResult {
+    index: usize,
+    leaves: usize,
+    violation: Option<Violation>,
+    truncated: bool,
+    unique_nodes: usize,
+    memo_hits: usize,
+}
+
+fn explore_parallel(
+    obj: &dyn RecoverableObject,
+    mem: &SimMemory,
+    source: Workload<'_>,
+    cfg: &ExploreConfig,
+    root: Node,
+    progress: &Progress,
+) -> ExploreOutcome {
+    // Expand a frontier of subtree roots in canonical depth-first order,
+    // wave by wave, each on its own memory fork. Leaves reached during
+    // expansion stay in the list and are evaluated in place.
+    let target = cfg.parallelism * 4;
+    enum Entry {
+        Leaf(Node),
+        Subtree(Node, Box<SimMemory>),
     }
-    for a in acts {
-        let snap = ctx.mem.snapshot();
-        let mut child = node.clone();
-        apply(ctx, &mut child, a);
-        dfs(ctx, &child);
-        ctx.mem.restore(&snap);
-        if ctx.violation.is_some() || ctx.truncated {
-            return;
+    let mut frontier: Vec<Entry> = vec![Entry::Subtree(root, Box::new(mem.fork()))];
+    // Wave cap: a path-shaped tree (e.g. a crash-free script) never widens,
+    // so expansion must not chase the target forever.
+    for _wave in 0..16 {
+        let interior = frontier
+            .iter()
+            .filter(|e| matches!(e, Entry::Subtree(..)))
+            .count();
+        if interior == 0 || frontier.len() >= target {
+            break;
         }
+        let mut next = Vec::with_capacity(frontier.len() * 2);
+        for entry in frontier {
+            match entry {
+                Entry::Leaf(n) => next.push(Entry::Leaf(n)),
+                Entry::Subtree(node, fork) => {
+                    let acts = actions(cfg, source, &node);
+                    if acts.is_empty() {
+                        next.push(Entry::Leaf(node));
+                        continue;
+                    }
+                    // A throwaway engine applies each action on a child fork.
+                    for action in acts {
+                        let child_mem = fork.fork();
+                        let mut child = node.clone();
+                        let mut scratch = Engine::new(obj, cfg, source, progress, usize::MAX);
+                        scratch.apply(&child_mem, &mut child, action);
+                        next.push(Entry::Subtree(child, Box::new(child_mem)));
+                    }
+                }
+            }
+        }
+        frontier = next;
+    }
+
+    // Evaluate the frontier: leaves in place (cheap), subtrees on workers,
+    // round-robin in canonical order.
+    let mut results: Vec<SubtreeResult> = Vec::new();
+    let mut jobs: Vec<SubtreeJob> = Vec::new();
+    for (index, entry) in frontier.into_iter().enumerate() {
+        match entry {
+            Entry::Leaf(node) => {
+                let mut engine = Engine::new(obj, cfg, source, progress, index);
+                engine.count_leaves(1);
+                engine.check_leaf(&node);
+                results.push(SubtreeResult {
+                    index,
+                    leaves: engine.leaves,
+                    violation: engine.violation,
+                    truncated: engine.truncated,
+                    unique_nodes: 1,
+                    memo_hits: 0,
+                });
+            }
+            Entry::Subtree(node, fork) => jobs.push(SubtreeJob {
+                index,
+                node,
+                mem: *fork,
+            }),
+        }
+    }
+
+    let workers = cfg.parallelism.min(jobs.len().max(1));
+    let mut lanes: Vec<Vec<SubtreeJob>> = (0..workers).map(|_| Vec::new()).collect();
+    for (k, job) in jobs.into_iter().enumerate() {
+        lanes[k % workers].push(job);
+    }
+    let lane_results: Vec<Vec<SubtreeResult>> = std::thread::scope(|s| {
+        let handles: Vec<_> = lanes
+            .into_iter()
+            .map(|lane| {
+                s.spawn(move || {
+                    let mut out = Vec::with_capacity(lane.len());
+                    for job in lane {
+                        if progress.moot(job.index) {
+                            continue;
+                        }
+                        let mut engine = Engine::new(obj, cfg, source, progress, job.index);
+                        engine.run(&job.mem, job.node);
+                        out.push(SubtreeResult {
+                            index: job.index,
+                            leaves: engine.leaves,
+                            violation: engine.violation,
+                            truncated: engine.truncated,
+                            unique_nodes: engine.unique_nodes,
+                            memo_hits: engine.memo_hits,
+                        });
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    results.extend(lane_results.into_iter().flatten());
+    results.sort_by_key(|r| r.index);
+
+    // Merge in canonical order: the first violating subtree wins.
+    let mut leaves = 0usize;
+    let mut violation = None;
+    let mut truncated = false;
+    let mut unique_nodes = 0;
+    let mut memo_hits = 0;
+    for r in results {
+        leaves = leaves.saturating_add(r.leaves);
+        truncated |= r.truncated;
+        unique_nodes += r.unique_nodes;
+        memo_hits += r.memo_hits;
+        if violation.is_none() {
+            violation = r.violation;
+        }
+    }
+    ExploreOutcome {
+        leaves: leaves.min(cfg.max_leaves),
+        violation,
+        truncated,
+        unique_nodes,
+        memo_hits,
     }
 }
 
@@ -358,9 +803,18 @@ mod tests {
             (p, OpSpec::Write(1)),
             (q, OpSpec::Read),
         ];
-        let out = explore(&reg, &mem, Workload::Script(&script), &ExploreConfig::default());
+        let out = explore(
+            &reg,
+            &mem,
+            Workload::Script(&script),
+            &ExploreConfig::default(),
+        );
         out.assert_clean();
-        assert!(out.leaves > 10, "expected many crash positions, got {}", out.leaves);
+        assert!(
+            out.leaves > 10,
+            "expected many crash positions, got {}",
+            out.leaves
+        );
     }
 
     #[test]
@@ -374,18 +828,23 @@ mod tests {
             (p, OpSpec::Cas { old: 0, new: 1 }),
             (q, OpSpec::Read),
         ];
-        let out = explore(&cas, &mem, Workload::Script(&script), &ExploreConfig::default());
+        let out = explore(
+            &cas,
+            &mem,
+            Workload::Script(&script),
+            &ExploreConfig::default(),
+        );
         out.assert_clean();
     }
 
     #[test]
     fn concurrent_writes_all_interleavings_crash_free() {
         let (reg, mem) = build_world(|b| DetectableRegister::new(b, 2, 0));
-        let w = vec![
-            vec![OpSpec::Write(1), OpSpec::Read],
-            vec![OpSpec::Write(2)],
-        ];
-        let cfg = ExploreConfig { max_crashes: 0, ..Default::default() };
+        let w = vec![vec![OpSpec::Write(1), OpSpec::Read], vec![OpSpec::Write(2)]];
+        let cfg = ExploreConfig {
+            max_crashes: 0,
+            ..Default::default()
+        };
         let out = explore(&reg, &mem, Workload::PerProcess(&w), &cfg);
         out.assert_clean();
         assert!(out.leaves > 100);
@@ -398,7 +857,12 @@ mod tests {
             vec![OpSpec::Cas { old: 0, new: 1 }],
             vec![OpSpec::Cas { old: 0, new: 2 }],
         ];
-        let out = explore(&cas, &mem, Workload::PerProcess(&w), &ExploreConfig::default());
+        let out = explore(
+            &cas,
+            &mem,
+            Workload::PerProcess(&w),
+            &ExploreConfig::default(),
+        );
         out.assert_clean();
     }
 
@@ -409,7 +873,12 @@ mod tests {
             vec![OpSpec::WriteMax(2), OpSpec::Read],
             vec![OpSpec::WriteMax(1)],
         ];
-        let out = explore(&mr, &mem, Workload::PerProcess(&w), &ExploreConfig::default());
+        let out = explore(
+            &mr,
+            &mem,
+            Workload::PerProcess(&w),
+            &ExploreConfig::default(),
+        );
         out.assert_clean();
     }
 
@@ -417,7 +886,11 @@ mod tests {
     fn leaf_budget_truncates() {
         let (reg, mem) = build_world(|b| DetectableRegister::new(b, 2, 0));
         let w = vec![vec![OpSpec::Write(1)], vec![OpSpec::Write(2)]];
-        let cfg = ExploreConfig { max_leaves: 5, max_crashes: 0, ..Default::default() };
+        let cfg = ExploreConfig {
+            max_leaves: 5,
+            max_crashes: 0,
+            ..Default::default()
+        };
         let out = explore(&reg, &mem, Workload::PerProcess(&w), &cfg);
         assert!(out.truncated);
         assert_eq!(out.leaves, 5);
@@ -428,8 +901,126 @@ mod tests {
         let (reg, mem) = build_world(|b| DetectableRegister::new(b, 2, 0));
         let before = mem.shared_key();
         let w = vec![vec![OpSpec::Write(9)], vec![]];
-        let cfg = ExploreConfig { max_crashes: 0, ..Default::default() };
+        let cfg = ExploreConfig {
+            max_crashes: 0,
+            ..Default::default()
+        };
         let _ = explore(&reg, &mem, Workload::PerProcess(&w), &cfg);
         assert_eq!(mem.shared_key(), before);
+    }
+
+    #[test]
+    fn pruning_preserves_leaf_counts() {
+        let (cas, mem) = build_world(|b| DetectableCas::new(b, 2, 0));
+        let w = vec![
+            vec![OpSpec::Cas { old: 0, new: 1 }],
+            vec![OpSpec::Cas { old: 0, new: 2 }],
+        ];
+        let pruned = explore(
+            &cas,
+            &mem,
+            Workload::PerProcess(&w),
+            &ExploreConfig {
+                prune: true,
+                ..Default::default()
+            },
+        );
+        let unpruned = explore(
+            &cas,
+            &mem,
+            Workload::PerProcess(&w),
+            &ExploreConfig {
+                prune: false,
+                ..Default::default()
+            },
+        );
+        pruned.assert_clean();
+        unpruned.assert_clean();
+        assert_eq!(pruned.leaves, unpruned.leaves);
+        assert!(
+            pruned.unique_nodes < unpruned.unique_nodes,
+            "pruning expanded {} nodes vs {} unpruned",
+            pruned.unique_nodes,
+            unpruned.unique_nodes
+        );
+        assert!(pruned.memo_hits > 0);
+    }
+
+    #[test]
+    fn parallel_exploration_matches_sequential() {
+        let (reg, mem) = build_world(|b| DetectableRegister::new(b, 2, 0));
+        let w = vec![vec![OpSpec::Write(1), OpSpec::Read], vec![OpSpec::Write(2)]];
+        let base = ExploreConfig::default();
+        let seq = explore(&reg, &mem, Workload::PerProcess(&w), &base);
+        for parallelism in [2, 4, 7] {
+            let par = explore(
+                &reg,
+                &mem,
+                Workload::PerProcess(&w),
+                &ExploreConfig {
+                    parallelism,
+                    ..base.clone()
+                },
+            );
+            assert_eq!(par.leaves, seq.leaves, "parallelism {parallelism}");
+            assert_eq!(par.truncated, seq.truncated);
+            assert!(par.violation.is_none());
+        }
+    }
+
+    #[test]
+    fn parallel_exploration_finds_the_same_violation() {
+        // A deprived register violates Theorem 2; every parallelism level
+        // must find a violation (the canonical-first one).
+        use crate::aux_state::theorem2_script;
+        use detectable::ObjectKind;
+        let script = theorem2_script(ObjectKind::Register);
+        let render = |parallelism: usize| {
+            let (reg, mem) =
+                build_world(|b| baselines::WithoutPrepare::new(DetectableRegister::new(b, 2, 0)));
+            let cfg = ExploreConfig {
+                parallelism,
+                ..Default::default()
+            };
+            let out = explore(&reg, &mem, Workload::Script(&script), &cfg);
+            out.violation
+                .expect("Theorem 2 predicts a violation")
+                .rendered
+        };
+        let sequential = render(1);
+        assert_eq!(render(2), sequential);
+        assert_eq!(render(5), sequential);
+    }
+
+    #[test]
+    fn script_mode_counts_match_with_and_without_pruning() {
+        let (reg, mem) = build_world(|b| DetectableRegister::new(b, 2, 0));
+        let script = [
+            (Pid::new(0), OpSpec::Write(1)),
+            (Pid::new(1), OpSpec::Read),
+            (Pid::new(0), OpSpec::Write(2)),
+        ];
+        let a = explore(
+            &reg,
+            &mem,
+            Workload::Script(&script),
+            &ExploreConfig {
+                max_crashes: 2,
+                ..Default::default()
+            },
+        );
+        let b = explore(
+            &reg,
+            &mem,
+            Workload::Script(&script),
+            &ExploreConfig {
+                max_crashes: 2,
+                prune: false,
+                ..Default::default()
+            },
+        );
+        a.assert_clean();
+        b.assert_clean();
+        assert_eq!(a.leaves, b.leaves);
     }
 }

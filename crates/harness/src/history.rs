@@ -8,7 +8,7 @@ use detectable::OpSpec;
 use nvm::{Pid, Word, RESP_FAIL};
 
 /// One event of an execution, in global time order.
-#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Event {
     /// Process `pid` invoked `op` (the caller protocol ran just before).
     Invoke {
@@ -122,7 +122,10 @@ impl History {
 
     /// Number of crashes recorded.
     pub fn crash_count(&self) -> usize {
-        self.events.iter().filter(|e| matches!(e, Event::Crash)).count()
+        self.events
+            .iter()
+            .filter(|e| matches!(e, Event::Crash))
+            .count()
     }
 
     /// Compiles the event list into per-operation records.
@@ -212,7 +215,10 @@ mod tests {
     fn records_from_plain_history() {
         let mut h = History::new();
         let p = Pid::new(0);
-        h.push(Event::Invoke { pid: p, op: OpSpec::Write(1) });
+        h.push(Event::Invoke {
+            pid: p,
+            op: OpSpec::Write(1),
+        });
         h.push(Event::Return { pid: p, resp: ACK });
         let r = h.to_records();
         assert_eq!(r.len(), 1);
@@ -225,10 +231,19 @@ mod tests {
         let mut h = History::new();
         let p = Pid::new(0);
         let q = Pid::new(1);
-        h.push(Event::Invoke { pid: p, op: OpSpec::Write(1) });
-        h.push(Event::Invoke { pid: q, op: OpSpec::Read });
+        h.push(Event::Invoke {
+            pid: p,
+            op: OpSpec::Write(1),
+        });
+        h.push(Event::Invoke {
+            pid: q,
+            op: OpSpec::Read,
+        });
         h.push(Event::Crash);
-        h.push(Event::RecoveryReturn { pid: p, verdict: RESP_FAIL });
+        h.push(Event::RecoveryReturn {
+            pid: p,
+            verdict: RESP_FAIL,
+        });
         h.push(Event::RecoveryReturn { pid: q, verdict: 0 });
         let r = h.to_records();
         assert_eq!(r[0].outcome, Outcome::RecoveredFail);
@@ -239,7 +254,10 @@ mod tests {
     #[test]
     fn pending_ops_stay_pending() {
         let mut h = History::new();
-        h.push(Event::Invoke { pid: Pid::new(0), op: OpSpec::Read });
+        h.push(Event::Invoke {
+            pid: Pid::new(0),
+            op: OpSpec::Read,
+        });
         let r = h.to_records();
         assert_eq!(r[0].outcome, Outcome::Pending);
         assert_eq!(r[0].resolved_at, usize::MAX);
@@ -249,9 +267,15 @@ mod tests {
     fn precedence() {
         let mut h = History::new();
         let p = Pid::new(0);
-        h.push(Event::Invoke { pid: p, op: OpSpec::Write(1) });
+        h.push(Event::Invoke {
+            pid: p,
+            op: OpSpec::Write(1),
+        });
         h.push(Event::Return { pid: p, resp: ACK });
-        h.push(Event::Invoke { pid: p, op: OpSpec::Write(2) });
+        h.push(Event::Invoke {
+            pid: p,
+            op: OpSpec::Write(2),
+        });
         h.push(Event::Return { pid: p, resp: ACK });
         let r = h.to_records();
         assert!(r[0].precedes(&r[1]));
@@ -263,8 +287,14 @@ mod tests {
     fn double_invoke_panics() {
         let mut h = History::new();
         let p = Pid::new(0);
-        h.push(Event::Invoke { pid: p, op: OpSpec::Read });
-        h.push(Event::Invoke { pid: p, op: OpSpec::Read });
+        h.push(Event::Invoke {
+            pid: p,
+            op: OpSpec::Read,
+        });
+        h.push(Event::Invoke {
+            pid: p,
+            op: OpSpec::Read,
+        });
         let _ = h.to_records();
     }
 
@@ -274,17 +304,32 @@ mod tests {
         let p = Pid::new(0);
         let q = Pid::new(1);
         // p: normal return — stays Completed even in relaxed mode.
-        h.push(Event::Invoke { pid: p, op: OpSpec::Write(1) });
+        h.push(Event::Invoke {
+            pid: p,
+            op: OpSpec::Write(1),
+        });
         h.push(Event::Return { pid: p, resp: ACK });
         // q: crashed, recovery said fail — becomes Unresolved.
-        h.push(Event::Invoke { pid: q, op: OpSpec::Write(2) });
+        h.push(Event::Invoke {
+            pid: q,
+            op: OpSpec::Write(2),
+        });
         h.push(Event::Crash);
-        h.push(Event::RecoveryReturn { pid: q, verdict: RESP_FAIL });
+        h.push(Event::RecoveryReturn {
+            pid: q,
+            verdict: RESP_FAIL,
+        });
         // p again: crashed, recovery claimed a response — also Unresolved
         // (non-detectable verdicts are not trusted either way).
-        h.push(Event::Invoke { pid: p, op: OpSpec::Write(3) });
+        h.push(Event::Invoke {
+            pid: p,
+            op: OpSpec::Write(3),
+        });
         h.push(Event::Crash);
-        h.push(Event::RecoveryReturn { pid: p, verdict: ACK });
+        h.push(Event::RecoveryReturn {
+            pid: p,
+            verdict: ACK,
+        });
 
         let r = h.to_records_relaxed();
         assert_eq!(r[0].outcome, Outcome::Completed(ACK));
@@ -298,7 +343,10 @@ mod tests {
     #[test]
     fn relaxed_records_keep_pending_pending() {
         let mut h = History::new();
-        h.push(Event::Invoke { pid: Pid::new(0), op: OpSpec::Read });
+        h.push(Event::Invoke {
+            pid: Pid::new(0),
+            op: OpSpec::Read,
+        });
         let r = h.to_records_relaxed();
         assert_eq!(r[0].outcome, Outcome::Pending);
     }
@@ -306,9 +354,15 @@ mod tests {
     #[test]
     fn display_is_readable() {
         let mut h = History::new();
-        h.push(Event::Invoke { pid: Pid::new(0), op: OpSpec::Write(3) });
+        h.push(Event::Invoke {
+            pid: Pid::new(0),
+            op: OpSpec::Write(3),
+        });
         h.push(Event::Crash);
-        h.push(Event::RecoveryReturn { pid: Pid::new(0), verdict: RESP_FAIL });
+        h.push(Event::RecoveryReturn {
+            pid: Pid::new(0),
+            verdict: RESP_FAIL,
+        });
         let s = h.to_string();
         assert!(s.contains("p0 invokes Write(3)"));
         assert!(s.contains("CRASH"));

@@ -9,6 +9,9 @@
 //!   recovery verdicts);
 //! * [`linearize`] — the durable-linearizability + detectability checker
 //!   (Wing–Gong search adapted to the crash-recovery model);
+//! * [`driver`] — the shared execution driver: announcement protocol,
+//!   machine stepping, crash demotion, recovery re-entry and fail-retry
+//!   budgeting, used by every component below;
 //! * [`sim`] — seeded randomized simulator with crash injection at
 //!   primitive-step granularity and asynchronous per-process recovery;
 //! * [`explore`](mod@explore) — exhaustive interleaving + crash-point exploration for
@@ -27,6 +30,7 @@
 
 pub mod aux_state;
 pub mod census;
+pub mod driver;
 pub mod explore;
 pub mod history;
 pub mod linearize;
@@ -36,9 +40,12 @@ pub mod spec;
 
 pub use aux_state::{probe_aux_state, theorem2_script};
 pub use census::{census_bfs, census_drive, gray_code_cas_ops, BfsConfig, CensusReport};
+pub use driver::{op_key, Driver, ProcState, RetryPolicy, StepOutcome};
 pub use explore::{explore, ExploreConfig, ExploreOutcome, Workload};
 pub use history::{Event, History, OpRecord, Outcome};
 pub use linearize::{check_history, check_records, Violation, MAX_CHECKED_OPS};
-pub use perturb::{default_alphabet, find_doubly_perturbing_witness, PerturbWitness};
+pub use perturb::{
+    default_alphabet, find_doubly_perturbing_witness, validate_witness_on_impl, PerturbWitness,
+};
 pub use sim::{build_world, build_world_mode, run_sim, SimConfig, SimReport};
 pub use spec::{spec_apply, spec_init, spec_run, SpecState};

@@ -56,7 +56,11 @@ impl std::fmt::Display for Violation {
                 r.op,
                 r.outcome,
                 r.invoked_at,
-                if r.resolved_at == usize::MAX { -1 } else { r.resolved_at as i64 }
+                if r.resolved_at == usize::MAX {
+                    -1
+                } else {
+                    r.resolved_at as i64
+                }
             )?;
         }
         if !self.rendered.is_empty() {
@@ -221,15 +225,24 @@ mod tests {
     }
 
     fn inv(p: u32, op: OpSpec) -> Event {
-        Event::Invoke { pid: Pid::new(p), op }
+        Event::Invoke {
+            pid: Pid::new(p),
+            op,
+        }
     }
 
     fn ret(p: u32, resp: Word) -> Event {
-        Event::Return { pid: Pid::new(p), resp }
+        Event::Return {
+            pid: Pid::new(p),
+            resp,
+        }
     }
 
     fn rec(p: u32, verdict: Word) -> Event {
-        Event::RecoveryReturn { pid: Pid::new(p), verdict }
+        Event::RecoveryReturn {
+            pid: Pid::new(p),
+            verdict,
+        }
     }
 
     #[test]
@@ -417,7 +430,12 @@ mod tests {
 
     #[test]
     fn violation_display_mentions_ops() {
-        let hist = h(vec![inv(0, OpSpec::Write(5)), ret(0, ACK), inv(1, OpSpec::Read), ret(1, 9)]);
+        let hist = h(vec![
+            inv(0, OpSpec::Write(5)),
+            ret(0, ACK),
+            inv(1, OpSpec::Read),
+            ret(1, 9),
+        ]);
         let err = check_history(ObjectKind::Register, &hist).unwrap_err();
         let text = err.to_string();
         assert!(text.contains("Read"));
@@ -432,7 +450,13 @@ mod tests {
     use crate::history::OpRecord;
 
     fn rec_of(pid: u32, op: OpSpec, outcome: Outcome, iv: usize, rv: usize) -> OpRecord {
-        OpRecord { pid: Pid::new(pid), op, outcome, invoked_at: iv, resolved_at: rv }
+        OpRecord {
+            pid: Pid::new(pid),
+            op,
+            outcome,
+            invoked_at: iv,
+            resolved_at: rv,
+        }
     }
 
     #[test]
@@ -472,11 +496,16 @@ mod tests {
         for (resp, read_val) in [(TRUE, 2u64), (FALSE, 1u64)] {
             let records = [
                 rec_of(0, OpSpec::Cas { old: 0, new: 1 }, Outcome::Unresolved, 0, 1),
-                rec_of(1, OpSpec::Cas { old: 0, new: 2 }, Outcome::Completed(resp), 2, 3),
+                rec_of(
+                    1,
+                    OpSpec::Cas { old: 0, new: 2 },
+                    Outcome::Completed(resp),
+                    2,
+                    3,
+                ),
                 rec_of(1, OpSpec::Read, Outcome::Completed(read_val), 4, 5),
             ];
-            check_records(ObjectKind::Cas, &records)
-                .unwrap_or_else(|v| panic!("resp={resp}: {v}"));
+            check_records(ObjectKind::Cas, &records).unwrap_or_else(|v| panic!("resp={resp}: {v}"));
         }
     }
 }

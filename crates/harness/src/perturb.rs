@@ -16,8 +16,10 @@
 //! bounded space finds no witness). The specs are process-oblivious, so
 //! "a different process" and "p-free" reduce to op-sequence conditions.
 
-use detectable::{ObjectKind, OpSpec};
+use detectable::{ObjectKind, OpSpec, RecoverableObject};
+use nvm::SimMemory;
 
+use crate::driver::Driver;
 use crate::spec::{spec_apply, spec_run};
 
 /// A found witness (the paper's Definition 3 instantiated).
@@ -120,6 +122,71 @@ pub fn find_doubly_perturbing_witness(
     None
 }
 
+/// Confirms a spec-level [`PerturbWitness`] against a real implementation:
+/// replays the witness's histories on `obj` through the shared
+/// [`Driver`] (solo, crash-free) and checks that both perturbation
+/// conditions hold for the *implementation's* responses, not just the
+/// specification's.
+///
+/// Branching between "with `Opp`" and "without `Opp`" runs uses the
+/// memory's undo-log [`checkpoint`](SimMemory::checkpoint) /
+/// [`rollback`](SimMemory::rollback), so the whole validation runs on one
+/// world. The memory is left exactly as it was on entry.
+///
+/// Process roles: process 0 plays the perturber `p` (it alone executes
+/// `Opp`), process 1 plays the observer (`H1`, `Op′`, the p-free
+/// extension, and `Opq`) — so `obj` needs at least two processes.
+///
+/// # Panics
+///
+/// Panics if `obj` has fewer than two processes, or if any solo operation
+/// fails to terminate (the paper's algorithms are wait-free).
+pub fn validate_witness_on_impl(
+    w: &PerturbWitness,
+    obj: &dyn RecoverableObject,
+    mem: &SimMemory,
+) -> bool {
+    assert!(
+        obj.processes() >= 2,
+        "perturbation needs a perturber and an observer"
+    );
+    const LIMIT: usize = 1_000_000;
+    let outer = mem.checkpoint();
+    let mut d = Driver::for_object(obj);
+    // Replay H1 (observer process).
+    for op in &w.h1 {
+        d.run_solo(obj, mem, 1, *op, LIMIT);
+    }
+    // Condition 1: Opp changes Op′'s response after H1.
+    let cp = mem.checkpoint();
+    d.run_solo(obj, mem, 0, w.opp, LIMIT);
+    let with_opp = d.run_solo(obj, mem, 1, w.op_prime, LIMIT);
+    mem.rollback(cp);
+    let cp = mem.checkpoint();
+    let without_opp = d.run_solo(obj, mem, 1, w.op_prime, LIMIT);
+    mem.rollback(cp);
+    let condition1 = with_opp != without_opp;
+    let condition2 = condition1 && {
+        // Rebuild H2 = H1 ∘ Opp ∘ Op′ ∘ extension…
+        d.run_solo(obj, mem, 0, w.opp, LIMIT);
+        d.run_solo(obj, mem, 1, w.op_prime, LIMIT);
+        for op in &w.extension {
+            d.run_solo(obj, mem, 1, *op, LIMIT);
+        }
+        // …after which a second Opp must change Opq's response.
+        let cp = mem.checkpoint();
+        d.run_solo(obj, mem, 0, w.opp, LIMIT);
+        let with_opp = d.run_solo(obj, mem, 1, w.opq, LIMIT);
+        mem.rollback(cp);
+        let cp = mem.checkpoint();
+        let without_opp = d.run_solo(obj, mem, 1, w.opq, LIMIT);
+        mem.rollback(cp);
+        with_opp != without_opp
+    };
+    mem.rollback(outer);
+    condition1 && condition2
+}
+
 /// The standard search alphabet for each object kind (small argument
 /// domains, as in the paper's lemma proofs).
 pub fn default_alphabet(kind: ObjectKind) -> Vec<OpSpec> {
@@ -206,9 +273,19 @@ mod tests {
     fn paper_witness_for_register_validates() {
         // Lemma 3's explicit witness: writep(v1) with H1 = ε, Op′ = readq,
         // extension writeq(v0).
-        assert!(perturbs_after(ObjectKind::Register, &[], &OpSpec::Write(1), &OpSpec::Read));
+        assert!(perturbs_after(
+            ObjectKind::Register,
+            &[],
+            &OpSpec::Write(1),
+            &OpSpec::Read
+        ));
         let h2 = [OpSpec::Write(1), OpSpec::Read, OpSpec::Write(0)];
-        assert!(perturbs_after(ObjectKind::Register, &h2, &OpSpec::Write(1), &OpSpec::Read));
+        assert!(perturbs_after(
+            ObjectKind::Register,
+            &h2,
+            &OpSpec::Write(1),
+            &OpSpec::Read
+        ));
     }
 
     #[test]
@@ -216,7 +293,12 @@ mod tests {
         // The Lemma 4 argument, checked directly: after WriteMax(v) is
         // applied, a second WriteMax(v) cannot change any response.
         let h = [OpSpec::WriteMax(2), OpSpec::Read];
-        assert!(!perturbs_after(ObjectKind::MaxRegister, &h, &OpSpec::WriteMax(2), &OpSpec::Read));
+        assert!(!perturbs_after(
+            ObjectKind::MaxRegister,
+            &h,
+            &OpSpec::WriteMax(2),
+            &OpSpec::Read
+        ));
     }
 
     #[test]
@@ -224,5 +306,48 @@ mod tests {
         let a = [OpSpec::Read, OpSpec::Inc];
         // lengths 0,1,2: 1 + 2 + 4 = 7.
         assert_eq!(sequences(&a, 2).len(), 7);
+    }
+
+    #[test]
+    fn spec_witnesses_validate_on_the_real_algorithms() {
+        use crate::sim::build_world;
+
+        let w = witness(ObjectKind::Register).expect("Lemma 3");
+        let (reg, mem) = build_world(|b| detectable::DetectableRegister::new(b, 2, 0));
+        assert!(validate_witness_on_impl(&w, &reg, &mem));
+
+        let w = witness(ObjectKind::Cas).expect("Lemma 6");
+        let (cas, mem) = build_world(|b| detectable::DetectableCas::new(b, 2, 0));
+        assert!(validate_witness_on_impl(&w, &cas, &mem));
+
+        let w = witness(ObjectKind::Counter).expect("Lemma 5");
+        let (ctr, mem) = build_world(|b| detectable::DetectableCounter::new(b, 2));
+        assert!(validate_witness_on_impl(&w, &ctr, &mem));
+    }
+
+    #[test]
+    fn fabricated_witness_fails_on_the_max_register() {
+        // Lemma 4 in executable form: no WriteMax can be doubly-perturbing
+        // on the real Algorithm 3 either.
+        use crate::sim::build_world;
+        let fake = PerturbWitness {
+            opp: OpSpec::WriteMax(2),
+            h1: vec![OpSpec::WriteMax(2), OpSpec::Read],
+            op_prime: OpSpec::Read,
+            extension: vec![],
+            opq: OpSpec::Read,
+        };
+        let (mr, mem) = build_world(|b| detectable::MaxRegister::new(b, 2));
+        assert!(!validate_witness_on_impl(&fake, &mr, &mem));
+    }
+
+    #[test]
+    fn validation_leaves_the_memory_untouched() {
+        use crate::sim::build_world;
+        let w = witness(ObjectKind::Register).expect("Lemma 3");
+        let (reg, mem) = build_world(|b| detectable::DetectableRegister::new(b, 2, 0));
+        let before = mem.snapshot();
+        let _ = validate_witness_on_impl(&w, &reg, &mem);
+        assert_eq!(mem.snapshot(), before);
     }
 }

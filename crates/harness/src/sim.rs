@@ -6,18 +6,19 @@
 //! may itself crash and be re-entered), and recording the full [`History`]
 //! for the checker.
 //!
-//! The driver plays the role of the *system and caller* from Section 2: it
-//! executes the announcement protocol before each invocation, remembers
-//! which operation each process was executing (the `Ann_p.op` field), and
-//! decides — per [`SimConfig::retry_on_fail`] — whether to re-invoke
-//! operations whose recovery returned `fail`.
+//! The scheduler here only decides *what happens next* — which process
+//! steps, when crashes strike, and what each process's next operation is.
+//! The operation life cycle itself (announcement protocol, recovery
+//! re-entry, fail-retry budgeting per [`SimConfig::retry_on_fail`], history
+//! recording) lives in the shared [`crate::driver::Driver`].
 
 use detectable::{OpSpec, RecoverableObject};
-use nvm::{CacheMode, CrashPolicy, LayoutBuilder, Machine, Pid, Poll, SimMemory, RESP_FAIL};
+use nvm::{CacheMode, CrashPolicy, LayoutBuilder, Pid, SimMemory};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::history::{Event, History};
+use crate::driver::{Driver, RetryPolicy};
+use crate::history::History;
 
 /// Configuration of one simulation run.
 #[derive(Clone, Debug)]
@@ -71,14 +72,6 @@ pub struct SimReport {
     pub steps: usize,
 }
 
-enum ProcState {
-    Idle,
-    Running { op: OpSpec, m: Box<dyn Machine> },
-    NeedRecovery { op: OpSpec },
-    Recovering { op: OpSpec, m: Box<dyn Machine> },
-    Done,
-}
-
 /// Builds a `(object, memory)` world in one call.
 ///
 /// # Example
@@ -118,101 +111,57 @@ pub fn run_sim(
     cfg: &SimConfig,
     mut workload: impl FnMut(Pid, usize) -> OpSpec,
 ) -> SimReport {
-    let n = obj.processes();
+    let n = obj.processes() as usize;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut history = History::new();
-    let mut states: Vec<ProcState> = (0..n).map(|_| ProcState::Idle).collect();
-    let mut next_op: Vec<usize> = vec![0; n as usize];
-    let mut retries: Vec<usize> = vec![0; n as usize];
+    let mut driver = Driver::for_object(obj);
+    let retry = RetryPolicy {
+        retry_on_fail: cfg.retry_on_fail,
+        max_retries: cfg.max_retries,
+        reset_per_op: true, // the budget refills at each fresh operation
+    };
+    let mut next_op: Vec<usize> = vec![0; n];
     let mut crashes = 0u64;
     let mut resolved = 0usize;
     let mut steps = 0usize;
 
-    let all_done = |states: &[ProcState]| states.iter().all(|s| matches!(s, ProcState::Done));
-
-    while !all_done(&states) {
+    while !driver.all_done() {
         steps += 1;
-        assert!(steps <= cfg.max_steps, "simulation exceeded {} steps", cfg.max_steps);
+        assert!(
+            steps <= cfg.max_steps,
+            "simulation exceeded {} steps",
+            cfg.max_steps
+        );
 
         // A crash is a global scheduler event.
         if cfg.crash_prob > 0.0 && rng.gen_bool(cfg.crash_prob) {
             crashes += 1;
-            mem.crash(cfg.crash_policy);
-            history.push(Event::Crash);
-            for st in states.iter_mut() {
-                let cur = std::mem::replace(st, ProcState::Idle);
-                *st = match cur {
-                    ProcState::Running { op, m } => {
-                        drop(m); // volatile state lost
-                        ProcState::NeedRecovery { op }
-                    }
-                    ProcState::Recovering { op, m } => {
-                        drop(m); // recovery itself crashed; re-enter it
-                        ProcState::NeedRecovery { op }
-                    }
-                    other => other,
-                };
-            }
+            driver.crash(mem, cfg.crash_policy);
             continue;
         }
 
         // Pick a runnable process uniformly.
-        let runnable: Vec<usize> = states
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| !matches!(s, ProcState::Done))
-            .map(|(i, _)| i)
-            .collect();
+        let runnable: Vec<usize> = (0..n).filter(|&i| !driver.state(i).is_done()).collect();
         let i = runnable[rng.gen_range(0..runnable.len())];
-        let pid = Pid::new(i as u32);
 
-        let cur = std::mem::replace(&mut states[i], ProcState::Idle);
-        states[i] = match cur {
-            ProcState::Idle => {
-                if next_op[i] >= cfg.ops_per_process {
-                    ProcState::Done
-                } else {
-                    let op = workload(pid, next_op[i]);
-                    next_op[i] += 1;
-                    retries[i] = 0;
-                    obj.prepare(mem, pid, &op);
-                    history.push(Event::Invoke { pid, op });
-                    ProcState::Running { op, m: obj.invoke(pid, &op) }
-                }
+        if driver.state(i).is_idle() {
+            if next_op[i] >= cfg.ops_per_process {
+                driver.mark_done(i);
+            } else {
+                let op = workload(Pid::new(i as u32), next_op[i]);
+                next_op[i] += 1;
+                driver.invoke(obj, mem, i, op, &retry);
             }
-            ProcState::Running { op, mut m } => match m.step(mem) {
-                Poll::Ready(resp) => {
-                    history.push(Event::Return { pid, resp });
-                    resolved += 1;
-                    ProcState::Idle
-                }
-                Poll::Pending => ProcState::Running { op, m },
-            },
-            ProcState::NeedRecovery { op } => {
-                ProcState::Recovering { m: obj.recover(pid, &op), op }
-            }
-            ProcState::Recovering { op, mut m } => match m.step(mem) {
-                Poll::Ready(verdict) => {
-                    history.push(Event::RecoveryReturn { pid, verdict });
-                    resolved += 1;
-                    if verdict == RESP_FAIL && cfg.retry_on_fail && retries[i] < cfg.max_retries {
-                        // The caller chooses to re-attempt: a fresh
-                        // invocation of the same abstract operation.
-                        retries[i] += 1;
-                        obj.prepare(mem, pid, &op);
-                        history.push(Event::Invoke { pid, op });
-                        ProcState::Running { m: obj.invoke(pid, &op), op }
-                    } else {
-                        ProcState::Idle
-                    }
-                }
-                Poll::Pending => ProcState::Recovering { op, m },
-            },
-            ProcState::Done => ProcState::Done,
-        };
+        } else if driver.step(obj, mem, i, &retry).resolved() {
+            resolved += 1;
+        }
     }
 
-    SimReport { history, crashes, resolved_ops: resolved, steps }
+    SimReport {
+        history: driver.into_history(),
+        crashes,
+        resolved_ops: resolved,
+        steps,
+    }
 }
 
 #[cfg(test)]
@@ -222,7 +171,7 @@ mod tests {
     use detectable::{DetectableCas, DetectableRegister, ObjectKind};
 
     fn reg_workload(pid: Pid, i: usize) -> OpSpec {
-        if (pid.idx() + i) % 2 == 0 {
+        if (pid.idx() + i).is_multiple_of(2) {
             OpSpec::Write((pid.idx() * 10 + i) as u32 + 1)
         } else {
             OpSpec::Read
@@ -233,7 +182,11 @@ mod tests {
     fn crash_free_register_runs_linearize() {
         for seed in 0..20 {
             let (reg, mem) = build_world(|b| DetectableRegister::new(b, 3, 0));
-            let cfg = SimConfig { seed, ops_per_process: 3, ..SimConfig::default() };
+            let cfg = SimConfig {
+                seed,
+                ops_per_process: 3,
+                ..SimConfig::default()
+            };
             let report = run_sim(&reg, &mem, &cfg, reg_workload);
             assert_eq!(report.crashes, 0);
             check_history(ObjectKind::Register, &report.history)
@@ -280,7 +233,12 @@ mod tests {
     fn deterministic_for_equal_seeds() {
         let run = |seed| {
             let (reg, mem) = build_world(|b| DetectableRegister::new(b, 2, 0));
-            let cfg = SimConfig { seed, ops_per_process: 2, crash_prob: 0.1, ..Default::default() };
+            let cfg = SimConfig {
+                seed,
+                ops_per_process: 2,
+                crash_prob: 0.1,
+                ..Default::default()
+            };
             run_sim(&reg, &mem, &cfg, reg_workload).history.to_string()
         };
         assert_eq!(run(7), run(7));

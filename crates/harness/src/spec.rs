@@ -94,9 +94,7 @@ pub fn spec_apply(kind: ObjectKind, state: &SpecState, op: &OpSpec) -> Option<(S
         (ObjectKind::Tas, SpecState::Bit(b), OpSpec::TestAndSet) => {
             Some((SpecState::Bit(true), u64::from(*b)))
         }
-        (ObjectKind::Tas, SpecState::Bit(_), OpSpec::Reset) => {
-            Some((SpecState::Bit(false), ACK))
-        }
+        (ObjectKind::Tas, SpecState::Bit(_), OpSpec::Reset) => Some((SpecState::Bit(false), ACK)),
 
         (ObjectKind::Queue, SpecState::Queue(q), OpSpec::Enq(v)) => {
             let mut q = q.clone();
@@ -164,7 +162,11 @@ mod tests {
 
     #[test]
     fn counter_and_faa_spec() {
-        let (_, r) = spec_run(ObjectKind::Counter, &[OpSpec::Inc, OpSpec::Inc, OpSpec::Read]).unwrap();
+        let (_, r) = spec_run(
+            ObjectKind::Counter,
+            &[OpSpec::Inc, OpSpec::Inc, OpSpec::Read],
+        )
+        .unwrap();
         assert_eq!(r[2], 2);
         let (_, r) = spec_run(ObjectKind::Faa, &[OpSpec::Faa(4), OpSpec::Faa(3)]).unwrap();
         assert_eq!(r, vec![0, 4]);
@@ -174,7 +176,12 @@ mod tests {
     fn tas_spec() {
         let (_, r) = spec_run(
             ObjectKind::Tas,
-            &[OpSpec::TestAndSet, OpSpec::TestAndSet, OpSpec::Reset, OpSpec::TestAndSet],
+            &[
+                OpSpec::TestAndSet,
+                OpSpec::TestAndSet,
+                OpSpec::Reset,
+                OpSpec::TestAndSet,
+            ],
         )
         .unwrap();
         assert_eq!(r, vec![0, 1, ACK, 0]);
@@ -184,7 +191,13 @@ mod tests {
     fn queue_spec() {
         let (_, r) = spec_run(
             ObjectKind::Queue,
-            &[OpSpec::Enq(7), OpSpec::Enq(8), OpSpec::Deq, OpSpec::Deq, OpSpec::Deq],
+            &[
+                OpSpec::Enq(7),
+                OpSpec::Enq(8),
+                OpSpec::Deq,
+                OpSpec::Deq,
+                OpSpec::Deq,
+            ],
         )
         .unwrap();
         assert_eq!(r, vec![ACK, ACK, 7, 8, EMPTY]);

@@ -127,8 +127,14 @@ mod tests {
     #[test]
     fn ann_cells_are_private() {
         let (mem, ann) = setup();
-        assert_eq!(mem.layout().owner_of(ann.resp_loc(Pid::new(2))), Some(Pid::new(2)));
-        assert_eq!(mem.layout().owner_of(ann.cp_loc(Pid::new(0))), Some(Pid::new(0)));
+        assert_eq!(
+            mem.layout().owner_of(ann.resp_loc(Pid::new(2))),
+            Some(Pid::new(2))
+        );
+        assert_eq!(
+            mem.layout().owner_of(ann.cp_loc(Pid::new(0))),
+            Some(Pid::new(0))
+        );
     }
 
     #[test]

@@ -131,7 +131,7 @@ impl LayoutBuilder {
     fn alloc(&mut self, name: String, space: Space, words: u32, bits_per_word: u32) -> Loc {
         assert!(words > 0, "empty region {name}");
         assert!(
-            bits_per_word >= 1 && bits_per_word <= 64,
+            (1..=64).contains(&bits_per_word),
             "region {name}: bits_per_word must be in 1..=64"
         );
         let base = Loc(self.next);
@@ -157,7 +157,12 @@ impl LayoutBuilder {
 
     /// Allocates a private region owned by `pid`.
     pub fn private(&mut self, pid: Pid, name: &str, words: u32, bits_per_word: u32) -> Loc {
-        self.alloc(format!("{name}[{pid}]"), Space::Private(pid), words, bits_per_word)
+        self.alloc(
+            format!("{name}[{pid}]"),
+            Space::Private(pid),
+            words,
+            bits_per_word,
+        )
     }
 
     /// Allocates one private region of `words_per` cells for each of `n`

@@ -59,6 +59,8 @@ pub mod word;
 pub use ann::AnnBank;
 pub use layout::{Layout, LayoutBuilder, Loc, Region, Space};
 pub use machine::{run_to_completion, Machine, Poll, StepLimitError};
-pub use memory::{AtomicMemory, CacheMode, CrashPolicy, MemSnapshot, Memory, SimMemory};
+pub use memory::{
+    AtomicMemory, CacheMode, Checkpoint, CrashPolicy, MemSnapshot, Memory, SimMemory,
+};
 pub use stats::Stats;
 pub use word::{Field, FieldBuilder, Pid, Word, ACK, FALSE, RESP_FAIL, RESP_NONE, TRUE};

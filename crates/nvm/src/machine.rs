@@ -197,7 +197,11 @@ mod tests {
     #[test]
     fn run_to_completion_finishes() {
         let (mem, x) = setup();
-        let mut m = Incr { pid: Pid::new(0), loc: x, left: 3 };
+        let mut m = Incr {
+            pid: Pid::new(0),
+            loc: x,
+            left: 3,
+        };
         assert_eq!(run_to_completion(&mut m, &mem, 100).unwrap(), 1);
         assert_eq!(mem.peek(x), 3);
     }
@@ -205,7 +209,11 @@ mod tests {
     #[test]
     fn run_to_completion_respects_limit() {
         let (mem, x) = setup();
-        let mut m = Incr { pid: Pid::new(0), loc: x, left: 50 };
+        let mut m = Incr {
+            pid: Pid::new(0),
+            loc: x,
+            left: 50,
+        };
         let err = run_to_completion(&mut m, &mem, 10).unwrap_err();
         assert_eq!(err.limit, 10);
         assert_eq!(err.to_string(), "machine did not complete within 10 steps");
@@ -214,7 +222,11 @@ mod tests {
     #[test]
     fn cloned_machine_is_independent() {
         let (mem, x) = setup();
-        let mut m = Incr { pid: Pid::new(0), loc: x, left: 2 };
+        let mut m = Incr {
+            pid: Pid::new(0),
+            loc: x,
+            left: 2,
+        };
         let _ = m.step(&mem);
         let mut copy = m.clone_box();
         assert_eq!(copy.encode(), m.encode());
@@ -227,10 +239,14 @@ mod tests {
     #[test]
     fn dropping_a_machine_models_a_crash() {
         let (mem, x) = setup();
-        let mut m = Incr { pid: Pid::new(0), loc: x, left: 5 };
+        let mut m = Incr {
+            pid: Pid::new(0),
+            loc: x,
+            left: 5,
+        };
         let _ = m.step(&mem);
         let _ = m.step(&mem);
-        drop(m); // crash: local state gone, NVM retains partial effects
+        let _ = m; // crash: local state gone, NVM retains partial effects
         assert_eq!(mem.peek(x), 2);
     }
 

@@ -4,8 +4,10 @@
 //! Each call is one *primitive operation* in the sense of the paper's model —
 //! the unit of atomicity, and the granularity at which crashes are injected.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
+use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -64,11 +66,41 @@ pub enum CrashPolicy {
 }
 
 /// A restorable copy of the full simulated memory state.
+///
+/// Snapshots are full copies: capture and restore cost O(memory size). The
+/// breadth-first census uses them because it revisits states in arbitrary
+/// order. Depth-first exploration should prefer the cheaper LIFO
+/// [`SimMemory::checkpoint`] / [`SimMemory::rollback`] pair, whose cost is
+/// O(writes since the checkpoint).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct MemSnapshot {
     nvm: Vec<Word>,
     cache: BTreeMap<u32, Word>,
     crashes: u64,
+}
+
+/// A lightweight undo-log mark produced by [`SimMemory::checkpoint`].
+///
+/// Checkpoints are strictly nested (LIFO): roll back the most recent one
+/// first. [`SimMemory::rollback`] asserts the discipline.
+#[derive(Debug)]
+#[must_use = "a checkpoint keeps the undo journal alive until rolled back or discarded"]
+pub struct Checkpoint {
+    mark: usize,
+    depth: usize,
+}
+
+/// One reversible mutation in the undo journal.
+#[derive(Debug)]
+enum UndoEntry {
+    /// `nvm[idx]` held `old` before the mutation.
+    Nvm { idx: u32, old: Word },
+    /// The cache entry for `idx` was `old` (`None` = absent) before.
+    Cache { idx: u32, old: Option<Word> },
+    /// The crash counter held `old` before.
+    Crashes { old: u64 },
+    /// Fallback for whole-state mutations (`restore` under journaling).
+    Full(Box<MemSnapshot>),
 }
 
 /// Deterministic single-threaded simulated NVM.
@@ -104,7 +136,9 @@ pub struct SimMemory {
     stats: RefCell<Stats>,
     crashes: RefCell<u64>,
     check_ownership: bool,
-    touched_shared: std::cell::Cell<bool>,
+    touched_shared: Cell<bool>,
+    journal: RefCell<Vec<UndoEntry>>,
+    journal_depth: Cell<usize>,
 }
 
 impl SimMemory {
@@ -124,7 +158,27 @@ impl SimMemory {
             stats: RefCell::new(Stats::default()),
             crashes: RefCell::new(0),
             check_ownership: true,
-            touched_shared: std::cell::Cell::new(false),
+            touched_shared: Cell::new(false),
+            journal: RefCell::new(Vec::new()),
+            journal_depth: Cell::new(0),
+        }
+    }
+
+    /// An independent copy of this memory's current logical state (layout
+    /// shared, NVM/cache/crash-counter cloned, statistics and journal
+    /// fresh). The parallel explorer gives each worker thread its own fork.
+    pub fn fork(&self) -> SimMemory {
+        SimMemory {
+            layout: Arc::clone(&self.layout),
+            nvm: RefCell::new(self.nvm.borrow().clone()),
+            cache: RefCell::new(self.cache.borrow().clone()),
+            mode: self.mode,
+            stats: RefCell::new(Stats::default()),
+            crashes: RefCell::new(*self.crashes.borrow()),
+            check_ownership: self.check_ownership,
+            touched_shared: Cell::new(false),
+            journal: RefCell::new(Vec::new()),
+            journal_depth: Cell::new(0),
         }
     }
 
@@ -188,6 +242,8 @@ impl SimMemory {
     /// tests to fabricate states). In shared-cache mode the value is written
     /// through to NVM.
     pub fn poke(&self, loc: Loc, val: Word) {
+        self.log_cache(loc.index());
+        self.log_nvm(loc.index());
         self.cache.borrow_mut().remove(&(loc.index() as u32));
         self.nvm.borrow_mut()[loc.index()] = val;
     }
@@ -197,18 +253,33 @@ impl SimMemory {
     /// state of processes is *not* this type's concern — the driver drops the
     /// in-flight step machines.
     pub fn crash(&self, policy: CrashPolicy) {
+        let journaling = self.journaling();
         let mut cache = self.cache.borrow_mut();
         let mut nvm = self.nvm.borrow_mut();
         let ordinal = {
             let mut c = self.crashes.borrow_mut();
+            if journaling {
+                self.journal
+                    .borrow_mut()
+                    .push(UndoEntry::Crashes { old: *c });
+            }
             *c += 1;
             *c
+        };
+        let mut write_back = |journal: &RefCell<Vec<UndoEntry>>, i: u32, w: Word| {
+            if journaling {
+                journal.borrow_mut().push(UndoEntry::Nvm {
+                    idx: i,
+                    old: nvm[i as usize],
+                });
+            }
+            nvm[i as usize] = w;
         };
         match policy {
             CrashPolicy::DropAll => {}
             CrashPolicy::PersistAll => {
                 for (&i, &w) in cache.iter() {
-                    nvm[i as usize] = w;
+                    write_back(&self.journal, i, w);
                 }
             }
             CrashPolicy::RandomSubset(seed) => {
@@ -219,9 +290,18 @@ impl SimMemory {
                     state ^= state >> 7;
                     state ^= state << 17;
                     if state & 1 == 1 {
-                        nvm[i as usize] = w;
+                        write_back(&self.journal, i, w);
                     }
                 }
+            }
+        }
+        if journaling {
+            let mut journal = self.journal.borrow_mut();
+            for (&i, &w) in cache.iter() {
+                journal.push(UndoEntry::Cache {
+                    idx: i,
+                    old: Some(w),
+                });
             }
         }
         cache.clear();
@@ -231,6 +311,125 @@ impl SimMemory {
     /// Number of crashes simulated so far.
     pub fn crash_count(&self) -> u64 {
         *self.crashes.borrow()
+    }
+
+    // ── undo-log journaling ──────────────────────────────────────────────
+
+    fn journaling(&self) -> bool {
+        self.journal_depth.get() > 0
+    }
+
+    fn log_nvm(&self, idx: usize) {
+        if self.journaling() {
+            self.journal.borrow_mut().push(UndoEntry::Nvm {
+                idx: idx as u32,
+                old: self.nvm.borrow()[idx],
+            });
+        }
+    }
+
+    fn log_cache(&self, idx: usize) {
+        if self.journaling() {
+            self.journal.borrow_mut().push(UndoEntry::Cache {
+                idx: idx as u32,
+                old: self.cache.borrow().get(&(idx as u32)).copied(),
+            });
+        }
+    }
+
+    /// Opens an undo-log checkpoint: every subsequent mutation (including
+    /// crashes and nested `restore`s) is journaled until the matching
+    /// [`rollback`](Self::rollback). Cost: O(1) now, O(writes since the
+    /// checkpoint) to roll back — the cheap branch primitive for depth-first
+    /// state-space exploration, replacing full-copy [`snapshot`]s.
+    ///
+    /// Checkpoints nest LIFO; each must be rolled back (or leaked — see
+    /// [`discard`](Self::discard)) in reverse order of creation.
+    ///
+    /// [`snapshot`]: Self::snapshot
+    pub fn checkpoint(&self) -> Checkpoint {
+        let depth = self.journal_depth.get() + 1;
+        self.journal_depth.set(depth);
+        self.stats.borrow_mut().checkpoints += 1;
+        Checkpoint {
+            mark: self.journal.borrow().len(),
+            depth,
+        }
+    }
+
+    /// Rewinds every mutation journaled since `cp` was taken, consuming it.
+    /// Statistics are not rewound (matching [`restore`](Self::restore)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cp` is not the innermost live checkpoint (LIFO violation).
+    pub fn rollback(&self, cp: Checkpoint) {
+        assert_eq!(
+            cp.depth,
+            self.journal_depth.get(),
+            "checkpoint rollback out of LIFO order"
+        );
+        let mut journal = self.journal.borrow_mut();
+        let mut nvm = self.nvm.borrow_mut();
+        let mut cache = self.cache.borrow_mut();
+        while journal.len() > cp.mark {
+            match journal.pop().expect("journal length checked") {
+                UndoEntry::Nvm { idx, old } => nvm[idx as usize] = old,
+                UndoEntry::Cache { idx, old } => match old {
+                    Some(w) => {
+                        cache.insert(idx, w);
+                    }
+                    None => {
+                        cache.remove(&idx);
+                    }
+                },
+                UndoEntry::Crashes { old } => *self.crashes.borrow_mut() = old,
+                UndoEntry::Full(snap) => {
+                    nvm.clone_from(&snap.nvm);
+                    cache.clone_from(&snap.cache);
+                    *self.crashes.borrow_mut() = snap.crashes;
+                }
+            }
+        }
+        self.journal_depth.set(cp.depth - 1);
+        self.stats.borrow_mut().rollbacks += 1;
+    }
+
+    /// Closes `cp` without rewinding: the mutations made since it stand,
+    /// and its journal entries are absorbed by the enclosing checkpoint (or
+    /// dropped if it was outermost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cp` is not the innermost live checkpoint.
+    pub fn discard(&self, cp: Checkpoint) {
+        assert_eq!(
+            cp.depth,
+            self.journal_depth.get(),
+            "checkpoint discard out of LIFO order"
+        );
+        self.journal_depth.set(cp.depth - 1);
+        if cp.depth == 1 {
+            self.journal.borrow_mut().clear();
+        }
+    }
+
+    /// Canonical fingerprint of the complete simulated state: NVM contents,
+    /// the dirty-cache overlay (dirtiness included — two states with equal
+    /// logical values but different unpersisted sets behave differently at
+    /// the next crash), and the crash ordinal (which seeds
+    /// [`CrashPolicy::RandomSubset`]). Two `SimMemory` states with equal
+    /// `state_hash` are indistinguishable to every future primitive, crash,
+    /// and persist (modulo hash collisions). The exhaustive explorer keys
+    /// its visited-set on this.
+    pub fn state_hash(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.nvm.borrow().hash(&mut h);
+        for (&i, &w) in self.cache.borrow().iter() {
+            (i, w).hash(&mut h);
+        }
+        self.crashes.borrow().hash(&mut h);
+        h.finish()
     }
 
     /// Captures the full NVM + cache state.
@@ -243,7 +442,14 @@ impl SimMemory {
     }
 
     /// Restores a previously captured state. Statistics are not restored.
+    /// Under an open [`checkpoint`](Self::checkpoint) the restore itself is
+    /// journaled (as a full-state entry) so `rollback` stays correct.
     pub fn restore(&self, snap: &MemSnapshot) {
+        if self.journaling() {
+            self.journal
+                .borrow_mut()
+                .push(UndoEntry::Full(Box::new(self.snapshot())));
+        }
         *self.nvm.borrow_mut() = snap.nvm.clone();
         *self.cache.borrow_mut() = snap.cache.clone();
         *self.crashes.borrow_mut() = snap.crashes;
@@ -298,8 +504,12 @@ impl Memory for SimMemory {
         self.note_touch(loc);
         self.stats.borrow_mut().record_write(pid);
         match self.mode {
-            CacheMode::PrivateCache => self.nvm.borrow_mut()[loc.index()] = val,
+            CacheMode::PrivateCache => {
+                self.log_nvm(loc.index());
+                self.nvm.borrow_mut()[loc.index()] = val;
+            }
             CacheMode::SharedCache => {
+                self.log_cache(loc.index());
                 self.cache.borrow_mut().insert(loc.index() as u32, val);
             }
         }
@@ -313,8 +523,12 @@ impl Memory for SimMemory {
         self.stats.borrow_mut().record_cas(pid, ok);
         if ok {
             match self.mode {
-                CacheMode::PrivateCache => self.nvm.borrow_mut()[loc.index()] = new,
+                CacheMode::PrivateCache => {
+                    self.log_nvm(loc.index());
+                    self.nvm.borrow_mut()[loc.index()] = new;
+                }
                 CacheMode::SharedCache => {
+                    self.log_cache(loc.index());
                     self.cache.borrow_mut().insert(loc.index() as u32, new);
                 }
             }
@@ -327,7 +541,9 @@ impl Memory for SimMemory {
         self.note_touch(loc);
         self.stats.borrow_mut().record_persist(pid);
         if self.mode == CacheMode::SharedCache {
+            self.log_cache(loc.index());
             if let Some(w) = self.cache.borrow_mut().remove(&(loc.index() as u32)) {
+                self.log_nvm(loc.index());
                 self.nvm.borrow_mut()[loc.index()] = w;
             }
         }
@@ -560,6 +776,150 @@ mod tests {
         assert!(!m.cas(p, x, 4, 6));
         assert_eq!(m.peek(x), 5);
         m.persist(p, x); // no-op, must not panic
+    }
+
+    #[test]
+    fn checkpoint_rollback_roundtrip_private_cache() {
+        let (m, x, _) = mem(CacheMode::PrivateCache);
+        let p = Pid::new(0);
+        m.write(p, x, 1);
+        let before = m.snapshot();
+        let cp = m.checkpoint();
+        m.write(p, x, 2);
+        assert!(m.cas(p, x, 2, 3));
+        m.write(p, x.at(1), 9);
+        m.rollback(cp);
+        assert_eq!(m.snapshot(), before);
+        assert_eq!(m.read(p, x), 1);
+        assert_eq!(m.read(p, x.at(1)), 0);
+    }
+
+    #[test]
+    fn checkpoint_rollback_covers_crash_and_persist() {
+        let (m, x, _) = mem(CacheMode::SharedCache);
+        let p = Pid::new(0);
+        m.write(p, x, 1);
+        m.persist(p, x);
+        m.write(p, x.at(1), 2); // dirty
+        let before = m.snapshot();
+        let cp = m.checkpoint();
+        m.write(p, x, 7);
+        m.persist(p, x);
+        m.crash(CrashPolicy::DropAll);
+        m.write(p, x.at(1), 8);
+        m.crash(CrashPolicy::PersistAll);
+        m.rollback(cp);
+        assert_eq!(m.snapshot(), before);
+        assert_eq!(m.crash_count(), 0);
+        assert_eq!(m.read(p, x.at(1)), 2); // dirty value restored to cache
+        m.crash(CrashPolicy::DropAll);
+        assert_eq!(m.read(p, x.at(1)), 0); // and it is genuinely dirty again
+    }
+
+    #[test]
+    fn nested_checkpoints_rollback_in_lifo_order() {
+        let (m, x, _) = mem(CacheMode::PrivateCache);
+        let p = Pid::new(0);
+        let outer = m.checkpoint();
+        m.write(p, x, 1);
+        let inner = m.checkpoint();
+        m.write(p, x, 2);
+        m.rollback(inner);
+        assert_eq!(m.read(p, x), 1);
+        m.rollback(outer);
+        assert_eq!(m.read(p, x), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "LIFO")]
+    fn out_of_order_rollback_panics() {
+        let (m, x, _) = mem(CacheMode::PrivateCache);
+        let outer = m.checkpoint();
+        let _inner = m.checkpoint();
+        m.write(Pid::new(0), x, 1);
+        m.rollback(outer);
+    }
+
+    #[test]
+    fn discard_keeps_mutations_and_feeds_outer_checkpoint() {
+        let (m, x, _) = mem(CacheMode::PrivateCache);
+        let p = Pid::new(0);
+        let outer = m.checkpoint();
+        let inner = m.checkpoint();
+        m.write(p, x, 5);
+        m.discard(inner);
+        assert_eq!(m.read(p, x), 5);
+        m.rollback(outer); // the discarded branch's writes still rewind
+        assert_eq!(m.read(p, x), 0);
+    }
+
+    #[test]
+    fn restore_under_checkpoint_is_journaled() {
+        let (m, x, _) = mem(CacheMode::SharedCache);
+        let p = Pid::new(0);
+        m.write(p, x, 1);
+        let early = m.snapshot();
+        m.write(p, x, 2);
+        let before = m.snapshot();
+        let cp = m.checkpoint();
+        m.restore(&early);
+        assert_eq!(m.read(p, x), 1);
+        m.rollback(cp);
+        assert_eq!(m.snapshot(), before);
+    }
+
+    #[test]
+    fn state_hash_distinguishes_dirtiness_and_crash_ordinal() {
+        let (m, x, _) = mem(CacheMode::SharedCache);
+        let p = Pid::new(0);
+        m.write(p, x, 5);
+        let dirty = m.state_hash();
+        m.persist(p, x);
+        let clean = m.state_hash();
+        // Same logical value, different persistence state.
+        assert_ne!(dirty, clean);
+        m.crash(CrashPolicy::DropAll);
+        // Same logical value and empty cache, but the crash ordinal moved.
+        assert_ne!(m.state_hash(), clean);
+    }
+
+    #[test]
+    fn state_hash_equal_for_equal_states() {
+        let run = || {
+            let (m, x, _) = mem(CacheMode::SharedCache);
+            let p = Pid::new(0);
+            m.write(p, x, 3);
+            m.persist(p, x);
+            m.write(p, x.at(1), 4);
+            m.state_hash()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn fork_is_independent() {
+        let (m, x, _) = mem(CacheMode::SharedCache);
+        let p = Pid::new(0);
+        m.write(p, x, 1);
+        m.persist(p, x);
+        m.write(p, x.at(1), 2); // dirty
+        let f = m.fork();
+        assert_eq!(f.state_hash(), m.state_hash());
+        f.write(p, x, 9);
+        assert_eq!(m.read(p, x), 1);
+        assert_ne!(f.state_hash(), m.state_hash());
+        // Stats start fresh in the fork.
+        assert_eq!(f.stats().writes, 1);
+    }
+
+    #[test]
+    fn checkpoint_stats_are_counted() {
+        let (m, x, _) = mem(CacheMode::PrivateCache);
+        let cp = m.checkpoint();
+        m.write(Pid::new(0), x, 1);
+        m.rollback(cp);
+        let s = m.stats();
+        assert_eq!((s.checkpoints, s.rollbacks), (1, 1));
     }
 
     #[test]

@@ -22,6 +22,10 @@ pub struct Stats {
     pub persists: u64,
     /// System-wide crashes simulated.
     pub crashes: u64,
+    /// Undo-log checkpoints opened (state-space exploration branch points).
+    pub checkpoints: u64,
+    /// Undo-log rollbacks performed (branches rewound).
+    pub rollbacks: u64,
     per_pid: Vec<PidStats>,
 }
 

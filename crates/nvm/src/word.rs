@@ -149,7 +149,11 @@ impl Field {
     ///
     /// Panics if `v` does not fit in the field.
     pub fn set(self, w: Word, v: Word) -> Word {
-        assert!(v <= self.max(), "value {v} exceeds field width {}", self.width);
+        assert!(
+            v <= self.max(),
+            "value {v} exceeds field width {}",
+            self.width
+        );
         (w & !(self.max() << self.shift)) | (v << self.shift)
     }
 }

@@ -1,0 +1,324 @@
+//! Offline drop-in shim for the subset of the `criterion` API this
+//! workspace's benches use: `Criterion` with `benchmark_group`,
+//! `bench_function` / `bench_with_input`, `Bencher::iter` / `iter_custom`,
+//! `Throughput`, `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! vendors a minimal measurement loop instead: warm-up, then `sample_size`
+//! timed samples, reporting mean / min / max per-iteration time (and
+//! element throughput when declared) on stdout. There is no statistical
+//! analysis, HTML report, or saved-baseline comparison — downstream
+//! experiment tables snapshot the printed numbers instead.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity (re-export shape of `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Measurement configuration and entry point (subset of `criterion::Criterion`).
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Warm-up duration before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total target duration of the sampling phase.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Copy, Clone, Debug)]
+pub enum Throughput {
+    /// Elements (operations) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput declaration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the units processed by one iteration of subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Runs a benchmark with no explicit input.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id.to_string(), |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (reporting is per-bench; this is for API parity).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let cfg = self.criterion.clone();
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+
+        // Warm-up: run with growing iteration counts until the warm-up
+        // budget is spent, to pick an iteration count per sample.
+        let warm_start = Instant::now();
+        let mut per_iter = Duration::from_millis(1);
+        while warm_start.elapsed() < cfg.warm_up_time {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            per_iter = b.elapsed.max(Duration::from_nanos(1)) / b.iters as u32;
+            if b.elapsed < Duration::from_millis(1) {
+                b.iters = (b.iters * 2).min(1 << 30);
+            }
+        }
+
+        let per_sample = cfg.measurement_time / cfg.sample_size as u32;
+        let iters_per_sample =
+            (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 30) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut total_iters = 0u64;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        for _ in 0..cfg.sample_size {
+            b.iters = iters_per_sample;
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            let sample_per_iter = b.elapsed / b.iters as u32;
+            min = min.min(sample_per_iter);
+            max = max.max(sample_per_iter);
+            total += b.elapsed;
+            total_iters += b.iters;
+        }
+        let mean = total / total_iters.max(1) as u32;
+
+        let mut line = format!(
+            "{}/{}: time [{} {} {}]",
+            self.name,
+            id,
+            fmt_duration(min),
+            fmt_duration(mean),
+            fmt_duration(max)
+        );
+        if let Some(t) = self.throughput {
+            let (units, label) = match t {
+                Throughput::Elements(n) => (n, "elem/s"),
+                Throughput::Bytes(n) => (n, "B/s"),
+            };
+            let per_sec = units as f64 / mean.as_secs_f64().max(f64::MIN_POSITIVE);
+            line.push_str(&format!("  thrpt {per_sec:.0} {label}"));
+        }
+        println!("{line}");
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Times the closure the bench harness hands out (subset of
+/// `criterion::Bencher`).
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` executions of `f`.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    /// Hands the iteration count to `f`, which returns the measured time.
+    pub fn iter_custom(&mut self, mut f: impl FnMut(u64) -> Duration) {
+        self.elapsed += f(self.iters);
+    }
+}
+
+/// Declares a benchmark group runner (subset of `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> Criterion {
+        Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(4))
+    }
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = fast_config();
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(1));
+        let mut ran = 0u64;
+        g.bench_function(BenchmarkId::from_parameter("count"), |b| {
+            b.iter(|| ran += 1);
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn bench_with_input_and_iter_custom() {
+        let mut c = fast_config();
+        let mut g = c.benchmark_group("shim");
+        g.bench_with_input(BenchmarkId::new("custom", 3), &3u32, |b, &x| {
+            b.iter_custom(|iters| {
+                assert!(x == 3 && iters >= 1);
+                Duration::from_nanos(iters)
+            });
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter(8).to_string(), "8");
+    }
+
+    #[test]
+    fn duration_formatting_covers_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert!(fmt_duration(Duration::from_micros(12)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(12)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

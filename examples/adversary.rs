@@ -20,7 +20,11 @@ fn main() {
     println!(
         "explored {} executions with a crash at every primitive step: {}",
         out.leaves,
-        if out.violation.is_none() { "all clean ✓" } else { "VIOLATION?!" }
+        if out.violation.is_none() {
+            "all clean ✓"
+        } else {
+            "VIOLATION?!"
+        }
     );
     assert!(out.violation.is_none());
 
@@ -54,11 +58,20 @@ fn main() {
         (Pid::new(0), OpSpec::WriteMax(1)),
         (Pid::new(1), OpSpec::Read),
     ];
-    let out = explore(&mr, &mem, Workload::Script(&script), &ExploreConfig::default());
+    let out = explore(
+        &mr,
+        &mem,
+        Workload::Script(&script),
+        &ExploreConfig::default(),
+    );
     println!(
         "max register, no auxiliary state by construction: {} executions, {}",
         out.leaves,
-        if out.violation.is_none() { "all clean ✓" } else { "VIOLATION?!" }
+        if out.violation.is_none() {
+            "all clean ✓"
+        } else {
+            "VIOLATION?!"
+        }
     );
     assert!(out.violation.is_none());
     println!(

@@ -124,11 +124,20 @@ fn main() {
         .fold(0u32, u32::wrapping_add);
     let expected = (INITIAL_BALANCE).wrapping_mul(ACCOUNTS as u32);
 
-    println!("bank audit after {} transfers on {TELLERS} teller threads:", TELLERS as usize * TRANSFERS_PER_TELLER);
+    println!(
+        "bank audit after {} transfers on {TELLERS} teller threads:",
+        TELLERS as usize * TRANSFERS_PER_TELLER
+    );
     println!("  simulated crashes: {}", crashes.load(Ordering::Relaxed));
-    println!("  failed-and-retried legs: {}", retries.load(Ordering::Relaxed));
+    println!(
+        "  failed-and-retried legs: {}",
+        retries.load(Ordering::Relaxed)
+    );
     for (i, a) in accounts.iter().enumerate() {
-        println!("  account {i}: {}", run_op(a, &mem, Pid::new(0), OpSpec::Read) as u32 as i32);
+        println!(
+            "  account {i}: {}",
+            run_op(a, &mem, Pid::new(0), OpSpec::Read) as u32 as i32
+        );
     }
     assert_eq!(total, expected, "money was created or destroyed!");
     println!("  total: {total} == {expected} ✓ money conserved despite crashes");

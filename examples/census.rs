@@ -16,12 +16,24 @@ fn main() {
     let n = 4u32;
     let (cas, mem) = build_world(|b| DetectableCas::new(b, n, 0));
 
-    println!("Theorem 1 witness walk, N = {n} (bound: 2^{n} − 1 = {}):\n", (1u64 << n) - 1);
-    println!("{:>4}  {:>10}  {:>6}  shared-memory key", "step", "op", "vec");
+    println!(
+        "Theorem 1 witness walk, N = {n} (bound: 2^{n} − 1 = {}):\n",
+        (1u64 << n) - 1
+    );
+    println!(
+        "{:>4}  {:>10}  {:>6}  shared-memory key",
+        "step", "op", "vec"
+    );
 
     let mut seen: HashSet<Vec<Word>> = HashSet::new();
     seen.insert(mem.shared_key());
-    println!("{:>4}  {:>10}  {:04b}  {:?} (initial)", 0, "-", cas.peek_vec(&mem), mem.shared_key());
+    println!(
+        "{:>4}  {:>10}  {:04b}  {:?} (initial)",
+        0,
+        "-",
+        cas.peek_vec(&mem),
+        mem.shared_key()
+    );
 
     for (i, (pid, op)) in gray_code_cas_ops(n).into_iter().enumerate() {
         cas.prepare(&mem, pid, &op);
@@ -58,5 +70,7 @@ fn main() {
         "non-detectable CAS on the same walk: {} configurations (flat — just the values)",
         nd_seen.len()
     );
-    println!("\nThe 2^N blow-up is the price of detectability, and Theorem 1 says it is unavoidable.");
+    println!(
+        "\nThe 2^N blow-up is the price of detectability, and Theorem 1 says it is unavoidable."
+    );
 }

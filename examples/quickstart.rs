@@ -29,7 +29,10 @@ fn main() {
 
     reg.prepare(&mem, q, &OpSpec::Read);
     let mut r = reg.invoke(q, &OpSpec::Read);
-    println!("p1 Read()         -> {}", run_to_completion(&mut *r, &mem, 1000).unwrap());
+    println!(
+        "p1 Read()         -> {}",
+        run_to_completion(&mut *r, &mem, 1000).unwrap()
+    );
 
     // ── 3. A crash in the middle of a CAS. The machine *is* the process's
     //       volatile state: dropping it is the crash.
@@ -47,14 +50,20 @@ fn main() {
         println!("p0 Cas.Recover    -> fail (not linearized; safe to retry)");
         cas.prepare(&mem, p, &op);
         let mut m = cas.invoke(p, &op);
-        println!("p0 Cas(0,7) retry -> {}", run_to_completion(&mut *m, &mem, 1000).unwrap());
+        println!(
+            "p0 Cas(0,7) retry -> {}",
+            run_to_completion(&mut *m, &mem, 1000).unwrap()
+        );
     } else {
         println!("p0 Cas.Recover    -> {verdict} (linearized before the crash)");
     }
 
     cas.prepare(&mem, q, &OpSpec::Read);
     let mut r = cas.invoke(q, &OpSpec::Read);
-    println!("p1 cas.Read()     -> {}", run_to_completion(&mut *r, &mem, 1000).unwrap());
+    println!(
+        "p1 cas.Read()     -> {}",
+        run_to_completion(&mut *r, &mem, 1000).unwrap()
+    );
 
     // ── 5. Crash *during recovery*: recovery is re-entrant (the system may
     //       fail any number of times while recovering).
@@ -74,7 +83,10 @@ fn main() {
 
     reg.prepare(&mem, q, &OpSpec::Read);
     let mut r = reg.invoke(q, &OpSpec::Read);
-    println!("p1 Read()         -> {}", run_to_completion(&mut *r, &mem, 1000).unwrap());
+    println!(
+        "p1 Read()         -> {}",
+        run_to_completion(&mut *r, &mem, 1000).unwrap()
+    );
 
     println!("\nEverything above used bounded NVM space — the paper's contribution.");
 }

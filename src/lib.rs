@@ -59,11 +59,13 @@ pub mod prelude {
     };
     pub use detectable::{
         DetectableCas, DetectableCounter, DetectableFaa, DetectableQueue, DetectableRegister,
-        DetectableSwap, DetectableTas, MaxRegister, NrlAdapter, ObjectKind, OpSpec, RecoverableObject, EMPTY,
+        DetectableSwap, DetectableTas, MaxRegister, NrlAdapter, ObjectKind, OpSpec,
+        RecoverableObject, EMPTY,
     };
     pub use harness::{
         build_world, build_world_mode, census_drive, check_history, explore, gray_code_cas_ops,
-        probe_aux_state, run_sim, ExploreConfig, SimConfig, Workload,
+        probe_aux_state, run_sim, validate_witness_on_impl, Driver, ExploreConfig, RetryPolicy,
+        SimConfig, StepOutcome, Workload,
     };
     pub use nvm::{
         run_to_completion, AtomicMemory, CacheMode, CrashPolicy, LayoutBuilder, Machine, Memory,

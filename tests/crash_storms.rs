@@ -146,17 +146,20 @@ mod baselines_storms {
 
     #[test]
     fn tagged_cas_survives_storms() {
-        storm(0..40, CacheMode::PrivateCache, 0.06, |b| Box::new(TaggedCas::new(b, 3)));
-        storm(0..25, CacheMode::SharedCache, 0.05, |b| Box::new(TaggedCas::new(b, 3)));
+        storm(0..40, CacheMode::PrivateCache, 0.06, |b| {
+            Box::new(TaggedCas::new(b, 3))
+        });
+        storm(0..25, CacheMode::SharedCache, 0.05, |b| {
+            Box::new(TaggedCas::new(b, 3))
+        });
     }
 
     #[test]
     fn random_subset_line_loss_policy() {
         // Not just DropAll: arbitrary subsets of dirty lines may persist.
         for seed in 0..30 {
-            let (obj, mem) = build_world_mode(CacheMode::SharedCache, |b| {
-                DetectableRegister::new(b, 3, 0)
-            });
+            let (obj, mem) =
+                build_world_mode(CacheMode::SharedCache, |b| DetectableRegister::new(b, 3, 0));
             let cfg = SimConfig {
                 seed,
                 ops_per_process: 3,

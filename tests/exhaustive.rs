@@ -22,14 +22,15 @@ fn p(i: u32) -> Pid {
 #[test]
 fn register_two_writers_and_reader_one_crash() {
     let (reg, mem) = build_world(|b| DetectableRegister::new(b, 2, 0));
-    let w = vec![
-        vec![OpSpec::Write(1)],
-        vec![OpSpec::Write(2), OpSpec::Read],
-    ];
+    let w = vec![vec![OpSpec::Write(1)], vec![OpSpec::Write(2), OpSpec::Read]];
     // Bounded-exhaustive: the one-crash tree for two concurrent multi-step
     // recoveries is astronomically large; systematically check the first
     // 300k executions (the DFS covers whole subtrees in order).
-    let cfg = ExploreConfig { max_retries: 1, max_leaves: 300_000, ..Default::default() };
+    let cfg = ExploreConfig {
+        max_retries: 1,
+        max_leaves: 300_000,
+        ..Default::default()
+    };
     let out = explore(&reg, &mem, Workload::PerProcess(&w), &cfg);
     out.assert_no_violation();
     assert!(out.leaves > 1_000, "coverage sanity: got {}", out.leaves);
@@ -40,11 +41,12 @@ fn register_same_value_aba_interleavings() {
     // Both processes write the same values — the ABA-prone pattern the
     // toggle bits exist for.
     let (reg, mem) = build_world(|b| DetectableRegister::new(b, 2, 0));
-    let w = vec![
-        vec![OpSpec::Write(1)],
-        vec![OpSpec::Write(1), OpSpec::Read],
-    ];
-    let cfg = ExploreConfig { max_retries: 1, max_leaves: 300_000, ..Default::default() };
+    let w = vec![vec![OpSpec::Write(1)], vec![OpSpec::Write(1), OpSpec::Read]];
+    let cfg = ExploreConfig {
+        max_retries: 1,
+        max_leaves: 300_000,
+        ..Default::default()
+    };
     explore(&reg, &mem, Workload::PerProcess(&w), &cfg).assert_no_violation();
 }
 
@@ -52,10 +54,17 @@ fn register_same_value_aba_interleavings() {
 fn cas_triangle_one_crash() {
     let (cas, mem) = build_world(|b| DetectableCas::new(b, 2, 0));
     let w = vec![
-        vec![OpSpec::Cas { old: 0, new: 1 }, OpSpec::Cas { old: 1, new: 2 }],
+        vec![
+            OpSpec::Cas { old: 0, new: 1 },
+            OpSpec::Cas { old: 1, new: 2 },
+        ],
         vec![OpSpec::Cas { old: 0, new: 2 }, OpSpec::Read],
     ];
-    let cfg = ExploreConfig { max_retries: 1, max_leaves: 300_000, ..Default::default() };
+    let cfg = ExploreConfig {
+        max_retries: 1,
+        max_leaves: 300_000,
+        ..Default::default()
+    };
     explore(&cas, &mem, Workload::PerProcess(&w), &cfg).assert_no_violation();
 }
 
@@ -66,7 +75,11 @@ fn max_register_full_interleavings() {
         vec![OpSpec::WriteMax(3), OpSpec::Read],
         vec![OpSpec::WriteMax(5)],
     ];
-    let cfg = ExploreConfig { max_retries: 1, max_leaves: 300_000, ..Default::default() };
+    let cfg = ExploreConfig {
+        max_retries: 1,
+        max_leaves: 300_000,
+        ..Default::default()
+    };
     explore(&mr, &mem, Workload::PerProcess(&w), &cfg).assert_no_violation();
 }
 
@@ -74,7 +87,11 @@ fn max_register_full_interleavings() {
 fn counter_concurrent_incs_one_crash() {
     let (ctr, mem) = build_world(|b| DetectableCounter::new(b, 2));
     let w = vec![vec![OpSpec::Inc], vec![OpSpec::Inc, OpSpec::Read]];
-    let cfg = ExploreConfig { max_retries: 1, max_leaves: 300_000, ..Default::default() };
+    let cfg = ExploreConfig {
+        max_retries: 1,
+        max_leaves: 300_000,
+        ..Default::default()
+    };
     explore(&ctr, &mem, Workload::PerProcess(&w), &cfg).assert_no_violation();
 }
 
@@ -85,19 +102,57 @@ fn tas_race_one_crash() {
         vec![OpSpec::TestAndSet, OpSpec::Read],
         vec![OpSpec::TestAndSet],
     ];
-    let cfg = ExploreConfig { max_retries: 1, max_leaves: 300_000, ..Default::default() };
+    let cfg = ExploreConfig {
+        max_retries: 1,
+        max_leaves: 300_000,
+        ..Default::default()
+    };
     explore(&tas, &mem, Workload::PerProcess(&w), &cfg).assert_no_violation();
 }
 
 #[test]
 fn queue_enq_deq_race_one_crash() {
     let (q, mem) = build_world(|b| DetectableQueue::new(b, 2, 32));
-    let w = vec![
-        vec![OpSpec::Enq(1)],
-        vec![OpSpec::Enq(2), OpSpec::Deq],
-    ];
-    let cfg = ExploreConfig { max_retries: 1, max_leaves: 300_000, ..Default::default() };
+    let w = vec![vec![OpSpec::Enq(1)], vec![OpSpec::Enq(2), OpSpec::Deq]];
+    let cfg = ExploreConfig {
+        max_retries: 1,
+        max_leaves: 300_000,
+        ..Default::default()
+    };
     explore(&q, &mem, Workload::PerProcess(&w), &cfg).assert_no_violation();
+}
+
+#[test]
+fn three_processes_two_ops_one_crash_covers_a_trillion_executions() {
+    // The previously-infeasible configuration: 3 processes × 2 ops each
+    // with 1 crash. The seed explorer enumerated executions one by one
+    // (~500k/sec optimized), so covering 10^12 of them systematically was
+    // out of reach by five orders of magnitude. State-hash pruning checks
+    // each distinct (configuration, canonical-history) node once and
+    // accounts whole converging subtrees by their memoized leaf counts, so
+    // the same bounded-exhaustive coverage — every one of the 10^12
+    // executions equals a checked one up to checker-equivalence — finishes
+    // in under a couple of seconds even unoptimized, with parallel workers
+    // sharing the memo.
+    for parallelism in [1, 2] {
+        let (mr, mem) = build_world(|b| MaxRegister::new(b, 3));
+        let w = vec![
+            vec![OpSpec::WriteMax(1), OpSpec::Read],
+            vec![OpSpec::WriteMax(2), OpSpec::Read],
+            vec![OpSpec::WriteMax(3), OpSpec::Read],
+        ];
+        let cfg = ExploreConfig {
+            max_crashes: 1,
+            max_retries: 1,
+            max_leaves: 1_000_000_000_000,
+            parallelism,
+            ..Default::default()
+        };
+        let out = explore(&mr, &mem, Workload::PerProcess(&w), &cfg);
+        out.assert_no_violation();
+        assert!(out.truncated, "the full tree dwarfs even a trillion leaves");
+        assert_eq!(out.leaves, 1_000_000_000_000, "parallelism {parallelism}");
+    }
 }
 
 #[test]
@@ -109,7 +164,10 @@ fn register_crash_free_full_interleavings_exhaustive() {
         vec![OpSpec::Write(1), OpSpec::Read],
         vec![OpSpec::Write(2), OpSpec::Write(1)],
     ];
-    let cfg = ExploreConfig { max_crashes: 0, ..Default::default() };
+    let cfg = ExploreConfig {
+        max_crashes: 0,
+        ..Default::default()
+    };
     let out = explore(&reg, &mem, Workload::PerProcess(&w), &cfg);
     out.assert_clean();
     assert!(out.leaves > 500, "coverage sanity: got {}", out.leaves);
@@ -127,10 +185,17 @@ fn register_script_two_crashes() {
         (p(0), OpSpec::Write(1)),
         (p(1), OpSpec::Read),
     ];
-    let cfg = ExploreConfig { max_crashes: 2, ..Default::default() };
+    let cfg = ExploreConfig {
+        max_crashes: 2,
+        ..Default::default()
+    };
     let out = explore(&reg, &mem, Workload::Script(&script), &cfg);
     out.assert_clean();
-    assert!(out.leaves > 400, "two-crash coverage sanity: {}", out.leaves);
+    assert!(
+        out.leaves > 400,
+        "two-crash coverage sanity: {}",
+        out.leaves
+    );
 }
 
 #[test]
@@ -142,7 +207,10 @@ fn cas_script_two_crashes() {
         (p(0), OpSpec::Cas { old: 0, new: 1 }),
         (p(1), OpSpec::Read),
     ];
-    let cfg = ExploreConfig { max_crashes: 2, ..Default::default() };
+    let cfg = ExploreConfig {
+        max_crashes: 2,
+        ..Default::default()
+    };
     explore(&cas, &mem, Workload::Script(&script), &cfg).assert_clean();
 }
 
@@ -155,7 +223,10 @@ fn counter_script_two_crashes_exactly_once() {
         (p(0), OpSpec::Read),
         (p(1), OpSpec::Read),
     ];
-    let cfg = ExploreConfig { max_crashes: 2, ..Default::default() };
+    let cfg = ExploreConfig {
+        max_crashes: 2,
+        ..Default::default()
+    };
     explore(&ctr, &mem, Workload::Script(&script), &cfg).assert_clean();
 }
 
@@ -169,7 +240,10 @@ fn queue_script_two_crashes() {
         (p(1), OpSpec::Deq),
         (p(0), OpSpec::Deq),
     ];
-    let cfg = ExploreConfig { max_crashes: 2, ..Default::default() };
+    let cfg = ExploreConfig {
+        max_crashes: 2,
+        ..Default::default()
+    };
     explore(&q, &mem, Workload::Script(&script), &cfg).assert_clean();
 }
 
@@ -186,7 +260,10 @@ fn nrl_adapter_script_one_crash() {
         (p(0), OpSpec::Write(2)),
         (p(1), OpSpec::Read),
     ];
-    let cfg = ExploreConfig { retry_on_fail: false, ..Default::default() };
+    let cfg = ExploreConfig {
+        retry_on_fail: false,
+        ..Default::default()
+    };
     explore(&obj, &mem, Workload::Script(&script), &cfg).assert_clean();
 }
 
@@ -198,7 +275,10 @@ fn nrl_adapter_over_cas_one_crash() {
         (p(1), OpSpec::Cas { old: 1, new: 2 }),
         (p(1), OpSpec::Read),
     ];
-    let cfg = ExploreConfig { retry_on_fail: false, ..Default::default() };
+    let cfg = ExploreConfig {
+        retry_on_fail: false,
+        ..Default::default()
+    };
     explore(&obj, &mem, Workload::Script(&script), &cfg).assert_clean();
 }
 
@@ -213,7 +293,10 @@ fn nondetectable_objects_pass_relaxed_check() {
         (p(0), OpSpec::Write(2)),
         (p(1), OpSpec::Read),
     ];
-    let cfg = ExploreConfig { retry_on_fail: false, ..Default::default() };
+    let cfg = ExploreConfig {
+        retry_on_fail: false,
+        ..Default::default()
+    };
     explore(&reg, &mem, Workload::Script(&script), &cfg).assert_clean();
 
     let (cas, mem) = build_world(|b| NonDetectableCas::new(b, 2));

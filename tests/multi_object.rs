@@ -2,8 +2,8 @@
 //! adapter end to end, and cross-crate workflows.
 
 use detectable::{
-    DetectableCas, DetectableCounter, DetectableQueue, DetectableRegister, MaxRegister,
-    NrlAdapter, OpSpec, RecoverableObject,
+    DetectableCas, DetectableCounter, DetectableQueue, DetectableRegister, MaxRegister, NrlAdapter,
+    OpSpec, RecoverableObject,
 };
 use harness::{check_history, run_sim, Event, History, SimConfig};
 use nvm::{run_to_completion, CrashPolicy, LayoutBuilder, Pid, SimMemory, ACK, RESP_FAIL};
@@ -131,7 +131,11 @@ fn nrl_composed_client_needs_no_retry_logic() {
         assert_eq!(w, ACK);
         completed += 1;
     }
-    assert_eq!(obj.inner().peek_value(&mem), completed, "exactly-once through NRL");
+    assert_eq!(
+        obj.inner().peek_value(&mem),
+        completed,
+        "exactly-once through NRL"
+    );
 }
 
 #[test]
@@ -139,11 +143,23 @@ fn history_builder_round_trips_through_checker() {
     // Cross-crate sanity: histories assembled by hand behave like recorded
     // ones.
     let mut h = History::new();
-    h.push(Event::Invoke { pid: Pid::new(0), op: OpSpec::Enq(1) });
-    h.push(Event::Return { pid: Pid::new(0), resp: ACK });
+    h.push(Event::Invoke {
+        pid: Pid::new(0),
+        op: OpSpec::Enq(1),
+    });
+    h.push(Event::Return {
+        pid: Pid::new(0),
+        resp: ACK,
+    });
     h.push(Event::Crash);
-    h.push(Event::Invoke { pid: Pid::new(1), op: OpSpec::Deq });
-    h.push(Event::Return { pid: Pid::new(1), resp: 1 });
+    h.push(Event::Invoke {
+        pid: Pid::new(1),
+        op: OpSpec::Deq,
+    });
+    h.push(Event::Return {
+        pid: Pid::new(1),
+        resp: 1,
+    });
     check_history(detectable::ObjectKind::Queue, &h).unwrap();
 }
 

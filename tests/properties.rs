@@ -126,16 +126,12 @@ proptest! {
 
 fn arb_op(kind: ObjectKind) -> impl Strategy<Value = OpSpec> {
     match kind {
-        ObjectKind::Register => prop_oneof![
-            Just(OpSpec::Read),
-            (0u32..4).prop_map(OpSpec::Write),
-        ]
-        .boxed(),
-        ObjectKind::Queue => prop_oneof![
-            Just(OpSpec::Deq),
-            (0u32..4).prop_map(OpSpec::Enq),
-        ]
-        .boxed(),
+        ObjectKind::Register => {
+            prop_oneof![Just(OpSpec::Read), (0u32..4).prop_map(OpSpec::Write),].boxed()
+        }
+        ObjectKind::Queue => {
+            prop_oneof![Just(OpSpec::Deq), (0u32..4).prop_map(OpSpec::Enq),].boxed()
+        }
         _ => unreachable!(),
     }
 }
@@ -250,6 +246,73 @@ proptest! {
         }
         mem.restore(&snap);
         prop_assert_eq!(mem.shared_key(), key);
+    }
+
+    #[test]
+    fn checkpoint_rollback_matches_full_snapshot(
+        mode_sel in 0u8..2,
+        prefix in prop::collection::vec((0usize..8, any::<u64>()), 0..8),
+        ops in prop::collection::vec((0u8..8, 0usize..8, any::<u64>()), 1..24),
+    ) {
+        // The undo-log checkpoint must rewind *exactly* to the state a full
+        // MemSnapshot captured, whatever mix of writes, CASes, persists,
+        // pokes, and crashes (all three policies) happened in between.
+        let mode = if mode_sel == 0 { CacheMode::PrivateCache } else { CacheMode::SharedCache };
+        let mut b = nvm::LayoutBuilder::new();
+        let base = b.shared("cells", 8, 64);
+        let mem = nvm::SimMemory::with_mode(b.finish(), mode);
+        let p = Pid::new(0);
+        for (i, w) in &prefix {
+            nvm::Memory::write(&mem, p, base.at(*i), *w);
+        }
+        let snap = mem.snapshot();
+        let hash = mem.state_hash();
+        let cp = mem.checkpoint();
+        for (kind, i, w) in &ops {
+            let loc = base.at(*i);
+            match kind % 6 {
+                0 => nvm::Memory::write(&mem, p, loc, *w),
+                1 => { let _ = nvm::Memory::cas(&mem, p, loc, mem.peek(loc), *w); }
+                2 => nvm::Memory::persist(&mem, p, loc),
+                3 => mem.poke(loc, *w),
+                4 => mem.crash(if w % 2 == 0 { CrashPolicy::DropAll } else { CrashPolicy::PersistAll }),
+                _ => mem.crash(CrashPolicy::RandomSubset(*w)),
+            }
+        }
+        mem.rollback(cp);
+        prop_assert_eq!(mem.snapshot(), snap);
+        prop_assert_eq!(mem.state_hash(), hash);
+    }
+
+    #[test]
+    fn random_subset_crashes_replay_identically_after_rollback(
+        policy_seed in any::<u64>(),
+        writes in prop::collection::vec((0usize..8, any::<u64>()), 1..10),
+    ) {
+        // RandomSubset is seeded by (seed, crash ordinal). Rolling back a
+        // crash rewinds the ordinal too, so replaying the crash persists
+        // exactly the same dirty subset — the determinism the explorer's
+        // branch-and-rewind search depends on in the shared-cache model.
+        let world = || {
+            let mut b = nvm::LayoutBuilder::new();
+            let base = b.shared("cells", 8, 64);
+            let mem = nvm::SimMemory::with_mode(b.finish(), CacheMode::SharedCache);
+            for (i, w) in &writes {
+                nvm::Memory::write(&mem, Pid::new(0), base.at(*i), *w);
+            }
+            mem
+        };
+        let rewound = world();
+        let cp = rewound.checkpoint();
+        rewound.crash(CrashPolicy::RandomSubset(policy_seed));
+        rewound.rollback(cp);
+        rewound.crash(CrashPolicy::RandomSubset(policy_seed));
+
+        let direct = world();
+        direct.crash(CrashPolicy::RandomSubset(policy_seed));
+
+        prop_assert_eq!(rewound.shared_key(), direct.shared_key());
+        prop_assert_eq!(rewound.state_hash(), direct.state_hash());
     }
 
     #[test]

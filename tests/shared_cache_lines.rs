@@ -16,12 +16,17 @@ use detectable::{
     DetectableCas, DetectableCounter, DetectableQueue, DetectableRegister, DetectableTas,
     MaxRegister, OpSpec, RecoverableObject,
 };
-use nvm::{run_to_completion, CacheMode, CrashPolicy, LayoutBuilder, Pid, SimMemory, ACK, RESP_FAIL, TRUE};
+use nvm::{
+    run_to_completion, CacheMode, CrashPolicy, LayoutBuilder, Pid, SimMemory, ACK, RESP_FAIL, TRUE,
+};
 
 fn world<O>(f: impl FnOnce(&mut LayoutBuilder) -> O) -> (O, SimMemory) {
     let mut b = LayoutBuilder::new();
     let obj = f(&mut b);
-    (obj, SimMemory::with_mode(b.finish(), CacheMode::SharedCache))
+    (
+        obj,
+        SimMemory::with_mode(b.finish(), CacheMode::SharedCache),
+    )
 }
 
 /// Runs `op` solo, crashing (with full dirty-line loss) after `crash_after`
@@ -62,10 +67,16 @@ fn register_write_every_line_shared_cache() {
             continue;
         }
         if v == RESP_FAIL {
-            assert_eq!(value, 0, "fail but write persisted (crash_after={crash_after})");
+            assert_eq!(
+                value, 0,
+                "fail but write persisted (crash_after={crash_after})"
+            );
         } else {
             assert_eq!(v, ACK);
-            assert_eq!(value, 7, "ack but write lost to the cache (crash_after={crash_after})");
+            assert_eq!(
+                value, 7,
+                "ack but write lost to the cache (crash_after={crash_after})"
+            );
         }
     }
 }
@@ -83,10 +94,16 @@ fn cas_every_line_shared_cache() {
             continue;
         }
         if v == RESP_FAIL {
-            assert_eq!(value, 0, "fail but CAS persisted (crash_after={crash_after})");
+            assert_eq!(
+                value, 0,
+                "fail but CAS persisted (crash_after={crash_after})"
+            );
         } else {
             assert_eq!(v, TRUE);
-            assert_eq!(value, 5, "true but CAS lost to the cache (crash_after={crash_after})");
+            assert_eq!(
+                value, 5,
+                "true but CAS lost to the cache (crash_after={crash_after})"
+            );
         }
     }
 }
@@ -103,10 +120,16 @@ fn counter_every_line_shared_cache() {
             continue;
         }
         if v == RESP_FAIL {
-            assert_eq!(value, 0, "fail but increment persisted (crash_after={crash_after})");
+            assert_eq!(
+                value, 0,
+                "fail but increment persisted (crash_after={crash_after})"
+            );
         } else {
             assert_eq!(v, ACK);
-            assert_eq!(value, 1, "ack but increment lost (crash_after={crash_after})");
+            assert_eq!(
+                value, 1,
+                "ack but increment lost (crash_after={crash_after})"
+            );
         }
     }
 }
@@ -153,9 +176,17 @@ fn queue_enq_every_line_shared_cache() {
         let (v, done) = crash_and_recover(&q, &mem, p, OpSpec::Enq(9), crash_after);
         let contents = q.peek_contents(&mem);
         if done || v != RESP_FAIL {
-            assert_eq!(contents, vec![9], "enq must be durable (crash_after={crash_after})");
+            assert_eq!(
+                contents,
+                vec![9],
+                "enq must be durable (crash_after={crash_after})"
+            );
         } else {
-            assert_eq!(contents, Vec::<u32>::new(), "fail but node linked (crash_after={crash_after})");
+            assert_eq!(
+                contents,
+                Vec::<u32>::new(),
+                "fail but node linked (crash_after={crash_after})"
+            );
         }
     }
 }
@@ -178,7 +209,11 @@ fn queue_deq_every_line_shared_cache() {
             }
             assert_eq!(contents, Vec::<u32>::new(), "crash_after={crash_after}");
         } else {
-            assert_eq!(contents, vec![4], "fail but node claimed (crash_after={crash_after})");
+            assert_eq!(
+                contents,
+                vec![4],
+                "fail but node claimed (crash_after={crash_after})"
+            );
         }
     }
 }
@@ -195,7 +230,11 @@ fn unpersisted_writes_really_are_lost() {
     let p = Pid::new(0);
     mem.write(p, x, 42); // no persist
     mem.crash(CrashPolicy::DropAll);
-    assert_eq!(mem.read(p, x), 0, "the shared-cache model must drop dirty lines");
+    assert_eq!(
+        mem.read(p, x),
+        0,
+        "the shared-cache model must drop dirty lines"
+    );
 }
 
 #[test]

@@ -25,10 +25,16 @@ fn theorem1_witness_census_meets_bound_up_to_n10() {
 
 #[test]
 fn theorem1_bfs_census_exhaustive_small_n() {
-    let alphabet = [OpSpec::Cas { old: 0, new: 1 }, OpSpec::Cas { old: 1, new: 0 }];
+    let alphabet = [
+        OpSpec::Cas { old: 0, new: 1 },
+        OpSpec::Cas { old: 1, new: 0 },
+    ];
     for n in 1..=2u32 {
         let (cas, mem) = build_world(|b| DetectableCas::new(b, n, 0));
-        let cfg = BfsConfig { max_ops: 2 * n as usize, max_states: 500_000 };
+        let cfg = BfsConfig {
+            max_ops: 2 * n as usize,
+            max_states: 500_000,
+        };
         let report = census_bfs(&cas, &mem, &alphabet, &cfg);
         assert!(report.meets_bound(), "n={n}: {report:?}");
     }
@@ -151,7 +157,10 @@ fn bounded_counter_separation() {
     // witness exists within the bounded domain.
     let alphabet = [OpSpec::Read, OpSpec::Inc];
     let w = find_doubly_perturbing_witness(ObjectKind::Counter, &alphabet, 1, 1);
-    assert!(w.is_some(), "bounded counter (domain {{0,1,2}} reachable in ≤3 ops)");
+    assert!(
+        w.is_some(),
+        "bounded counter (domain {{0,1,2}} reachable in ≤3 ops)"
+    );
 }
 
 #[test]
@@ -172,7 +181,13 @@ fn max_register_detectable_without_aux_state_is_the_boundary() {
         (Pid::new(0), OpSpec::WriteMax(1)),
         (Pid::new(1), OpSpec::Read),
     ];
-    explore(&mr, &mem, Workload::Script(&script), &ExploreConfig::default()).assert_clean();
+    explore(
+        &mr,
+        &mem,
+        Workload::Script(&script),
+        &ExploreConfig::default(),
+    )
+    .assert_clean();
 }
 
 use detectable::RecoverableObject;

@@ -77,7 +77,11 @@ fn cas_exactly_one_winner_per_round() {
             });
         }
     });
-    assert_eq!(wins.load(Ordering::Relaxed), ROUNDS, "exactly one winner per round");
+    assert_eq!(
+        wins.load(Ordering::Relaxed),
+        ROUNDS,
+        "exactly one winner per round"
+    );
     assert_eq!(run_op(&cas, &mem, Pid::new(0), OpSpec::Read) as u32, ROUNDS);
 }
 
@@ -87,8 +91,9 @@ fn queue_no_loss_no_duplication() {
     const PER_THREAD: usize = 150;
     let cap = THREADS * PER_THREAD as u32 + 16;
     let (q, mem) = atomic_world(|b| DetectableQueue::new(b, THREADS, cap));
-    let deq_log: Vec<std::sync::Mutex<Vec<u32>>> =
-        (0..THREADS).map(|_| std::sync::Mutex::new(Vec::new())).collect();
+    let deq_log: Vec<std::sync::Mutex<Vec<u32>>> = (0..THREADS)
+        .map(|_| std::sync::Mutex::new(Vec::new()))
+        .collect();
     std::thread::scope(|s| {
         for t in 0..THREADS {
             let q = &q;
@@ -145,7 +150,11 @@ fn register_last_write_wins_quiescence() {
     });
     // At quiescence the register holds one of the last writes.
     let v = run_op(&reg, &mem, Pid::new(0), OpSpec::Read) as u32;
-    assert_eq!(v % 1_000, 199, "final value must be some thread's last write, got {v}");
+    assert_eq!(
+        v % 1_000,
+        199,
+        "final value must be some thread's last write, got {v}"
+    );
 }
 
 #[test]
