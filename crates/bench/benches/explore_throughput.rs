@@ -12,7 +12,7 @@ use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use detectable::{DetectableCas, OpSpec};
-use harness::{build_world, explore, ExploreConfig, Workload};
+use harness::{build_world, explore_engine, ExploreConfig, OpSource};
 
 /// The fixed benchmark configuration: the CAS triangle from the integration
 /// suite, bounded to a budget both engines can finish.
@@ -42,11 +42,11 @@ fn explore_throughput(c: &mut Criterion) {
     let mut g = c.benchmark_group("explore_throughput");
     for (label, prune) in [("pruned", true), ("unpruned", false)] {
         let cfg = config(prune);
-        let probe = explore(&cas, &mem, Workload::PerProcess(&w), &cfg);
+        let probe = explore_engine(&cas, &mem, OpSource::PerProcess(&w), &cfg);
         probe.assert_no_violation();
         g.throughput(criterion::Throughput::Elements(probe.leaves as u64));
         g.bench_with_input(BenchmarkId::new(label, probe.leaves), &cfg, |b, cfg| {
-            b.iter(|| explore(&cas, &mem, Workload::PerProcess(&w), cfg));
+            b.iter(|| explore_engine(&cas, &mem, OpSource::PerProcess(&w), cfg));
         });
     }
     g.finish();
@@ -62,12 +62,12 @@ fn record_baseline(_c: &mut Criterion) {
     for (label, prune) in [("pruned", true), ("unpruned", false)] {
         let cfg = config(prune);
         // Warm once, then time a fixed number of runs.
-        let _ = explore(&cas, &mem, Workload::PerProcess(&w), &cfg);
+        let _ = explore_engine(&cas, &mem, OpSource::PerProcess(&w), &cfg);
         let runs = 3;
         let start = Instant::now();
         let mut out = None;
         for _ in 0..runs {
-            out = Some(explore(&cas, &mem, Workload::PerProcess(&w), &cfg));
+            out = Some(explore_engine(&cas, &mem, OpSource::PerProcess(&w), &cfg));
         }
         let elapsed = start.elapsed() / runs;
         let out = out.expect("at least one run");

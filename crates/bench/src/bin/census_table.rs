@@ -2,102 +2,113 @@
 //! census.
 //!
 //! Counts distinct shared-memory configurations (memory-equivalence classes)
-//! reachable by the detectable CAS (Algorithm 2), by the unbounded-tag
-//! detectable CAS baseline, and by the non-detectable recoverable CAS:
+//! reachable by the detectable CAS (Algorithm 2) and by the non-detectable
+//! recoverable CAS, through the [`Scenario::census`] runner:
 //!
-//! * *witness* rows drive the constructive Gray-code walk (one successful
-//!   CAS per step, flipping one process's vector bit) — Algorithm 2 realizes
-//!   all `2^N` vectors, meeting the `2^N − 1` lower bound;
+//! * *witness* rows drive the constructive Gray-code walk (a script
+//!   workload: one successful CAS per step, flipping one process's vector
+//!   bit) — Algorithm 2 realizes all `2^N` vectors, meeting the `2^N − 1`
+//!   lower bound;
 //! * *bfs* rows exhaustively explore every interleaving of a bounded CAS
-//!   workload for small N;
+//!   alphabet workload for small N;
 //! * the non-detectable baseline stays at the value-domain size, flat in N —
 //!   the ablation isolating detectability as the cause of the blow-up.
 //!
-//! Run: `cargo run --release -p bench --bin census_table`
+//! Run: `cargo run --release -p bench --bin census_table [-- --json]`
 
 use baselines::NonDetectableCas;
-use bench::markdown_table;
-use detectable::{DetectableCas, OpSpec};
-use harness::{build_world, census_bfs, census_drive, gray_code_cas_ops, BfsConfig};
+use bench::{json_mode, markdown_table};
+use detectable::{ObjectKind, OpSpec};
+use harness::{gray_code_cas_ops, verdicts_to_json, BfsConfig, Scenario, Verdict, Workload};
 
-fn main() {
-    let mut rows: Vec<Vec<String>> = Vec::new();
+/// The Gray-code witness walk as a scenario for `n` processes.
+fn witness_scenario(n: u32, detectable: bool) -> Scenario {
+    let base = if detectable {
+        Scenario::object(ObjectKind::Cas).label("detectable-cas (Alg 2)")
+    } else {
+        Scenario::custom(move |b| Box::new(NonDetectableCas::new(b, n))).label("non-detectable cas")
+    };
+    base.processes(n)
+        .workload(Workload::script(gray_code_cas_ops(n)))
+}
 
-    // Constructive witness: Algorithm 2, N = 1..=12.
-    for n in 1..=12u32 {
-        let (cas, mem) = build_world(|b| DetectableCas::new(b, n, 0));
-        let ops = gray_code_cas_ops(n);
-        let r = census_drive(&cas, &mem, &ops);
-        rows.push(vec![
-            "detectable-cas (Alg 2)".into(),
-            "witness".into(),
-            n.to_string(),
-            r.distinct_shared.to_string(),
-            r.theorem_bound.to_string(),
-            if r.meets_bound() {
-                "yes".into()
-            } else {
-                "NO".into()
-            },
-        ]);
-    }
-
-    // Ablation: the non-detectable recoverable CAS driven through the same
-    // walk — configurations collapse to the value domain {0, 1}.
-    for n in [2u32, 4, 8, 12] {
-        let (cas, mem) = build_world(|b| NonDetectableCas::new(b, n));
-        let ops = gray_code_cas_ops(n);
-        let r = census_drive(&cas, &mem, &ops);
-        rows.push(vec![
-            "non-detectable cas".into(),
-            "witness".into(),
-            n.to_string(),
-            r.distinct_shared.to_string(),
-            r.theorem_bound.to_string(),
-            "exempt (not detectable)".into(),
-        ]);
-    }
-
-    // Exhaustive BFS for small N.
-    let alphabet = [
+/// The bounded-alphabet BFS as a scenario for `n` processes.
+fn bfs_scenario(n: u32, detectable: bool) -> Scenario {
+    let alphabet = vec![
         OpSpec::Cas { old: 0, new: 1 },
         OpSpec::Cas { old: 1, new: 0 },
     ];
+    let base = if detectable {
+        Scenario::object(ObjectKind::Cas).label("detectable-cas (Alg 2)")
+    } else {
+        Scenario::custom(move |b| Box::new(NonDetectableCas::new(b, n))).label("non-detectable cas")
+    };
+    base.processes(n)
+        .workload(Workload::round_robin(alphabet, 2 * n as usize))
+}
+
+fn row(mode: &str, n: u32, v: &Verdict) -> Vec<String> {
+    vec![
+        v.object.clone(),
+        mode.into(),
+        n.to_string(),
+        v.stats.distinct_configs.to_string(),
+        v.stats.theorem_bound.to_string(),
+        match v.bound_met {
+            Some(true) => "yes".into(),
+            Some(false) => "NO".into(),
+            None => "exempt (not detectable)".into(),
+        },
+    ]
+}
+
+fn main() {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut verdicts: Vec<Verdict> = Vec::new();
+
+    // Constructive witness: Algorithm 2, N = 1..=12, then the ablation.
+    for n in 1..=12u32 {
+        let v = witness_scenario(n, true).census(&BfsConfig::default());
+        rows.push(row("witness", n, &v));
+        verdicts.push(v);
+    }
+    for n in [2u32, 4, 8, 12] {
+        let v = witness_scenario(n, false).census(&BfsConfig::default());
+        rows.push(row("witness", n, &v));
+        verdicts.push(v);
+    }
+
+    // Exhaustive BFS for small N, both implementations.
     for n in 1..=3u32 {
-        let (cas, mem) = build_world(|b| DetectableCas::new(b, n, 0));
         let cfg = BfsConfig {
             max_ops: 2 * n as usize,
             max_states: 3_000_000,
         };
-        let r = census_bfs(&cas, &mem, &alphabet, &cfg);
-        rows.push(vec![
-            "detectable-cas (Alg 2)".into(),
-            format!("bfs (≤{} ops, {} states)", cfg.max_ops, r.work),
-            n.to_string(),
-            r.distinct_shared.to_string(),
-            r.theorem_bound.to_string(),
-            if r.meets_bound() {
-                "yes".into()
-            } else {
-                "NO".into()
-            },
-        ]);
+        let v = bfs_scenario(n, true).census(&cfg);
+        rows.push(row(
+            &format!("bfs (≤{} ops, {} states)", cfg.max_ops, v.stats.executions),
+            n,
+            &v,
+        ));
+        verdicts.push(v);
     }
     for n in 1..=3u32 {
-        let (cas, mem) = build_world(|b| NonDetectableCas::new(b, n));
         let cfg = BfsConfig {
             max_ops: 2 * n as usize,
             max_states: 3_000_000,
         };
-        let r = census_bfs(&cas, &mem, &alphabet, &cfg);
-        rows.push(vec![
-            "non-detectable cas".into(),
-            format!("bfs (≤{} ops, {} states)", cfg.max_ops, r.work),
-            n.to_string(),
-            r.distinct_shared.to_string(),
-            r.theorem_bound.to_string(),
-            "exempt (not detectable)".into(),
-        ]);
+        let v = bfs_scenario(n, false).census(&cfg);
+        rows.push(row(
+            &format!("bfs (≤{} ops, {} states)", cfg.max_ops, v.stats.executions),
+            n,
+            &v,
+        ));
+        verdicts.push(v);
+    }
+
+    if json_mode() {
+        println!("{}", verdicts_to_json(&verdicts));
+        return;
     }
 
     println!("# E1 — Theorem 1 census: reachable shared-memory configurations\n");

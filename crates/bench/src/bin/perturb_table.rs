@@ -1,15 +1,17 @@
 //! **Experiment E6** — the doubly-perturbing classification (Lemmas 3–8).
 //!
-//! Machine-checks Definition 3 against the sequential specifications:
-//! searches bounded histories for a doubly-perturbing witness per object
-//! kind. Register, CAS, counter, FAA, TAS and FIFO queue must yield
-//! witnesses (Lemmas 3, 5–8); the max register must yield none (Lemma 4).
+//! Machine-checks Definition 3 against the sequential specifications
+//! through the [`Scenario::perturb`] runner: searches bounded histories for
+//! a doubly-perturbing witness per object kind (and revalidates every
+//! witness against the real implementation through the driver). Register,
+//! CAS, counter, FAA, TAS and FIFO queue must yield witnesses (Lemmas 3,
+//! 5–8); the max register must yield none (Lemma 4).
 //!
-//! Run: `cargo run --release -p bench --bin perturb_table`
+//! Run: `cargo run --release -p bench --bin perturb_table [-- --json]`
 
-use bench::markdown_table;
+use bench::{json_mode, markdown_table};
 use detectable::ObjectKind;
-use harness::{default_alphabet, find_doubly_perturbing_witness};
+use harness::{verdicts_to_json, Scenario, Verdict};
 
 fn fmt_ops(ops: &[detectable::OpSpec]) -> String {
     if ops.is_empty() {
@@ -63,10 +65,10 @@ fn main() {
     ];
 
     let mut rows = Vec::new();
+    let mut verdicts: Vec<Verdict> = Vec::new();
     for (kind, name, claim) in kinds {
-        let alphabet = default_alphabet(kind);
-        let found = find_doubly_perturbing_witness(kind, &alphabet, 3, 3);
-        match found {
+        let v = Scenario::object(kind).label(name).perturb();
+        match &v.witness {
             Some(w) => rows.push(vec![
                 name.into(),
                 claim.into(),
@@ -86,6 +88,13 @@ fn main() {
                 "—".into(),
             ]),
         }
+        v.assert_passed();
+        verdicts.push(v);
+    }
+
+    if json_mode() {
+        println!("{}", verdicts_to_json(&verdicts));
+        return;
     }
 
     println!("# E6 — doubly-perturbing witnesses (Definition 3, machine-checked)\n");

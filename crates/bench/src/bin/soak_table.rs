@@ -1,127 +1,21 @@
 //! **Experiments E5 and E7** — crash-storm soak with full history checking.
 //!
-//! Runs every object through hundreds of seeded randomized executions with
-//! crash injection, checking each complete history for durable
-//! linearizability + detectability (Lemmas 1 and 2 at random scale). With
-//! `--cache shared` the same soak runs in the shared-cache model with the
-//! adversarial `DropAll` line-loss policy — validating the paper's Section 6
-//! claim that the algorithms (with their persist instructions) remain
-//! correct under the Izraelevitz transformation; persist counts are
-//! reported.
+//! One [`Sweep`]: every object fanned across 300 seeds of randomized
+//! crash-storm simulation on worker threads, each history checked for
+//! durable linearizability + detectability (Lemmas 1 and 2 at random
+//! scale). With `--cache shared` the same soak runs in the shared-cache
+//! model with the adversarial `DropAll` line-loss policy — validating the
+//! paper's Section 6 claim that the algorithms (with their persist
+//! instructions) remain correct under the Izraelevitz transformation;
+//! persist counts are reported.
 //!
-//! Run: `cargo run --release -p bench --bin soak_table [-- --cache shared]`
+//! Run: `cargo run --release -p bench --bin soak_table [-- --cache shared] [-- --json]`
 
 use baselines::{TaggedCas, TaggedRegister};
-use bench::markdown_table;
-use detectable::{
-    DetectableCas, DetectableCounter, DetectableFaa, DetectableQueue, DetectableRegister,
-    DetectableTas, MaxRegister, ObjectKind, OpSpec, RecoverableObject,
-};
-use harness::{build_world_mode, check_history, run_sim, SimConfig};
-use nvm::{CacheMode, CrashPolicy, Pid};
-
-fn workload_for(kind: ObjectKind) -> fn(Pid, usize) -> OpSpec {
-    match kind {
-        ObjectKind::Register => |pid, i| {
-            if (pid.idx() + i) % 3 == 0 {
-                OpSpec::Read
-            } else {
-                OpSpec::Write((pid.idx() * 10 + i) as u32 % 7)
-            }
-        },
-        ObjectKind::Cas => |pid, i| OpSpec::Cas {
-            old: (i as u32) % 4,
-            new: (pid.get() + i as u32 + 1) % 4,
-        },
-        ObjectKind::MaxRegister => |pid, i| {
-            if (pid.idx() + i) % 3 == 0 {
-                OpSpec::Read
-            } else {
-                OpSpec::WriteMax((pid.idx() * 3 + i) as u32 % 9)
-            }
-        },
-        ObjectKind::Counter => |pid, i| {
-            if (pid.idx() + i) % 4 == 0 {
-                OpSpec::Read
-            } else {
-                OpSpec::Inc
-            }
-        },
-        ObjectKind::Faa => |pid, i| {
-            if (pid.idx() + i) % 4 == 0 {
-                OpSpec::Read
-            } else {
-                OpSpec::Faa(1 + (pid.get() % 3))
-            }
-        },
-        ObjectKind::Swap => |pid, i| {
-            if (pid.idx() + i) % 3 == 0 {
-                OpSpec::Read
-            } else {
-                OpSpec::Swap((pid.idx() * 7 + i) as u32 % 5)
-            }
-        },
-        ObjectKind::Tas => |pid, i| match (pid.idx() + i) % 3 {
-            0 => OpSpec::TestAndSet,
-            1 => OpSpec::Reset,
-            _ => OpSpec::Read,
-        },
-        ObjectKind::Queue => |pid, i| {
-            if (pid.idx() + i) % 2 == 0 {
-                OpSpec::Enq((pid.idx() * 100 + i) as u32)
-            } else {
-                OpSpec::Deq
-            }
-        },
-    }
-}
-
-struct Soak {
-    name: &'static str,
-    histories: usize,
-    crashes: u64,
-    ops: usize,
-    persists: u64,
-    violations: usize,
-}
-
-fn soak(
-    name: &'static str,
-    mode: CacheMode,
-    seeds: u64,
-    make: impl Fn(&mut nvm::LayoutBuilder) -> Box<dyn RecoverableObject>,
-) -> Soak {
-    let mut total = Soak {
-        name,
-        histories: 0,
-        crashes: 0,
-        ops: 0,
-        persists: 0,
-        violations: 0,
-    };
-    for seed in 0..seeds {
-        let (obj, mem) = build_world_mode(mode, &make);
-        let cfg = SimConfig {
-            seed,
-            ops_per_process: 3,
-            crash_prob: 0.03,
-            cache_mode: mode,
-            crash_policy: CrashPolicy::DropAll,
-            retry_on_fail: true,
-            max_retries: 3,
-            max_steps: 1_000_000,
-        };
-        let report = run_sim(&*obj, &mem, &cfg, workload_for(obj.kind()));
-        total.histories += 1;
-        total.crashes += report.crashes;
-        total.ops += report.resolved_ops;
-        total.persists += mem.stats().persists;
-        if obj.detectable() && check_history(obj.kind(), &report.history).is_err() {
-            total.violations += 1;
-        }
-    }
-    total
-}
+use bench::{json_mode, markdown_table};
+use detectable::ObjectKind;
+use harness::{CrashModel, Scenario, SimConfig, Sweep, Workload};
+use nvm::CacheMode;
 
 fn main() {
     let mode = if std::env::args().any(|a| a == "shared" || a == "--cache") {
@@ -129,54 +23,61 @@ fn main() {
     } else {
         CacheMode::PrivateCache
     };
-    let seeds = 300;
+    let seeds = 300u64;
 
-    let soaks: Vec<Soak> = vec![
-        soak("detectable-register (Alg 1)", mode, seeds, |b| {
-            Box::new(DetectableRegister::new(b, 3, 0))
-        }),
-        soak("detectable-cas (Alg 2)", mode, seeds, |b| {
-            Box::new(DetectableCas::new(b, 3, 0))
-        }),
-        soak("max-register (Alg 3)", mode, seeds, |b| {
-            Box::new(MaxRegister::new(b, 3))
-        }),
-        soak("detectable-counter", mode, seeds, |b| {
-            Box::new(DetectableCounter::new(b, 3))
-        }),
-        soak("detectable-faa", mode, seeds, |b| {
-            Box::new(DetectableFaa::new(b, 3))
-        }),
-        soak("detectable-swap", mode, seeds, |b| {
-            Box::new(detectable::DetectableSwap::new(b, 3))
-        }),
-        soak("detectable-tas", mode, seeds, |b| {
-            Box::new(DetectableTas::new(b, 3))
-        }),
-        soak("detectable-queue", mode, seeds, |b| {
-            Box::new(DetectableQueue::new(b, 3, 128))
-        }),
-        soak("tagged-register [3]-style", mode, seeds, |b| {
-            Box::new(TaggedRegister::new(b, 3))
-        }),
-        soak("tagged-cas [4]-style", mode, seeds, |b| {
-            Box::new(TaggedCas::new(b, 3))
-        }),
+    let kinds = [
+        (ObjectKind::Register, "detectable-register (Alg 1)"),
+        (ObjectKind::Cas, "detectable-cas (Alg 2)"),
+        (ObjectKind::MaxRegister, "max-register (Alg 3)"),
+        (ObjectKind::Counter, "detectable-counter"),
+        (ObjectKind::Faa, "detectable-faa"),
+        (ObjectKind::Swap, "detectable-swap"),
+        (ObjectKind::Tas, "detectable-tas"),
+        (ObjectKind::Queue, "detectable-queue"),
     ];
-
-    let rows: Vec<Vec<String>> = soaks
+    let mut scenarios: Vec<Scenario> = kinds
         .iter()
-        .map(|s| {
+        .map(|(kind, label)| Scenario::object(*kind).label(*label))
+        .collect();
+    scenarios.push(
+        Scenario::custom(|b| Box::new(TaggedRegister::new(b, 3)))
+            .label("tagged-register [3]-style"),
+    );
+    scenarios
+        .push(Scenario::custom(|b| Box::new(TaggedCas::new(b, 3))).label("tagged-cas [4]-style"));
+
+    let report = Sweep::over(scenarios.into_iter().map(|s| {
+        s.processes(3)
+            .memory(mode)
+            .workload(Workload::mixed(3))
+            .faults(CrashModel::storms(0.03))
+    }))
+    .seeds(0..seeds)
+    .parallelism(8)
+    .simulate(&SimConfig::default());
+
+    if json_mode() {
+        println!("{}", report.to_json());
+        return;
+    }
+
+    let rows: Vec<Vec<String>> = report
+        .by_object()
+        .iter()
+        .map(|r| {
             vec![
-                s.name.into(),
-                s.histories.to_string(),
-                s.ops.to_string(),
-                s.crashes.to_string(),
-                format!("{:.1}", s.persists as f64 / s.ops.max(1) as f64),
-                if s.violations == 0 {
+                r.object.clone(),
+                r.runs.to_string(),
+                r.stats.resolved_ops.to_string(),
+                r.stats.crashes.to_string(),
+                format!(
+                    "{:.1}",
+                    r.stats.persists as f64 / r.stats.resolved_ops.max(1) as f64
+                ),
+                if r.failures == 0 {
                     "0 (clean)".into()
                 } else {
-                    format!("{} VIOLATIONS", s.violations)
+                    format!("{} VIOLATIONS", r.failures)
                 },
             ]
         })

@@ -4,97 +4,106 @@
 //! The paper's Sections 3–4 claim: Algorithm 1 and Algorithm 2 use bounded
 //! space (Algorithm 2 exactly Θ(N) shared bits beyond the value), while the
 //! prior detectable algorithms \[3, 4, 9\] carry per-operation tags whose
-//! width grows with the operation count. This binary prints the exact
-//! logical NVM bit counts from the layout allocator, plus the tag-growth
-//! model for the unbounded baselines.
+//! width grows with the operation count. This binary reads the exact
+//! logical NVM bit counts through the [`Scenario::space`] runner, plus the
+//! tag-growth model for the unbounded baselines.
 //!
-//! Run: `cargo run --release -p bench --bin space_table`
+//! Run: `cargo run --release -p bench --bin space_table [-- --json]`
 
 use baselines::{NonDetectableCas, TaggedCas, TaggedRegister};
-use bench::markdown_table;
-use detectable::{DetectableCas, DetectableQueue, DetectableRegister, MaxRegister};
-use nvm::LayoutBuilder;
-
-fn bits_of<O>(f: impl FnOnce(&mut LayoutBuilder) -> O) -> (u64, u64) {
-    let mut b = LayoutBuilder::new();
-    let _obj = f(&mut b);
-    let layout = b.finish();
-    (layout.shared_bits(), layout.private_bits())
-}
+use bench::{json_mode, markdown_table};
+use detectable::ObjectKind;
+use harness::{verdicts_to_json, Scenario, Verdict};
 
 fn main() {
     let ns = [2u32, 4, 8, 16, 32];
     let mut rows = Vec::new();
+    let mut verdicts: Vec<Verdict> = Vec::new();
+
+    let mut push = |n: u32, scenario: Scenario, sim_note: bool, boundedness: &str| {
+        let v = scenario.space();
+        let suffix = if sim_note { " @sim" } else { "" };
+        rows.push(vec![
+            v.object.clone(),
+            n.to_string(),
+            format!("{}{suffix}", v.stats.shared_bits),
+            format!("{}{suffix}", v.stats.private_bits),
+            boundedness.into(),
+        ]);
+        verdicts.push(v);
+    };
 
     for &n in &ns {
-        let (s, p) = bits_of(|b| DetectableRegister::new(b, n, 0));
-        rows.push(vec![
-            "detectable-register (Alg 1)".into(),
-            n.to_string(),
-            s.to_string(),
-            p.to_string(),
-            "bounded: 2N² toggle bits + value + ⌈log N⌉ + 1".into(),
-        ]);
+        push(
+            n,
+            Scenario::object(ObjectKind::Register)
+                .processes(n)
+                .label("detectable-register (Alg 1)"),
+            false,
+            "bounded: 2N² toggle bits + value + ⌈log N⌉ + 1",
+        );
     }
     for &n in &ns {
-        let (s, p) = bits_of(|b| DetectableCas::new(b, n, 0));
-        rows.push(vec![
-            "detectable-cas (Alg 2)".into(),
-            n.to_string(),
-            s.to_string(),
-            p.to_string(),
-            "bounded: value + N bits (Θ(N), optimal by Thm 1)".into(),
-        ]);
+        push(
+            n,
+            Scenario::object(ObjectKind::Cas)
+                .processes(n)
+                .label("detectable-cas (Alg 2)"),
+            false,
+            "bounded: value + N bits (Θ(N), optimal by Thm 1)",
+        );
     }
     for &n in &ns {
-        let (s, p) = bits_of(|b| MaxRegister::new(b, n));
-        rows.push(vec![
-            "max-register (Alg 3)".into(),
-            n.to_string(),
-            s.to_string(),
-            p.to_string(),
-            "bounded: N values, no aux state at all".into(),
-        ]);
+        push(
+            n,
+            Scenario::object(ObjectKind::MaxRegister)
+                .processes(n)
+                .label("max-register (Alg 3)"),
+            false,
+            "bounded: N values, no aux state at all",
+        );
     }
     for &n in &ns {
-        let (s, p) = bits_of(|b| NonDetectableCas::new(b, n));
-        rows.push(vec![
-            "non-detectable cas".into(),
-            n.to_string(),
-            s.to_string(),
-            p.to_string(),
-            "bounded: value only (detectability ablated)".into(),
-        ]);
+        push(
+            n,
+            Scenario::custom(move |b| Box::new(NonDetectableCas::new(b, n)))
+                .label("non-detectable cas"),
+            false,
+            "bounded: value only (detectability ablated)",
+        );
     }
     for &n in &ns {
-        let (s, p) = bits_of(|b| TaggedRegister::new(b, n));
-        rows.push(vec![
-            "tagged-register [3]-style".into(),
-            n.to_string(),
-            format!("{s} @sim"),
-            format!("{p} @sim"),
-            "UNBOUNDED: every tag cell needs ⌈log₂ ops⌉ bits".into(),
-        ]);
+        push(
+            n,
+            Scenario::custom(move |b| Box::new(TaggedRegister::new(b, n)))
+                .label("tagged-register [3]-style"),
+            true,
+            "UNBOUNDED: every tag cell needs ⌈log₂ ops⌉ bits",
+        );
     }
     for &n in &ns {
-        let (s, p) = bits_of(|b| TaggedCas::new(b, n));
-        rows.push(vec![
-            "tagged-cas [4]-style".into(),
-            n.to_string(),
-            format!("{s} @sim"),
-            format!("{p} @sim"),
-            "UNBOUNDED: N²+1 tag cells of ⌈log₂ ops⌉ bits".into(),
-        ]);
+        push(
+            n,
+            Scenario::custom(move |b| Box::new(TaggedCas::new(b, n))).label("tagged-cas [4]-style"),
+            true,
+            "UNBOUNDED: N²+1 tag cells of ⌈log₂ ops⌉ bits",
+        );
     }
     for &n in &ns {
-        let (s, p) = bits_of(|b| DetectableQueue::new(b, n, 1024));
-        rows.push(vec![
-            "detectable-queue [9]-style".into(),
-            n.to_string(),
-            format!("{s} @1024 nodes"),
-            p.to_string(),
-            "UNBOUNDED: per-op ids + unreclaimed nodes".into(),
-        ]);
+        push(
+            n,
+            Scenario::object(ObjectKind::Queue)
+                .processes(n)
+                .queue_capacity(1024)
+                .label("detectable-queue [9]-style"),
+            false,
+            "UNBOUNDED: per-op ids + unreclaimed nodes (@1024 nodes)",
+        );
+    }
+
+    if json_mode() {
+        println!("{}", verdicts_to_json(&verdicts));
+        return;
     }
 
     println!("# E3 — NVM space by object and process count\n");

@@ -1,7 +1,10 @@
 //! **Experiment E4** — step complexity / wait-freedom (Lemmas 1 and 2).
 //!
 //! Measures primitive steps per operation under adversarial random
-//! schedules (seeded, maximum over many runs):
+//! schedules (seeded, maximum over many runs). Worlds are built through the
+//! [`Scenario`] vocabulary and stepped through the shared [`Driver`]
+//! caller protocol; the all-processes-busy schedule itself is bespoke to
+//! this experiment (it measures machine steps, not histories):
 //!
 //! * Algorithm 1 `Write` is wait-free with exactly `N + 10` steps — linear
 //!   in N because of the toggle-bit loop, but independent of contention;
@@ -12,49 +15,55 @@
 //!   constant;
 //! * the composed counter's `Inc` is lock-free: bounded only by retries.
 //!
-//! Run: `cargo run --release -p bench --bin steps_table`
+//! Run: `cargo run --release -p bench --bin steps_table [-- --json]`
 
-use bench::markdown_table;
-use detectable::{
-    DetectableCas, DetectableCounter, DetectableRegister, MaxRegister, OpSpec, RecoverableObject,
-};
-use nvm::{Pid, Poll, SimMemory};
+use bench::{json_mode, markdown_table};
+use detectable::{ObjectKind, OpSpec};
+use harness::{Driver, RetryPolicy, Scenario, StepOutcome};
+use nvm::Pid;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Runs `rounds` of an all-processes-busy random schedule, returning the
-/// step count of each completed operation together with the operation.
+/// Runs `rounds` of an all-processes-busy random schedule through the
+/// shared driver, returning the step count of each completed operation
+/// together with the operation.
 fn measure(
-    obj: &dyn RecoverableObject,
-    mem: &SimMemory,
+    scenario: &Scenario,
     workload: impl Fn(Pid, usize) -> OpSpec,
     rounds: usize,
     seed: u64,
 ) -> Vec<(OpSpec, usize)> {
-    let n = obj.processes();
+    let (obj, mem) = scenario.build();
+    let n = obj.processes() as usize;
+    let retry = RetryPolicy {
+        retry_on_fail: false,
+        max_retries: 0,
+        reset_per_op: false,
+    };
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut machines: Vec<Option<(OpSpec, Box<dyn nvm::Machine>)>> = (0..n).map(|_| None).collect();
-    let mut steps: Vec<usize> = vec![0; n as usize];
-    let mut op_count: Vec<usize> = vec![0; n as usize];
+    // History-free: two events per op inside the measurement loop would be
+    // measured as algorithm cost.
+    let mut driver = Driver::without_history(obj.processes());
+    let mut current: Vec<Option<OpSpec>> = vec![None; n];
+    let mut steps: Vec<usize> = vec![0; n];
+    let mut op_count: Vec<usize> = vec![0; n];
     let mut done = 0usize;
     let mut all = Vec::new();
 
     while done < rounds {
-        let i = rng.gen_range(0..n as usize);
-        let pid = Pid::new(i as u32);
-        if machines[i].is_none() {
-            let op = workload(pid, op_count[i]);
+        let i = rng.gen_range(0..n);
+        if current[i].is_none() {
+            let op = workload(Pid::new(i as u32), op_count[i]);
             op_count[i] += 1;
-            obj.prepare(mem, pid, &op);
-            machines[i] = Some((op, obj.invoke(pid, &op)));
+            driver.invoke(&*obj, &mem, i, op, &retry);
+            current[i] = Some(op);
             steps[i] = 0;
         }
-        let (op, m) = machines[i].as_mut().expect("machine exists");
-        let op = *op;
+        // Invocation and first machine step share a scheduler pick, matching
+        // the schedule this table has always measured under.
         steps[i] += 1;
-        if let Poll::Ready(_) = m.step(mem) {
-            machines[i] = None;
-            all.push((op, steps[i]));
+        if let StepOutcome::Returned(_) = driver.step(&*obj, &mem, i, &retry) {
+            all.push((current[i].take().expect("op in flight"), steps[i]));
             done += 1;
         }
         assert!(
@@ -69,14 +78,11 @@ fn row(
     name: &str,
     op: &str,
     n: u32,
-    make: impl FnOnce(&mut nvm::LayoutBuilder) -> Box<dyn RecoverableObject>,
+    scenario: Scenario,
     workload: impl Fn(Pid, usize) -> OpSpec,
     filter: impl Fn(&OpSpec) -> bool,
 ) -> Vec<String> {
-    let mut b = nvm::LayoutBuilder::new();
-    let obj = make(&mut b);
-    let mem = SimMemory::new(b.finish());
-    let samples: Vec<usize> = measure(&*obj, &mem, workload, 2_000, 42)
+    let samples: Vec<usize> = measure(&scenario, workload, 2_000, 42)
         .into_iter()
         .filter(|(o, _)| filter(o))
         .map(|(_, s)| s)
@@ -114,7 +120,7 @@ fn main() {
             "detectable-register (Alg 1)",
             "Write",
             n,
-            |b| Box::new(DetectableRegister::new(b, n, 0)),
+            Scenario::object(ObjectKind::Register).processes(n),
             |pid, i| OpSpec::Write(pid.get() * 1000 + i as u32),
             |o| matches!(o, OpSpec::Write(_)),
         ));
@@ -124,7 +130,7 @@ fn main() {
             "detectable-register (Alg 1)",
             "Read",
             n,
-            |b| Box::new(DetectableRegister::new(b, n, 0)),
+            Scenario::object(ObjectKind::Register).processes(n),
             |pid, i| {
                 if pid.get() == 0 {
                     OpSpec::Read
@@ -140,7 +146,7 @@ fn main() {
             "detectable-cas (Alg 2)",
             "Cas",
             n,
-            |b| Box::new(DetectableCas::new(b, n, 0)),
+            Scenario::object(ObjectKind::Cas).processes(n),
             |pid, i| OpSpec::Cas {
                 old: i as u32 % 5,
                 new: pid.get() + i as u32 % 5,
@@ -153,7 +159,7 @@ fn main() {
             "max-register (Alg 3)",
             "Read (contended)",
             n,
-            |b| Box::new(MaxRegister::new(b, n)),
+            Scenario::object(ObjectKind::MaxRegister).processes(n),
             |pid, i| {
                 if pid.get() == 0 {
                     OpSpec::Read
@@ -169,7 +175,7 @@ fn main() {
             "max-register (Alg 3)",
             "WriteMax",
             n,
-            |b| Box::new(MaxRegister::new(b, n)),
+            Scenario::object(ObjectKind::MaxRegister).processes(n),
             |_pid, i| OpSpec::WriteMax(i as u32),
             |o| matches!(o, OpSpec::WriteMax(_)),
         ));
@@ -179,10 +185,27 @@ fn main() {
             "detectable-counter (composed)",
             "Inc (contended)",
             n,
-            |b| Box::new(DetectableCounter::new(b, n)),
+            Scenario::object(ObjectKind::Counter).processes(n),
             |_pid, _i| OpSpec::Inc,
             |o| matches!(o, OpSpec::Inc),
         ));
+    }
+
+    if json_mode() {
+        // Steps rows are a bespoke measurement, not verdicts: emit the rows
+        // as a JSON table with the same columns as the Markdown output.
+        let cells: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"object\":\"{}\",\"operation\":\"{}\",\"n\":{},\
+                     \"min\":\"{}\",\"mean\":\"{}\",\"max\":\"{}\"}}",
+                    r[0], r[1], r[2], r[3], r[4], r[5]
+                )
+            })
+            .collect();
+        println!("[{}]", cells.join(","));
+        return;
     }
 
     println!("# E4 — primitive steps per operation under random schedules\n");

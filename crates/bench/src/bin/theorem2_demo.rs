@@ -10,7 +10,7 @@
 //!   must find the adversarial execution the theorem constructs.
 //!
 //! The max register (not doubly-perturbing, Lemma 4) is probed with a
-//! crash-heavy workload instead and must stay clean despite having no
+//! crash-heavy [`Scenario`] instead and must stay clean despite having no
 //! auxiliary state at all — the other side of the classification boundary.
 //!
 //! Run: `cargo run --release -p bench --bin theorem2_demo`
@@ -21,7 +21,7 @@ use detectable::{
     DetectableCas, DetectableCounter, DetectableFaa, DetectableQueue, DetectableRegister,
     DetectableSwap, DetectableTas, MaxRegister, OpSpec, RecoverableObject,
 };
-use harness::{build_world, explore, probe_aux_state, ExploreConfig, Workload};
+use harness::{build_world, probe_aux_state, CrashModel, ExploreConfig, Scenario, Workload};
 use nvm::{Pid, SimMemory};
 
 fn probe(name: &str, aux: bool, obj: &dyn RecoverableObject, mem: &SimMemory) -> Vec<String> {
@@ -83,28 +83,26 @@ fn main() {
     });
 
     // The boundary case: Algorithm 3 receives no auxiliary state by design
-    // and must survive the same adversarial exploration.
-    let (mr, mem) = build_world(|b| MaxRegister::new(b, 2));
-    let script = [
-        (Pid::new(0), OpSpec::WriteMax(1)),
-        (Pid::new(1), OpSpec::Read),
-        (Pid::new(1), OpSpec::WriteMax(2)),
-        (Pid::new(0), OpSpec::WriteMax(1)),
-        (Pid::new(1), OpSpec::Read),
-    ];
-    let out = explore(
-        &mr,
-        &mem,
-        Workload::Script(&script),
-        &ExploreConfig::default(),
-    );
+    // and must survive the same adversarial exploration — as a Scenario.
+    let boundary = Scenario::custom(|b| Box::new(MaxRegister::new(b, 2)))
+        .label("max-register (Alg 3)")
+        .workload(Workload::script(vec![
+            (Pid::new(0), OpSpec::WriteMax(1)),
+            (Pid::new(1), OpSpec::Read),
+            (Pid::new(1), OpSpec::WriteMax(2)),
+            (Pid::new(0), OpSpec::WriteMax(1)),
+            (Pid::new(1), OpSpec::Read),
+        ]))
+        .faults(CrashModel::exhaustive(1))
+        .explore(&ExploreConfig::default());
     rows.push(vec![
-        "max-register (Alg 3)".into(),
+        boundary.object.clone(),
         "none exists".into(),
-        out.leaves.to_string(),
-        match &out.violation {
-            None => "clean (Lemma 4 boundary)".into(),
-            Some(_) => "VIOLATION (unexpected!)".into(),
+        boundary.stats.executions.to_string(),
+        if boundary.passed {
+            "clean (Lemma 4 boundary)".into()
+        } else {
+            "VIOLATION (unexpected!)".into()
         },
     ]);
 

@@ -62,36 +62,15 @@ pub fn ops_per_sec(total_ops: usize, elapsed: Duration) -> f64 {
     total_ops as f64 / elapsed.as_secs_f64()
 }
 
-/// Renders a Markdown table (used by every experiment binary so outputs can
-/// be pasted into `EXPERIMENTS.md` verbatim).
-pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
-    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
-    for row in rows {
-        for (i, cell) in row.iter().enumerate() {
-            if i < widths.len() {
-                widths[i] = widths[i].max(cell.len());
-            }
-        }
-    }
-    let mut out = String::new();
-    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-        let mut line = String::from("|");
-        for (i, c) in cells.iter().enumerate() {
-            line.push_str(&format!(" {:w$} |", c, w = widths[i]));
-        }
-        line.push('\n');
-        line
-    };
-    out.push_str(&fmt_row(
-        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
-        &widths,
-    ));
-    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
-    out.push_str(&fmt_row(&sep, &widths));
-    for row in rows {
-        out.push_str(&fmt_row(row, &widths));
-    }
-    out
+/// Renders a Markdown table — re-exported from [`harness::report`] so the
+/// table binaries and the sweep reports share one renderer.
+pub use harness::markdown_table;
+
+/// Whether the experiment binary was invoked with `--json`: print the
+/// machine-readable verdict stream (for CI and bench tracking) instead of
+/// the Markdown tables.
+pub fn json_mode() -> bool {
+    std::env::args().any(|a| a == "--json")
 }
 
 /// Builds an `(object, AtomicMemory)` world for the thread benches.

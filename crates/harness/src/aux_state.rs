@@ -25,7 +25,7 @@
 use detectable::{ObjectKind, OpSpec, RecoverableObject};
 use nvm::{Pid, SimMemory};
 
-use crate::explore::{explore, ExploreConfig, ExploreOutcome, Workload};
+use crate::explore::{explore_engine, ExploreConfig, ExploreOutcome, OpSource};
 
 /// The Figure 2-shaped script for a doubly-perturbing object kind:
 /// `H1 ∘ Opp ∘ Op′ ∘ extension ∘ Opp(again) ∘ Opq`, with process `p0`
@@ -116,7 +116,7 @@ pub fn probe_aux_state(obj: &dyn RecoverableObject, mem: &SimMemory) -> ExploreO
         max_retries: 2,
         ..Default::default()
     };
-    explore(obj, mem, Workload::Script(&script), &cfg)
+    explore_engine(obj, mem, OpSource::Script(&script), &cfg)
 }
 
 #[cfg(test)]
@@ -239,7 +239,7 @@ mod tests {
         // The positive side of the boundary: Algorithm 3 has no prepare at
         // all (wrapping it changes nothing), and survives crash exploration
         // over a WriteMax/Read workload.
-        use crate::explore::{explore, ExploreConfig, Workload};
+        use crate::explore::{explore_engine, ExploreConfig, OpSource};
         use detectable::MaxRegister;
         let (mr, mem) = build_world(|b| baselines::WithoutPrepare::new(MaxRegister::new(b, 2)));
         let script = [
@@ -249,10 +249,10 @@ mod tests {
             (Pid::new(0), OpSpec::WriteMax(1)),
             (Pid::new(1), OpSpec::Read),
         ];
-        let out = explore(
+        let out = explore_engine(
             &mr,
             &mem,
-            Workload::Script(&script),
+            OpSource::Script(&script),
             &ExploreConfig::default(),
         );
         out.assert_clean();

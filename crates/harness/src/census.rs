@@ -46,7 +46,25 @@ impl CensusReport {
 /// Runs `ops` one at a time (each to completion, crash-free) and counts the
 /// distinct shared-memory configurations observed after each operation
 /// (plus the initial one).
+///
+/// Deprecated shim over the engine behind
+/// [`Scenario::census`](crate::Scenario::census) (which selects this solo
+/// drive for script workloads).
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `harness::Scenario` with a script workload and call `.census(&BfsConfig)`"
+)]
 pub fn census_drive(
+    obj: &dyn RecoverableObject,
+    mem: &SimMemory,
+    ops: &[(Pid, OpSpec)],
+) -> CensusReport {
+    census_drive_engine(obj, mem, ops)
+}
+
+/// [`census_drive`]'s engine: solo-drives `ops` and counts distinct shared
+/// configurations. See [`Scenario::census`](crate::Scenario::census).
+pub(crate) fn census_drive_engine(
     obj: &dyn RecoverableObject,
     mem: &SimMemory,
     ops: &[(Pid, OpSpec)],
@@ -120,13 +138,31 @@ fn encode_node(mem: &SimMemory, driver: &Driver, ops_used: usize) -> Vec<Word> {
     key
 }
 
-/// Exhaustive crash-free reachability: explores every interleaving of up to
+/// Exhaustive crash-free reachability over an operation alphabet.
+///
+/// Deprecated shim over the engine behind
+/// [`Scenario::census`](crate::Scenario::census) (which selects the BFS for
+/// alphabet workloads).
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `harness::Scenario` with an alphabet workload and call `.census(&BfsConfig)`"
+)]
+pub fn census_bfs(
+    obj: &dyn RecoverableObject,
+    mem: &SimMemory,
+    alphabet: &[OpSpec],
+    cfg: &BfsConfig,
+) -> CensusReport {
+    census_bfs_engine(obj, mem, alphabet, cfg)
+}
+
+/// [`census_bfs`]'s engine: explores every interleaving of up to
 /// `cfg.max_ops` operations drawn from `alphabet` (any process, any time)
 /// and counts the distinct shared-memory configurations of all reachable
 /// states. The breadth-first order revisits states arbitrarily, so nodes
 /// carry full [`nvm::MemSnapshot`]s rather than the explorer's LIFO
 /// checkpoints.
-pub fn census_bfs(
+pub(crate) fn census_bfs_engine(
     obj: &dyn RecoverableObject,
     mem: &SimMemory,
     alphabet: &[OpSpec],
@@ -248,7 +284,7 @@ mod tests {
         for n in 1..=6u32 {
             let (cas, mem) = build_world(|b| DetectableCas::new(b, n, 0));
             let ops = gray_code_cas_ops(n);
-            let report = census_drive(&cas, &mem, &ops);
+            let report = census_drive_engine(&cas, &mem, &ops);
             assert!(
                 report.meets_bound(),
                 "n={n}: {} < {}",
@@ -272,7 +308,7 @@ mod tests {
             max_ops: 4,
             max_states: 200_000,
         };
-        let report = census_bfs(&cas, &mem, &alphabet, &cfg);
+        let report = census_bfs_engine(&cas, &mem, &alphabet, &cfg);
         assert!(report.meets_bound(), "{report:?}");
     }
 }

@@ -9,9 +9,9 @@
 //!
 //! Two sources of work are supported:
 //!
-//! * [`Workload::PerProcess`] — each process has its own operation list; the
+//! * [`OpSource::PerProcess`] — each process has its own operation list; the
 //!   explorer branches over *all* interleavings;
-//! * [`Workload::Script`] — one global sequence of operations executed one
+//! * [`OpSource::Script`] — one global sequence of operations executed one
 //!   at a time (no concurrency), but with crashes allowed between any two
 //!   primitive steps. The Figure 2 construction is essentially sequential,
 //!   so this mode finds it cheaply.
@@ -66,11 +66,12 @@ use detectable::{OpSpec, RecoverableObject};
 use nvm::{Checkpoint, CrashPolicy, Pid, SimMemory, Word};
 
 use crate::driver::{Driver, ProcState, RetryPolicy};
-use crate::linearize::{check_history, Violation};
+use crate::linearize::{check_execution, Violation};
 
-/// Where operations come from.
+/// Where operations come from (the engine's borrowed view; the owned
+/// [`Workload`](crate::Workload) type resolves onto it).
 #[derive(Copy, Clone, Debug)]
-pub enum Workload<'a> {
+pub enum OpSource<'a> {
     /// `workload[p]` is the operation list of process `p`; all interleavings
     /// are explored.
     PerProcess(&'a [Vec<OpSpec>]),
@@ -189,13 +190,13 @@ enum Action {
 }
 
 /// The scheduler actions available from `node`, in canonical order.
-fn actions(cfg: &ExploreConfig, source: Workload<'_>, node: &Node) -> Vec<Action> {
+fn actions(cfg: &ExploreConfig, source: OpSource<'_>, node: &Node) -> Vec<Action> {
     let mut out = Vec::new();
     if node.driver.any_in_flight() && node.crashes_used < cfg.max_crashes {
         out.push(Action::Crash);
     }
     match source {
-        Workload::PerProcess(w) => {
+        OpSource::PerProcess(w) => {
             // Process index addresses three parallel structures (driver
             // state, workload list, op cursor), so a plain index loop it is.
             #[allow(clippy::needless_range_loop)]
@@ -211,7 +212,7 @@ fn actions(cfg: &ExploreConfig, source: Workload<'_>, node: &Node) -> Vec<Action
                 }
             }
         }
-        Workload::Script(script) => {
+        OpSource::Script(script) => {
             // One operation at a time: if some process is mid-operation (or
             // mid-recovery), only it may act; otherwise the script advances.
             if let Some(i) = (0..node.driver.processes()).find(|&i| !node.driver.state(i).is_idle())
@@ -332,7 +333,7 @@ struct Frame {
 struct Engine<'a> {
     obj: &'a dyn RecoverableObject,
     cfg: &'a ExploreConfig,
-    source: Workload<'a>,
+    source: OpSource<'a>,
     retry: RetryPolicy,
     progress: &'a Progress,
     /// This worker's canonical subtree index (for violation ordering).
@@ -350,7 +351,7 @@ impl<'a> Engine<'a> {
     fn new(
         obj: &'a dyn RecoverableObject,
         cfg: &'a ExploreConfig,
-        source: Workload<'a>,
+        source: OpSource<'a>,
         progress: &'a Progress,
         subtree: usize,
     ) -> Self {
@@ -474,24 +475,11 @@ impl<'a> Engine<'a> {
     }
 
     /// The full durable-linearizability + detectability check of one
-    /// complete execution.
+    /// complete execution (relaxed for non-detectable objects — see
+    /// [`check_execution`]).
     fn check_leaf(&mut self, node: &Node) {
-        let history = node.driver.history();
-        if self.obj.detectable() {
-            if let Err(v) = check_history(self.obj.kind(), history) {
-                self.violation = Some(v);
-            }
-        } else {
-            // Non-detectable objects: verdict words carry no linearization
-            // claim; recovered operations become Unresolved (effect unknown,
-            // interval preserved) and only durable linearizability remains.
-            let records = history.to_records_relaxed();
-            if let Err(mut v) = crate::linearize::check_records(self.obj.kind(), &records) {
-                v.rendered = history.to_string();
-                self.violation = Some(v);
-            }
-        }
-        if self.violation.is_some() {
+        if let Err(v) = check_execution(self.obj, node.driver.history()) {
+            self.violation = Some(v);
             self.progress.report_violation(self.subtree);
         }
     }
@@ -571,7 +559,7 @@ impl<'a> Engine<'a> {
         // In full-interleaving mode, private-only step runs merge into one
         // action (partial-order reduction); scripted explorations keep
         // crash granularity at single primitives.
-        let merge = matches!(self.source, Workload::PerProcess(_));
+        let merge = matches!(self.source, OpSource::PerProcess(_));
         match action {
             Action::Crash => {
                 node.crashes_used += 1;
@@ -580,12 +568,12 @@ impl<'a> Engine<'a> {
             Action::Proc(i) => {
                 if node.driver.state(i).is_idle() {
                     let op = match self.source {
-                        Workload::PerProcess(w) => {
+                        OpSource::PerProcess(w) => {
                             let op = w[i][node.next_op[i]];
                             node.next_op[i] += 1;
                             op
                         }
-                        Workload::Script(script) => {
+                        OpSource::Script(script) => {
                             let (_, op) = script[node.script_pos];
                             node.script_pos += 1;
                             op
@@ -602,15 +590,40 @@ impl<'a> Engine<'a> {
     }
 }
 
+/// The explorer's old public name for [`OpSource`], kept for one release.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the declarative `harness::Workload` with `Scenario::explore`, \
+            or `OpSource` for direct engine calls"
+)]
+pub type Workload<'a> = OpSource<'a>;
+
+/// Exhaustively explores executions of `obj` and checks every complete one.
+///
+/// Deprecated shim over [`explore_engine`], the engine
+/// [`Scenario::explore`](crate::Scenario::explore) lowers onto.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `harness::Scenario` and call `.explore(&ExploreConfig)` instead"
+)]
+pub fn explore(
+    obj: &dyn RecoverableObject,
+    mem: &SimMemory,
+    source: OpSource<'_>,
+    cfg: &ExploreConfig,
+) -> ExploreOutcome {
+    explore_engine(obj, mem, source, cfg)
+}
+
 /// Exhaustively explores executions of `obj` and checks every complete one.
 ///
 /// The memory must be freshly initialized; it is left in its starting state
 /// on return. See the [module docs](self) for the engine design and the
 /// determinism guarantees of parallel runs.
-pub fn explore(
+pub fn explore_engine(
     obj: &dyn RecoverableObject,
     mem: &SimMemory,
-    source: Workload<'_>,
+    source: OpSource<'_>,
     cfg: &ExploreConfig,
 ) -> ExploreOutcome {
     let root = Node::root(obj.processes());
@@ -648,7 +661,7 @@ struct SubtreeResult {
 fn explore_parallel(
     obj: &dyn RecoverableObject,
     mem: &SimMemory,
-    source: Workload<'_>,
+    source: OpSource<'_>,
     cfg: &ExploreConfig,
     root: Node,
     progress: &Progress,
@@ -803,10 +816,10 @@ mod tests {
             (p, OpSpec::Write(1)),
             (q, OpSpec::Read),
         ];
-        let out = explore(
+        let out = explore_engine(
             &reg,
             &mem,
-            Workload::Script(&script),
+            OpSource::Script(&script),
             &ExploreConfig::default(),
         );
         out.assert_clean();
@@ -828,10 +841,10 @@ mod tests {
             (p, OpSpec::Cas { old: 0, new: 1 }),
             (q, OpSpec::Read),
         ];
-        let out = explore(
+        let out = explore_engine(
             &cas,
             &mem,
-            Workload::Script(&script),
+            OpSource::Script(&script),
             &ExploreConfig::default(),
         );
         out.assert_clean();
@@ -845,7 +858,7 @@ mod tests {
             max_crashes: 0,
             ..Default::default()
         };
-        let out = explore(&reg, &mem, Workload::PerProcess(&w), &cfg);
+        let out = explore_engine(&reg, &mem, OpSource::PerProcess(&w), &cfg);
         out.assert_clean();
         assert!(out.leaves > 100);
     }
@@ -857,10 +870,10 @@ mod tests {
             vec![OpSpec::Cas { old: 0, new: 1 }],
             vec![OpSpec::Cas { old: 0, new: 2 }],
         ];
-        let out = explore(
+        let out = explore_engine(
             &cas,
             &mem,
-            Workload::PerProcess(&w),
+            OpSource::PerProcess(&w),
             &ExploreConfig::default(),
         );
         out.assert_clean();
@@ -873,10 +886,10 @@ mod tests {
             vec![OpSpec::WriteMax(2), OpSpec::Read],
             vec![OpSpec::WriteMax(1)],
         ];
-        let out = explore(
+        let out = explore_engine(
             &mr,
             &mem,
-            Workload::PerProcess(&w),
+            OpSource::PerProcess(&w),
             &ExploreConfig::default(),
         );
         out.assert_clean();
@@ -891,7 +904,7 @@ mod tests {
             max_crashes: 0,
             ..Default::default()
         };
-        let out = explore(&reg, &mem, Workload::PerProcess(&w), &cfg);
+        let out = explore_engine(&reg, &mem, OpSource::PerProcess(&w), &cfg);
         assert!(out.truncated);
         assert_eq!(out.leaves, 5);
     }
@@ -905,7 +918,7 @@ mod tests {
             max_crashes: 0,
             ..Default::default()
         };
-        let _ = explore(&reg, &mem, Workload::PerProcess(&w), &cfg);
+        let _ = explore_engine(&reg, &mem, OpSource::PerProcess(&w), &cfg);
         assert_eq!(mem.shared_key(), before);
     }
 
@@ -916,19 +929,19 @@ mod tests {
             vec![OpSpec::Cas { old: 0, new: 1 }],
             vec![OpSpec::Cas { old: 0, new: 2 }],
         ];
-        let pruned = explore(
+        let pruned = explore_engine(
             &cas,
             &mem,
-            Workload::PerProcess(&w),
+            OpSource::PerProcess(&w),
             &ExploreConfig {
                 prune: true,
                 ..Default::default()
             },
         );
-        let unpruned = explore(
+        let unpruned = explore_engine(
             &cas,
             &mem,
-            Workload::PerProcess(&w),
+            OpSource::PerProcess(&w),
             &ExploreConfig {
                 prune: false,
                 ..Default::default()
@@ -951,12 +964,12 @@ mod tests {
         let (reg, mem) = build_world(|b| DetectableRegister::new(b, 2, 0));
         let w = vec![vec![OpSpec::Write(1), OpSpec::Read], vec![OpSpec::Write(2)]];
         let base = ExploreConfig::default();
-        let seq = explore(&reg, &mem, Workload::PerProcess(&w), &base);
+        let seq = explore_engine(&reg, &mem, OpSource::PerProcess(&w), &base);
         for parallelism in [2, 4, 7] {
-            let par = explore(
+            let par = explore_engine(
                 &reg,
                 &mem,
-                Workload::PerProcess(&w),
+                OpSource::PerProcess(&w),
                 &ExploreConfig {
                     parallelism,
                     ..base.clone()
@@ -982,7 +995,7 @@ mod tests {
                 parallelism,
                 ..Default::default()
             };
-            let out = explore(&reg, &mem, Workload::Script(&script), &cfg);
+            let out = explore_engine(&reg, &mem, OpSource::Script(&script), &cfg);
             out.violation
                 .expect("Theorem 2 predicts a violation")
                 .rendered
@@ -1000,19 +1013,19 @@ mod tests {
             (Pid::new(1), OpSpec::Read),
             (Pid::new(0), OpSpec::Write(2)),
         ];
-        let a = explore(
+        let a = explore_engine(
             &reg,
             &mem,
-            Workload::Script(&script),
+            OpSource::Script(&script),
             &ExploreConfig {
                 max_crashes: 2,
                 ..Default::default()
             },
         );
-        let b = explore(
+        let b = explore_engine(
             &reg,
             &mem,
-            Workload::Script(&script),
+            OpSource::Script(&script),
             &ExploreConfig {
                 max_crashes: 2,
                 prune: false,

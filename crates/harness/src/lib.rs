@@ -23,7 +23,18 @@
 //!   externally provided auxiliary state; withholding it produces the
 //!   Figure 2 violation);
 //! * [`perturb`] — machine-checks the doubly-perturbing classification
-//!   (Lemmas 3–8).
+//!   (Lemmas 3–8);
+//! * [`scenario`] — the **front door**: the composable [`Scenario`] builder
+//!   (object + memory model + [`workload`] + fault model) whose terminal
+//!   runners lower onto all of the strategies above and return one shared
+//!   [`Verdict`], and the [`Sweep`] batch layer that fans scenarios across
+//!   seed ranges / object kinds / crash probabilities on worker threads;
+//! * [`report`] — Markdown and JSON rendering for verdicts and sweep
+//!   reports.
+//!
+//! The pre-`Scenario` free functions (`run_sim`, `explore`, `census_drive`,
+//! `census_bfs`, `find_doubly_perturbing_witness`) remain as deprecated
+//! shims over the same engines for one release.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,17 +46,32 @@ pub mod explore;
 pub mod history;
 pub mod linearize;
 pub mod perturb;
+pub mod report;
+pub mod scenario;
 pub mod sim;
 pub mod spec;
+pub mod workload;
 
 pub use aux_state::{probe_aux_state, theorem2_script};
-pub use census::{census_bfs, census_drive, gray_code_cas_ops, BfsConfig, CensusReport};
+#[allow(deprecated)]
+pub use census::{census_bfs, census_drive};
+pub use census::{gray_code_cas_ops, BfsConfig, CensusReport};
 pub use driver::{op_key, Driver, ProcState, RetryPolicy, StepOutcome};
-pub use explore::{explore, ExploreConfig, ExploreOutcome, Workload};
+#[allow(deprecated)]
+pub use explore::explore;
+pub use explore::{explore_engine, ExploreConfig, ExploreOutcome, OpSource};
 pub use history::{Event, History, OpRecord, Outcome};
-pub use linearize::{check_history, check_records, Violation, MAX_CHECKED_OPS};
-pub use perturb::{
-    default_alphabet, find_doubly_perturbing_witness, validate_witness_on_impl, PerturbWitness,
+pub use linearize::{check_execution, check_history, check_records, Violation, MAX_CHECKED_OPS};
+#[allow(deprecated)]
+pub use perturb::find_doubly_perturbing_witness;
+pub use perturb::{default_alphabet, render_witness, validate_witness_on_impl, PerturbWitness};
+pub use report::{markdown_table, verdicts_to_json};
+pub use scenario::{
+    AggregateRow, CrashModel, RunMode, RunStats, Runner, Scenario, Sweep, SweepCell, SweepReport,
+    Verdict,
 };
-pub use sim::{build_world, build_world_mode, run_sim, SimConfig, SimReport};
+#[allow(deprecated)]
+pub use sim::run_sim;
+pub use sim::{build_world, build_world_mode, SimConfig, SimReport};
 pub use spec::{spec_apply, spec_init, spec_run, SpecState};
+pub use workload::{mixed_op, ResolvedWorkload, Workload};

@@ -126,6 +126,31 @@ pub fn check_history(kind: ObjectKind, history: &History) -> Result<(), Violatio
     })
 }
 
+/// Checks one complete execution of `obj` the way the exhaustive explorer
+/// and the simulator verdicts do: the full durable-linearizability +
+/// detectability check for objects that claim detectability, and the
+/// relaxed check (recovery verdicts erased to `Unresolved`) for
+/// non-detectable baselines, whose `fail` words carry no linearization
+/// claim.
+///
+/// # Errors
+///
+/// Returns a [`Violation`] (with the rendered history attached) if no legal
+/// linearization exists.
+pub fn check_execution(
+    obj: &dyn detectable::RecoverableObject,
+    history: &History,
+) -> Result<(), Violation> {
+    if obj.detectable() {
+        check_history(obj.kind(), history)
+    } else {
+        check_records(obj.kind(), &history.to_records_relaxed()).map_err(|mut v| {
+            v.rendered = history.to_string();
+            v
+        })
+    }
+}
+
 struct Searcher<'a> {
     kind: ObjectKind,
     records: &'a [OpRecord],

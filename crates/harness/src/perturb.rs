@@ -37,6 +37,29 @@ pub struct PerturbWitness {
     pub opq: OpSpec,
 }
 
+/// Renders a witness compactly (`Opp | H1 | Op' | ext | Opq`) for table
+/// cells and JSON output.
+pub fn render_witness(w: &PerturbWitness) -> String {
+    let ops = |seq: &[OpSpec]| -> String {
+        if seq.is_empty() {
+            "ε".into()
+        } else {
+            seq.iter()
+                .map(|o| o.to_string())
+                .collect::<Vec<_>>()
+                .join(" ∘ ")
+        }
+    };
+    format!(
+        "Opp = {}; H1 = {}; Op' = {}; ext = {}; Opq = {}",
+        w.opp,
+        ops(&w.h1),
+        w.op_prime,
+        ops(&w.extension),
+        w.opq
+    )
+}
+
 /// Is `opp` perturbing w.r.t. `observer` after the (valid) history `prefix`?
 fn perturbs_after(kind: ObjectKind, prefix: &[OpSpec], opp: &OpSpec, observer: &OpSpec) -> bool {
     let Some((state, _)) = spec_run(kind, prefix) else {
@@ -75,10 +98,26 @@ fn sequences(alphabet: &[OpSpec], max_len: usize) -> Vec<Vec<OpSpec>> {
 
 /// Searches for a doubly-perturbing witness within bounded history lengths.
 ///
-/// Returns the first witness found, or `None` if no witness exists within
-/// the bounds (for max registers this is the Lemma 4 claim, verified
-/// exhaustively over the bounded space).
+/// Deprecated shim over the engine behind
+/// [`Scenario::perturb`](crate::Scenario::perturb).
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `harness::Scenario` and call `.perturb()` (or `.perturb_with(h1, ext)`)"
+)]
 pub fn find_doubly_perturbing_witness(
+    kind: ObjectKind,
+    alphabet: &[OpSpec],
+    max_h1: usize,
+    max_ext: usize,
+) -> Option<PerturbWitness> {
+    witness_search(kind, alphabet, max_h1, max_ext)
+}
+
+/// [`find_doubly_perturbing_witness`]'s engine: returns the first witness
+/// found, or `None` if no witness exists within the bounds (for max
+/// registers this is the Lemma 4 claim, verified exhaustively over the
+/// bounded space).
+pub(crate) fn witness_search(
     kind: ObjectKind,
     alphabet: &[OpSpec],
     max_h1: usize,
@@ -216,7 +255,7 @@ mod tests {
     use super::*;
 
     fn witness(kind: ObjectKind) -> Option<PerturbWitness> {
-        find_doubly_perturbing_witness(kind, &default_alphabet(kind), 3, 3)
+        witness_search(kind, &default_alphabet(kind), 3, 3)
     }
 
     #[test]

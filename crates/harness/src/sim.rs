@@ -96,22 +96,23 @@ pub fn build_world_mode<O>(
     (obj, SimMemory::with_mode(b.finish(), mode))
 }
 
-/// Runs one simulation of `obj` over `mem`.
-///
-/// `workload(pid, i)` supplies the `i`-th operation of process `pid`.
+/// Runs one simulation of `obj` over `mem` with explicit per-process
+/// operation plans — the engine beneath both the deprecated [`run_sim`]
+/// shim and [`Scenario::simulate`](crate::Scenario::simulate).
 ///
 /// # Panics
 ///
 /// Panics if the step budget is exhausted (livelock) — crash-heavy runs of
 /// lock-free operations should use `retry_on_fail: false` or a generous
 /// budget.
-pub fn run_sim(
+pub(crate) fn sim_engine(
     obj: &dyn RecoverableObject,
     mem: &SimMemory,
     cfg: &SimConfig,
-    mut workload: impl FnMut(Pid, usize) -> OpSpec,
+    plan: &[Vec<OpSpec>],
 ) -> SimReport {
     let n = obj.processes() as usize;
+    assert_eq!(plan.len(), n, "one operation list per process");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut driver = Driver::for_object(obj);
     let retry = RetryPolicy {
@@ -144,10 +145,10 @@ pub fn run_sim(
         let i = runnable[rng.gen_range(0..runnable.len())];
 
         if driver.state(i).is_idle() {
-            if next_op[i] >= cfg.ops_per_process {
+            if next_op[i] >= plan[i].len() {
                 driver.mark_done(i);
             } else {
-                let op = workload(Pid::new(i as u32), next_op[i]);
+                let op = plan[i][next_op[i]];
                 next_op[i] += 1;
                 driver.invoke(obj, mem, i, op, &retry);
             }
@@ -164,11 +165,64 @@ pub fn run_sim(
     }
 }
 
+/// Runs one simulation of `obj` over `mem`.
+///
+/// `workload(pid, i)` supplies the `i`-th operation of process `pid`; every
+/// process performs [`SimConfig::ops_per_process`] operations.
+///
+/// Deprecated shim: the workload closure is materialized into per-process
+/// operation lists and handed to the same engine
+/// [`Scenario::simulate`](crate::Scenario::simulate) runs, so histories are
+/// byte-identical to the `Scenario` path on equal seeds.
+///
+/// # Panics
+///
+/// Panics if the step budget is exhausted (livelock) — crash-heavy runs of
+/// lock-free operations should use `retry_on_fail: false` or a generous
+/// budget.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `harness::Scenario` and call `.simulate(&SimConfig)` instead"
+)]
+pub fn run_sim(
+    obj: &dyn RecoverableObject,
+    mem: &SimMemory,
+    cfg: &SimConfig,
+    mut workload: impl FnMut(Pid, usize) -> OpSpec,
+) -> SimReport {
+    let n = obj.processes() as usize;
+    let plan: Vec<Vec<OpSpec>> = (0..n)
+        .map(|p| {
+            (0..cfg.ops_per_process)
+                .map(|i| workload(Pid::new(p as u32), i))
+                .collect()
+        })
+        .collect();
+    sim_engine(obj, mem, cfg, &plan)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::linearize::check_history;
     use detectable::{DetectableCas, DetectableRegister, ObjectKind};
+
+    /// Test-local stand-in for the old closure API: materialize and run.
+    fn run_sim(
+        obj: &dyn RecoverableObject,
+        mem: &SimMemory,
+        cfg: &SimConfig,
+        workload: fn(Pid, usize) -> OpSpec,
+    ) -> SimReport {
+        let plan: Vec<Vec<OpSpec>> = (0..obj.processes() as usize)
+            .map(|p| {
+                (0..cfg.ops_per_process)
+                    .map(|i| workload(Pid::new(p as u32), i))
+                    .collect()
+            })
+            .collect();
+        sim_engine(obj, mem, cfg, &plan)
+    }
 
     fn reg_workload(pid: Pid, i: usize) -> OpSpec {
         if (pid.idx() + i).is_multiple_of(2) {

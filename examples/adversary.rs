@@ -7,7 +7,8 @@
 //! between invocations — the implementation class Theorem 2 proves cannot
 //! exist). The explorer finds the concrete violating execution and prints
 //! it; the max register (not doubly-perturbing) survives the same treatment
-//! with no auxiliary state at all.
+//! with no auxiliary state at all — both boundary runs phrased as
+//! [`Scenario`]s.
 //!
 //! Run: `cargo run --example adversary`
 
@@ -49,31 +50,28 @@ fn main() {
         None => panic!("Theorem 2 violated?! no adversarial execution found"),
     }
 
-    println!("=== The boundary: Algorithm 3's max register ===");
-    let (mr, mem) = build_world(|b| MaxRegister::new(b, 2));
-    let script = [
-        (Pid::new(0), OpSpec::WriteMax(1)),
-        (Pid::new(1), OpSpec::Read),
-        (Pid::new(1), OpSpec::WriteMax(2)),
-        (Pid::new(0), OpSpec::WriteMax(1)),
-        (Pid::new(1), OpSpec::Read),
-    ];
-    let out = explore(
-        &mr,
-        &mem,
-        Workload::Script(&script),
-        &ExploreConfig::default(),
-    );
+    println!("=== The boundary: Algorithm 3's max register, as a Scenario ===");
+    let verdict = Scenario::custom(|b| Box::new(MaxRegister::new(b, 2)))
+        .label("max-register (Alg 3)")
+        .workload(Workload::script(vec![
+            (Pid::new(0), OpSpec::WriteMax(1)),
+            (Pid::new(1), OpSpec::Read),
+            (Pid::new(1), OpSpec::WriteMax(2)),
+            (Pid::new(0), OpSpec::WriteMax(1)),
+            (Pid::new(1), OpSpec::Read),
+        ]))
+        .faults(CrashModel::exhaustive(1))
+        .explore(&ExploreConfig::default());
     println!(
         "max register, no auxiliary state by construction: {} executions, {}",
-        out.leaves,
-        if out.violation.is_none() {
+        verdict.stats.executions,
+        if verdict.passed {
             "all clean ✓"
         } else {
             "VIOLATION?!"
         }
     );
-    assert!(out.violation.is_none());
+    verdict.assert_complete();
     println!(
         "\nWhy the difference? The max register is not doubly-perturbing (Lemma 4):\n\
          repeating WriteMax(v) cannot change anyone's response, so a confused recovery\n\

@@ -57,6 +57,24 @@ fn run_op_with_crash(
 }
 
 fn main() {
+    // Pre-flight: before trusting money to the FAA object, sweep it through
+    // seeded crash-storm simulations on worker threads and check every
+    // history — the Scenario/Sweep front door in one call.
+    let preflight = Sweep::new(
+        Scenario::object(ObjectKind::Faa)
+            .processes(TELLERS)
+            .workload(Workload::mixed(3))
+            .faults(CrashModel::storms(0.08)),
+    )
+    .seeds(0..32)
+    .parallelism(4)
+    .simulate(&SimConfig::default());
+    preflight.assert_all_passed();
+    println!(
+        "pre-flight sweep: {} seeded crash-storm histories of detectable FAA, all clean\n",
+        preflight.cells.len()
+    );
+
     let mut b = LayoutBuilder::new();
     // One FAA per account; deposits add, withdrawals add (wrapping) the
     // two's-complement negative — conservation is checked on the sum.

@@ -70,6 +70,18 @@ fn main() {
         "non-detectable CAS on the same walk: {} configurations (flat — just the values)",
         nd_seen.len()
     );
+
+    // The same experiment as one Scenario: the census runner replays the
+    // walk and checks the Theorem 1 bound in a single call.
+    let verdict = Scenario::object(ObjectKind::Cas)
+        .processes(n)
+        .workload(Workload::script(gray_code_cas_ops(n)))
+        .census(&BfsConfig::default());
+    assert_eq!(verdict.stats.distinct_configs, seen.len() as u64);
+    println!(
+        "\nScenario::census agrees: {} distinct configs ≥ bound {} -> bound_met = {:?}",
+        verdict.stats.distinct_configs, verdict.stats.theorem_bound, verdict.bound_met
+    );
     println!(
         "\nThe 2^N blow-up is the price of detectability, and Theorem 1 says it is unavoidable."
     );

@@ -22,6 +22,22 @@ const OPS: usize = 400;
 const CRASH_EVERY: usize = 23; // deterministic chaos: crash every k-th op
 
 fn main() {
+    // The registers backing the store, vetted first through the Scenario
+    // front door: crash storms across seeds, every history checked.
+    let audit = Sweep::new(
+        Scenario::object(ObjectKind::Register)
+            .workload(Workload::mixed(4))
+            .faults(CrashModel::storms(0.1)),
+    )
+    .seeds(0..24)
+    .parallelism(4)
+    .simulate(&SimConfig::default());
+    audit.assert_all_passed();
+    println!(
+        "register audit sweep: {} crash-storm histories, all durably linearizable\n",
+        audit.cells.len()
+    );
+
     let mut b = LayoutBuilder::new();
     let slots: Vec<DetectableRegister> = (0..KEYS)
         .map(|k| DetectableRegister::with_name(&mut b, &format!("kv{k}"), 1, 0))

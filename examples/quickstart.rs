@@ -1,16 +1,37 @@
 //! Quickstart: detectable objects in five minutes.
 //!
-//! Builds a world with a detectable register and CAS (paper Algorithms 1–2),
-//! runs operations, crashes the system mid-operation, and shows how recovery
-//! tells the caller whether the crashed operation was linearized — the
-//! *detectability* property the paper is about.
+//! Starts with the one-call front door — a [`Scenario`] that simulates a
+//! crash storm and checks the history — then drops to the primitive level:
+//! builds a world with a detectable register and CAS (paper Algorithms
+//! 1–2), runs operations, crashes the system mid-operation, and shows how
+//! recovery tells the caller whether the crashed operation was linearized —
+//! the *detectability* property the paper is about.
 //!
 //! Run: `cargo run --example quickstart`
 
 use detectable_repro::prelude::*;
 
 fn main() {
-    // ── 1. Build a world: allocate objects in a layout, then create memory.
+    // ── 0. The front door: describe the experiment, pick a strategy.
+    let verdict = Scenario::object(ObjectKind::Cas)
+        .processes(3)
+        .workload(Workload::mixed(3))
+        .faults(CrashModel::storms(0.05))
+        .simulate(&SimConfig {
+            seed: 2020,
+            ..Default::default()
+        });
+    println!(
+        "Scenario: 3-process detectable CAS under a 5% crash storm -> {} \
+         ({} ops resolved, {} crashes, history checked)\n",
+        if verdict.passed { "PASS" } else { "FAIL" },
+        verdict.stats.resolved_ops,
+        verdict.stats.crashes
+    );
+    verdict.assert_passed();
+
+    // ── 1. Under the hood, step by step. Build a world: allocate objects
+    //       in a layout, then create memory.
     let mut b = LayoutBuilder::new();
     let reg = DetectableRegister::new(&mut b, 2, 0);
     let cas = DetectableCas::new(&mut b, 2, 0);

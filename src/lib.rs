@@ -16,8 +16,10 @@
 //!   and plain volatile comparators;
 //! * [`harness`] — sequential specs, the durable-linearizability +
 //!   detectability checker, the crash-injecting simulator, the exhaustive
-//!   explorer, and the executable versions of Theorem 1 (configuration
-//!   census) and Theorem 2 (auxiliary-state probe).
+//!   explorer, the executable versions of Theorem 1 (configuration census)
+//!   and Theorem 2 (auxiliary-state probe), and the [`harness::Scenario`] /
+//!   [`harness::Sweep`] front door that composes all of them behind one
+//!   builder API.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory and
 //! experiment index, and `EXPERIMENTS.md` for reproduced results.
@@ -42,6 +44,25 @@
 //! assert!(verdict == RESP_FAIL || verdict == TRUE);
 //! # Ok::<(), nvm::StepLimitError>(())
 //! ```
+//!
+//! The high-level front door is the [`harness::Scenario`] builder — one
+//! description, any execution strategy — and [`harness::Sweep`] for batch
+//! runs across seeds, objects, and crash probabilities:
+//!
+//! ```
+//! use detectable_repro::prelude::*;
+//!
+//! let report = Sweep::new(
+//!     Scenario::object(ObjectKind::Cas)
+//!         .processes(3)
+//!         .workload(Workload::mixed(3))
+//!         .faults(CrashModel::storms(0.05)),
+//! )
+//! .seeds(0..20)
+//! .parallelism(4)
+//! .simulate(&SimConfig::default());
+//! assert!(report.all_passed());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -63,10 +84,13 @@ pub mod prelude {
         RecoverableObject, EMPTY,
     };
     pub use harness::{
-        build_world, build_world_mode, census_drive, check_history, explore, gray_code_cas_ops,
-        probe_aux_state, run_sim, validate_witness_on_impl, Driver, ExploreConfig, RetryPolicy,
-        SimConfig, StepOutcome, Workload,
+        build_world, build_world_mode, check_history, gray_code_cas_ops, probe_aux_state,
+        validate_witness_on_impl, BfsConfig, CrashModel, Driver, ExploreConfig, OpSource,
+        RetryPolicy, Runner, Scenario, SimConfig, StepOutcome, Sweep, SweepReport, Verdict,
+        Workload,
     };
+    #[allow(deprecated)]
+    pub use harness::{census_drive, explore, run_sim};
     pub use nvm::{
         run_to_completion, AtomicMemory, CacheMode, CrashPolicy, LayoutBuilder, Machine, Memory,
         Pid, Poll, SimMemory, Word, ACK, FALSE, RESP_FAIL, RESP_NONE, TRUE,

@@ -1,17 +1,19 @@
 //! Integration: randomized crash storms across every object, both cache
-//! modes, with full durable-linearizability + detectability checking.
+//! modes, with full durable-linearizability + detectability checking —
+//! batched through the `Scenario`/`Sweep` front door.
 
-use detectable::{
-    DetectableCas, DetectableCounter, DetectableFaa, DetectableQueue, DetectableRegister,
-    DetectableTas, MaxRegister, ObjectKind, OpSpec, RecoverableObject,
-};
-use harness::{build_world_mode, check_history, run_sim, SimConfig};
+use detectable::{ObjectKind, OpSpec};
+use harness::{CrashModel, Scenario, SimConfig, Sweep, Workload};
 use nvm::{CacheMode, CrashPolicy, Pid};
 
-fn workload(kind: ObjectKind) -> fn(Pid, usize) -> OpSpec {
+/// The storm suite's historical op mix — tighter value domains than the
+/// soak's `Workload::mixed` (register writes over %5, CAS over %3, FAA
+/// deltas in {1,2}), so ABA patterns and CAS contention stay as hot as in
+/// the seed suite.
+fn storm_ops(kind: ObjectKind) -> fn(Pid, usize) -> OpSpec {
     match kind {
         ObjectKind::Register => |pid, i| {
-            if (pid.idx() + i) % 3 == 0 {
+            if (pid.idx() + i).is_multiple_of(3) {
                 OpSpec::Read
             } else {
                 OpSpec::Write((pid.idx() * 10 + i) as u32 % 5)
@@ -22,97 +24,72 @@ fn workload(kind: ObjectKind) -> fn(Pid, usize) -> OpSpec {
             new: (pid.get() + i as u32 + 1) % 3,
         },
         ObjectKind::MaxRegister => |pid, i| {
-            if (pid.idx() + i) % 3 == 0 {
+            if (pid.idx() + i).is_multiple_of(3) {
                 OpSpec::Read
             } else {
                 OpSpec::WriteMax((pid.idx() * 2 + i) as u32 % 7)
             }
         },
-        ObjectKind::Counter => |pid, i| {
-            if (pid.idx() + i) % 4 == 0 {
-                OpSpec::Read
-            } else {
-                OpSpec::Inc
-            }
-        },
         ObjectKind::Faa => |pid, i| {
-            if (pid.idx() + i) % 4 == 0 {
+            if (pid.idx() + i).is_multiple_of(4) {
                 OpSpec::Read
             } else {
                 OpSpec::Faa(1 + pid.get() % 2)
             }
         },
-        ObjectKind::Swap => |pid, i| {
-            if (pid.idx() + i) % 3 == 0 {
-                OpSpec::Read
-            } else {
-                OpSpec::Swap((pid.idx() * 7 + i) as u32 % 5)
-            }
-        },
-        ObjectKind::Tas => |pid, i| match (pid.idx() + i) % 3 {
-            0 => OpSpec::TestAndSet,
-            1 => OpSpec::Reset,
-            _ => OpSpec::Read,
-        },
-        ObjectKind::Queue => |pid, i| {
-            if (pid.idx() + i) % 2 == 0 {
-                OpSpec::Enq((pid.idx() * 100 + i) as u32)
-            } else {
-                OpSpec::Deq
-            }
-        },
+        // The remaining kinds always matched the canonical mix.
+        ObjectKind::Counter => |pid, i| harness::mixed_op(ObjectKind::Counter, pid, i),
+        ObjectKind::Swap => |pid, i| harness::mixed_op(ObjectKind::Swap, pid, i),
+        ObjectKind::Tas => |pid, i| harness::mixed_op(ObjectKind::Tas, pid, i),
+        ObjectKind::Queue => |pid, i| harness::mixed_op(ObjectKind::Queue, pid, i),
     }
 }
 
-fn storm(
+/// Sweeps `scenario` (implementing `kind`) across a seed range under a
+/// crash storm and asserts every history checked clean.
+fn storm_kind(
     seeds: std::ops::Range<u64>,
     mode: CacheMode,
     crash_prob: f64,
-    make: impl Fn(&mut nvm::LayoutBuilder) -> Box<dyn RecoverableObject>,
+    scenario: Scenario,
+    kind: ObjectKind,
 ) {
-    for seed in seeds {
-        let (obj, mem) = build_world_mode(mode, &make);
-        let cfg = SimConfig {
-            seed,
-            ops_per_process: 3,
-            crash_prob,
-            cache_mode: mode,
-            crash_policy: CrashPolicy::DropAll,
-            retry_on_fail: true,
-            max_retries: 3,
-            max_steps: 1_000_000,
-        };
-        let report = run_sim(&*obj, &mem, &cfg, workload(obj.kind()));
-        check_history(obj.kind(), &report.history).unwrap_or_else(|v| {
-            panic!("{} seed {seed} mode {mode:?}: {v}", obj.name());
-        });
-    }
+    Sweep::new(
+        scenario
+            .memory(mode)
+            .workload(Workload::from_fn(storm_ops(kind), 3))
+            .faults(CrashModel::storms(crash_prob)),
+    )
+    .seeds(seeds)
+    .parallelism(4)
+    .simulate(&SimConfig::default())
+    .assert_all_passed();
 }
 
 macro_rules! storm_tests {
-    ($($name:ident => $make:expr),+ $(,)?) => {
+    ($($name:ident => $kind:expr, $n:expr),+ $(,)?) => {
         $(
             mod $name {
                 use super::*;
 
                 #[test]
                 fn private_cache_no_crashes() {
-                    storm(0..40, CacheMode::PrivateCache, 0.0, $make);
+                    storm_kind(0..40, CacheMode::PrivateCache, 0.0, Scenario::object($kind).processes($n), $kind);
                 }
 
                 #[test]
                 fn private_cache_moderate_crashes() {
-                    storm(0..40, CacheMode::PrivateCache, 0.04, $make);
+                    storm_kind(0..40, CacheMode::PrivateCache, 0.04, Scenario::object($kind).processes($n), $kind);
                 }
 
                 #[test]
                 fn private_cache_heavy_crashes() {
-                    storm(0..25, CacheMode::PrivateCache, 0.12, $make);
+                    storm_kind(0..25, CacheMode::PrivateCache, 0.12, Scenario::object($kind).processes($n), $kind);
                 }
 
                 #[test]
                 fn shared_cache_adversarial_line_loss() {
-                    storm(0..40, CacheMode::SharedCache, 0.05, $make);
+                    storm_kind(0..40, CacheMode::SharedCache, 0.05, Scenario::object($kind).processes($n), $kind);
                 }
             }
         )+
@@ -120,14 +97,14 @@ macro_rules! storm_tests {
 }
 
 storm_tests! {
-    register => |b: &mut nvm::LayoutBuilder| Box::new(DetectableRegister::new(b, 3, 0)) as Box<dyn RecoverableObject>,
-    cas => |b: &mut nvm::LayoutBuilder| Box::new(DetectableCas::new(b, 3, 0)) as Box<dyn RecoverableObject>,
-    max_register => |b: &mut nvm::LayoutBuilder| Box::new(MaxRegister::new(b, 3)) as Box<dyn RecoverableObject>,
-    counter => |b: &mut nvm::LayoutBuilder| Box::new(DetectableCounter::new(b, 3)) as Box<dyn RecoverableObject>,
-    faa => |b: &mut nvm::LayoutBuilder| Box::new(DetectableFaa::new(b, 3)) as Box<dyn RecoverableObject>,
-    swap => |b: &mut nvm::LayoutBuilder| Box::new(detectable::DetectableSwap::new(b, 3)) as Box<dyn RecoverableObject>,
-    tas => |b: &mut nvm::LayoutBuilder| Box::new(DetectableTas::new(b, 3)) as Box<dyn RecoverableObject>,
-    queue => |b: &mut nvm::LayoutBuilder| Box::new(DetectableQueue::new(b, 3, 128)) as Box<dyn RecoverableObject>,
+    register => ObjectKind::Register, 3,
+    cas => ObjectKind::Cas, 3,
+    max_register => ObjectKind::MaxRegister, 3,
+    counter => ObjectKind::Counter, 3,
+    faa => ObjectKind::Faa, 3,
+    swap => ObjectKind::Swap, 3,
+    tas => ObjectKind::Tas, 3,
+    queue => ObjectKind::Queue, 3,
 }
 
 mod baselines_storms {
@@ -136,43 +113,56 @@ mod baselines_storms {
 
     #[test]
     fn tagged_register_survives_storms() {
-        storm(0..40, CacheMode::PrivateCache, 0.06, |b| {
-            Box::new(TaggedRegister::new(b, 3))
-        });
-        storm(0..25, CacheMode::SharedCache, 0.05, |b| {
-            Box::new(TaggedRegister::new(b, 3))
-        });
+        storm_kind(
+            0..40,
+            CacheMode::PrivateCache,
+            0.06,
+            Scenario::custom(|b| Box::new(TaggedRegister::new(b, 3))),
+            ObjectKind::Register,
+        );
+        storm_kind(
+            0..25,
+            CacheMode::SharedCache,
+            0.05,
+            Scenario::custom(|b| Box::new(TaggedRegister::new(b, 3))),
+            ObjectKind::Register,
+        );
     }
 
     #[test]
     fn tagged_cas_survives_storms() {
-        storm(0..40, CacheMode::PrivateCache, 0.06, |b| {
-            Box::new(TaggedCas::new(b, 3))
-        });
-        storm(0..25, CacheMode::SharedCache, 0.05, |b| {
-            Box::new(TaggedCas::new(b, 3))
-        });
+        storm_kind(
+            0..40,
+            CacheMode::PrivateCache,
+            0.06,
+            Scenario::custom(|b| Box::new(TaggedCas::new(b, 3))),
+            ObjectKind::Cas,
+        );
+        storm_kind(
+            0..25,
+            CacheMode::SharedCache,
+            0.05,
+            Scenario::custom(|b| Box::new(TaggedCas::new(b, 3))),
+            ObjectKind::Cas,
+        );
     }
 
     #[test]
     fn random_subset_line_loss_policy() {
         // Not just DropAll: arbitrary subsets of dirty lines may persist.
-        for seed in 0..30 {
-            let (obj, mem) =
-                build_world_mode(CacheMode::SharedCache, |b| DetectableRegister::new(b, 3, 0));
-            let cfg = SimConfig {
-                seed,
-                ops_per_process: 3,
-                crash_prob: 0.06,
-                cache_mode: CacheMode::SharedCache,
-                crash_policy: CrashPolicy::RandomSubset(seed * 31 + 7),
-                retry_on_fail: true,
-                max_retries: 3,
-                max_steps: 1_000_000,
-            };
-            let report = run_sim(&obj, &mem, &cfg, workload(ObjectKind::Register));
-            check_history(ObjectKind::Register, &report.history)
-                .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+        // The policy seed varies per cell, so each seed gets its own
+        // scenario rather than a shared sweep axis.
+        for seed in 0..30u64 {
+            Scenario::object(ObjectKind::Register)
+                .processes(3)
+                .memory(CacheMode::SharedCache)
+                .workload(Workload::mixed(3))
+                .faults(CrashModel::storms(0.06).policy(CrashPolicy::RandomSubset(seed * 31 + 7)))
+                .simulate(&SimConfig {
+                    seed,
+                    ..Default::default()
+                })
+                .assert_passed();
         }
     }
 }
@@ -182,22 +172,55 @@ mod scale {
 
     #[test]
     fn five_processes_register() {
-        storm(0..15, CacheMode::PrivateCache, 0.05, |b| {
-            Box::new(DetectableRegister::new(b, 5, 0))
-        });
+        storm_kind(
+            0..15,
+            CacheMode::PrivateCache,
+            0.05,
+            Scenario::object(ObjectKind::Register).processes(5),
+            ObjectKind::Register,
+        );
     }
 
     #[test]
     fn five_processes_cas() {
-        storm(0..15, CacheMode::PrivateCache, 0.05, |b| {
-            Box::new(DetectableCas::new(b, 5, 0))
-        });
+        storm_kind(
+            0..15,
+            CacheMode::PrivateCache,
+            0.05,
+            Scenario::object(ObjectKind::Cas).processes(5),
+            ObjectKind::Cas,
+        );
     }
 
     #[test]
     fn two_process_queue_heavy() {
-        storm(0..30, CacheMode::PrivateCache, 0.10, |b| {
-            Box::new(DetectableQueue::new(b, 2, 128))
-        });
+        storm_kind(
+            0..30,
+            CacheMode::PrivateCache,
+            0.10,
+            Scenario::object(ObjectKind::Queue).processes(2),
+            ObjectKind::Queue,
+        );
+    }
+
+    #[test]
+    fn one_sweep_many_objects() {
+        // The whole object zoo as one multi-axis sweep.
+        Sweep::new(
+            Scenario::object(ObjectKind::Register)
+                .processes(3)
+                .workload(Workload::mixed(3)),
+        )
+        .objects(&[
+            ObjectKind::Register,
+            ObjectKind::Cas,
+            ObjectKind::Counter,
+            ObjectKind::Queue,
+        ])
+        .crash_probs(&[0.0, 0.06])
+        .seeds(0..10)
+        .parallelism(8)
+        .simulate(&SimConfig::default())
+        .assert_all_passed();
     }
 }

@@ -1,4 +1,5 @@
-//! Integration: exhaustive small-configuration model checking (Lemmas 1–2).
+//! Integration: exhaustive small-configuration model checking (Lemmas 1–2)
+//! through the `Scenario::explore` runner.
 //!
 //! Every interleaving × every crash position for 2-process worlds, with the
 //! full durable-linearizability + detectability check at each complete
@@ -6,120 +7,119 @@
 //! interleavings and the unreduced script mode for maximal crash coverage.
 
 use baselines::{NonDetectableCas, NonDetectableRegister};
-use detectable::{
-    DetectableCas, DetectableCounter, DetectableQueue, DetectableRegister, DetectableTas,
-    MaxRegister, NrlAdapter, OpSpec,
-};
-use harness::{build_world, explore, ExploreConfig, Workload};
+use detectable::{DetectableCas, DetectableRegister, NrlAdapter, ObjectKind, OpSpec};
+use harness::{CrashModel, ExploreConfig, Scenario, Workload};
 use nvm::Pid;
 
 fn p(i: u32) -> Pid {
     Pid::new(i)
 }
 
+/// One-crash bounded-exhaustive exploration: the tree for two concurrent
+/// multi-step recoveries is astronomically large; systematically check the
+/// first 300k executions (the DFS covers whole subtrees in order).
+fn bounded() -> ExploreConfig {
+    ExploreConfig {
+        max_leaves: 300_000,
+        ..Default::default()
+    }
+}
+
 // ───────────── full interleavings (PO-reduced), with one crash ─────────────
 
 #[test]
 fn register_two_writers_and_reader_one_crash() {
-    let (reg, mem) = build_world(|b| DetectableRegister::new(b, 2, 0));
-    let w = vec![vec![OpSpec::Write(1)], vec![OpSpec::Write(2), OpSpec::Read]];
-    // Bounded-exhaustive: the one-crash tree for two concurrent multi-step
-    // recoveries is astronomically large; systematically check the first
-    // 300k executions (the DFS covers whole subtrees in order).
-    let cfg = ExploreConfig {
-        max_retries: 1,
-        max_leaves: 300_000,
-        ..Default::default()
-    };
-    let out = explore(&reg, &mem, Workload::PerProcess(&w), &cfg);
-    out.assert_no_violation();
-    assert!(out.leaves > 1_000, "coverage sanity: got {}", out.leaves);
+    let v = Scenario::object(ObjectKind::Register)
+        .workload(Workload::per_process(vec![
+            vec![OpSpec::Write(1)],
+            vec![OpSpec::Write(2), OpSpec::Read],
+        ]))
+        .faults(CrashModel::exhaustive(1).retries(1))
+        .explore(&bounded());
+    v.assert_passed();
+    assert!(
+        v.stats.executions > 1_000,
+        "coverage sanity: got {}",
+        v.stats.executions
+    );
 }
 
 #[test]
 fn register_same_value_aba_interleavings() {
     // Both processes write the same values — the ABA-prone pattern the
     // toggle bits exist for.
-    let (reg, mem) = build_world(|b| DetectableRegister::new(b, 2, 0));
-    let w = vec![vec![OpSpec::Write(1)], vec![OpSpec::Write(1), OpSpec::Read]];
-    let cfg = ExploreConfig {
-        max_retries: 1,
-        max_leaves: 300_000,
-        ..Default::default()
-    };
-    explore(&reg, &mem, Workload::PerProcess(&w), &cfg).assert_no_violation();
+    Scenario::object(ObjectKind::Register)
+        .workload(Workload::per_process(vec![
+            vec![OpSpec::Write(1)],
+            vec![OpSpec::Write(1), OpSpec::Read],
+        ]))
+        .faults(CrashModel::exhaustive(1).retries(1))
+        .explore(&bounded())
+        .assert_passed();
 }
 
 #[test]
 fn cas_triangle_one_crash() {
-    let (cas, mem) = build_world(|b| DetectableCas::new(b, 2, 0));
-    let w = vec![
-        vec![
-            OpSpec::Cas { old: 0, new: 1 },
-            OpSpec::Cas { old: 1, new: 2 },
-        ],
-        vec![OpSpec::Cas { old: 0, new: 2 }, OpSpec::Read],
-    ];
-    let cfg = ExploreConfig {
-        max_retries: 1,
-        max_leaves: 300_000,
-        ..Default::default()
-    };
-    explore(&cas, &mem, Workload::PerProcess(&w), &cfg).assert_no_violation();
+    Scenario::object(ObjectKind::Cas)
+        .workload(Workload::per_process(vec![
+            vec![
+                OpSpec::Cas { old: 0, new: 1 },
+                OpSpec::Cas { old: 1, new: 2 },
+            ],
+            vec![OpSpec::Cas { old: 0, new: 2 }, OpSpec::Read],
+        ]))
+        .faults(CrashModel::exhaustive(1).retries(1))
+        .explore(&bounded())
+        .assert_passed();
 }
 
 #[test]
 fn max_register_full_interleavings() {
-    let (mr, mem) = build_world(|b| MaxRegister::new(b, 2));
-    let w = vec![
-        vec![OpSpec::WriteMax(3), OpSpec::Read],
-        vec![OpSpec::WriteMax(5)],
-    ];
-    let cfg = ExploreConfig {
-        max_retries: 1,
-        max_leaves: 300_000,
-        ..Default::default()
-    };
-    explore(&mr, &mem, Workload::PerProcess(&w), &cfg).assert_no_violation();
+    Scenario::object(ObjectKind::MaxRegister)
+        .workload(Workload::per_process(vec![
+            vec![OpSpec::WriteMax(3), OpSpec::Read],
+            vec![OpSpec::WriteMax(5)],
+        ]))
+        .faults(CrashModel::exhaustive(1).retries(1))
+        .explore(&bounded())
+        .assert_passed();
 }
 
 #[test]
 fn counter_concurrent_incs_one_crash() {
-    let (ctr, mem) = build_world(|b| DetectableCounter::new(b, 2));
-    let w = vec![vec![OpSpec::Inc], vec![OpSpec::Inc, OpSpec::Read]];
-    let cfg = ExploreConfig {
-        max_retries: 1,
-        max_leaves: 300_000,
-        ..Default::default()
-    };
-    explore(&ctr, &mem, Workload::PerProcess(&w), &cfg).assert_no_violation();
+    Scenario::object(ObjectKind::Counter)
+        .workload(Workload::per_process(vec![
+            vec![OpSpec::Inc],
+            vec![OpSpec::Inc, OpSpec::Read],
+        ]))
+        .faults(CrashModel::exhaustive(1).retries(1))
+        .explore(&bounded())
+        .assert_passed();
 }
 
 #[test]
 fn tas_race_one_crash() {
-    let (tas, mem) = build_world(|b| DetectableTas::new(b, 2));
-    let w = vec![
-        vec![OpSpec::TestAndSet, OpSpec::Read],
-        vec![OpSpec::TestAndSet],
-    ];
-    let cfg = ExploreConfig {
-        max_retries: 1,
-        max_leaves: 300_000,
-        ..Default::default()
-    };
-    explore(&tas, &mem, Workload::PerProcess(&w), &cfg).assert_no_violation();
+    Scenario::object(ObjectKind::Tas)
+        .workload(Workload::per_process(vec![
+            vec![OpSpec::TestAndSet, OpSpec::Read],
+            vec![OpSpec::TestAndSet],
+        ]))
+        .faults(CrashModel::exhaustive(1).retries(1))
+        .explore(&bounded())
+        .assert_passed();
 }
 
 #[test]
 fn queue_enq_deq_race_one_crash() {
-    let (q, mem) = build_world(|b| DetectableQueue::new(b, 2, 32));
-    let w = vec![vec![OpSpec::Enq(1)], vec![OpSpec::Enq(2), OpSpec::Deq]];
-    let cfg = ExploreConfig {
-        max_retries: 1,
-        max_leaves: 300_000,
-        ..Default::default()
-    };
-    explore(&q, &mem, Workload::PerProcess(&w), &cfg).assert_no_violation();
+    Scenario::object(ObjectKind::Queue)
+        .queue_capacity(32)
+        .workload(Workload::per_process(vec![
+            vec![OpSpec::Enq(1)],
+            vec![OpSpec::Enq(2), OpSpec::Deq],
+        ]))
+        .faults(CrashModel::exhaustive(1).retries(1))
+        .explore(&bounded())
+        .assert_passed();
 }
 
 #[test]
@@ -135,23 +135,28 @@ fn three_processes_two_ops_one_crash_covers_a_trillion_executions() {
     // in under a couple of seconds even unoptimized, with parallel workers
     // sharing the memo.
     for parallelism in [1, 2] {
-        let (mr, mem) = build_world(|b| MaxRegister::new(b, 3));
-        let w = vec![
-            vec![OpSpec::WriteMax(1), OpSpec::Read],
-            vec![OpSpec::WriteMax(2), OpSpec::Read],
-            vec![OpSpec::WriteMax(3), OpSpec::Read],
-        ];
-        let cfg = ExploreConfig {
-            max_crashes: 1,
-            max_retries: 1,
-            max_leaves: 1_000_000_000_000,
-            parallelism,
-            ..Default::default()
-        };
-        let out = explore(&mr, &mem, Workload::PerProcess(&w), &cfg);
-        out.assert_no_violation();
-        assert!(out.truncated, "the full tree dwarfs even a trillion leaves");
-        assert_eq!(out.leaves, 1_000_000_000_000, "parallelism {parallelism}");
+        let v = Scenario::object(ObjectKind::MaxRegister)
+            .processes(3)
+            .workload(Workload::per_process(vec![
+                vec![OpSpec::WriteMax(1), OpSpec::Read],
+                vec![OpSpec::WriteMax(2), OpSpec::Read],
+                vec![OpSpec::WriteMax(3), OpSpec::Read],
+            ]))
+            .faults(CrashModel::exhaustive(1).retries(1))
+            .explore(&ExploreConfig {
+                max_leaves: 1_000_000_000_000,
+                parallelism,
+                ..Default::default()
+            });
+        v.assert_passed();
+        assert!(
+            v.stats.truncated,
+            "the full tree dwarfs even a trillion leaves"
+        );
+        assert_eq!(
+            v.stats.executions, 1_000_000_000_000,
+            "parallelism {parallelism}"
+        );
     }
 }
 
@@ -159,92 +164,85 @@ fn three_processes_two_ops_one_crash_covers_a_trillion_executions() {
 fn register_crash_free_full_interleavings_exhaustive() {
     // Fully exhaustive (no truncation tolerated): all interleavings of two
     // writers and a reader without crashes.
-    let (reg, mem) = build_world(|b| DetectableRegister::new(b, 2, 0));
-    let w = vec![
-        vec![OpSpec::Write(1), OpSpec::Read],
-        vec![OpSpec::Write(2), OpSpec::Write(1)],
-    ];
-    let cfg = ExploreConfig {
-        max_crashes: 0,
-        ..Default::default()
-    };
-    let out = explore(&reg, &mem, Workload::PerProcess(&w), &cfg);
-    out.assert_clean();
-    assert!(out.leaves > 500, "coverage sanity: got {}", out.leaves);
+    let v = Scenario::object(ObjectKind::Register)
+        .workload(Workload::per_process(vec![
+            vec![OpSpec::Write(1), OpSpec::Read],
+            vec![OpSpec::Write(2), OpSpec::Write(1)],
+        ]))
+        .faults(CrashModel::exhaustive(0))
+        .explore(&ExploreConfig::default());
+    v.assert_complete();
+    assert!(
+        v.stats.executions > 500,
+        "coverage sanity: got {}",
+        v.stats.executions
+    );
 }
 
 // ───────────── scripts (full crash granularity, two crashes) ─────────────
 
 #[test]
 fn register_script_two_crashes() {
-    let (reg, mem) = build_world(|b| DetectableRegister::new(b, 2, 0));
-    let script = [
-        (p(0), OpSpec::Write(1)),
-        (p(1), OpSpec::Read),
-        (p(1), OpSpec::Write(2)),
-        (p(0), OpSpec::Write(1)),
-        (p(1), OpSpec::Read),
-    ];
-    let cfg = ExploreConfig {
-        max_crashes: 2,
-        ..Default::default()
-    };
-    let out = explore(&reg, &mem, Workload::Script(&script), &cfg);
-    out.assert_clean();
+    let v = Scenario::object(ObjectKind::Register)
+        .workload(Workload::script(vec![
+            (p(0), OpSpec::Write(1)),
+            (p(1), OpSpec::Read),
+            (p(1), OpSpec::Write(2)),
+            (p(0), OpSpec::Write(1)),
+            (p(1), OpSpec::Read),
+        ]))
+        .faults(CrashModel::exhaustive(2))
+        .explore(&ExploreConfig::default());
+    v.assert_complete();
     assert!(
-        out.leaves > 400,
+        v.stats.executions > 400,
         "two-crash coverage sanity: {}",
-        out.leaves
+        v.stats.executions
     );
 }
 
 #[test]
 fn cas_script_two_crashes() {
-    let (cas, mem) = build_world(|b| DetectableCas::new(b, 2, 0));
-    let script = [
-        (p(0), OpSpec::Cas { old: 0, new: 1 }),
-        (p(1), OpSpec::Cas { old: 1, new: 0 }),
-        (p(0), OpSpec::Cas { old: 0, new: 1 }),
-        (p(1), OpSpec::Read),
-    ];
-    let cfg = ExploreConfig {
-        max_crashes: 2,
-        ..Default::default()
-    };
-    explore(&cas, &mem, Workload::Script(&script), &cfg).assert_clean();
+    Scenario::object(ObjectKind::Cas)
+        .workload(Workload::script(vec![
+            (p(0), OpSpec::Cas { old: 0, new: 1 }),
+            (p(1), OpSpec::Cas { old: 1, new: 0 }),
+            (p(0), OpSpec::Cas { old: 0, new: 1 }),
+            (p(1), OpSpec::Read),
+        ]))
+        .faults(CrashModel::exhaustive(2))
+        .explore(&ExploreConfig::default())
+        .assert_complete();
 }
 
 #[test]
 fn counter_script_two_crashes_exactly_once() {
-    let (ctr, mem) = build_world(|b| DetectableCounter::new(b, 2));
-    let script = [
-        (p(0), OpSpec::Inc),
-        (p(1), OpSpec::Inc),
-        (p(0), OpSpec::Read),
-        (p(1), OpSpec::Read),
-    ];
-    let cfg = ExploreConfig {
-        max_crashes: 2,
-        ..Default::default()
-    };
-    explore(&ctr, &mem, Workload::Script(&script), &cfg).assert_clean();
+    Scenario::object(ObjectKind::Counter)
+        .workload(Workload::script(vec![
+            (p(0), OpSpec::Inc),
+            (p(1), OpSpec::Inc),
+            (p(0), OpSpec::Read),
+            (p(1), OpSpec::Read),
+        ]))
+        .faults(CrashModel::exhaustive(2))
+        .explore(&ExploreConfig::default())
+        .assert_complete();
 }
 
 #[test]
 fn queue_script_two_crashes() {
-    let (q, mem) = build_world(|b| DetectableQueue::new(b, 2, 32));
-    let script = [
-        (p(0), OpSpec::Enq(1)),
-        (p(1), OpSpec::Deq),
-        (p(0), OpSpec::Enq(2)),
-        (p(1), OpSpec::Deq),
-        (p(0), OpSpec::Deq),
-    ];
-    let cfg = ExploreConfig {
-        max_crashes: 2,
-        ..Default::default()
-    };
-    explore(&q, &mem, Workload::Script(&script), &cfg).assert_clean();
+    Scenario::object(ObjectKind::Queue)
+        .queue_capacity(32)
+        .workload(Workload::script(vec![
+            (p(0), OpSpec::Enq(1)),
+            (p(1), OpSpec::Deq),
+            (p(0), OpSpec::Enq(2)),
+            (p(1), OpSpec::Deq),
+            (p(0), OpSpec::Deq),
+        ]))
+        .faults(CrashModel::exhaustive(2))
+        .explore(&ExploreConfig::default())
+        .assert_complete();
 }
 
 // ───────────── adapters and relaxed baselines ─────────────
@@ -253,57 +251,53 @@ fn queue_script_two_crashes() {
 fn nrl_adapter_script_one_crash() {
     // NRL recovery re-invokes instead of failing; histories must still
     // linearize (the re-invocation appears as the recovery's response).
-    let (obj, mem) = build_world(|b| NrlAdapter::new(DetectableRegister::new(b, 2, 0)));
-    let script = [
-        (p(0), OpSpec::Write(1)),
-        (p(1), OpSpec::Read),
-        (p(0), OpSpec::Write(2)),
-        (p(1), OpSpec::Read),
-    ];
-    let cfg = ExploreConfig {
-        retry_on_fail: false,
-        ..Default::default()
-    };
-    explore(&obj, &mem, Workload::Script(&script), &cfg).assert_clean();
+    Scenario::custom(|b| Box::new(NrlAdapter::new(DetectableRegister::new(b, 2, 0))))
+        .workload(Workload::script(vec![
+            (p(0), OpSpec::Write(1)),
+            (p(1), OpSpec::Read),
+            (p(0), OpSpec::Write(2)),
+            (p(1), OpSpec::Read),
+        ]))
+        .faults(CrashModel::exhaustive(1).no_retry())
+        .explore(&ExploreConfig::default())
+        .assert_complete();
 }
 
 #[test]
 fn nrl_adapter_over_cas_one_crash() {
-    let (obj, mem) = build_world(|b| NrlAdapter::new(DetectableCas::new(b, 2, 0)));
-    let script = [
-        (p(0), OpSpec::Cas { old: 0, new: 1 }),
-        (p(1), OpSpec::Cas { old: 1, new: 2 }),
-        (p(1), OpSpec::Read),
-    ];
-    let cfg = ExploreConfig {
-        retry_on_fail: false,
-        ..Default::default()
-    };
-    explore(&obj, &mem, Workload::Script(&script), &cfg).assert_clean();
+    Scenario::custom(|b| Box::new(NrlAdapter::new(DetectableCas::new(b, 2, 0))))
+        .workload(Workload::script(vec![
+            (p(0), OpSpec::Cas { old: 0, new: 1 }),
+            (p(1), OpSpec::Cas { old: 1, new: 2 }),
+            (p(1), OpSpec::Read),
+        ]))
+        .faults(CrashModel::exhaustive(1).no_retry())
+        .explore(&ExploreConfig::default())
+        .assert_complete();
 }
 
 #[test]
 fn nondetectable_objects_pass_relaxed_check() {
     // Their fail verdicts carry no claim; the explorer checks them with
     // recovery verdicts erased (durable linearizability only).
-    let (reg, mem) = build_world(|b| NonDetectableRegister::new(b, 2));
-    let script = [
-        (p(0), OpSpec::Write(1)),
-        (p(1), OpSpec::Read),
-        (p(0), OpSpec::Write(2)),
-        (p(1), OpSpec::Read),
-    ];
-    let cfg = ExploreConfig {
-        retry_on_fail: false,
-        ..Default::default()
-    };
-    explore(&reg, &mem, Workload::Script(&script), &cfg).assert_clean();
+    Scenario::custom(|b| Box::new(NonDetectableRegister::new(b, 2)))
+        .workload(Workload::script(vec![
+            (p(0), OpSpec::Write(1)),
+            (p(1), OpSpec::Read),
+            (p(0), OpSpec::Write(2)),
+            (p(1), OpSpec::Read),
+        ]))
+        .faults(CrashModel::exhaustive(1).no_retry())
+        .explore(&ExploreConfig::default())
+        .assert_complete();
 
-    let (cas, mem) = build_world(|b| NonDetectableCas::new(b, 2));
-    let script = [
-        (p(0), OpSpec::Cas { old: 0, new: 1 }),
-        (p(1), OpSpec::Cas { old: 1, new: 0 }),
-        (p(1), OpSpec::Read),
-    ];
-    explore(&cas, &mem, Workload::Script(&script), &cfg).assert_clean();
+    Scenario::custom(|b| Box::new(NonDetectableCas::new(b, 2)))
+        .workload(Workload::script(vec![
+            (p(0), OpSpec::Cas { old: 0, new: 1 }),
+            (p(1), OpSpec::Cas { old: 1, new: 0 }),
+            (p(1), OpSpec::Read),
+        ]))
+        .faults(CrashModel::exhaustive(1).no_retry())
+        .explore(&ExploreConfig::default())
+        .assert_complete();
 }

@@ -1,0 +1,156 @@
+//! Integration: deprecation-shim coverage. The pre-`Scenario` free
+//! functions (`run_sim`, `census_drive`, `census_bfs`, `explore`,
+//! `find_doubly_perturbing_witness`) remain callable for one release and
+//! must stay behaviorally identical to their `Scenario` equivalents —
+//! byte-identical histories on fixed seeds for the simulator, equal counts
+//! everywhere else.
+
+#![allow(deprecated)]
+
+use detectable::{DetectableCas, DetectableRegister, ObjectKind, OpSpec};
+use harness::{
+    build_world, census_bfs, census_drive, default_alphabet, explore,
+    find_doubly_perturbing_witness, gray_code_cas_ops, mixed_op, run_sim, BfsConfig, CrashModel,
+    ExploreConfig, OpSource, Scenario, SimConfig, Workload,
+};
+use nvm::Pid;
+
+#[test]
+fn run_sim_histories_are_byte_identical_to_scenario_simulate() {
+    for seed in [0u64, 7, 42, 1_000, 65_535] {
+        let cfg = SimConfig {
+            seed,
+            ops_per_process: 3,
+            crash_prob: 0.07,
+            ..Default::default()
+        };
+
+        // Old path: free function + closure workload over a hand-built world.
+        let (reg, mem) = build_world(|b| DetectableRegister::new(b, 3, 0));
+        let old = run_sim(&reg, &mem, &cfg, |pid, i| {
+            mixed_op(ObjectKind::Register, pid, i)
+        });
+
+        // New path: the same experiment as a Scenario.
+        let new = Scenario::object(ObjectKind::Register)
+            .processes(3)
+            .workload(Workload::mixed(3))
+            .simulate_report(&cfg);
+
+        assert_eq!(
+            old.history.to_string(),
+            new.history.to_string(),
+            "seed {seed}: histories must be byte-identical"
+        );
+        assert_eq!(old.crashes, new.crashes);
+        assert_eq!(old.resolved_ops, new.resolved_ops);
+        assert_eq!(old.steps, new.steps);
+    }
+}
+
+#[test]
+fn run_sim_matches_scenario_under_crash_model_override() {
+    let cfg = SimConfig {
+        seed: 99,
+        ops_per_process: 2,
+        crash_prob: 0.1,
+        max_retries: 2,
+        ..Default::default()
+    };
+    let (cas, mem) = build_world(|b| DetectableCas::new(b, 3, 0));
+    let old = run_sim(&cas, &mem, &cfg, |pid, i| mixed_op(ObjectKind::Cas, pid, i));
+    let new = Scenario::object(ObjectKind::Cas)
+        .processes(3)
+        .workload(Workload::mixed(2))
+        .faults(CrashModel::storms(0.1).retries(2))
+        .simulate_report(&SimConfig {
+            seed: 99,
+            ..Default::default()
+        });
+    assert_eq!(old.history.to_string(), new.history.to_string());
+}
+
+#[test]
+fn census_drive_counts_match_scenario_census() {
+    for n in 1..=6u32 {
+        let (cas, mem) = build_world(|b| DetectableCas::new(b, n, 0));
+        let ops = gray_code_cas_ops(n);
+        let old = census_drive(&cas, &mem, &ops);
+
+        let new = Scenario::object(ObjectKind::Cas)
+            .processes(n)
+            .workload(Workload::script(ops))
+            .census(&BfsConfig::default());
+
+        assert_eq!(old.distinct_shared as u64, new.stats.distinct_configs);
+        assert_eq!(old.theorem_bound, new.stats.theorem_bound);
+        assert_eq!(old.meets_bound(), new.bound_met.expect("detectable CAS"));
+    }
+}
+
+#[test]
+fn census_bfs_counts_match_scenario_census() {
+    let alphabet = [
+        OpSpec::Cas { old: 0, new: 1 },
+        OpSpec::Cas { old: 1, new: 0 },
+    ];
+    let cfg = BfsConfig {
+        max_ops: 4,
+        max_states: 200_000,
+    };
+    let (cas, mem) = build_world(|b| DetectableCas::new(b, 2, 0));
+    let old = census_bfs(&cas, &mem, &alphabet, &cfg);
+
+    let new = Scenario::object(ObjectKind::Cas)
+        .workload(Workload::round_robin(alphabet.to_vec(), 4))
+        .census(&cfg);
+
+    assert_eq!(old.distinct_shared as u64, new.stats.distinct_configs);
+    assert_eq!(old.work as u64, new.stats.executions);
+}
+
+#[test]
+fn explore_shim_matches_scenario_explore() {
+    let script = [
+        (Pid::new(0), OpSpec::Write(1)),
+        (Pid::new(1), OpSpec::Read),
+        (Pid::new(1), OpSpec::Write(2)),
+    ];
+    let cfg = ExploreConfig::default();
+    let (reg, mem) = build_world(|b| DetectableRegister::new(b, 2, 0));
+    let old = explore(&reg, &mem, OpSource::Script(&script), &cfg);
+
+    let new = Scenario::object(ObjectKind::Register)
+        .workload(Workload::script(script.to_vec()))
+        .explore(&cfg);
+
+    assert_eq!(old.leaves as u64, new.stats.executions);
+    assert_eq!(old.unique_nodes as u64, new.stats.distinct_configs);
+    assert!(old.violation.is_none() && new.passed);
+}
+
+#[test]
+fn witness_search_shim_matches_scenario_perturb() {
+    for kind in [
+        ObjectKind::Register,
+        ObjectKind::Cas,
+        ObjectKind::MaxRegister,
+    ] {
+        let old = find_doubly_perturbing_witness(kind, &default_alphabet(kind), 3, 3);
+        let new = Scenario::object(kind).perturb();
+        assert_eq!(
+            old.is_some(),
+            new.bound_met.expect("perturb sets bound_met")
+        );
+        assert_eq!(old, new.witness, "{kind:?}: identical first witness");
+    }
+}
+
+#[test]
+fn deprecated_workload_alias_still_constructs() {
+    // The old explorer input type is reachable under its old name.
+    let script = [(Pid::new(0), OpSpec::Write(1))];
+    let source: harness::explore::Workload<'_> = harness::explore::Workload::Script(&script);
+    let (reg, mem) = build_world(|b| DetectableRegister::new(b, 2, 0));
+    explore(&reg, &mem, source, &ExploreConfig::default()).assert_clean();
+}

@@ -1,0 +1,122 @@
+//! Integration: the `Sweep` batch layer — thread-count determinism
+//! (property-tested), the large crash-storm acceptance sweep, and axis
+//! composition.
+
+use detectable::ObjectKind;
+use harness::{CrashModel, Runner, Scenario, SimConfig, Sweep, Workload};
+use proptest::prelude::*;
+
+/// The ROADMAP's "embarrassingly parallel sim sweeps" at acceptance scale:
+/// ≥ 1000 seeded crash-storm simulations (4 objects × 250 seeds) across 8
+/// threads, with the aggregate verdict table identical to the
+/// single-threaded run.
+#[test]
+fn thousand_seed_crash_storm_sweep_is_deterministic_across_8_threads() {
+    let base = Sweep::new(
+        Scenario::object(ObjectKind::Register)
+            .processes(3)
+            .workload(Workload::mixed(3))
+            .faults(CrashModel::storms(0.05)),
+    )
+    .objects(&[
+        ObjectKind::Register,
+        ObjectKind::Cas,
+        ObjectKind::Counter,
+        ObjectKind::Queue,
+    ])
+    .seeds(0..250);
+    assert_eq!(base.len(), 1000);
+
+    let sequential = base.clone().parallelism(1).simulate(&SimConfig::default());
+    let parallel = base.parallelism(8).simulate(&SimConfig::default());
+
+    sequential.assert_all_passed();
+    assert_eq!(
+        sequential, parallel,
+        "aggregate verdict table must be identical across thread counts"
+    );
+    assert_eq!(sequential.to_markdown(), parallel.to_markdown());
+    assert_eq!(sequential.to_json(), parallel.to_json());
+    assert!(sequential.totals().crashes > 0, "storms should crash");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Determinism across worker counts for arbitrary seed windows, crash
+    /// rates and parallelism levels (the explorer's guarantee, mirrored).
+    #[test]
+    fn sweep_reports_identical_for_any_parallelism(
+        start in 0u64..5_000,
+        count in 1u64..24,
+        crash in 0u32..12,
+        workers in 2usize..9,
+    ) {
+        let base = Sweep::new(
+            Scenario::object(ObjectKind::Cas)
+                .processes(3)
+                .workload(Workload::mixed(3))
+                .faults(CrashModel::storms(f64::from(crash) / 100.0)),
+        )
+        .seeds(start..start + count);
+        let one = base.clone().parallelism(1).simulate(&SimConfig::default());
+        let many = base.parallelism(workers).simulate(&SimConfig::default());
+        prop_assert_eq!(&one, &many);
+        prop_assert_eq!(one.to_json(), many.to_json());
+    }
+}
+
+#[test]
+fn sweep_runs_non_simulate_runners_too() {
+    // Perturb across kinds through the generic runner.
+    let report = Sweep::new(Scenario::object(ObjectKind::Register))
+        .objects(&[
+            ObjectKind::Register,
+            ObjectKind::MaxRegister,
+            ObjectKind::Cas,
+        ])
+        .run(&Runner::Perturb);
+    report.assert_all_passed();
+    assert_eq!(report.cells[0].verdict.bound_met, Some(true));
+    assert_eq!(report.cells[1].verdict.bound_met, Some(false), "Lemma 4");
+    assert_eq!(report.cells[2].verdict.bound_met, Some(true));
+
+    // Space across process counts via explicit scenarios.
+    let report = Sweep::over((1..=4u32).map(|n| Scenario::object(ObjectKind::Cas).processes(n)))
+        .run(&Runner::Space);
+    let bits: Vec<u64> = report
+        .cells
+        .iter()
+        .map(|c| c.verdict.stats.shared_bits)
+        .collect();
+    assert_eq!(bits, vec![33, 34, 35, 36], "32-bit value + N bits");
+}
+
+#[test]
+fn failing_cells_are_reported_not_panicked() {
+    use baselines::WithoutPrepare;
+    use detectable::DetectableRegister;
+    use harness::{ExploreConfig, Workload};
+
+    // A deprived register violates Theorem 2 under the Figure 2 script; the
+    // sweep must carry the failure in its report instead of panicking.
+    let script = harness::theorem2_script(ObjectKind::Register);
+    let honest = Scenario::object(ObjectKind::Register)
+        .workload(Workload::script(script.clone()))
+        .faults(CrashModel::exhaustive(1));
+    let deprived =
+        Scenario::custom(|b| Box::new(WithoutPrepare::new(DetectableRegister::new(b, 2, 0))))
+            .label("deprived-register")
+            .workload(Workload::script(script))
+            .faults(CrashModel::exhaustive(1));
+
+    let report = Sweep::over([honest, deprived]).run(&Runner::Explore(ExploreConfig::default()));
+    assert!(!report.all_passed());
+    assert_eq!(report.failures(), 1);
+    assert!(report.cells[0].verdict.passed, "honest register is clean");
+    assert!(!report.cells[1].verdict.passed, "Theorem 2 violation");
+    assert!(
+        report.cells[1].verdict.violation.is_some(),
+        "the violation rendering rides along"
+    );
+}

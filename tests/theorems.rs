@@ -1,54 +1,57 @@
 //! Integration: the paper's two theorems and the lemma classification, end
-//! to end.
+//! to end, through the `Scenario` front door.
 
 use baselines::{NonDetectableCas, TaggedCas, TaggedRegister, WithoutPrepare};
 use detectable::{
     DetectableCas, DetectableCounter, DetectableFaa, DetectableQueue, DetectableRegister,
-    DetectableTas, MaxRegister, ObjectKind, OpSpec,
+    DetectableSwap, DetectableTas, MaxRegister, ObjectKind, OpSpec, RecoverableObject,
 };
-use harness::{
-    build_world, census_bfs, census_drive, default_alphabet, find_doubly_perturbing_witness,
-    gray_code_cas_ops, probe_aux_state, BfsConfig,
-};
+use harness::{build_world, gray_code_cas_ops, probe_aux_state, BfsConfig, Scenario, Workload};
 
 // ───────────────────────── Theorem 1 ─────────────────────────
 
 #[test]
 fn theorem1_witness_census_meets_bound_up_to_n10() {
     for n in 1..=10u32 {
-        let (cas, mem) = build_world(|b| DetectableCas::new(b, n, 0));
-        let report = census_drive(&cas, &mem, &gray_code_cas_ops(n));
-        assert!(report.meets_bound(), "n={n}: {report:?}");
-        assert_eq!(report.distinct_shared as u64, 1u64 << n);
+        let v = Scenario::object(ObjectKind::Cas)
+            .processes(n)
+            .workload(Workload::script(gray_code_cas_ops(n)))
+            .census(&BfsConfig::default());
+        assert_eq!(v.bound_met, Some(true), "n={n}: {v:?}");
+        assert_eq!(v.stats.distinct_configs, 1 << n);
+        v.assert_passed();
     }
 }
 
 #[test]
 fn theorem1_bfs_census_exhaustive_small_n() {
-    let alphabet = [
+    let alphabet = vec![
         OpSpec::Cas { old: 0, new: 1 },
         OpSpec::Cas { old: 1, new: 0 },
     ];
     for n in 1..=2u32 {
-        let (cas, mem) = build_world(|b| DetectableCas::new(b, n, 0));
-        let cfg = BfsConfig {
-            max_ops: 2 * n as usize,
-            max_states: 500_000,
-        };
-        let report = census_bfs(&cas, &mem, &alphabet, &cfg);
-        assert!(report.meets_bound(), "n={n}: {report:?}");
+        let v = Scenario::object(ObjectKind::Cas)
+            .processes(n)
+            .workload(Workload::round_robin(alphabet.clone(), 2 * n as usize))
+            .census(&BfsConfig {
+                max_ops: 2 * n as usize,
+                max_states: 500_000,
+            });
+        assert_eq!(v.bound_met, Some(true), "n={n}: {v:?}");
     }
 }
 
 #[test]
 fn theorem1_ablation_nondetectable_stays_flat() {
     for n in [2u32, 6, 10] {
-        let (cas, mem) = build_world(|b| NonDetectableCas::new(b, n));
-        let report = census_drive(&cas, &mem, &gray_code_cas_ops(n));
+        let v = Scenario::custom(move |b| Box::new(NonDetectableCas::new(b, n)))
+            .workload(Workload::script(gray_code_cas_ops(n)))
+            .census(&BfsConfig::default());
         assert_eq!(
-            report.distinct_shared, 2,
+            v.stats.distinct_configs, 2,
             "non-detectable CAS must only ever show its two values"
         );
+        assert_eq!(v.bound_met, None, "the bound does not apply");
     }
 }
 
@@ -57,12 +60,11 @@ fn theorem1_tagged_cas_also_exceeds_bound() {
     // The unbounded baseline trivially satisfies the lower bound too — every
     // successful CAS creates a brand-new configuration.
     for n in 2..=6u32 {
-        let (cas, mem) = build_world(|b| TaggedCas::new(b, n));
-        let report = census_drive(&cas, &mem, &gray_code_cas_ops(n));
-        assert!(
-            report.distinct_shared as u64 >= (1u64 << n),
-            "n={n}: {report:?}"
-        );
+        let v = Scenario::custom(move |b| Box::new(TaggedCas::new(b, n)))
+            .workload(Workload::script(gray_code_cas_ops(n)))
+            .census(&BfsConfig::default());
+        assert_eq!(v.bound_met, Some(true), "n={n}: {v:?}");
+        assert!(v.stats.distinct_configs >= 1 << n);
     }
 }
 
@@ -70,9 +72,8 @@ fn theorem1_tagged_cas_also_exceeds_bound() {
 fn algorithm2_space_is_asymptotically_optimal() {
     // Upper bound side: exactly N bits beyond the 32-bit value.
     for n in [1u32, 8, 32] {
-        let mut b = nvm::LayoutBuilder::new();
-        let _cas = DetectableCas::new(&mut b, n, 0);
-        assert_eq!(b.finish().shared_bits(), 32 + u64::from(n));
+        let v = Scenario::object(ObjectKind::Cas).processes(n).space();
+        assert_eq!(v.stats.shared_bits, 32 + u64::from(n));
     }
 }
 
@@ -112,7 +113,7 @@ fn theorem2_every_deprived_object_violates() {
     deprived!(|b: &mut nvm::LayoutBuilder| DetectableCounter::new(b, 2));
     deprived!(|b: &mut nvm::LayoutBuilder| DetectableFaa::new(b, 2));
     deprived!(|b: &mut nvm::LayoutBuilder| DetectableTas::new(b, 2));
-    deprived!(|b: &mut nvm::LayoutBuilder| detectable::DetectableSwap::new(b, 2));
+    deprived!(|b: &mut nvm::LayoutBuilder| DetectableSwap::new(b, 2));
     deprived!(|b: &mut nvm::LayoutBuilder| DetectableQueue::new(b, 2, 64));
     deprived!(|b: &mut nvm::LayoutBuilder| TaggedRegister::new(b, 2));
     deprived!(|b: &mut nvm::LayoutBuilder| TaggedCas::new(b, 2));
@@ -132,19 +133,19 @@ fn lemma_classification_matches_paper() {
         ObjectKind::Tas,
     ];
     for kind in doubly {
-        assert!(
-            find_doubly_perturbing_witness(kind, &default_alphabet(kind), 3, 3).is_some(),
+        let v = Scenario::object(kind).perturb();
+        assert_eq!(
+            v.bound_met,
+            Some(true),
             "{kind:?} must be doubly-perturbing"
         );
+        // A found witness must also validate on the real implementation.
+        v.assert_passed();
     }
-    assert!(
-        find_doubly_perturbing_witness(
-            ObjectKind::MaxRegister,
-            &default_alphabet(ObjectKind::MaxRegister),
-            3,
-            3
-        )
-        .is_none(),
+    let v = Scenario::object(ObjectKind::MaxRegister).perturb();
+    assert_eq!(
+        v.bound_met,
+        Some(false),
         "max register must NOT be doubly-perturbing (Lemma 4)"
     );
 }
@@ -155,10 +156,12 @@ fn bounded_counter_separation() {
     // it is not perturbable (an op can change responses at most twice). Our
     // Definition 3 search only needs the doubly-perturbing half; verify the
     // witness exists within the bounded domain.
-    let alphabet = [OpSpec::Read, OpSpec::Inc];
-    let w = find_doubly_perturbing_witness(ObjectKind::Counter, &alphabet, 1, 1);
-    assert!(
-        w.is_some(),
+    let v = Scenario::object(ObjectKind::Counter)
+        .workload(Workload::round_robin(vec![OpSpec::Read, OpSpec::Inc], 1))
+        .perturb_with(1, 1);
+    assert_eq!(
+        v.bound_met,
+        Some(true),
         "bounded counter (domain {{0,1,2}} reachable in ≤3 ops)"
     );
 }
@@ -167,27 +170,22 @@ fn bounded_counter_separation() {
 fn max_register_detectable_without_aux_state_is_the_boundary() {
     // Algorithm 3 exists (Lemma 4 ⇒ Theorem 2 does not apply): its prepare
     // writes nothing, yet crash exploration is clean.
-    use harness::{explore, ExploreConfig, Workload};
+    use harness::{CrashModel, ExploreConfig};
     use nvm::Pid;
     let (mr, mem) = build_world(|b| MaxRegister::new(b, 2));
     let before = mem.stats();
     mr.prepare(&mem, Pid::new(0), &OpSpec::WriteMax(3));
     assert_eq!(mem.stats(), before, "no auxiliary state may be written");
 
-    let script = [
-        (Pid::new(0), OpSpec::WriteMax(1)),
-        (Pid::new(1), OpSpec::Read),
-        (Pid::new(1), OpSpec::WriteMax(2)),
-        (Pid::new(0), OpSpec::WriteMax(1)),
-        (Pid::new(1), OpSpec::Read),
-    ];
-    explore(
-        &mr,
-        &mem,
-        Workload::Script(&script),
-        &ExploreConfig::default(),
-    )
-    .assert_clean();
+    Scenario::object(ObjectKind::MaxRegister)
+        .workload(Workload::script(vec![
+            (Pid::new(0), OpSpec::WriteMax(1)),
+            (Pid::new(1), OpSpec::Read),
+            (Pid::new(1), OpSpec::WriteMax(2)),
+            (Pid::new(0), OpSpec::WriteMax(1)),
+            (Pid::new(1), OpSpec::Read),
+        ]))
+        .faults(CrashModel::exhaustive(1))
+        .explore(&ExploreConfig::default())
+        .assert_complete();
 }
-
-use detectable::RecoverableObject;
