@@ -1,0 +1,155 @@
+//! **Experiment E12** — census-engine throughput: configurations expanded
+//! per second on the N = 4 detectable-CAS world, full-snapshot reference
+//! engine vs the fork/checkpoint engine, sequential vs parallel.
+//!
+//! The fork engine expands each successor under an undo-log checkpoint
+//! (O(writes) instead of a full-memory restore) and shards its visited set,
+//! so its states/sec figure is the headline number future PRs track via the
+//! committed `BENCH_census.json` baseline (regenerate it with
+//! `cargo bench -p bench --bench census_throughput`).
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use detectable::{DetectableCas, ObjectKind, OpSpec};
+use harness::{
+    build_world, census_bfs_snapshot_engine, census_table_json, BfsConfig, CensusReport, Scenario,
+    Workload,
+};
+use nvm::SimMemory;
+
+/// The fixed benchmark world: the Theorem 1 N = 4 census over the standard
+/// 2-op CAS alphabet, 5-op budget (~650k configurations).
+const N: u32 = 4;
+const MAX_OPS: usize = 5;
+
+fn alphabet() -> [OpSpec; 2] {
+    [
+        OpSpec::Cas { old: 0, new: 1 },
+        OpSpec::Cas { old: 1, new: 0 },
+    ]
+}
+
+fn config(parallelism: usize) -> BfsConfig {
+    BfsConfig {
+        max_ops: MAX_OPS,
+        max_states: 20_000_000,
+        parallelism,
+    }
+}
+
+fn world() -> (DetectableCas, SimMemory) {
+    build_world(|b| DetectableCas::new(b, N, 0))
+}
+
+fn census_throughput(c: &mut Criterion) {
+    let (cas, mem) = world();
+    let mut g = c.benchmark_group("census_throughput");
+    let probe = census_bfs_snapshot_engine(&cas, &mem, &alphabet(), &config(1));
+    g.throughput(criterion::Throughput::Elements(probe.work as u64));
+    g.bench_with_input(BenchmarkId::new("snapshot-seq", probe.work), &(), |b, _| {
+        b.iter(|| census_bfs_snapshot_engine(&cas, &mem, &alphabet(), &config(1)));
+    });
+    for threads in [1usize, 2, 4] {
+        let label = if threads == 1 {
+            "fork-seq".to_string()
+        } else {
+            format!("fork-par{threads}")
+        };
+        g.bench_with_input(BenchmarkId::new(label, probe.work), &threads, |b, &t| {
+            b.iter(|| {
+                Scenario::object(ObjectKind::Cas)
+                    .processes(N)
+                    .workload(Workload::round_robin(alphabet().to_vec(), MAX_OPS))
+                    .census(&config(t))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, census_throughput, record_baseline);
+criterion_main!(benches);
+
+/// Records `BENCH_census.json` next to the workspace root: one sample per
+/// engine variant with the expanded-state count, wall time, and derived
+/// states/sec, plus a `table` document (the `census_table --json` schema)
+/// that CI diffs live output against.
+fn record_baseline(_c: &mut Criterion) {
+    let (cas, mem) = world();
+    let mut entries = Vec::new();
+
+    let mut sample = |label: &str, run: &dyn Fn() -> CensusReport| {
+        let _ = run(); // warm
+        let start = Instant::now();
+        let out = run();
+        let elapsed = start.elapsed();
+        assert!(!out.truncated, "baseline worlds must complete");
+        entries.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"engine\": \"{}\",\n",
+                "      \"states\": {},\n",
+                "      \"distinct_shared\": {},\n",
+                "      \"mean_seconds\": {:.6},\n",
+                "      \"states_per_sec\": {:.0}\n",
+                "    }}"
+            ),
+            label,
+            out.work,
+            out.distinct_shared,
+            elapsed.as_secs_f64(),
+            out.work as f64 / elapsed.as_secs_f64(),
+        ));
+    };
+
+    sample("snapshot-seq", &|| {
+        census_bfs_snapshot_engine(&cas, &mem, &alphabet(), &config(1))
+    });
+    for threads in [1usize, 2, 4] {
+        let label = if threads == 1 {
+            "fork-seq".to_string()
+        } else {
+            format!("fork-par{threads}")
+        };
+        let scenario = Scenario::object(ObjectKind::Cas)
+            .processes(N)
+            .workload(Workload::round_robin(alphabet().to_vec(), MAX_OPS));
+        sample(&label, &|| {
+            let v = scenario.census(&config(threads));
+            CensusReport {
+                distinct_shared: v.stats.distinct_configs as usize,
+                theorem_bound: v.stats.theorem_bound,
+                work: v.stats.executions as usize,
+                truncated: v.stats.truncated,
+            }
+        });
+    }
+
+    // A small canonical table run so the committed baseline carries the
+    // `census_table --json` schema for CI to diff against.
+    let table_verdicts: Vec<_> = (1..=2u32)
+        .map(|n| {
+            Scenario::object(ObjectKind::Cas)
+                .processes(n)
+                .workload(Workload::round_robin(alphabet().to_vec(), 2 * n as usize))
+                .census(&config(1))
+        })
+        .collect();
+
+    // Parallel samples only beat fork-seq on multi-core hosts; record the
+    // host's core count so the baseline is interpretable.
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let json = format!(
+        "{{\n  \"benchmark\": \"census_throughput\",\n  \"workload\": \
+         \"theorem1 census, detectable CAS N=4, 2-op alphabet, max_ops 5\",\n  \
+         \"host_cpus\": {},\n  \
+         \"samples\": [\n{}\n  ],\n  \"table\": {}\n}}\n",
+        host_cpus,
+        entries.join(",\n"),
+        census_table_json(1, &table_verdicts),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_census.json");
+    std::fs::write(path, &json).expect("write BENCH_census.json");
+    println!("baseline written to {path}");
+}

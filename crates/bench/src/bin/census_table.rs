@@ -1,5 +1,5 @@
-//! **Experiment E1** — Theorem 1 / Figure 1: the reachable-configuration
-//! census.
+//! **Experiment E1 / E12** — Theorem 1 / Figure 1: the reachable-
+//! configuration census.
 //!
 //! Counts distinct shared-memory configurations (memory-equivalence classes)
 //! reachable by the detectable CAS (Algorithm 2) and by the non-detectable
@@ -10,16 +10,19 @@
 //!   bit) — Algorithm 2 realizes all `2^N` vectors, meeting the `2^N − 1`
 //!   lower bound;
 //! * *bfs* rows exhaustively explore every interleaving of a bounded CAS
-//!   alphabet workload for small N;
+//!   alphabet workload. The fork/checkpoint engine carries the exhaustive
+//!   census to N = 4 and N = 5 (experiment E12); `--threads N` spreads
+//!   frontier expansion over worker threads with identical counts at every
+//!   setting;
 //! * the non-detectable baseline stays at the value-domain size, flat in N —
 //!   the ablation isolating detectability as the cause of the blow-up.
 //!
-//! Run: `cargo run --release -p bench --bin census_table [-- --json]`
+//! Run: `cargo run --release -p bench --bin census_table [-- --threads N] [--json]`
 
 use baselines::NonDetectableCas;
-use bench::{json_mode, markdown_table};
+use bench::{json_mode, markdown_table, threads_flag};
 use detectable::{ObjectKind, OpSpec};
-use harness::{gray_code_cas_ops, verdicts_to_json, BfsConfig, Scenario, Verdict, Workload};
+use harness::{census_table_json, gray_code_cas_ops, BfsConfig, Scenario, Verdict, Workload};
 
 /// The Gray-code witness walk as a scenario for `n` processes.
 fn witness_scenario(n: u32, detectable: bool) -> Scenario {
@@ -47,6 +50,26 @@ fn bfs_scenario(n: u32, detectable: bool) -> Scenario {
         .workload(Workload::round_robin(alphabet, 2 * n as usize))
 }
 
+/// Operation budget for the exhaustive BFS at `n` processes: `2N` keeps the
+/// small worlds comparable with the historical tables; N ≥ 4 uses 5 ops —
+/// enough to reach every `2^N` toggle vector (any vector needs at most N ≤ 5
+/// successful CASes) while the state space stays a CI-sized few million.
+fn bfs_ops(n: u32) -> usize {
+    if n <= 3 {
+        2 * n as usize
+    } else {
+        5
+    }
+}
+
+fn bfs_config(n: u32, threads: usize) -> BfsConfig {
+    BfsConfig {
+        max_ops: bfs_ops(n),
+        max_states: 20_000_000,
+        parallelism: threads,
+    }
+}
+
 fn row(mode: &str, n: u32, v: &Verdict) -> Vec<String> {
     vec![
         v.object.clone(),
@@ -54,15 +77,19 @@ fn row(mode: &str, n: u32, v: &Verdict) -> Vec<String> {
         n.to_string(),
         v.stats.distinct_configs.to_string(),
         v.stats.theorem_bound.to_string(),
-        match v.bound_met {
-            Some(true) => "yes".into(),
-            Some(false) => "NO".into(),
-            None => "exempt (not detectable)".into(),
+        match (v.bound_met, v.stats.truncated) {
+            // A met lower bound is conclusive even when coverage was cut —
+            // more states could only add configurations.
+            (Some(true), _) => "yes".into(),
+            (Some(false), true) => "TRUNCATED (inconclusive)".into(),
+            (Some(false), false) => "NO".into(),
+            (None, _) => "exempt (not detectable)".into(),
         },
     ]
 }
 
 fn main() {
+    let threads = threads_flag();
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut verdicts: Vec<Verdict> = Vec::new();
 
@@ -78,12 +105,9 @@ fn main() {
         verdicts.push(v);
     }
 
-    // Exhaustive BFS for small N, both implementations.
-    for n in 1..=3u32 {
-        let cfg = BfsConfig {
-            max_ops: 2 * n as usize,
-            max_states: 3_000_000,
-        };
+    // Exhaustive BFS, both implementations. The fork engine reaches N = 5.
+    for n in 1..=5u32 {
+        let cfg = bfs_config(n, threads);
         let v = bfs_scenario(n, true).census(&cfg);
         rows.push(row(
             &format!("bfs (≤{} ops, {} states)", cfg.max_ops, v.stats.executions),
@@ -92,11 +116,8 @@ fn main() {
         ));
         verdicts.push(v);
     }
-    for n in 1..=3u32 {
-        let cfg = BfsConfig {
-            max_ops: 2 * n as usize,
-            max_states: 3_000_000,
-        };
+    for n in 1..=5u32 {
+        let cfg = bfs_config(n, threads);
         let v = bfs_scenario(n, false).census(&cfg);
         rows.push(row(
             &format!("bfs (≤{} ops, {} states)", cfg.max_ops, v.stats.executions),
@@ -107,11 +128,12 @@ fn main() {
     }
 
     if json_mode() {
-        println!("{}", verdicts_to_json(&verdicts));
+        println!("{}", census_table_json(threads, &verdicts));
         return;
     }
 
-    println!("# E1 — Theorem 1 census: reachable shared-memory configurations\n");
+    println!("# E1/E12 — Theorem 1 census: reachable shared-memory configurations\n");
+    println!("BFS rows expanded on {threads} worker thread(s).\n");
     println!(
         "{}",
         markdown_table(

@@ -73,6 +73,42 @@ pub fn json_mode() -> bool {
     std::env::args().any(|a| a == "--json")
 }
 
+/// The value of `--<name> V` or `--<name>=V` on the command line, if the
+/// flag is present.
+///
+/// # Panics
+///
+/// Panics when the flag appears with no value — a silently-defaulted run
+/// would misreport what was measured.
+pub fn flag_value(name: &str) -> Option<String> {
+    let flag = format!("--{name}");
+    let prefix = format!("--{name}=");
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == flag {
+            let v = args
+                .next()
+                .unwrap_or_else(|| panic!("{flag} expects a value"));
+            return Some(v);
+        }
+        if let Some(v) = a.strip_prefix(&prefix) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+/// Worker threads requested via `--threads N` (default 1). Experiment
+/// binaries with parallel engines (the census BFS) pass this through.
+pub fn threads_flag() -> usize {
+    flag_value("threads")
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("--threads expects a number, got {v:?}"))
+        })
+        .unwrap_or(1)
+}
+
 /// Builds an `(object, AtomicMemory)` world for the thread benches.
 pub fn build_atomic_world<O>(f: impl FnOnce(&mut nvm::LayoutBuilder) -> O) -> (O, AtomicMemory) {
     let mut b = nvm::LayoutBuilder::new();

@@ -13,12 +13,55 @@
 //!   the theorem proves necessary;
 //! * [`census_bfs`] breadth-first-explores every reachable configuration of
 //!   a small world (all interleavings of a bounded operation budget) and
-//!   counts distinct shared states — the exhaustive version for N ≤ 3;
+//!   counts distinct shared states — the exhaustive version, good to
+//!   N = 4–5 on the standard 2-op CAS alphabet;
 //! * running either against the **non-detectable** recoverable CAS baseline
 //!   shows its configuration count stays at the domain size, isolating
 //!   detectability as the cause of the space blow-up.
+//!
+//! # Engine
+//!
+//! The exhaustive census is a **wave-synchronous parallel BFS** over system
+//! configurations (memory contents + driver volatile state + remaining
+//! operation budget):
+//!
+//! * Frontier nodes carry full [`nvm::MemSnapshot`]s (BFS revisits states in
+//!   arbitrary order, so the explorer's LIFO checkpoints cannot *represent*
+//!   nodes), but **expansion** is checkpoint-based: a worker restores a
+//!   node's snapshot once onto its own scratch [`fork`](SimMemory::fork) of
+//!   the memory, then enters every successor under a
+//!   [`checkpoint`](SimMemory::checkpoint) and leaves via
+//!   [`rollback`](SimMemory::rollback) — O(writes of one step) per
+//!   successor instead of the old engine's full O(memory) restore.
+//! * Each wave, the frontier is split round-robin across
+//!   [`BfsConfig::parallelism`] workers. Workers share a sharded `visited`
+//!   set (128-bit configuration fingerprints, the same collision trade-off
+//!   the explorer's pruning memo makes) and a sharded `shared_seen` set
+//!   (exact logical shared-memory keys — the quantity Theorem 1 bounds is
+//!   never approximated).
+//! * `visited` admission is capped at [`BfsConfig::max_states`]: a node
+//!   enters the frontier (and is later expanded) only if it wins one of
+//!   exactly `max_states` admission slots, so peak memory is O(`max_states`)
+//!   snapshots no matter how large the reachable space is, and hitting the
+//!   cap sets [`CensusReport::truncated`].
+//!
+//! On runs that complete within `max_states`, the visited set, the
+//! shared-configuration set and the expansion count are each determined by
+//! the reachable state space alone — set unions are order-independent — so
+//! **every parallelism level reports identical counts**. When the cap
+//! truncates a parallel run, *which* configurations won admission slots is
+//! scheduling-dependent (sequential truncated runs remain deterministic:
+//! admission order is canonical BFS order).
+//!
+//! [`census_bfs_snapshot_engine`] preserves the original single-threaded
+//! full-snapshot engine (exact node keys, one `restore` per successor) as a
+//! differential-testing reference and benchmark baseline.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashSet, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use detectable::{OpSpec, RecoverableObject};
 use nvm::{Pid, SimMemory, Word};
@@ -32,14 +75,29 @@ pub struct CensusReport {
     pub distinct_shared: usize,
     /// The Theorem 1 lower bound `2^N − 1` for the world's process count.
     pub theorem_bound: u64,
-    /// Operations (census_drive) or configurations (census_bfs) processed.
+    /// Operations completed (census_drive) or configurations expanded
+    /// (census_bfs).
     pub work: usize,
+    /// Whether a budget cut coverage short: the BFS ran out of
+    /// [`BfsConfig::max_states`] admission slots with unexplored
+    /// configurations remaining, or a solo drive's operation exhausted its
+    /// step budget. A truncated census that misses the bound is a coverage
+    /// artifact, not a refutation — see [`bound_failed`](Self::bound_failed).
+    pub truncated: bool,
 }
 
 impl CensusReport {
     /// Whether the observed count meets the Theorem 1 bound.
     pub fn meets_bound(&self) -> bool {
         self.distinct_shared as u64 >= self.theorem_bound
+    }
+
+    /// Whether this run *conclusively* fails the Theorem 1 bound: the count
+    /// falls short **and** coverage was complete. A truncated run below the
+    /// bound is indeterminate (the missing configurations may simply not
+    /// have been reached) and returns `false` here.
+    pub fn bound_failed(&self) -> bool {
+        !self.meets_bound() && !self.truncated
     }
 }
 
@@ -62,8 +120,19 @@ pub fn census_drive(
     census_drive_engine(obj, mem, ops)
 }
 
+/// Per-operation step budget for the solo drive. The paper's algorithms are
+/// wait-free, so an honest implementation finishes in far fewer steps; an
+/// operation still pending after this many is a model violation.
+const SOLO_STEP_LIMIT: usize = 1_000_000;
+
 /// [`census_drive`]'s engine: solo-drives `ops` and counts distinct shared
 /// configurations. See [`Scenario::census`](crate::Scenario::census).
+///
+/// An operation that exhausts its step budget is a model violation
+/// (wait-freedom says solo runs terminate): the engine `debug_assert`s,
+/// stops driving — a half-executed operation would contribute a
+/// partial-state configuration to the count — and reports the run as
+/// [`truncated`](CensusReport::truncated).
 pub(crate) fn census_drive_engine(
     obj: &dyn RecoverableObject,
     mem: &SimMemory,
@@ -71,15 +140,31 @@ pub(crate) fn census_drive_engine(
 ) -> CensusReport {
     let mut seen: HashSet<Vec<Word>> = HashSet::new();
     let mut driver = Driver::for_object(obj);
+    let mut completed = 0usize;
+    let mut truncated = false;
     seen.insert(mem.shared_key());
     for (pid, op) in ops {
-        driver.run_solo(obj, mem, pid.idx(), *op, 1_000_000);
-        seen.insert(mem.shared_key());
+        match driver.try_run_solo(obj, mem, pid.idx(), *op, SOLO_STEP_LIMIT) {
+            Some(_) => {
+                completed += 1;
+                seen.insert(mem.shared_key());
+            }
+            None => {
+                debug_assert!(
+                    false,
+                    "census_drive: solo {op} by {pid} did not complete within \
+                     {SOLO_STEP_LIMIT} steps (wait-freedom violated)"
+                );
+                truncated = true;
+                break;
+            }
+        }
     }
     CensusReport {
         distinct_shared: seen.len(),
         theorem_bound: (1u64 << obj.processes()) - 1,
-        work: ops.len(),
+        work: completed,
+        truncated,
     }
 }
 
@@ -101,13 +186,23 @@ pub fn gray_code_cas_ops(n: u32) -> Vec<(Pid, OpSpec)> {
     ops
 }
 
-/// Configuration limit guard for [`census_bfs`].
+/// Limits and parallelism for [`census_bfs`].
 #[derive(Clone, Debug)]
 pub struct BfsConfig {
     /// Total operations any single execution path may start.
     pub max_ops: usize,
-    /// Abort after visiting this many configurations.
+    /// Admission cap on the visited set: at most this many configurations
+    /// are ever admitted for expansion, so peak memory is O(`max_states`)
+    /// snapshots (plus the per-successor shared keys they generate, bounded
+    /// by the branching factor). Exactly `max_states` nodes are expanded
+    /// when the cap binds, and the report is flagged
+    /// [`truncated`](CensusReport::truncated).
     pub max_states: usize,
+    /// Worker threads for frontier expansion. `0` and `1` both mean
+    /// sequential search. Runs that complete within `max_states` report
+    /// identical counts at every setting (see the [module docs](self) for
+    /// the truncation caveat).
+    pub parallelism: usize,
 }
 
 impl Default for BfsConfig {
@@ -115,27 +210,150 @@ impl Default for BfsConfig {
         BfsConfig {
             max_ops: 6,
             max_states: 2_000_000,
+            parallelism: 1,
         }
     }
 }
 
-#[derive(Clone)]
+/// One frontier entry: a full memory snapshot plus the driver's volatile
+/// state and the operation budget consumed so far.
 struct BfsNode {
     snap: nvm::MemSnapshot,
     driver: Driver,
     ops_used: usize,
 }
 
-/// Node key: operation budget, the driver's volatile state (machine
-/// encodings included), and full NVM contents (shared + private). Two nodes
-/// with equal keys have identical future behaviour. The driver's *history*
-/// is deliberately not part of the key — the census counts configurations,
-/// not paths.
+/// Node key for the reference engine: operation budget, the driver's
+/// volatile state (machine encodings included), and full NVM contents
+/// (shared + private). Two nodes with equal keys have identical future
+/// behaviour. The driver's *history* is deliberately not part of the key —
+/// the census counts configurations, not paths.
 fn encode_node(mem: &SimMemory, driver: &Driver, ops_used: usize) -> Vec<Word> {
     let mut key: Vec<Word> = vec![ops_used as Word];
     driver.encode_key(&mut key);
     key.extend(mem.full_key());
     key
+}
+
+/// 128-bit fingerprint of the same configuration [`encode_node`] keys
+/// exactly: *logical* memory contents
+/// ([`logical_hash`](SimMemory::logical_hash) — not
+/// [`state_hash`](SimMemory::state_hash), whose dirty-set and crash-ordinal
+/// sensitivity would split states the full-key reference engine merges),
+/// driver volatile state, operation budget. Collisions (vanishingly
+/// unlikely) could merge two distinct configurations — the same trade-off
+/// the explorer's pruning memo makes, bought here because a 16-byte
+/// fingerprint keeps a multi-million-state visited set in cache where
+/// exact full-memory keys thrash.
+fn fingerprint_node(
+    mem: &SimMemory,
+    driver: &Driver,
+    ops_used: usize,
+    scratch: &mut Vec<Word>,
+) -> (u64, u64) {
+    scratch.clear();
+    scratch.push(ops_used as Word);
+    driver.encode_key(scratch);
+    let mut halves = [0u64; 2];
+    for (salt, half) in halves.iter_mut().enumerate() {
+        let mut h = DefaultHasher::new();
+        // The salt feeds the memory hash itself: the two halves collide
+        // independently, giving the full fingerprint 128-bit resistance on
+        // the memory component, not 64 bits copied twice.
+        mem.logical_hash(salt as u64).hash(&mut h);
+        scratch.hash(&mut h);
+        *half = h.finish();
+    }
+    (halves[0], halves[1])
+}
+
+const SHARDS: usize = 64;
+
+/// The visited set: sharded configuration fingerprints behind an exact
+/// admission counter. [`try_admit`](Self::try_admit) hands out at most
+/// `cap` slots across all threads (a reservation CAS loop, so the cap is
+/// exact even under parallel insertion); a rejected-for-capacity novel
+/// configuration marks the census truncated.
+struct VisitedSet {
+    shards: Vec<Mutex<HashSet<(u64, u64)>>>,
+    admitted: AtomicUsize,
+    cap: usize,
+    truncated: AtomicBool,
+}
+
+impl VisitedSet {
+    fn new(cap: usize) -> Self {
+        VisitedSet {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashSet::new())).collect(),
+            admitted: AtomicUsize::new(0),
+            cap,
+            truncated: AtomicBool::new(false),
+        }
+    }
+
+    /// Admits `key` if it is novel and a slot remains; returns whether the
+    /// caller now owns the configuration (and must expand it).
+    fn try_admit(&self, key: (u64, u64)) -> bool {
+        let mut shard = self.shards[(key.0 as usize) % SHARDS]
+            .lock()
+            .expect("visited shard poisoned");
+        if shard.contains(&key) {
+            return false;
+        }
+        // Reserve an admission slot before inserting: the cap stays exact
+        // under concurrent admission from every shard.
+        loop {
+            let c = self.admitted.load(Ordering::Relaxed);
+            if c >= self.cap {
+                self.truncated.store(true, Ordering::Relaxed);
+                return false;
+            }
+            if self
+                .admitted
+                .compare_exchange(c, c + 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                break;
+            }
+        }
+        shard.insert(key);
+        true
+    }
+}
+
+/// The shared-configuration census set: exact logical shared-memory keys
+/// (Theorem 1's memory-equivalence classes are never approximated by a
+/// hash), sharded for low-contention parallel insertion.
+struct SharedSeen {
+    shards: Vec<Mutex<HashSet<Vec<Word>>>>,
+}
+
+impl SharedSeen {
+    fn new() -> Self {
+        SharedSeen {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashSet::new())).collect(),
+        }
+    }
+
+    fn insert(&self, key: Vec<Word>) {
+        // Shard selection only needs dispersion, not a full second hash of
+        // the key (the shard's HashSet hashes it again on insert): a cheap
+        // multiply-rotate mix of the few shared words is plenty.
+        let mix = key
+            .iter()
+            .fold(0u64, |a, &w| (a ^ w).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        self.shards[(mix as usize) % SHARDS]
+            .lock()
+            .expect("shared-seen shard poisoned")
+            .insert(key);
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shared-seen shard poisoned").len())
+            .sum()
+    }
 }
 
 /// Exhaustive crash-free reachability over an operation alphabet.
@@ -156,27 +374,174 @@ pub fn census_bfs(
     census_bfs_engine(obj, mem, alphabet, cfg)
 }
 
+/// The crash-free retry policy every census engine drives under.
+const CENSUS_RETRY: RetryPolicy = RetryPolicy {
+    retry_on_fail: false,
+    max_retries: 0,
+    reset_per_op: false,
+};
+
 /// [`census_bfs`]'s engine: explores every interleaving of up to
 /// `cfg.max_ops` operations drawn from `alphabet` (any process, any time)
 /// and counts the distinct shared-memory configurations of all reachable
-/// states. The breadth-first order revisits states arbitrarily, so nodes
-/// carry full [`nvm::MemSnapshot`]s rather than the explorer's LIFO
-/// checkpoints.
+/// states. See the [module docs](self) for the wave-parallel fork/checkpoint
+/// design; `mem` itself is only snapshotted and forked, never mutated.
 pub(crate) fn census_bfs_engine(
     obj: &dyn RecoverableObject,
     mem: &SimMemory,
     alphabet: &[OpSpec],
     cfg: &BfsConfig,
 ) -> CensusReport {
+    let workers = cfg.parallelism.max(1);
+    let visited = VisitedSet::new(cfg.max_states);
+    let shared_seen = SharedSeen::new();
+
+    // Root admission: the initial configuration observes its shared key
+    // unconditionally but competes for an expansion slot like any other.
+    let root_driver = Driver::without_history(obj.processes());
+    shared_seen.insert(mem.shared_key());
+    let mut scratch = Vec::new();
+    let mut frontier: Vec<BfsNode> = Vec::new();
+    if visited.try_admit(fingerprint_node(mem, &root_driver, 0, &mut scratch)) {
+        frontier.push(BfsNode {
+            snap: mem.snapshot(),
+            driver: root_driver,
+            ops_used: 0,
+        });
+    }
+
+    // Worker scratch memories: pure scratch (every node expansion begins by
+    // restoring that node's snapshot), so one fork per worker serves the
+    // whole run.
+    let mut forks: Vec<SimMemory> = (0..workers).map(|_| mem.fork()).collect();
+
+    let mut expanded = 0usize;
+    while !frontier.is_empty() {
+        expanded += frontier.len();
+        let lanes = workers.min(frontier.len());
+        frontier = if lanes <= 1 {
+            expand_lane(
+                obj,
+                &forks[0],
+                alphabet,
+                cfg,
+                frontier,
+                &visited,
+                &shared_seen,
+            )
+        } else {
+            // Round-robin the wave across workers (the Sweep recipe); the
+            // merge order only shapes the next wave's traversal order, which
+            // no reported count depends on.
+            let mut lane_nodes: Vec<Vec<BfsNode>> = (0..lanes).map(|_| Vec::new()).collect();
+            for (k, node) in frontier.into_iter().enumerate() {
+                lane_nodes[k % lanes].push(node);
+            }
+            let lane_results: Vec<Vec<BfsNode>> = std::thread::scope(|s| {
+                let handles: Vec<_> = lane_nodes
+                    .into_iter()
+                    .zip(forks.iter_mut())
+                    .map(|(nodes, fork)| {
+                        let visited = &visited;
+                        let shared_seen = &shared_seen;
+                        s.spawn(move || {
+                            expand_lane(obj, fork, alphabet, cfg, nodes, visited, shared_seen)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("census worker panicked"))
+                    .collect()
+            });
+            lane_results.into_iter().flatten().collect()
+        };
+    }
+
+    CensusReport {
+        distinct_shared: shared_seen.len(),
+        theorem_bound: (1u64 << obj.processes()) - 1,
+        work: expanded,
+        truncated: visited.truncated.load(Ordering::Relaxed),
+    }
+}
+
+/// Expands one lane of frontier nodes on a scratch memory: restore each
+/// node's snapshot once, then enter every successor under a checkpoint and
+/// roll it back — O(writes of one step) per successor. Returns the admitted
+/// successors (the lane's share of the next wave).
+fn expand_lane(
+    obj: &dyn RecoverableObject,
+    mem: &SimMemory,
+    alphabet: &[OpSpec],
+    cfg: &BfsConfig,
+    nodes: Vec<BfsNode>,
+    visited: &VisitedSet,
+    shared_seen: &SharedSeen,
+) -> Vec<BfsNode> {
     let n = obj.processes() as usize;
-    let retry = RetryPolicy {
-        retry_on_fail: false,
-        max_retries: 0,
-        reset_per_op: false,
-    };
+    let mut out = Vec::new();
+    let mut scratch = Vec::new();
+    for node in nodes {
+        mem.restore(&node.snap);
+        let successor = |mem: &SimMemory,
+                         out: &mut Vec<BfsNode>,
+                         scratch: &mut Vec<Word>,
+                         driver: Driver,
+                         ops_used: usize| {
+            shared_seen.insert(mem.shared_key());
+            if visited.try_admit(fingerprint_node(mem, &driver, ops_used, scratch)) {
+                out.push(BfsNode {
+                    snap: mem.snapshot(),
+                    driver,
+                    ops_used,
+                });
+            }
+        };
+        for i in 0..n {
+            if node.driver.state(i).in_flight() {
+                // Step the in-flight machine.
+                let cp = mem.checkpoint();
+                let mut driver = node.driver.clone();
+                let _ = driver.step(obj, mem, i, &CENSUS_RETRY);
+                successor(mem, &mut out, &mut scratch, driver, node.ops_used);
+                mem.rollback(cp);
+            } else if node.ops_used < cfg.max_ops {
+                for op in alphabet {
+                    let cp = mem.checkpoint();
+                    let mut driver = node.driver.clone();
+                    driver.invoke(obj, mem, i, *op, &CENSUS_RETRY);
+                    successor(mem, &mut out, &mut scratch, driver, node.ops_used + 1);
+                    mem.rollback(cp);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The original single-threaded full-snapshot census engine, kept as the
+/// differential-testing reference for [`census_bfs`]'s fork engine and as
+/// the benchmark baseline (`census_throughput` / `BENCH_census.json`).
+///
+/// Node identity uses exact full-memory keys (no fingerprint hashing) and
+/// every successor is entered by a full [`SimMemory::restore`]. Limit
+/// semantics match the fork engine — `max_states` caps visited-set
+/// admissions, exactly that many nodes are expanded, truncation is
+/// reported — so on any world the two engines agree on every count
+/// (sequentially, even under truncation: both admit in canonical BFS
+/// order). `cfg.parallelism` is ignored.
+pub fn census_bfs_snapshot_engine(
+    obj: &dyn RecoverableObject,
+    mem: &SimMemory,
+    alphabet: &[OpSpec],
+    cfg: &BfsConfig,
+) -> CensusReport {
+    let n = obj.processes() as usize;
     let mut shared_seen: HashSet<Vec<Word>> = HashSet::new();
     let mut visited: HashSet<Vec<Word>> = HashSet::new();
     let mut queue: VecDeque<BfsNode> = VecDeque::new();
+    let mut truncated = false;
     let start = mem.snapshot();
 
     let root = BfsNode {
@@ -187,43 +552,44 @@ pub(crate) fn census_bfs_engine(
         ops_used: 0,
     };
     shared_seen.insert(mem.shared_key());
-    visited.insert(encode_node(mem, &root.driver, 0));
-    queue.push_back(root);
+    if cfg.max_states > 0 {
+        visited.insert(encode_node(mem, &root.driver, 0));
+        queue.push_back(root);
+    } else {
+        truncated = true;
+    }
 
-    let mut processed = 0usize;
+    let mut expanded = 0usize;
     while let Some(node) = queue.pop_front() {
-        processed += 1;
-        if processed >= cfg.max_states {
-            break;
-        }
-        // Enumerate successor actions.
+        expanded += 1;
+        let mut successor = |mem: &SimMemory, driver: Driver, ops_used: usize| {
+            shared_seen.insert(mem.shared_key());
+            let key = encode_node(mem, &driver, ops_used);
+            if !visited.contains(&key) {
+                if visited.len() >= cfg.max_states {
+                    truncated = true;
+                } else {
+                    visited.insert(key);
+                    queue.push_back(BfsNode {
+                        snap: mem.snapshot(),
+                        driver,
+                        ops_used,
+                    });
+                }
+            }
+        };
         for i in 0..n {
             if node.driver.state(i).in_flight() {
-                // Step the in-flight machine.
                 mem.restore(&node.snap);
                 let mut driver = node.driver.clone();
-                let _ = driver.step(obj, mem, i, &retry);
-                push_state(
-                    mem,
-                    driver,
-                    node.ops_used,
-                    &mut shared_seen,
-                    &mut visited,
-                    &mut queue,
-                );
+                let _ = driver.step(obj, mem, i, &CENSUS_RETRY);
+                successor(mem, driver, node.ops_used);
             } else if node.ops_used < cfg.max_ops {
                 for op in alphabet {
                     mem.restore(&node.snap);
                     let mut driver = node.driver.clone();
-                    driver.invoke(obj, mem, i, *op, &retry);
-                    push_state(
-                        mem,
-                        driver,
-                        node.ops_used + 1,
-                        &mut shared_seen,
-                        &mut visited,
-                        &mut queue,
-                    );
+                    driver.invoke(obj, mem, i, *op, &CENSUS_RETRY);
+                    successor(mem, driver, node.ops_used + 1);
                 }
             }
         }
@@ -233,26 +599,8 @@ pub(crate) fn census_bfs_engine(
     CensusReport {
         distinct_shared: shared_seen.len(),
         theorem_bound: (1u64 << obj.processes()) - 1,
-        work: processed,
-    }
-}
-
-fn push_state(
-    mem: &SimMemory,
-    driver: Driver,
-    ops_used: usize,
-    shared_seen: &mut HashSet<Vec<Word>>,
-    visited: &mut HashSet<Vec<Word>>,
-    queue: &mut VecDeque<BfsNode>,
-) {
-    shared_seen.insert(mem.shared_key());
-    let key = encode_node(mem, &driver, ops_used);
-    if visited.insert(key) {
-        queue.push_back(BfsNode {
-            snap: mem.snapshot(),
-            driver,
-            ops_used,
-        });
+        work: expanded,
+        truncated,
     }
 }
 
@@ -261,6 +609,13 @@ mod tests {
     use super::*;
     use crate::sim::build_world;
     use detectable::DetectableCas;
+
+    fn cas_alphabet() -> [OpSpec; 2] {
+        [
+            OpSpec::Cas { old: 0, new: 1 },
+            OpSpec::Cas { old: 1, new: 0 },
+        ]
+    }
 
     #[test]
     fn gray_code_covers_all_vectors() {
@@ -291,6 +646,8 @@ mod tests {
                 report.distinct_shared,
                 report.theorem_bound
             );
+            assert!(!report.truncated);
+            assert_eq!(report.work, ops.len());
             // Exactly 2^N: every vector appears with a value determined by
             // the walk, so the count equals the number of vectors.
             assert_eq!(report.distinct_shared as u64, 1u64 << n);
@@ -300,15 +657,129 @@ mod tests {
     #[test]
     fn bfs_census_small_n_meets_bound() {
         let (cas, mem) = build_world(|b| DetectableCas::new(b, 2, 0));
-        let alphabet = [
-            OpSpec::Cas { old: 0, new: 1 },
-            OpSpec::Cas { old: 1, new: 0 },
-        ];
         let cfg = BfsConfig {
             max_ops: 4,
             max_states: 200_000,
+            ..Default::default()
         };
-        let report = census_bfs_engine(&cas, &mem, &alphabet, &cfg);
+        let report = census_bfs_engine(&cas, &mem, &cas_alphabet(), &cfg);
         assert!(report.meets_bound(), "{report:?}");
+        assert!(!report.truncated);
+    }
+
+    #[test]
+    fn bfs_engine_leaves_the_input_memory_untouched() {
+        let (cas, mem) = build_world(|b| DetectableCas::new(b, 2, 0));
+        let before = mem.snapshot();
+        let _ = census_bfs_engine(&cas, &mem, &cas_alphabet(), &BfsConfig::default());
+        assert_eq!(mem.snapshot(), before);
+    }
+
+    #[test]
+    fn max_states_one_expands_exactly_the_root() {
+        // Regression: the old engine broke *before* expanding the popped
+        // node, so `max_states: 1` expanded nothing yet counted one unit of
+        // work. The cap now bounds admissions: the root is admitted, fully
+        // expanded, and its successors are observed but not expanded.
+        let (cas, mem) = build_world(|b| DetectableCas::new(b, 2, 0));
+        let cfg = BfsConfig {
+            max_ops: 4,
+            max_states: 1,
+            ..Default::default()
+        };
+        for report in [
+            census_bfs_engine(&cas, &mem, &cas_alphabet(), &cfg),
+            census_bfs_snapshot_engine(&cas, &mem, &cas_alphabet(), &cfg),
+        ] {
+            assert_eq!(report.work, 1, "exactly max_states nodes expanded");
+            assert!(report.truncated, "the cap must be reported");
+        }
+        // The cap bounds expansions exactly at every setting, not one off.
+        for max_states in [2, 3, 10] {
+            let report = census_bfs_engine(
+                &cas,
+                &mem,
+                &cas_alphabet(),
+                &BfsConfig {
+                    max_states,
+                    ..cfg.clone()
+                },
+            );
+            assert_eq!(report.work, max_states, "cap {max_states}");
+            assert!(report.truncated);
+        }
+    }
+
+    #[test]
+    fn truncation_is_flagged_and_memory_bounded() {
+        let (cas, mem) = build_world(|b| DetectableCas::new(b, 3, 0));
+        let cfg = BfsConfig {
+            max_ops: 6,
+            max_states: 100,
+            ..Default::default()
+        };
+        let report = census_bfs_engine(&cas, &mem, &cas_alphabet(), &cfg);
+        assert!(report.truncated);
+        assert_eq!(report.work, 100, "admissions (hence expansions) are capped");
+        // Below the bound *because* coverage was cut — not a refutation.
+        assert!(!report.bound_failed());
+        // A complete run of the same world is conclusive.
+        let full = census_bfs_engine(
+            &cas,
+            &mem,
+            &cas_alphabet(),
+            &BfsConfig {
+                max_ops: 6,
+                ..Default::default()
+            },
+        );
+        assert!(!full.truncated);
+        assert!(full.meets_bound() && !full.bound_failed());
+    }
+
+    #[test]
+    fn fork_engine_matches_snapshot_reference() {
+        // Differential test: the parallel fork/checkpoint engine and the
+        // original full-snapshot engine agree on every count, complete or
+        // truncated (sequentially both admit in canonical BFS order).
+        let (cas, mem) = build_world(|b| DetectableCas::new(b, 2, 0));
+        for (max_ops, max_states) in [(2, 200_000), (4, 200_000), (4, 37), (3, 1)] {
+            let cfg = BfsConfig {
+                max_ops,
+                max_states,
+                ..Default::default()
+            };
+            let fork = census_bfs_engine(&cas, &mem, &cas_alphabet(), &cfg);
+            let snap = census_bfs_snapshot_engine(&cas, &mem, &cas_alphabet(), &cfg);
+            assert_eq!(fork.distinct_shared, snap.distinct_shared, "{cfg:?}");
+            assert_eq!(fork.work, snap.work, "{cfg:?}");
+            assert_eq!(fork.truncated, snap.truncated, "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_census_counts_are_deterministic() {
+        let (cas, mem) = build_world(|b| DetectableCas::new(b, 3, 0));
+        let base = BfsConfig {
+            max_ops: 4,
+            max_states: 2_000_000,
+            parallelism: 1,
+        };
+        let seq = census_bfs_engine(&cas, &mem, &cas_alphabet(), &base);
+        assert!(!seq.truncated);
+        for parallelism in [2, 8] {
+            let par = census_bfs_engine(
+                &cas,
+                &mem,
+                &cas_alphabet(),
+                &BfsConfig {
+                    parallelism,
+                    ..base.clone()
+                },
+            );
+            assert_eq!(par.distinct_shared, seq.distinct_shared, "p={parallelism}");
+            assert_eq!(par.work, seq.work, "p={parallelism}");
+            assert_eq!(par.truncated, seq.truncated, "p={parallelism}");
+        }
     }
 }

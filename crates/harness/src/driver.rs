@@ -439,6 +439,9 @@ impl Driver {
     ///
     /// Panics if the machine is still pending after `limit` steps (the
     /// paper's algorithms are wait-free; honest solo runs always finish).
+    /// Callers that must *report* incompletion instead of aborting — the
+    /// census drive flags it as truncation — use
+    /// [`try_run_solo`](Self::try_run_solo).
     pub fn run_solo(
         &mut self,
         obj: &dyn RecoverableObject,
@@ -447,6 +450,22 @@ impl Driver {
         op: OpSpec,
         limit: usize,
     ) -> Word {
+        self.try_run_solo(obj, mem, i, op, limit)
+            .unwrap_or_else(|| panic!("solo {op} by p{i} did not complete within {limit} steps"))
+    }
+
+    /// [`run_solo`](Self::run_solo) without the panic: returns `None` if the
+    /// operation is still pending after `limit` steps, leaving it in flight
+    /// (the process is not idle and the memory holds its partial effects —
+    /// callers must treat the state as incomplete, not as a configuration).
+    pub fn try_run_solo(
+        &mut self,
+        obj: &dyn RecoverableObject,
+        mem: &dyn Memory,
+        i: usize,
+        op: OpSpec,
+        limit: usize,
+    ) -> Option<Word> {
         let retry = RetryPolicy {
             retry_on_fail: false,
             max_retries: 0,
@@ -455,10 +474,10 @@ impl Driver {
         self.invoke(obj, mem, i, op, &retry);
         for _ in 0..limit {
             if let StepOutcome::Returned(resp) = self.step(obj, mem, i, &retry) {
-                return resp;
+                return Some(resp);
             }
         }
-        panic!("solo {op} by p{i} did not complete within {limit} steps");
+        None
     }
 
     /// Appends a canonical encoding of the driver's volatile state — per

@@ -55,7 +55,7 @@ pub mod workload;
 pub use aux_state::{probe_aux_state, theorem2_script};
 #[allow(deprecated)]
 pub use census::{census_bfs, census_drive};
-pub use census::{gray_code_cas_ops, BfsConfig, CensusReport};
+pub use census::{census_bfs_snapshot_engine, gray_code_cas_ops, BfsConfig, CensusReport};
 pub use driver::{op_key, Driver, ProcState, RetryPolicy, StepOutcome};
 #[allow(deprecated)]
 pub use explore::explore;
@@ -65,7 +65,7 @@ pub use linearize::{check_execution, check_history, check_records, Violation, MA
 #[allow(deprecated)]
 pub use perturb::find_doubly_perturbing_witness;
 pub use perturb::{default_alphabet, render_witness, validate_witness_on_impl, PerturbWitness};
-pub use report::{markdown_table, verdicts_to_json};
+pub use report::{census_table_json, markdown_table, verdicts_to_json};
 pub use scenario::{
     AggregateRow, CrashModel, RunMode, RunStats, Runner, Scenario, Sweep, SweepCell, SweepReport,
     Verdict,

@@ -120,6 +120,18 @@ pub fn verdicts_to_json(verdicts: &[Verdict]) -> String {
     format!("[{}]", rows.join(","))
 }
 
+/// Serializes the census table's `--json` document: the worker-thread count
+/// the BFS rows ran under plus the verdict stream. `census_table` emits it
+/// and the `census_throughput` baseline embeds it, so CI can diff the live
+/// schema against the committed `BENCH_census.json`.
+pub fn census_table_json(threads: usize, verdicts: &[Verdict]) -> String {
+    format!(
+        "{{\"threads\":{},\"verdicts\":{}}}",
+        threads,
+        verdicts_to_json(verdicts)
+    )
+}
+
 impl SweepReport {
     /// Serializes the report: per-object aggregate rows plus grand totals
     /// (per-cell verdicts are summarized, not dumped — a thousand-seed

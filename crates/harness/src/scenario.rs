@@ -435,7 +435,12 @@ impl Scenario {
     ///
     /// [`Verdict::bound_met`] reports the `2^N − 1` lower bound for
     /// detectable CAS scenarios — the kind Theorem 1 speaks about — and is
-    /// `None` otherwise.
+    /// `None` otherwise. A census whose coverage was truncated (the
+    /// [`BfsConfig::max_states`] cap, or a stalled solo drive) sets
+    /// [`RunStats::truncated`]; when such a run also misses the bound the
+    /// verdict fails but [`Verdict::violation`] says the miss is a coverage
+    /// artifact, distinguishing it from a conclusive bound failure
+    /// (`truncated == false`).
     pub fn census(&self, cfg: &BfsConfig) -> Verdict {
         let (obj, mem, shared_bits, private_bits) = self.construct(self.memory.unwrap_or_default());
         let workload = self.workload_or_default(2);
@@ -448,6 +453,21 @@ impl Scenario {
         };
         let bound_met =
             (obj.detectable() && obj.kind() == ObjectKind::Cas).then(|| report.meets_bound());
+        let violation = (bound_met == Some(false)).then(|| {
+            if report.truncated {
+                format!(
+                    "census truncated after {} expansions with {} of {} configurations \
+                     observed — inconclusive, raise max_states",
+                    report.work, report.distinct_shared, report.theorem_bound
+                )
+            } else {
+                format!(
+                    "complete census observed {} configurations, below the Theorem 1 \
+                     bound of {}",
+                    report.distinct_shared, report.theorem_bound
+                )
+            }
+        });
         Verdict {
             object: self.display_name(&*obj),
             kind: obj.kind(),
@@ -456,12 +476,13 @@ impl Scenario {
             passed: bound_met.unwrap_or(true),
             linearizable: None,
             bound_met,
-            violation: None,
+            violation,
             witness: None,
             stats: RunStats {
                 executions: report.work as u64,
                 distinct_configs: report.distinct_shared as u64,
                 theorem_bound: report.theorem_bound,
+                truncated: report.truncated,
                 shared_bits,
                 private_bits,
                 ..RunStats::default()
@@ -1066,6 +1087,7 @@ mod tests {
             .census(&BfsConfig {
                 max_ops: 4,
                 max_states: 200_000,
+                ..Default::default()
             });
         assert_eq!(v.bound_met, Some(true));
         v.assert_passed();

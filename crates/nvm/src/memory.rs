@@ -455,6 +455,36 @@ impl SimMemory {
         *self.crashes.borrow_mut() = snap.crashes;
     }
 
+    /// Salted hash of the *logical* contents of all NVM (cache overlay
+    /// applied; dirtiness and the crash ordinal excluded) — the
+    /// allocation-free equivalent of hashing [`full_key`](Self::full_key).
+    /// Crash-free searches (the census) key on this: two states with equal
+    /// logical words behave identically under every future primitive, and
+    /// distinguishing them by unpersisted-set — as
+    /// [`state_hash`](Self::state_hash) does — would split states a
+    /// full-key engine merges. The salt feeds the hash *before* the words,
+    /// so an engine building a wide fingerprint from several salts gets
+    /// independently-colliding halves rather than one 64-bit hash copied.
+    pub fn logical_hash(&self, salt: u64) -> u64 {
+        let nvm = self.nvm.borrow();
+        let cache = self.cache.borrow();
+        let mut h = DefaultHasher::new();
+        salt.hash(&mut h);
+        nvm.len().hash(&mut h);
+        let mut overlay = cache.iter().peekable();
+        for (i, &w) in nvm.iter().enumerate() {
+            let w = match overlay.peek() {
+                Some(&(&ci, &cw)) if ci as usize == i => {
+                    overlay.next();
+                    cw
+                }
+                _ => w,
+            };
+            w.hash(&mut h);
+        }
+        h.finish()
+    }
+
     /// Hash of the logical shared-memory state (Theorem 1's
     /// memory-equivalence classes, up to hash collision).
     pub fn shared_fingerprint(&self) -> u64 {
@@ -462,8 +492,23 @@ impl SimMemory {
     }
 
     /// Exact logical shared-memory contents, usable as a census key.
+    /// Builds the shared slice directly (cache overlay applied per cell)
+    /// instead of materializing the full logical word vector — this runs
+    /// once per generated successor on the census hot path.
     pub fn shared_key(&self) -> Vec<Word> {
-        self.layout.shared_words(&self.logical_words())
+        let nvm = self.nvm.borrow();
+        let cache = self.cache.borrow();
+        if cache.is_empty() {
+            (0..nvm.len())
+                .filter(|&i| self.layout.is_shared(Loc(i as u32)))
+                .map(|i| nvm[i])
+                .collect()
+        } else {
+            (0..nvm.len())
+                .filter(|&i| self.layout.is_shared(Loc(i as u32)))
+                .map(|i| cache.get(&(i as u32)).copied().unwrap_or(nvm[i]))
+                .collect()
+        }
     }
 
     /// Exact logical contents of *all* NVM (shared and private), usable as a
@@ -881,6 +926,46 @@ mod tests {
         m.crash(CrashPolicy::DropAll);
         // Same logical value and empty cache, but the crash ordinal moved.
         assert_ne!(m.state_hash(), clean);
+    }
+
+    #[test]
+    fn logical_hash_ignores_dirtiness_and_crash_ordinal() {
+        let (m, x, _) = mem(CacheMode::SharedCache);
+        let p = Pid::new(0);
+        m.write(p, x, 5);
+        let dirty = m.logical_hash(0);
+        m.persist(p, x);
+        // Same logical value, different persistence state: equal.
+        assert_eq!(m.logical_hash(0), dirty);
+        m.crash(CrashPolicy::PersistAll);
+        // Crash ordinal moved, logical contents did not.
+        assert_eq!(m.logical_hash(0), dirty);
+        m.write(p, x, 6);
+        assert_ne!(m.logical_hash(0), dirty);
+        // Distinct salts give independent hashes of the same contents.
+        assert_ne!(m.logical_hash(0), m.logical_hash(1));
+        // And it matches the allocation-free contract: equal full_key ⇒
+        // equal logical_hash, across dirty/clean representations.
+        let (m2, x2, _) = mem(CacheMode::SharedCache);
+        m2.write(p, x2, 6);
+        m2.crash(CrashPolicy::PersistAll);
+        assert_eq!(m2.full_key(), m.full_key());
+        assert_eq!(m2.logical_hash(7), m.logical_hash(7));
+    }
+
+    #[test]
+    fn shared_key_skips_private_cells_and_applies_overlay() {
+        let (m, x, rd) = mem(CacheMode::SharedCache);
+        let p = Pid::new(0);
+        m.write(p, x, 3); // dirty shared cell
+        m.write(p, x.at(1), 4);
+        m.persist(p, x.at(1));
+        m.write(p, rd, 9); // private: must not appear
+        let key = m.shared_key();
+        assert_eq!(key, vec![3, 4]);
+        // The direct builder agrees with extracting from the full logical
+        // vector.
+        assert_eq!(key, m.layout.shared_words(&m.full_key()));
     }
 
     #[test]

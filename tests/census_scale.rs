@@ -1,0 +1,271 @@
+//! Integration: census limit/truncation semantics and the parallel
+//! fork/checkpoint engine — the cap expands exactly `max_states` nodes,
+//! truncation is visible end to end (report, `Verdict`, JSON), parallel
+//! runs count identically at every thread level, and the fork engine agrees
+//! with the retained full-snapshot reference engine.
+
+use detectable::{ObjectKind, OpSpec, RecoverableObject};
+use harness::{
+    build_world, census_bfs_snapshot_engine, BfsConfig, Driver, Scenario, Verdict, Workload,
+};
+use nvm::{Machine, Memory, Pid, Poll, Word};
+
+fn cas_alphabet() -> Vec<OpSpec> {
+    vec![
+        OpSpec::Cas { old: 0, new: 1 },
+        OpSpec::Cas { old: 1, new: 0 },
+    ]
+}
+
+fn cas_census(n: u32, cfg: &BfsConfig) -> Verdict {
+    Scenario::object(ObjectKind::Cas)
+        .processes(n)
+        .workload(Workload::round_robin(cas_alphabet(), cfg.max_ops))
+        .census(cfg)
+}
+
+// ───────────────── cap and truncation semantics ─────────────────
+
+#[test]
+fn truncated_census_is_flagged_end_to_end() {
+    let cfg = BfsConfig {
+        max_ops: 6,
+        max_states: 50,
+        ..Default::default()
+    };
+    let v = cas_census(3, &cfg);
+    assert!(v.stats.truncated, "the cap must surface in RunStats");
+    assert_eq!(
+        v.stats.executions, 50,
+        "exactly max_states configurations expanded"
+    );
+    // A truncated miss is inconclusive, not a refutation: the verdict fails
+    // but says why, distinguishing it from a complete census below bound.
+    assert_eq!(v.bound_met, Some(false));
+    assert!(!v.passed);
+    assert!(
+        v.violation
+            .as_deref()
+            .is_some_and(|m| m.contains("truncated")),
+        "violation must name the truncation: {:?}",
+        v.violation
+    );
+    // The machine-readable stream carries the flag too.
+    assert!(v.to_json().contains("\"truncated\":true"));
+
+    // The same world, uncapped: complete, conclusive, and bound-meeting.
+    let full = cas_census(
+        3,
+        &BfsConfig {
+            max_ops: 6,
+            ..Default::default()
+        },
+    );
+    assert!(!full.stats.truncated);
+    assert_eq!(full.bound_met, Some(true));
+    assert!(full.to_json().contains("\"truncated\":false"));
+}
+
+#[test]
+fn complete_census_is_never_flagged_truncated() {
+    let v = cas_census(2, &BfsConfig::default());
+    assert!(!v.stats.truncated);
+    v.assert_complete();
+}
+
+// ───────────────── parallel determinism ─────────────────
+
+#[test]
+fn parallel_census_reports_identical_counts() {
+    // The N = 3 alphabet census at every thread level: counts are set
+    // unions, so visitation order — the only thing parallelism changes —
+    // cannot move them.
+    let base = BfsConfig {
+        max_ops: 4,
+        max_states: 2_000_000,
+        parallelism: 1,
+    };
+    let seq = cas_census(3, &base);
+    assert!(
+        !seq.stats.truncated,
+        "the determinism claim needs a complete run"
+    );
+    for parallelism in [2, 8] {
+        let par = cas_census(
+            3,
+            &BfsConfig {
+                parallelism,
+                ..base.clone()
+            },
+        );
+        assert_eq!(
+            par.stats.distinct_configs, seq.stats.distinct_configs,
+            "distinct_shared at parallelism {parallelism}"
+        );
+        assert_eq!(
+            par.stats.executions, seq.stats.executions,
+            "work at parallelism {parallelism}"
+        );
+        assert_eq!(par.stats.truncated, seq.stats.truncated);
+        assert_eq!(par.bound_met, seq.bound_met);
+    }
+}
+
+// ───────────────── cross-engine agreement ─────────────────
+
+#[test]
+fn fork_engine_counts_match_snapshot_reference_on_small_worlds() {
+    use detectable::DetectableCas;
+    for (n, max_ops) in [(1u32, 2usize), (2, 4), (3, 3)] {
+        let cfg = BfsConfig {
+            max_ops,
+            max_states: 2_000_000,
+            ..Default::default()
+        };
+        let (cas, mem) = build_world(|b| DetectableCas::new(b, n, 0));
+        let reference = census_bfs_snapshot_engine(&cas, &mem, &cas_alphabet(), &cfg);
+        let fork = cas_census(n, &cfg);
+        assert_eq!(
+            fork.stats.distinct_configs, reference.distinct_shared as u64,
+            "n={n} max_ops={max_ops}"
+        );
+        assert_eq!(fork.stats.executions, reference.work as u64);
+        assert_eq!(fork.stats.truncated, reference.truncated);
+    }
+}
+
+#[test]
+fn fork_engine_matches_snapshot_reference_in_shared_cache_mode() {
+    // Shared-cache worlds are where the engines could drift apart: mid-
+    // operation states carry dirty (unpersisted) cells, so a fingerprint
+    // keyed on dirtiness — rather than on logical contents like the
+    // reference engine's full keys — would split states the reference
+    // merges and skew the work count.
+    use detectable::DetectableCas;
+    use harness::build_world_mode;
+    use nvm::CacheMode;
+    let cfg = BfsConfig {
+        max_ops: 4,
+        max_states: 2_000_000,
+        ..Default::default()
+    };
+    let (cas, mem) = build_world_mode(CacheMode::SharedCache, |b| DetectableCas::new(b, 2, 0));
+    let reference = census_bfs_snapshot_engine(&cas, &mem, &cas_alphabet(), &cfg);
+    let fork = Scenario::object(ObjectKind::Cas)
+        .memory(CacheMode::SharedCache)
+        .workload(Workload::round_robin(cas_alphabet(), cfg.max_ops))
+        .census(&cfg);
+    assert_eq!(
+        fork.stats.distinct_configs,
+        reference.distinct_shared as u64
+    );
+    assert_eq!(fork.stats.executions, reference.work as u64);
+    assert_eq!(fork.stats.truncated, reference.truncated);
+}
+
+// ───────────────── solo-drive incompletion ─────────────────
+
+/// A machine that never finishes: the adversarial probe for the solo
+/// drive's step budget (wait-freedom violated by construction).
+struct StallMachine(Pid);
+
+impl Machine for StallMachine {
+    fn step(&mut self, _mem: &dyn Memory) -> Poll {
+        Poll::Pending
+    }
+    fn pid(&self) -> Pid {
+        self.0
+    }
+    fn label(&self) -> &'static str {
+        "stall"
+    }
+    fn clone_box(&self) -> Box<dyn Machine> {
+        Box::new(StallMachine(self.0))
+    }
+    fn encode(&self) -> Vec<Word> {
+        Vec::new()
+    }
+}
+
+struct StallObject;
+
+impl RecoverableObject for StallObject {
+    fn prepare(&self, _mem: &dyn Memory, _pid: Pid, _op: &OpSpec) {}
+    fn invoke(&self, pid: Pid, _op: &OpSpec) -> Box<dyn Machine> {
+        Box::new(StallMachine(pid))
+    }
+    fn recover(&self, pid: Pid, _op: &OpSpec) -> Box<dyn Machine> {
+        Box::new(StallMachine(pid))
+    }
+    fn processes(&self) -> u32 {
+        1
+    }
+    fn kind(&self) -> ObjectKind {
+        ObjectKind::Register
+    }
+    fn name(&self) -> &'static str {
+        "stalling-register"
+    }
+}
+
+#[test]
+fn try_run_solo_reports_incompletion_instead_of_panicking() {
+    let (_, mem) = build_world(|b| {
+        b.shared("X", 1, 64);
+        StallObject
+    });
+    let mut driver = Driver::for_object(&StallObject);
+    assert_eq!(
+        driver.try_run_solo(&StallObject, &mem, 0, OpSpec::Read, 100),
+        None
+    );
+    // The operation is left in flight — the state is partial, not a
+    // configuration.
+    assert!(driver.state(0).in_flight());
+}
+
+#[test]
+#[should_panic(expected = "did not complete")]
+fn run_solo_still_panics_on_incompletion() {
+    let (_, mem) = build_world(|b| {
+        b.shared("X", 1, 64);
+        StallObject
+    });
+    let mut driver = Driver::for_object(&StallObject);
+    let _ = driver.run_solo(&StallObject, &mem, 0, OpSpec::Read, 100);
+}
+
+/// In debug builds the census drive asserts on a stalled operation (a
+/// wait-freedom violation is a bug in the object under test, loudly so).
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "did not complete")]
+fn census_drive_debug_asserts_on_a_stalled_operation() {
+    let v = Scenario::custom(|b| {
+        b.shared("X", 1, 64);
+        Box::new(StallObject)
+    })
+    .processes(1)
+    .workload(Workload::script(vec![(Pid::new(0), OpSpec::Read)]))
+    .census(&BfsConfig::default());
+    let _ = v;
+}
+
+/// In release builds the same stall is surfaced as truncation: the partial
+/// state is not counted and the report says coverage was cut.
+#[cfg(not(debug_assertions))]
+#[test]
+fn census_drive_flags_a_stalled_operation_as_truncated() {
+    let v = Scenario::custom(|b| {
+        b.shared("X", 1, 64);
+        Box::new(StallObject)
+    })
+    .processes(1)
+    .workload(Workload::script(vec![(Pid::new(0), OpSpec::Read)]))
+    .census(&BfsConfig::default());
+    assert!(v.stats.truncated);
+    assert_eq!(
+        v.stats.executions, 0,
+        "the stalled op is not counted as work"
+    );
+}

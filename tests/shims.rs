@@ -97,6 +97,7 @@ fn census_bfs_counts_match_scenario_census() {
     let cfg = BfsConfig {
         max_ops: 4,
         max_states: 200_000,
+        ..Default::default()
     };
     let (cas, mem) = build_world(|b| DetectableCas::new(b, 2, 0));
     let old = census_bfs(&cas, &mem, &alphabet, &cfg);

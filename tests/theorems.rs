@@ -36,6 +36,7 @@ fn theorem1_bfs_census_exhaustive_small_n() {
             .census(&BfsConfig {
                 max_ops: 2 * n as usize,
                 max_states: 500_000,
+                ..Default::default()
             });
         assert_eq!(v.bound_met, Some(true), "n={n}: {v:?}");
     }
