@@ -1,22 +1,37 @@
-//! **Experiment E11** — exhaustive-explorer throughput: covered executions
-//! (leaves) per second on a fixed small configuration, with and without
-//! state-hash pruning.
+//! **Experiments E11 + E13** — exhaustive-explorer throughput: covered
+//! executions (leaves) per second on fixed small configurations.
 //!
-//! The pruned explorer accounts converging subtrees by memoized leaf
-//! counts, so its leaves/sec figure dwarfs the unpruned one on the same
-//! workload — the headline number future PRs track via the committed
-//! `BENCH_explore.json` baseline (regenerate it with
-//! `cargo bench -p bench --bench explore_throughput`).
+//! Three comparisons are tracked via the committed `BENCH_explore.json`
+//! baseline (regenerate with `cargo bench -p bench --bench
+//! explore_throughput`; set `BENCH_EXPLORE_OUT` to write elsewhere, as CI
+//! does for its schema diff):
+//!
+//! * **pruned vs unpruned** (E11) — state-hash pruning on the 2-process
+//!   CAS triangle; the memoized-subtree accounting dwarfs the naive
+//!   enumeration.
+//! * **sym-on vs sym-off** (E13) — symmetry reduction on a 3-process
+//!   symmetric CAS workload: only one member of each process-permutation
+//!   orbit is expanded, same totals, ≥ 2× leaves/s.
+//! * **shared-\*** (E13) — the same symmetric workload under the
+//!   shared-cache persistence model: the first recorded shared-cache
+//!   exploration numbers. Algorithm 2 persists every primitive
+//!   (write-through), so under `DropAll` these rows match the
+//!   private-cache state counts — they are a mode-coverage baseline;
+//!   dirty-set state blow-up needs deliberately-unpersisted workloads
+//!   (see ROADMAP).
 
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use detectable::{DetectableCas, OpSpec};
-use harness::{build_world, explore_engine, ExploreConfig, OpSource};
+use harness::{
+    build_world, build_world_mode, explore_engine, ExploreConfig, OpSource, SymmetryMode,
+};
+use nvm::{CacheMode, SimMemory};
 
-/// The fixed benchmark configuration: the CAS triangle from the integration
-/// suite, bounded to a budget both engines can finish.
-fn workload() -> Vec<Vec<OpSpec>> {
+/// E11 configuration: the CAS triangle from the integration suite, bounded
+/// to a budget both engines can finish.
+fn triangle_workload() -> Vec<Vec<OpSpec>> {
     vec![
         vec![
             OpSpec::Cas { old: 0, new: 1 },
@@ -26,7 +41,7 @@ fn workload() -> Vec<Vec<OpSpec>> {
     ]
 }
 
-fn config(prune: bool) -> ExploreConfig {
+fn triangle_config(prune: bool) -> ExploreConfig {
     ExploreConfig {
         max_crashes: 1,
         max_retries: 1,
@@ -36,38 +51,109 @@ fn config(prune: bool) -> ExploreConfig {
     }
 }
 
+/// E13 configuration: three identical single-CAS processes with one crash —
+/// every "who acts first" orbit is mergeable, and the tree still completes
+/// exhaustively (tens of millions of leaves through memoized counts).
+fn symmetric_workload() -> Vec<Vec<OpSpec>> {
+    vec![vec![OpSpec::Cas { old: 0, new: 1 }]; 3]
+}
+
+fn symmetric_config(symmetry: SymmetryMode) -> ExploreConfig {
+    ExploreConfig {
+        max_crashes: 1,
+        max_retries: 1,
+        max_leaves: usize::MAX,
+        symmetry,
+        ..Default::default()
+    }
+}
+
+/// The benchmark grid: one row per (workload, engine-variant) pair.
+struct Row {
+    workload: &'static str,
+    engine: &'static str,
+    mem: SimMemory,
+    obj: DetectableCas,
+    ops: Vec<Vec<OpSpec>>,
+    cfg: ExploreConfig,
+}
+
+fn rows() -> Vec<Row> {
+    let mut out = Vec::new();
+    for (engine, prune) in [("pruned", true), ("unpruned", false)] {
+        let (obj, mem) = build_world(|b| DetectableCas::new(b, 2, 0));
+        out.push(Row {
+            workload: "cas-triangle 2p x 2op, 1 crash, max_leaves 100000",
+            engine,
+            mem,
+            obj,
+            ops: triangle_workload(),
+            cfg: triangle_config(prune),
+        });
+    }
+    for (engine, symmetry) in [("sym-off", SymmetryMode::Off), ("sym-on", SymmetryMode::On)] {
+        let (obj, mem) = build_world(|b| DetectableCas::new(b, 3, 0));
+        out.push(Row {
+            workload: "symmetric cas 3p x 1op, 1 crash, exhaustive",
+            engine,
+            mem,
+            obj,
+            ops: symmetric_workload(),
+            cfg: symmetric_config(symmetry),
+        });
+    }
+    for (engine, symmetry) in [
+        ("shared-sym-off", SymmetryMode::Off),
+        ("shared-sym-on", SymmetryMode::On),
+    ] {
+        let (obj, mem) = build_world_mode(CacheMode::SharedCache, |b| DetectableCas::new(b, 3, 0));
+        out.push(Row {
+            workload: "symmetric cas 3p x 1op, 1 crash, shared-cache, exhaustive",
+            engine,
+            mem,
+            obj,
+            ops: symmetric_workload(),
+            cfg: symmetric_config(symmetry),
+        });
+    }
+    out
+}
+
 fn explore_throughput(c: &mut Criterion) {
-    let (cas, mem) = build_world(|b| DetectableCas::new(b, 2, 0));
-    let w = workload();
     let mut g = c.benchmark_group("explore_throughput");
-    for (label, prune) in [("pruned", true), ("unpruned", false)] {
-        let cfg = config(prune);
-        let probe = explore_engine(&cas, &mem, OpSource::PerProcess(&w), &cfg);
+    for row in rows() {
+        let probe = explore_engine(&row.obj, &row.mem, OpSource::PerProcess(&row.ops), &row.cfg);
         probe.assert_no_violation();
         g.throughput(criterion::Throughput::Elements(probe.leaves as u64));
-        g.bench_with_input(BenchmarkId::new(label, probe.leaves), &cfg, |b, cfg| {
-            b.iter(|| explore_engine(&cas, &mem, OpSource::PerProcess(&w), cfg));
-        });
+        g.bench_with_input(
+            BenchmarkId::new(row.engine, probe.leaves),
+            &row.cfg,
+            |b, cfg| {
+                b.iter(|| explore_engine(&row.obj, &row.mem, OpSource::PerProcess(&row.ops), cfg));
+            },
+        );
     }
     g.finish();
 }
 
-/// Records `BENCH_explore.json` next to the workspace root: one sample per
-/// engine variant with leaves, unique node expansions, wall time, and the
-/// derived leaves/sec.
+/// Records `BENCH_explore.json` next to the workspace root (or to
+/// `$BENCH_EXPLORE_OUT`): one sample per grid row with leaves, unique node
+/// expansions, memo hits, wall time, and the derived leaves/sec.
 fn record_baseline(_c: &mut Criterion) {
-    let (cas, mem) = build_world(|b| DetectableCas::new(b, 2, 0));
-    let w = workload();
     let mut entries = Vec::new();
-    for (label, prune) in [("pruned", true), ("unpruned", false)] {
-        let cfg = config(prune);
+    for row in rows() {
         // Warm once, then time a fixed number of runs.
-        let _ = explore_engine(&cas, &mem, OpSource::PerProcess(&w), &cfg);
+        let _ = explore_engine(&row.obj, &row.mem, OpSource::PerProcess(&row.ops), &row.cfg);
         let runs = 3;
         let start = Instant::now();
         let mut out = None;
         for _ in 0..runs {
-            out = Some(explore_engine(&cas, &mem, OpSource::PerProcess(&w), &cfg));
+            out = Some(explore_engine(
+                &row.obj,
+                &row.mem,
+                OpSource::PerProcess(&row.ops),
+                &row.cfg,
+            ));
         }
         let elapsed = start.elapsed() / runs;
         let out = out.expect("at least one run");
@@ -75,7 +161,9 @@ fn record_baseline(_c: &mut Criterion) {
         entries.push(format!(
             concat!(
                 "    {{\n",
+                "      \"workload\": \"{}\",\n",
                 "      \"engine\": \"{}\",\n",
+                "      \"symmetry\": {},\n",
                 "      \"leaves\": {},\n",
                 "      \"unique_nodes\": {},\n",
                 "      \"memo_hits\": {},\n",
@@ -83,7 +171,9 @@ fn record_baseline(_c: &mut Criterion) {
                 "      \"leaves_per_sec\": {:.0}\n",
                 "    }}"
             ),
-            label,
+            row.workload,
+            row.engine,
+            out.symmetry,
             out.leaves,
             out.unique_nodes,
             out.memo_hits,
@@ -92,12 +182,12 @@ fn record_baseline(_c: &mut Criterion) {
         ));
     }
     let json = format!(
-        "{{\n  \"benchmark\": \"explore_throughput\",\n  \"workload\": \
-         \"cas-triangle 2p x 2op, 1 crash, max_leaves 100000\",\n  \"samples\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"benchmark\": \"explore_throughput\",\n  \"samples\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_explore.json");
-    std::fs::write(path, &json).expect("write BENCH_explore.json");
+    let default_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_explore.json");
+    let path = std::env::var("BENCH_EXPLORE_OUT").unwrap_or_else(|_| default_path.to_string());
+    std::fs::write(&path, &json).expect("write explore baseline JSON");
     println!("baseline written to {path}");
 }
 

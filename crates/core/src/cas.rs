@@ -194,6 +194,24 @@ impl RecoverableObject for DetectableCas {
     fn name(&self) -> &'static str {
         "detectable-cas"
     }
+
+    /// The only pid-dependent encoding beyond the (generically relocated)
+    /// private regions is the `N`-bit toggle vector packed inside `C`:
+    /// process `p`'s bit moves to position `perm[p]`. `RD_p` holds a single
+    /// toggle *bit value* and `Ann_p` holds responses, both pid-free.
+    fn permute_memory(&self, words: &mut [Word], perm: &[u32]) -> bool {
+        let o = &self.inner;
+        if perm.len() != o.n as usize {
+            return false;
+        }
+        let (val, vec) = o.unpack(words[o.c.index()]);
+        let mut permuted = 0u64;
+        for (p, &q) in perm.iter().enumerate() {
+            permuted |= ((vec >> p) & 1) << q;
+        }
+        words[o.c.index()] = o.pack(val, permuted);
+        true
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -867,5 +885,43 @@ mod tests {
     fn ack_constant_not_confused_with_true() {
         // TRUE and ACK share an encoding by design; this documents it.
         assert_eq!(TRUE, ACK);
+    }
+
+    #[test]
+    fn permute_memory_maps_executions_across_pids() {
+        // World A: p0 succeeds then p2 fails. World B: the same ops by p1
+        // and p2 (renaming 0↔1). The canonicalized memories must coincide
+        // exactly: generic private relocation + the vec-bit permutation.
+        let (mem_a, cas_a) = world(3);
+        do_cas(&cas_a, &mem_a, Pid::new(0), 0, 5);
+        do_cas(&cas_a, &mem_a, Pid::new(2), 0, 9); // fails: value is 5
+        let (mem_b, cas_b) = world(3);
+        do_cas(&cas_b, &mem_b, Pid::new(1), 0, 5);
+        do_cas(&cas_b, &mem_b, Pid::new(2), 0, 9);
+
+        let perm = [1u32, 0, 2];
+        let mut words = Vec::new();
+        assert!(mem_a.logical_words_permuted(&perm, true, &mut words));
+        assert!(cas_a.permute_memory(&mut words, &perm));
+        assert_eq!(words, mem_b.full_key());
+        let _ = cas_b;
+    }
+
+    #[test]
+    fn permute_memory_is_invertible_on_the_vec() {
+        let (mem, cas) = world(4);
+        do_cas(&cas, &mem, Pid::new(1), 0, 3);
+        do_cas(&cas, &mem, Pid::new(3), 3, 0);
+        let original = mem.full_key();
+        let mut words = original.clone();
+        assert!(cas.permute_memory(&mut words, &[2, 0, 3, 1]));
+        assert_ne!(words, original, "bits 1 and 3 moved");
+        // Inverse of [2,0,3,1] is [1,3,0,2].
+        assert!(cas.permute_memory(&mut words, &[1, 3, 0, 2]));
+        assert_eq!(words, original);
+        assert!(
+            !cas.permute_memory(&mut words, &[0, 1]),
+            "arity mismatch is rejected"
+        );
     }
 }

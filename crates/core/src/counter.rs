@@ -197,6 +197,13 @@ macro_rules! impl_recoverable {
             fn name(&self) -> &'static str {
                 $name
             }
+
+            /// The composition adds only pid-free private state (`ARG`,
+            /// `DELTA`, the outer `Ann`), all relocated generically; the
+            /// inner CAS's toggle vector is the one packed encoding left.
+            fn permute_memory(&self, words: &mut [Word], perm: &[u32]) -> bool {
+                self.inner.cas.permute_memory(words, perm)
+            }
         }
     };
 }
@@ -667,6 +674,25 @@ mod tests {
         }
         assert_eq!(run_op(&c, &mem, Pid::new(1), OpSpec::Read), 5);
         assert_eq!(c.peek_value(&mem), 5);
+    }
+
+    #[test]
+    fn permute_memory_maps_executions_across_pids() {
+        // The composed object delegates to the inner CAS's toggle vector;
+        // its own ARG/DELTA/Ann words relocate generically.
+        let (mem_a, c_a) = world(3);
+        assert_eq!(run_op(&c_a, &mem_a, Pid::new(0), OpSpec::Inc), ACK);
+        assert_eq!(run_op(&c_a, &mem_a, Pid::new(2), OpSpec::Read), 1);
+        let (mem_b, c_b) = world(3);
+        assert_eq!(run_op(&c_b, &mem_b, Pid::new(1), OpSpec::Inc), ACK);
+        assert_eq!(run_op(&c_b, &mem_b, Pid::new(2), OpSpec::Read), 1);
+
+        let perm = [1u32, 0, 2];
+        let mut words = Vec::new();
+        assert!(mem_a.logical_words_permuted(&perm, true, &mut words));
+        assert!(c_a.permute_memory(&mut words, &perm));
+        assert_eq!(words, mem_b.full_key());
+        let _ = c_b;
     }
 
     #[test]

@@ -122,6 +122,15 @@ impl RecoverableObject for MaxRegister {
     fn name(&self) -> &'static str {
         "max-register"
     }
+
+    // No `permute_memory`: although `MR` itself relocates trivially, the
+    // `Read` double-collect scans `MR[0..N]` in **fixed index order**, so
+    // renaming processes is not an automorphism of the step relation — a
+    // concurrent `Write-Max` landing on an already-scanned versus
+    // not-yet-scanned slot branches differently after relocation, changing
+    // subtree shapes. Symmetry-reduced exploration therefore treats the
+    // max register as opaque (merging under relocation alone demonstrably
+    // skews leaf totals).
 }
 
 // ---------------------------------------------------------------------------

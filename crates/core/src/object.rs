@@ -132,6 +132,39 @@ pub trait RecoverableObject: Send + Sync {
         true
     }
 
+    /// Rewrites the object's pid-dependent NVM encoding under the process-id
+    /// permutation `perm` (`perm[p]` is process `p`'s new identity),
+    /// operating on a full logical word vector whose **private regions have
+    /// already been relocated** by the layout-generic half
+    /// (`SimMemory::logical_words_permuted` in the `nvm` crate).
+    /// Implementations handle exactly what that relocation cannot see:
+    /// pid-indexed *shared* cells (move the cell for `p` onto the cell for
+    /// `perm[p]`) and process ids packed *inside* words — wherever those
+    /// words now live.
+    ///
+    /// Implementing this hook is a **semantic assertion**, not just a data
+    /// transform: renaming processes (with memory relocated and rewritten
+    /// as above) must be an *automorphism of the object's step relation* —
+    /// from renamed states, renamed executions take identical step counts
+    /// and branch identically. That holds for the CAS family (every
+    /// primitive touches either the single word `C`, compared as a whole,
+    /// or the acting process's own cells) but **fails** for algorithms
+    /// that scan per-process arrays in fixed index order: the max
+    /// register's double collect and the register's toggle-matrix loop
+    /// observe relocated slots at different scan points, changing subtree
+    /// shapes — so those objects stay opaque. The hook must also be a
+    /// group action (applying `perm` then its inverse restores `words`).
+    ///
+    /// Returning `false` (the default) declares the object opaque to
+    /// permutation; the explorer then falls back to the plain un-reduced
+    /// search. Objects whose layout breaks the uniform private-array
+    /// pattern (e.g. the queue's per-process arena slabs, whose shared
+    /// node indices encode the allocating process) must stay opaque too.
+    fn permute_memory(&self, words: &mut [Word], perm: &[u32]) -> bool {
+        let _ = (words, perm);
+        false
+    }
+
     /// A short name for tables and traces.
     fn name(&self) -> &'static str;
 }

@@ -240,6 +240,15 @@ impl RecoverableObject for DetectableRegister {
     fn name(&self) -> &'static str {
         "detectable-register"
     }
+
+    // No `permute_memory`: the write path sets *all* of the writer's
+    // toggle bits `A[0..N][p][t]` in fixed index order, so renaming
+    // processes is not an automorphism of the step relation (concurrent
+    // observers see partially-updated columns in a different order after
+    // relocation). The initial state is also asymmetric — `R = ⟨init, 0,
+    // 0⟩` attributes the initial value to the literal process 0 — and
+    // stale `RD` words keep observed-writer ids alive. Symmetry-reduced
+    // exploration treats the register as opaque.
 }
 
 // ---------------------------------------------------------------------------
@@ -771,6 +780,16 @@ mod tests {
         assert_eq!(write(&reg, &mem, Pid::new(0), 42), ACK);
         assert_eq!(read(&reg, &mem, Pid::new(1)), 42);
         assert_eq!(reg.peek_value(&mem), 42);
+    }
+
+    #[test]
+    fn permute_memory_is_declined() {
+        // The register stays opaque to symmetry reduction (see the trait
+        // impl comment: index-ordered toggle loop + asymmetric initial
+        // attribution); the default hook must say so.
+        let (mem, reg) = world(3);
+        let mut words = mem.full_key();
+        assert!(!reg.permute_memory(&mut words, &[1, 0, 2]));
     }
 
     #[test]

@@ -131,6 +131,13 @@ impl RecoverableObject for DetectableSwap {
     fn name(&self) -> &'static str {
         "detectable-swap"
     }
+
+    /// The composition adds only pid-free private state (`ARG`, the outer
+    /// `Ann`), relocated generically; delegate to the inner CAS's packed
+    /// toggle vector.
+    fn permute_memory(&self, words: &mut [Word], perm: &[u32]) -> bool {
+        self.inner.cas.permute_memory(words, perm)
+    }
 }
 
 // One capsule per attempt: read C, refresh the inner announcement, persist

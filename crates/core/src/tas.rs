@@ -134,6 +134,12 @@ impl RecoverableObject for DetectableTas {
     fn name(&self) -> &'static str {
         "detectable-tas"
     }
+
+    /// The composition adds only the pid-free outer `Ann`, relocated
+    /// generically; delegate to the inner CAS's packed toggle vector.
+    fn permute_memory(&self, words: &mut [Word], perm: &[u32]) -> bool {
+        self.inner.cas.permute_memory(words, perm)
+    }
 }
 
 /// Which operation the shared machine is executing.

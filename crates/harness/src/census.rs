@@ -5,13 +5,13 @@
 //! two of which are memory-equivalent (equal shared-memory contents). This
 //! module measures reachable shared-memory configurations empirically:
 //!
-//! * [`census_drive`] runs a prescribed operation sequence solo-op-by-op and
+//! * [`census_drive_engine`] runs a prescribed operation sequence solo-op-by-op and
 //!   counts distinct shared states — with [`gray_code_cas_ops`] it follows
 //!   the constructive witness (flip one process's vector bit at a time, in
 //!   Gray-code order, visiting all `2^N` vectors), demonstrating that
 //!   Algorithm 2 indeed *realizes* the exponential configuration count that
 //!   the theorem proves necessary;
-//! * [`census_bfs`] breadth-first-explores every reachable configuration of
+//! * [`census_bfs_engine`] breadth-first-explores every reachable configuration of
 //!   a small world (all interleavings of a bounded operation budget) and
 //!   counts distinct shared states — the exhaustive version, good to
 //!   N = 4–5 on the standard 2-op CAS alphabet;
@@ -101,39 +101,23 @@ impl CensusReport {
     }
 }
 
-/// Runs `ops` one at a time (each to completion, crash-free) and counts the
-/// distinct shared-memory configurations observed after each operation
-/// (plus the initial one).
-///
-/// Deprecated shim over the engine behind
-/// [`Scenario::census`](crate::Scenario::census) (which selects this solo
-/// drive for script workloads).
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `harness::Scenario` with a script workload and call `.census(&BfsConfig)`"
-)]
-pub fn census_drive(
-    obj: &dyn RecoverableObject,
-    mem: &SimMemory,
-    ops: &[(Pid, OpSpec)],
-) -> CensusReport {
-    census_drive_engine(obj, mem, ops)
-}
-
 /// Per-operation step budget for the solo drive. The paper's algorithms are
 /// wait-free, so an honest implementation finishes in far fewer steps; an
 /// operation still pending after this many is a model violation.
 const SOLO_STEP_LIMIT: usize = 1_000_000;
 
-/// [`census_drive`]'s engine: solo-drives `ops` and counts distinct shared
-/// configurations. See [`Scenario::census`](crate::Scenario::census).
+/// Solo-drive census engine: runs `ops` one at a time (each to
+/// completion, crash-free) and counts the distinct shared-memory
+/// configurations observed after each operation (plus the initial one).
+/// [`Scenario::census`](crate::Scenario::census) selects it for script
+/// workloads; public for engine-level equivalence tests.
 ///
 /// An operation that exhausts its step budget is a model violation
 /// (wait-freedom says solo runs terminate): the engine `debug_assert`s,
 /// stops driving — a half-executed operation would contribute a
 /// partial-state configuration to the count — and reports the run as
 /// [`truncated`](CensusReport::truncated).
-pub(crate) fn census_drive_engine(
+pub fn census_drive_engine(
     obj: &dyn RecoverableObject,
     mem: &SimMemory,
     ops: &[(Pid, OpSpec)],
@@ -186,7 +170,7 @@ pub fn gray_code_cas_ops(n: u32) -> Vec<(Pid, OpSpec)> {
     ops
 }
 
-/// Limits and parallelism for [`census_bfs`].
+/// Limits and parallelism for [`census_bfs_engine`].
 #[derive(Clone, Debug)]
 pub struct BfsConfig {
     /// Total operations any single execution path may start.
@@ -356,24 +340,6 @@ impl SharedSeen {
     }
 }
 
-/// Exhaustive crash-free reachability over an operation alphabet.
-///
-/// Deprecated shim over the engine behind
-/// [`Scenario::census`](crate::Scenario::census) (which selects the BFS for
-/// alphabet workloads).
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `harness::Scenario` with an alphabet workload and call `.census(&BfsConfig)`"
-)]
-pub fn census_bfs(
-    obj: &dyn RecoverableObject,
-    mem: &SimMemory,
-    alphabet: &[OpSpec],
-    cfg: &BfsConfig,
-) -> CensusReport {
-    census_bfs_engine(obj, mem, alphabet, cfg)
-}
-
 /// The crash-free retry policy every census engine drives under.
 const CENSUS_RETRY: RetryPolicy = RetryPolicy {
     retry_on_fail: false,
@@ -381,12 +347,12 @@ const CENSUS_RETRY: RetryPolicy = RetryPolicy {
     reset_per_op: false,
 };
 
-/// [`census_bfs`]'s engine: explores every interleaving of up to
+/// Exhaustive crash-free reachability engine: explores every interleaving of up to
 /// `cfg.max_ops` operations drawn from `alphabet` (any process, any time)
 /// and counts the distinct shared-memory configurations of all reachable
 /// states. See the [module docs](self) for the wave-parallel fork/checkpoint
 /// design; `mem` itself is only snapshotted and forked, never mutated.
-pub(crate) fn census_bfs_engine(
+pub fn census_bfs_engine(
     obj: &dyn RecoverableObject,
     mem: &SimMemory,
     alphabet: &[OpSpec],
@@ -521,7 +487,7 @@ fn expand_lane(
 }
 
 /// The original single-threaded full-snapshot census engine, kept as the
-/// differential-testing reference for [`census_bfs`]'s fork engine and as
+/// differential-testing reference for [`census_bfs_engine`]'s fork engine and as
 /// the benchmark baseline (`census_throughput` / `BENCH_census.json`).
 ///
 /// Node identity uses exact full-memory keys (no fingerprint hashing) and

@@ -19,7 +19,7 @@
 //! # Engine
 //!
 //! The explorer is an explicit work-stack depth-first search over
-//! [`Driver`] system configurations, with three cost reducers layered on
+//! [`Driver`] system configurations, with five cost reducers layered on
 //! the naive exponential tree:
 //!
 //! 1. **Undo-log branching** — child states are entered under a memory
@@ -38,6 +38,19 @@
 //!    is often exponentially smaller. Keys are 128-bit hashes; a collision
 //!    (vanishingly unlikely) could misattribute a subtree, the same
 //!    trade-off the census fingerprints make.
+//! 4. **Symmetry reduction** ([`ExploreConfig::symmetry`]) — machine-free
+//!    nodes are fingerprinted by their **process-permutation orbit**
+//!    (per-process signatures, relocated + object-rewritten memory,
+//!    renamed history — see `Engine::canonical_key`), so only one
+//!    member of each orbit is expanded; totals again stay identical.
+//!    Requires [`RecoverableObject::permute_memory`] support (the CAS
+//!    family; see that hook's equivariance contract for why the max
+//!    register and register stay opaque).
+//! 5. **Budgeted memo** ([`ExploreConfig::memo_budget`]) — the pruning
+//!    memo evicts in generations once its resident-entry budget fills;
+//!    evicted configurations re-explore on re-encounter, so unique-state
+//!    blow-ups degrade to extra work instead of OOM and totals never
+//!    depend on the budget.
 //!
 //! Setting [`ExploreConfig::parallelism`] ≥ 2 splits the tree at a frontier
 //! of subtree roots (each on a [`fork`](SimMemory::fork) of the memory) and
@@ -63,9 +76,10 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use detectable::{OpSpec, RecoverableObject};
-use nvm::{Checkpoint, CrashPolicy, Pid, SimMemory, Word};
+use nvm::{CacheMode, Checkpoint, CrashPolicy, Pid, SimMemory, Word};
 
-use crate::driver::{Driver, ProcState, RetryPolicy};
+use crate::driver::{op_key, Driver, ProcState, RetryPolicy};
+use crate::history::{OpRecord, Outcome};
 use crate::linearize::{check_execution, Violation};
 
 /// Where operations come from (the engine's borrowed view; the owned
@@ -77,6 +91,39 @@ pub enum OpSource<'a> {
     PerProcess(&'a [Vec<OpSpec>]),
     /// A single global sequence, executed one operation at a time.
     Script(&'a [(Pid, OpSpec)]),
+}
+
+/// Whether the explorer canonicalizes pruning fingerprints under
+/// process-id permutation (symmetry reduction).
+///
+/// Reduction merges configurations that differ only by a renaming of
+/// process ids — same multiset of per-process states, same memory up to
+/// relocating each process's cells, same history up to renaming — so only
+/// one member of each orbit is expanded while reported leaf/violation
+/// totals stay identical to the unreduced search (orbit members have
+/// isomorphic subtrees, and the memo accounts theirs by count). It
+/// requires the object to support
+/// [`permute_memory`](RecoverableObject::permute_memory) and a
+/// process-uniform layout; where either is missing the explorer silently
+/// falls back to the plain search.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum SymmetryMode {
+    /// Resolved by the caller's context: [`Scenario::explore`] turns this
+    /// into `On` exactly when the resolved workload is provably symmetric
+    /// (an alphabet-generated workload where at least two processes run
+    /// identical operation lists); direct engine calls treat `Auto` as
+    /// `Off`, since the engine cannot see workload provenance.
+    ///
+    /// [`Scenario::explore`]: crate::Scenario::explore
+    #[default]
+    Auto,
+    /// Never canonicalize. The exact engine behavior of previous releases.
+    Off,
+    /// Canonicalize whenever the object and layout support it. Sound for
+    /// *any* per-process workload (asymmetric lists simply produce trivial
+    /// orbits); scripts never reduce (a script fixes the acting process of
+    /// every step).
+    On,
 }
 
 /// Exploration parameters.
@@ -98,6 +145,15 @@ pub struct ExploreConfig {
     /// Deduplicate converging prefixes through the state-hash memo. Leaf
     /// counts are unchanged by pruning; disable only to measure the win.
     pub prune: bool,
+    /// Symmetry reduction of the pruning fingerprints (see
+    /// [`SymmetryMode`]). Totals are identical at every setting.
+    pub symmetry: SymmetryMode,
+    /// Resident-entry budget for the pruning memo, `None` for unbounded.
+    /// The memo evicts in generations (see [`Memo`] internals): exceeding
+    /// the budget drops the oldest generation, so a run whose unique-state
+    /// count outgrows RAM degrades to re-exploring evicted states instead
+    /// of aborting — totals stay exact, only `unique_nodes`/work grows.
+    pub memo_budget: Option<usize>,
     /// Worker threads for subtree exploration. `0` and `1` both mean
     /// in-place sequential search; results on runs that finish within the
     /// leaf budget are deterministic regardless of the setting (see the
@@ -114,6 +170,11 @@ impl Default for ExploreConfig {
             max_leaves: 5_000_000,
             crash_policy: CrashPolicy::DropAll,
             prune: true,
+            symmetry: SymmetryMode::Auto,
+            // ~256 MB of memo at worst; large enough that every in-repo
+            // exhaustive run fits, small enough that a state-space blow-up
+            // degrades to re-exploration instead of OOM.
+            memo_budget: Some(4_000_000),
             parallelism: 1,
         }
     }
@@ -135,6 +196,13 @@ pub struct ExploreOutcome {
     /// Subtrees skipped because their root configuration was already
     /// explored (per worker; informational).
     pub memo_hits: usize,
+    /// Whether symmetry reduction was actually active (requested *and*
+    /// supported by the object, layout, and workload shape).
+    pub symmetry: bool,
+    /// Memo entries dropped by generation eviction under
+    /// [`ExploreConfig::memo_budget`] (informational; eviction never
+    /// changes totals, it only forces re-exploration).
+    pub memo_evictions: usize,
 }
 
 impl ExploreOutcome {
@@ -226,43 +294,84 @@ fn actions(cfg: &ExploreConfig, source: OpSource<'_>, node: &Node) -> Vec<Action
     out
 }
 
+/// One shard of the budgeted memo: two hash-map generations plus an
+/// eviction count. Inserts land in `cur`; when `cur` fills its per-shard
+/// budget it becomes `prev` and the old `prev` generation is dropped
+/// wholesale — O(1) amortized eviction with no per-entry bookkeeping, at
+/// the cost of evicting in coarse batches (the classic two-generation
+/// cache). Lookups consult both generations.
+#[derive(Default)]
+struct MemoShard {
+    cur: HashMap<(u64, u64), u64>,
+    prev: HashMap<(u64, u64), u64>,
+    evicted: usize,
+}
+
 /// The visited-node memo: configuration fingerprint → exact subtree leaf
 /// count, sharded so parallel workers share pruning knowledge with low
 /// contention. Only violation-free, fully-counted subtrees are entered, so
 /// concurrent duplicate computation is benign (both writers insert the same
-/// value).
+/// value). A [`memo_budget`](ExploreConfig::memo_budget) caps resident
+/// entries by generation eviction: evicted configurations are simply
+/// re-explored on re-encounter, so totals never depend on the budget.
 struct Memo {
-    shards: Vec<Mutex<HashMap<(u64, u64), u64>>>,
+    shards: Vec<Mutex<MemoShard>>,
+    /// Per-generation entry cap per shard (`usize::MAX` when unbounded).
+    /// Resident entries are bounded by `2 × cap × SHARDS ≈ budget`.
+    shard_cap: usize,
 }
 
 impl Memo {
     const SHARDS: usize = 64;
 
-    fn new() -> Self {
+    fn new(budget: Option<usize>) -> Self {
         Memo {
             shards: (0..Self::SHARDS)
-                .map(|_| Mutex::new(HashMap::new()))
+                .map(|_| Mutex::new(MemoShard::default()))
                 .collect(),
+            shard_cap: budget.map_or(usize::MAX, |b| b.div_ceil(Self::SHARDS * 2).max(1)),
         }
     }
 
-    fn shard(&self, key: (u64, u64)) -> &Mutex<HashMap<(u64, u64), u64>> {
+    fn shard(&self, key: (u64, u64)) -> &Mutex<MemoShard> {
         &self.shards[(key.0 as usize) % Self::SHARDS]
     }
 
     fn get(&self, key: (u64, u64)) -> Option<u64> {
-        self.shard(key)
-            .lock()
-            .expect("memo shard poisoned")
-            .get(&key)
-            .copied()
+        let mut shard = self.shard(key).lock().expect("memo shard poisoned");
+        if let Some(&count) = shard.cur.get(&key) {
+            return Some(count);
+        }
+        // Promote by *moving*: a hit from the old generation re-enters the
+        // young one, so hot entries survive the next rotation (the standard
+        // two-generation refinement). Removing it from `prev` keeps the
+        // eviction count honest — a promoted entry is resident, not
+        // dropped, when its old generation retires. Promotion may itself
+        // rotate, which is fine: the value is already copied out.
+        let count = shard.prev.remove(&key)?;
+        self.insert_locked(&mut shard, key, count);
+        Some(count)
     }
 
     fn insert(&self, key: (u64, u64), count: u64) {
-        self.shard(key)
-            .lock()
-            .expect("memo shard poisoned")
-            .insert(key, count);
+        let mut shard = self.shard(key).lock().expect("memo shard poisoned");
+        self.insert_locked(&mut shard, key, count);
+    }
+
+    fn insert_locked(&self, shard: &mut MemoShard, key: (u64, u64), count: u64) {
+        if shard.cur.len() >= self.shard_cap && !shard.cur.contains_key(&key) {
+            let full = std::mem::take(&mut shard.cur);
+            let dropped = std::mem::replace(&mut shard.prev, full);
+            shard.evicted += dropped.len();
+        }
+        shard.cur.insert(key, count);
+    }
+
+    fn evictions(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("memo shard poisoned").evicted)
+            .sum()
     }
 }
 
@@ -277,13 +386,13 @@ struct Progress {
 }
 
 impl Progress {
-    fn new(max_leaves: usize) -> Self {
+    fn new(max_leaves: usize, memo_budget: Option<usize>) -> Self {
         Progress {
             leaves: AtomicUsize::new(0),
             abort: AtomicBool::new(false),
             min_violation: AtomicUsize::new(usize::MAX),
             max_leaves,
-            memo: Memo::new(),
+            memo: Memo::new(memo_budget),
         }
     }
 
@@ -318,6 +427,103 @@ impl Progress {
     }
 }
 
+/// Canonical encoding of an operation outcome for visited-set keys.
+fn outcome_key(o: &Outcome) -> (u8, u64) {
+    match *o {
+        Outcome::Completed(w) => (0, w),
+        Outcome::RecoveredFail => (1, 0),
+        Outcome::Pending => (2, 0),
+        Outcome::Unresolved => (3, 0),
+    }
+}
+
+/// Dense rank of history index `i` within the sorted endpoint list
+/// (`u64::MAX` for the unresolved sentinel).
+fn rank_of(endpoints: &[usize], i: usize) -> u64 {
+    if i == usize::MAX {
+        u64::MAX
+    } else {
+        endpoints.binary_search(&i).expect("endpoint present") as u64
+    }
+}
+
+/// Candidate orderings are capped: enumerating a huge tie class (only the
+/// empty-history root of a wide symmetric workload produces one) would
+/// cost more than the merges it wins. Falling back to the base ordering
+/// merely *misses* merges — never fabricates one.
+const MAX_ORBIT_CANDIDATES: usize = 24;
+
+/// All orderings obtained from `order` by permuting within runs of equal
+/// signatures, up to [`MAX_ORBIT_CANDIDATES`]; just `order` when the
+/// product of tie-class factorials exceeds the cap.
+fn tie_candidates(order: &[usize], sigs: &[Vec<Word>]) -> Vec<Vec<usize>> {
+    // Bound the total up front: the product of tie-class factorials must
+    // fit the cap *before* any class is materialized, so a wide tie class
+    // (a many-process empty-history root) costs nothing, not k! discarded
+    // allocations.
+    let classes: Vec<(usize, usize)> = {
+        let mut out = Vec::new();
+        let mut start = 0;
+        while start < order.len() {
+            let mut end = start + 1;
+            while end < order.len() && sigs[order[end]] == sigs[order[start]] {
+                end += 1;
+            }
+            out.push((start, end));
+            start = end;
+        }
+        out
+    };
+    let mut total = 1usize;
+    for &(start, end) in &classes {
+        for k in 2..=(end - start) {
+            total = total.saturating_mul(k);
+        }
+        if total > MAX_ORBIT_CANDIDATES {
+            return vec![order.to_vec()];
+        }
+    }
+    let mut candidates = vec![order.to_vec()];
+    for &(start, end) in &classes {
+        if end - start < 2 {
+            continue;
+        }
+        let mut extended = Vec::new();
+        for candidate in &candidates {
+            for class_perm in permutations(&candidate[start..end]) {
+                let mut c = candidate.clone();
+                c[start..end].copy_from_slice(&class_perm);
+                extended.push(c);
+            }
+        }
+        candidates = extended;
+    }
+    candidates
+}
+
+/// All permutations of a small slice (Heap's algorithm).
+fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
+    fn heaps(work: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
+        if k <= 1 {
+            out.push(work.clone());
+            return;
+        }
+        for i in 0..k {
+            heaps(work, k - 1, out);
+            if k.is_multiple_of(2) {
+                work.swap(i, k - 1);
+            } else {
+                work.swap(0, k - 1);
+            }
+        }
+    }
+    let mut work = items.to_vec();
+    let mut out = Vec::new();
+    let k = work.len();
+    heaps(&mut work, k, &mut out);
+    out
+}
+
 /// One DFS frame: a configuration, its remaining actions, and the memory
 /// checkpoint that entering it opened.
 struct Frame {
@@ -338,8 +544,15 @@ struct Engine<'a> {
     progress: &'a Progress,
     /// This worker's canonical subtree index (for violation ordering).
     subtree: usize,
+    /// Whether canonical orbit fingerprints are in use (probed once by
+    /// [`explore_engine`]; requires object + layout permutation support).
+    sym: bool,
     stack: Vec<Frame>,
     key_scratch: Vec<Word>,
+    sym_words: Vec<Word>,
+    sym_words_min: Vec<Word>,
+    sym_nvm: Vec<Word>,
+    sym_nvm_min: Vec<Word>,
     leaves: usize,
     truncated: bool,
     violation: Option<Violation>,
@@ -354,6 +567,7 @@ impl<'a> Engine<'a> {
         source: OpSource<'a>,
         progress: &'a Progress,
         subtree: usize,
+        sym: bool,
     ) -> Self {
         Engine {
             obj,
@@ -366,8 +580,13 @@ impl<'a> Engine<'a> {
             },
             progress,
             subtree,
+            sym,
             stack: Vec::new(),
             key_scratch: Vec::new(),
+            sym_words: Vec::new(),
+            sym_words_min: Vec::new(),
+            sym_nvm: Vec::new(),
+            sym_nvm_min: Vec::new(),
             leaves: 0,
             truncated: false,
             violation: None,
@@ -427,7 +646,17 @@ impl<'a> Engine<'a> {
             }
             return;
         }
-        let key = self.cfg.prune.then(|| self.node_key(mem, &node));
+        let key = self.cfg.prune.then(|| {
+            if self.sym && !node.driver.any_in_flight() {
+                // Machine-free boundary configurations canonicalize under
+                // pid permutation; in-flight machines may hold
+                // pid-dependent volatile state the object hook cannot
+                // rename, so those nodes keep the plain fingerprint.
+                self.canonical_key(mem, &node)
+            } else {
+                self.node_key(mem, &node)
+            }
+        });
         if let Some(k) = key {
             if let Some(count) = self.progress.memo.get(k) {
                 self.memo_hits += 1;
@@ -484,6 +713,25 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// Compiles the node's history into checker records plus the sorted
+    /// endpoint list used for dense interval ranking — exactly the
+    /// structure the leaf check will consume.
+    fn compiled_records(&self, node: &Node) -> (Vec<OpRecord>, Vec<usize>) {
+        let history = node.driver.history();
+        let records = if self.obj.detectable() {
+            history.to_records()
+        } else {
+            history.to_records_relaxed()
+        };
+        let mut endpoints: Vec<usize> = records
+            .iter()
+            .flat_map(|r| [r.invoked_at, r.resolved_at])
+            .filter(|&i| i != usize::MAX)
+            .collect();
+        endpoints.sort_unstable();
+        (records, endpoints)
+    }
+
     /// 128-bit fingerprint of a configuration: memory state hash, driver
     /// volatile state, workload positions, crash budget, and the
     /// *canonicalized* history.
@@ -504,28 +752,7 @@ impl<'a> Engine<'a> {
     fn node_key(&mut self, mem: &SimMemory, node: &Node) -> (u64, u64) {
         self.key_scratch.clear();
         node.driver.encode_key(&mut self.key_scratch);
-
-        // Canonical history: records with interval endpoints dense-ranked,
-        // compiled exactly the way the leaf check will compile them.
-        let history = node.driver.history();
-        let records = if self.obj.detectable() {
-            history.to_records()
-        } else {
-            history.to_records_relaxed()
-        };
-        let mut endpoints: Vec<usize> = records
-            .iter()
-            .flat_map(|r| [r.invoked_at, r.resolved_at])
-            .filter(|&i| i != usize::MAX)
-            .collect();
-        endpoints.sort_unstable();
-        let rank = |i: usize| {
-            if i == usize::MAX {
-                u64::MAX
-            } else {
-                endpoints.binary_search(&i).expect("endpoint present") as u64
-            }
-        };
+        let (records, endpoints) = self.compiled_records(node);
 
         let mut halves = [0u64; 2];
         for (salt, half) in halves.iter_mut().enumerate() {
@@ -539,15 +766,131 @@ impl<'a> Engine<'a> {
             records.len().hash(&mut h);
             for r in &records {
                 r.pid.hash(&mut h);
-                crate::driver::op_key(&r.op).hash(&mut h);
-                match r.outcome {
-                    crate::history::Outcome::Completed(w) => (0u8, w).hash(&mut h),
-                    crate::history::Outcome::RecoveredFail => (1u8, 0u64).hash(&mut h),
-                    crate::history::Outcome::Pending => (2u8, 0u64).hash(&mut h),
-                    crate::history::Outcome::Unresolved => (3u8, 0u64).hash(&mut h),
+                op_key(&r.op).hash(&mut h);
+                outcome_key(&r.outcome).hash(&mut h);
+                rank_of(&endpoints, r.invoked_at).hash(&mut h);
+                rank_of(&endpoints, r.resolved_at).hash(&mut h);
+            }
+            *half = h.finish();
+        }
+        (halves[0], halves[1])
+    }
+
+    /// 128-bit fingerprint of a machine-free configuration's **symmetry
+    /// orbit**: the canonical representative under process-id permutation.
+    ///
+    /// Two configurations related by a permutation π applied consistently
+    /// everywhere — per-process driver state, retry counts, remaining
+    /// workload, private memory (relocated), pid-dependent shared encodings
+    /// (rewritten by [`RecoverableObject::permute_memory`]), and the
+    /// history (pids renamed) — have isomorphic futures: π is a bijection
+    /// between their subtrees' executions, and the checker is
+    /// pid-oblivious (specs never consult process ids), so leaf counts and
+    /// violation-freeness coincide. Mapping every orbit member to one
+    /// canonical key lets the pruning memo expand a single member and
+    /// account the rest by count, with totals identical to the unreduced
+    /// search.
+    ///
+    /// Canonicalization: sort processes by a pid-independent signature
+    /// (life-cycle stage, retries, remaining operations, history
+    /// projection with global interval ranks); processes tying on the
+    /// signature can differ only in pid-dependent memory encodings, so the
+    /// tie-break enumerates their permutations (capped — missing a merge
+    /// is sound, a wrong merge is not) and takes the lexicographically
+    /// minimal canonical memory. In shared-cache mode the `(NVM, logical)`
+    /// word pair is canonicalized — together they determine dirty values
+    /// and the dirty set, everything a future crash or persist can see.
+    fn canonical_key(&mut self, mem: &SimMemory, node: &Node) -> (u64, u64) {
+        let n = node.driver.processes();
+        let (records, endpoints) = self.compiled_records(node);
+
+        // Pid-independent per-process signatures.
+        let mut sigs: Vec<Vec<Word>> = vec![Vec::new(); n];
+        for (i, sig) in sigs.iter_mut().enumerate() {
+            match node.driver.state(i) {
+                ProcState::Idle => sig.push(0),
+                ProcState::Done => sig.push(1),
+                ProcState::NeedRecovery { op } => {
+                    sig.push(2);
+                    sig.push(op_key(op));
                 }
-                rank(r.invoked_at).hash(&mut h);
-                rank(r.resolved_at).hash(&mut h);
+                ProcState::Running { .. } | ProcState::Recovering { .. } => {
+                    unreachable!("canonical keys are computed for machine-free nodes only")
+                }
+            }
+            sig.push(node.driver.retries(i) as Word);
+            if let OpSource::PerProcess(w) = self.source {
+                let remaining = &w[i][node.next_op[i]..];
+                sig.push(remaining.len() as Word);
+                sig.extend(remaining.iter().map(op_key));
+            }
+            for r in records.iter().filter(|r| r.pid.idx() == i) {
+                sig.push(op_key(&r.op));
+                let (tag, word) = outcome_key(&r.outcome);
+                sig.push(Word::from(tag));
+                sig.push(word);
+                sig.push(rank_of(&endpoints, r.invoked_at));
+                sig.push(rank_of(&endpoints, r.resolved_at));
+            }
+        }
+
+        // Stable sort fixes the canonical slot of every distinct
+        // signature; tie classes (identical signatures — necessarily
+        // history-free, since interval ranks are globally unique) get
+        // their orderings enumerated below.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| sigs[a].cmp(&sigs[b]));
+        let candidates = tie_candidates(&order, &sigs);
+
+        let shared_cache = mem.mode() == CacheMode::SharedCache;
+        let mut perm = vec![0u32; n];
+        let mut perm_min = vec![0u32; n];
+        let mut have_min = false;
+        for candidate in &candidates {
+            for (slot, &old) in candidate.iter().enumerate() {
+                perm[old] = slot as u32;
+            }
+            let ok = mem.logical_words_permuted(&perm, true, &mut self.sym_words)
+                && self.obj.permute_memory(&mut self.sym_words, &perm);
+            debug_assert!(ok, "support was probed before the search started");
+            if shared_cache {
+                let ok = mem.logical_words_permuted(&perm, false, &mut self.sym_nvm)
+                    && self.obj.permute_memory(&mut self.sym_nvm, &perm);
+                debug_assert!(ok, "support was probed before the search started");
+            }
+            if !have_min
+                || (self.sym_words.as_slice(), self.sym_nvm.as_slice())
+                    < (self.sym_words_min.as_slice(), self.sym_nvm_min.as_slice())
+            {
+                have_min = true;
+                std::mem::swap(&mut self.sym_words, &mut self.sym_words_min);
+                std::mem::swap(&mut self.sym_nvm, &mut self.sym_nvm_min);
+                perm_min.copy_from_slice(&perm);
+            }
+        }
+
+        let mut halves = [0u64; 2];
+        for (salt, half) in halves.iter_mut().enumerate() {
+            let mut h = DefaultHasher::new();
+            (salt as u64).hash(&mut h);
+            // Scheme discriminator: canonical keys share the memo with
+            // plain keys and must never collide with them structurally.
+            0x53_59_4d_4du64.hash(&mut h);
+            node.crashes_used.hash(&mut h);
+            for &i in &order {
+                sigs[i].hash(&mut h);
+            }
+            self.sym_words_min.hash(&mut h);
+            if shared_cache {
+                self.sym_nvm_min.hash(&mut h);
+            }
+            records.len().hash(&mut h);
+            for r in &records {
+                perm_min[r.pid.idx()].hash(&mut h);
+                op_key(&r.op).hash(&mut h);
+                outcome_key(&r.outcome).hash(&mut h);
+                rank_of(&endpoints, r.invoked_at).hash(&mut h);
+                rank_of(&endpoints, r.resolved_at).hash(&mut h);
             }
             *half = h.finish();
         }
@@ -590,31 +933,6 @@ impl<'a> Engine<'a> {
     }
 }
 
-/// The explorer's old public name for [`OpSource`], kept for one release.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the declarative `harness::Workload` with `Scenario::explore`, \
-            or `OpSource` for direct engine calls"
-)]
-pub type Workload<'a> = OpSource<'a>;
-
-/// Exhaustively explores executions of `obj` and checks every complete one.
-///
-/// Deprecated shim over [`explore_engine`], the engine
-/// [`Scenario::explore`](crate::Scenario::explore) lowers onto.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `harness::Scenario` and call `.explore(&ExploreConfig)` instead"
-)]
-pub fn explore(
-    obj: &dyn RecoverableObject,
-    mem: &SimMemory,
-    source: OpSource<'_>,
-    cfg: &ExploreConfig,
-) -> ExploreOutcome {
-    explore_engine(obj, mem, source, cfg)
-}
-
 /// Exhaustively explores executions of `obj` and checks every complete one.
 ///
 /// The memory must be freshly initialized; it is left in its starting state
@@ -627,9 +945,10 @@ pub fn explore_engine(
     cfg: &ExploreConfig,
 ) -> ExploreOutcome {
     let root = Node::root(obj.processes());
-    let progress = Progress::new(cfg.max_leaves);
+    let progress = Progress::new(cfg.max_leaves, cfg.memo_budget);
+    let sym = symmetry_supported(obj, mem, source, cfg);
     if cfg.parallelism <= 1 {
-        let mut engine = Engine::new(obj, cfg, source, &progress, 0);
+        let mut engine = Engine::new(obj, cfg, source, &progress, 0, sym);
         engine.run(mem, root);
         return ExploreOutcome {
             leaves: engine.leaves.min(cfg.max_leaves),
@@ -637,9 +956,46 @@ pub fn explore_engine(
             truncated: engine.truncated,
             unique_nodes: engine.unique_nodes,
             memo_hits: engine.memo_hits,
+            symmetry: sym,
+            memo_evictions: progress.memo.evictions(),
         };
     }
-    explore_parallel(obj, mem, source, cfg, root, &progress)
+    explore_parallel(obj, mem, source, cfg, root, &progress, sym)
+}
+
+/// Whether symmetry reduction is both requested and available: pruning on,
+/// `SymmetryMode::On` (the `Auto` default resolves at the [`Scenario`]
+/// layer; at the engine it means off), a per-process source with ≥ 2
+/// processes, and an object + layout that support permutation — probed
+/// with the identity, which every supporting implementation accepts.
+///
+/// [`Scenario`]: crate::Scenario
+fn symmetry_supported(
+    obj: &dyn RecoverableObject,
+    mem: &SimMemory,
+    source: OpSource<'_>,
+    cfg: &ExploreConfig,
+) -> bool {
+    if !cfg.prune
+        || cfg.symmetry != SymmetryMode::On
+        || !matches!(source, OpSource::PerProcess(_))
+        || obj.processes() < 2
+    {
+        return false;
+    }
+    // RandomSubset draws per-cell survival along the cache's index-order
+    // iteration, so which dirty cells persist is not equivariant under
+    // relocation — the same scan-order hazard that keeps the max register
+    // opaque. DropAll / PersistAll treat every cell uniformly and are fine.
+    if mem.mode() == CacheMode::SharedCache
+        && matches!(cfg.crash_policy, CrashPolicy::RandomSubset(_))
+    {
+        return false;
+    }
+    let identity: Vec<u32> = (0..obj.processes()).collect();
+    let mut scratch = Vec::new();
+    mem.logical_words_permuted(&identity, true, &mut scratch)
+        && obj.permute_memory(&mut scratch, &identity)
 }
 
 /// A frontier entry: a subtree root plus the forked memory it runs on.
@@ -665,6 +1021,7 @@ fn explore_parallel(
     cfg: &ExploreConfig,
     root: Node,
     progress: &Progress,
+    sym: bool,
 ) -> ExploreOutcome {
     // Expand a frontier of subtree roots in canonical depth-first order,
     // wave by wave, each on its own memory fork. Leaves reached during
@@ -699,7 +1056,7 @@ fn explore_parallel(
                     for action in acts {
                         let child_mem = fork.fork();
                         let mut child = node.clone();
-                        let mut scratch = Engine::new(obj, cfg, source, progress, usize::MAX);
+                        let mut scratch = Engine::new(obj, cfg, source, progress, usize::MAX, sym);
                         scratch.apply(&child_mem, &mut child, action);
                         next.push(Entry::Subtree(child, Box::new(child_mem)));
                     }
@@ -716,7 +1073,7 @@ fn explore_parallel(
     for (index, entry) in frontier.into_iter().enumerate() {
         match entry {
             Entry::Leaf(node) => {
-                let mut engine = Engine::new(obj, cfg, source, progress, index);
+                let mut engine = Engine::new(obj, cfg, source, progress, index, sym);
                 engine.count_leaves(1);
                 engine.check_leaf(&node);
                 results.push(SubtreeResult {
@@ -751,7 +1108,7 @@ fn explore_parallel(
                         if progress.moot(job.index) {
                             continue;
                         }
-                        let mut engine = Engine::new(obj, cfg, source, progress, job.index);
+                        let mut engine = Engine::new(obj, cfg, source, progress, job.index, sym);
                         engine.run(&job.mem, job.node);
                         out.push(SubtreeResult {
                             index: job.index,
@@ -795,6 +1152,8 @@ fn explore_parallel(
         truncated,
         unique_nodes,
         memo_hits,
+        symmetry: sym,
+        memo_evictions: progress.memo.evictions(),
     }
 }
 
@@ -1003,6 +1362,173 @@ mod tests {
         let sequential = render(1);
         assert_eq!(render(2), sequential);
         assert_eq!(render(5), sequential);
+    }
+
+    #[test]
+    fn symmetry_reduction_preserves_totals_and_shrinks_the_search() {
+        // Three identical processes: the orbit of "who acts first" merges.
+        let (cas, mem) = build_world(|b| DetectableCas::new(b, 3, 0));
+        let w = vec![
+            vec![OpSpec::Cas { old: 0, new: 1 }],
+            vec![OpSpec::Cas { old: 0, new: 1 }],
+            vec![OpSpec::Cas { old: 0, new: 1 }],
+        ];
+        let base = ExploreConfig {
+            max_crashes: 1,
+            max_retries: 1,
+            max_leaves: usize::MAX,
+            ..Default::default()
+        };
+        let plain = explore_engine(&cas, &mem, OpSource::PerProcess(&w), &base);
+        let reduced = explore_engine(
+            &cas,
+            &mem,
+            OpSource::PerProcess(&w),
+            &ExploreConfig {
+                symmetry: SymmetryMode::On,
+                ..base
+            },
+        );
+        plain.assert_clean();
+        reduced.assert_clean();
+        assert!(!plain.symmetry, "engine-level Auto means off");
+        assert!(reduced.symmetry, "CAS + uniform layout support reduction");
+        assert_eq!(reduced.leaves, plain.leaves, "totals are invariant");
+        assert!(
+            reduced.unique_nodes < plain.unique_nodes,
+            "reduction expanded {} nodes vs {} plain",
+            reduced.unique_nodes,
+            plain.unique_nodes
+        );
+    }
+
+    #[test]
+    fn symmetry_reduction_composed_object_with_crashes() {
+        use detectable::DetectableCounter;
+        let (ctr, mem) = build_world(|b| DetectableCounter::new(b, 3));
+        let w = vec![vec![OpSpec::Inc], vec![OpSpec::Inc], vec![OpSpec::Inc]];
+        let base = ExploreConfig {
+            max_crashes: 1,
+            max_retries: 1,
+            max_leaves: usize::MAX,
+            ..Default::default()
+        };
+        let plain = explore_engine(&ctr, &mem, OpSource::PerProcess(&w), &base);
+        let reduced = explore_engine(
+            &ctr,
+            &mem,
+            OpSource::PerProcess(&w),
+            &ExploreConfig {
+                symmetry: SymmetryMode::On,
+                ..base
+            },
+        );
+        plain.assert_clean();
+        reduced.assert_clean();
+        assert!(reduced.symmetry);
+        assert_eq!(reduced.leaves, plain.leaves);
+        assert!(reduced.unique_nodes < plain.unique_nodes);
+    }
+
+    #[test]
+    fn symmetry_never_activates_for_scripts_or_unsupported_objects() {
+        let script = [(Pid::new(0), OpSpec::Write(1)), (Pid::new(1), OpSpec::Read)];
+        let (reg, mem) = build_world(|b| DetectableRegister::new(b, 2, 0));
+        let cfg = ExploreConfig {
+            symmetry: SymmetryMode::On,
+            max_leaves: usize::MAX,
+            ..Default::default()
+        };
+        let out = explore_engine(&reg, &mem, OpSource::Script(&script), &cfg);
+        out.assert_clean();
+        assert!(!out.symmetry, "scripts pin the acting process");
+
+        // The queue's arena encodes allocating pids in shared node indices;
+        // it declares itself opaque and the engine falls back.
+        let (q, mem) = build_world(|b| detectable::DetectableQueue::new(b, 2, 16));
+        let w = vec![vec![OpSpec::Enq(1)], vec![OpSpec::Enq(1)]];
+        let out = explore_engine(&q, &mem, OpSource::PerProcess(&w), &cfg);
+        out.assert_clean();
+        assert!(
+            !out.symmetry,
+            "unsupported objects fall back to plain search"
+        );
+    }
+
+    #[test]
+    fn memo_budget_eviction_preserves_exact_totals() {
+        let (cas, mem) = build_world(|b| DetectableCas::new(b, 2, 0));
+        let w = vec![
+            vec![
+                OpSpec::Cas { old: 0, new: 1 },
+                OpSpec::Cas { old: 1, new: 2 },
+            ],
+            vec![OpSpec::Cas { old: 0, new: 2 }, OpSpec::Read],
+        ];
+        let unbounded = explore_engine(
+            &cas,
+            &mem,
+            OpSource::PerProcess(&w),
+            &ExploreConfig {
+                memo_budget: None,
+                ..Default::default()
+            },
+        );
+        assert_eq!(unbounded.memo_evictions, 0);
+        // A budget far below the unique-node count forces eviction cycles;
+        // evicted states are re-explored, totals must not move.
+        let tiny = explore_engine(
+            &cas,
+            &mem,
+            OpSource::PerProcess(&w),
+            &ExploreConfig {
+                memo_budget: Some(128),
+                ..Default::default()
+            },
+        );
+        unbounded.assert_clean();
+        tiny.assert_clean();
+        assert!(
+            tiny.memo_evictions > 0,
+            "budget of 128 over {} unique nodes must evict",
+            unbounded.unique_nodes
+        );
+        assert_eq!(tiny.leaves, unbounded.leaves);
+        assert!(
+            tiny.unique_nodes >= unbounded.unique_nodes,
+            "eviction can only add re-exploration"
+        );
+    }
+
+    #[test]
+    fn parallel_symmetric_exploration_matches_sequential() {
+        let (cas, mem) = build_world(|b| DetectableCas::new(b, 3, 0));
+        let w = vec![
+            vec![OpSpec::Cas { old: 0, new: 1 }],
+            vec![OpSpec::Cas { old: 0, new: 1 }],
+            vec![OpSpec::Cas { old: 0, new: 1 }],
+        ];
+        let base = ExploreConfig {
+            symmetry: SymmetryMode::On,
+            max_crashes: 1,
+            max_retries: 1,
+            max_leaves: usize::MAX,
+            ..Default::default()
+        };
+        let seq = explore_engine(&cas, &mem, OpSource::PerProcess(&w), &base);
+        for parallelism in [2, 4] {
+            let par = explore_engine(
+                &cas,
+                &mem,
+                OpSource::PerProcess(&w),
+                &ExploreConfig {
+                    parallelism,
+                    ..base.clone()
+                },
+            );
+            assert_eq!(par.leaves, seq.leaves, "parallelism {parallelism}");
+            assert!(par.violation.is_none());
+        }
     }
 
     #[test]

@@ -32,9 +32,13 @@
 //! * [`report`] — Markdown and JSON rendering for verdicts and sweep
 //!   reports.
 //!
-//! The pre-`Scenario` free functions (`run_sim`, `explore`, `census_drive`,
-//! `census_bfs`, `find_doubly_perturbing_witness`) remain as deprecated
-//! shims over the same engines for one release.
+//! The engines beneath the `Scenario` runners (`sim_engine`,
+//! `explore_engine`, `census_drive_engine`, `census_bfs_engine`,
+//! `witness_search`) are exported for engine-level equivalence tests and
+//! bespoke measurement loops; the pre-`Scenario` deprecated free functions
+//! (`run_sim`, `explore`, `census_drive`, `census_bfs`,
+//! `find_doubly_perturbing_witness`) were removed after their one-release
+//! grace period.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -53,25 +57,22 @@ pub mod spec;
 pub mod workload;
 
 pub use aux_state::{probe_aux_state, theorem2_script};
-#[allow(deprecated)]
-pub use census::{census_bfs, census_drive};
-pub use census::{census_bfs_snapshot_engine, gray_code_cas_ops, BfsConfig, CensusReport};
+pub use census::{
+    census_bfs_engine, census_bfs_snapshot_engine, census_drive_engine, gray_code_cas_ops,
+    BfsConfig, CensusReport,
+};
 pub use driver::{op_key, Driver, ProcState, RetryPolicy, StepOutcome};
-#[allow(deprecated)]
-pub use explore::explore;
-pub use explore::{explore_engine, ExploreConfig, ExploreOutcome, OpSource};
+pub use explore::{explore_engine, ExploreConfig, ExploreOutcome, OpSource, SymmetryMode};
 pub use history::{Event, History, OpRecord, Outcome};
 pub use linearize::{check_execution, check_history, check_records, Violation, MAX_CHECKED_OPS};
-#[allow(deprecated)]
-pub use perturb::find_doubly_perturbing_witness;
-pub use perturb::{default_alphabet, render_witness, validate_witness_on_impl, PerturbWitness};
+pub use perturb::{
+    default_alphabet, render_witness, validate_witness_on_impl, witness_search, PerturbWitness,
+};
 pub use report::{census_table_json, markdown_table, verdicts_to_json};
 pub use scenario::{
     AggregateRow, CrashModel, RunMode, RunStats, Runner, Scenario, Sweep, SweepCell, SweepReport,
     Verdict,
 };
-#[allow(deprecated)]
-pub use sim::run_sim;
-pub use sim::{build_world, build_world_mode, SimConfig, SimReport};
+pub use sim::{build_world, build_world_mode, sim_engine, SimConfig, SimReport};
 pub use spec::{spec_apply, spec_init, spec_run, SpecState};
 pub use workload::{mixed_op, ResolvedWorkload, Workload};

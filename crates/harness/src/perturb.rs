@@ -96,28 +96,13 @@ fn sequences(alphabet: &[OpSpec], max_len: usize) -> Vec<Vec<OpSpec>> {
     out
 }
 
-/// Searches for a doubly-perturbing witness within bounded history lengths.
-///
-/// Deprecated shim over the engine behind
-/// [`Scenario::perturb`](crate::Scenario::perturb).
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `harness::Scenario` and call `.perturb()` (or `.perturb_with(h1, ext)`)"
-)]
-pub fn find_doubly_perturbing_witness(
-    kind: ObjectKind,
-    alphabet: &[OpSpec],
-    max_h1: usize,
-    max_ext: usize,
-) -> Option<PerturbWitness> {
-    witness_search(kind, alphabet, max_h1, max_ext)
-}
-
-/// [`find_doubly_perturbing_witness`]'s engine: returns the first witness
-/// found, or `None` if no witness exists within the bounds (for max
-/// registers this is the Lemma 4 claim, verified exhaustively over the
-/// bounded space).
-pub(crate) fn witness_search(
+/// Searches bounded sequential histories for a doubly-perturbing witness:
+/// returns the first witness found, or `None` if no witness exists within
+/// the bounds (for max registers this is the Lemma 4 claim, verified
+/// exhaustively over the bounded space). The engine beneath
+/// [`Scenario::perturb`](crate::Scenario::perturb); public for
+/// engine-level equivalence tests.
+pub fn witness_search(
     kind: ObjectKind,
     alphabet: &[OpSpec],
     max_h1: usize,

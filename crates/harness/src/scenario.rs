@@ -53,7 +53,7 @@ use detectable::{
 use nvm::{CacheMode, CrashPolicy, LayoutBuilder, SimMemory};
 
 use crate::census::{census_bfs_engine, census_drive_engine, BfsConfig};
-use crate::explore::{explore_engine, ExploreConfig, OpSource};
+use crate::explore::{explore_engine, ExploreConfig, OpSource, SymmetryMode};
 use crate::linearize::check_execution;
 use crate::perturb::{validate_witness_on_impl, witness_search, PerturbWitness};
 use crate::sim::{sim_engine, SimConfig, SimReport};
@@ -390,13 +390,25 @@ impl Scenario {
     ///
     /// [`faults`](Scenario::faults) overrides the crash/retry fields of
     /// `cfg`; `cfg.max_leaves`, `cfg.prune` and `cfg.parallelism` always
-    /// apply.
+    /// apply. A `cfg.symmetry` of [`SymmetryMode::Auto`] (the default)
+    /// resolves here: symmetry reduction is enabled exactly when the
+    /// workload is an alphabet-generated family
+    /// ([`Workload::alphabet_generated`]) whose resolved lists contain a
+    /// nontrivial process orbit ([`ResolvedWorkload::symmetric`]) — the
+    /// engine still falls back silently if the object or layout cannot
+    /// express permutation.
     pub fn explore(&self, cfg: &ExploreConfig) -> Verdict {
-        let eff = self.effective_explore(cfg);
+        let mut eff = self.effective_explore(cfg);
         let (obj, mem, shared_bits, private_bits) = self.construct(self.memory.unwrap_or_default());
-        let resolved =
-            self.workload_or_default(2)
-                .resolve(obj.kind(), obj.processes(), self.workload_seed);
+        let workload = self.workload_or_default(2);
+        let resolved = workload.resolve(obj.kind(), obj.processes(), self.workload_seed);
+        if eff.symmetry == SymmetryMode::Auto {
+            eff.symmetry = if workload.alphabet_generated() && resolved.symmetric() {
+                SymmetryMode::On
+            } else {
+                SymmetryMode::Off
+            };
+        }
         let out = match &resolved {
             ResolvedWorkload::PerProcess(lists) => {
                 explore_engine(&*obj, &mem, OpSource::PerProcess(lists), &eff)
@@ -426,6 +438,36 @@ impl Scenario {
         }
     }
 
+    /// A failed verdict for an unrunnable scenario description: `passed`
+    /// false with the problem rendered into [`Verdict::violation`], so
+    /// sweeps and tables surface the misconfiguration instead of silently
+    /// reporting a degenerate run (or panicking mid-engine).
+    fn config_error(
+        &self,
+        obj: &dyn RecoverableObject,
+        mode: RunMode,
+        message: String,
+        shared_bits: u64,
+        private_bits: u64,
+    ) -> Verdict {
+        Verdict {
+            object: self.display_name(obj),
+            kind: obj.kind(),
+            mode,
+            detectable: obj.detectable(),
+            passed: false,
+            linearizable: None,
+            bound_met: None,
+            violation: Some(message),
+            witness: None,
+            stats: RunStats {
+                shared_bits,
+                private_bits,
+                ..RunStats::default()
+            },
+        }
+    }
+
     /// Counts reachable shared-memory configurations (the Theorem 1
     /// experiment): a [`Workload::Script`] is solo-driven operation by
     /// operation (the old `census_drive`, e.g. over
@@ -445,9 +487,32 @@ impl Scenario {
         let (obj, mem, shared_bits, private_bits) = self.construct(self.memory.unwrap_or_default());
         let workload = self.workload_or_default(2);
         let report = match workload.resolve(obj.kind(), obj.processes(), self.workload_seed) {
+            ResolvedWorkload::Script(ops) if ops.is_empty() => {
+                return self.config_error(
+                    &*obj,
+                    RunMode::Census,
+                    "configuration error: the script workload is empty — a census needs at \
+                     least one operation to drive"
+                        .into(),
+                    shared_bits,
+                    private_bits,
+                );
+            }
             ResolvedWorkload::Script(ops) => census_drive_engine(&*obj, &mem, &ops),
             ResolvedWorkload::PerProcess(_) => {
                 let alphabet = workload.alphabet(obj.kind());
+                if alphabet.is_empty() {
+                    return self.config_error(
+                        &*obj,
+                        RunMode::Census,
+                        "configuration error: the workload resolves to an empty operation \
+                         alphabet — the BFS census would count a zero-op world; give the \
+                         workload at least one operation"
+                            .into(),
+                        shared_bits,
+                        private_bits,
+                    );
+                }
                 census_bfs_engine(&*obj, &mem, &alphabet, cfg)
             }
         };
@@ -515,6 +580,18 @@ impl Scenario {
             .as_ref()
             .map(|w| w.alphabet(obj.kind()))
             .unwrap_or_else(|| crate::perturb::default_alphabet(obj.kind()));
+        if alphabet.is_empty() {
+            return self.config_error(
+                &*obj,
+                RunMode::Perturb,
+                "configuration error: the workload resolves to an empty operation alphabet \
+                 — the witness search has nothing to perturb with; give the workload at \
+                 least one operation"
+                    .into(),
+                shared_bits,
+                private_bits,
+            );
+        }
         let witness = witness_search(obj.kind(), &alphabet, max_h1, max_ext);
         let passed = match &witness {
             Some(w) if obj.processes() >= 2 => validate_witness_on_impl(w, &*obj, &mem),
@@ -1185,6 +1262,96 @@ mod tests {
                 .iter()
                 .any(|c| c.verdict.stats != sweep.cells[0].verdict.stats),
             "seed axis varies Random-workload explore cells"
+        );
+    }
+
+    #[test]
+    fn empty_alphabet_census_and_perturb_are_config_errors() {
+        let empty = Workload::per_process(vec![vec![], vec![]]);
+        let census = Scenario::object(ObjectKind::Cas)
+            .workload(empty.clone())
+            .census(&BfsConfig::default());
+        assert!(!census.passed);
+        assert!(
+            census
+                .violation
+                .as_deref()
+                .is_some_and(|v| v.contains("configuration error")),
+            "census must say why: {:?}",
+            census.violation
+        );
+        assert_eq!(census.stats.executions, 0, "nothing ran");
+
+        let perturb = Scenario::object(ObjectKind::Cas).workload(empty).perturb();
+        assert!(!perturb.passed);
+        assert!(perturb
+            .violation
+            .as_deref()
+            .is_some_and(|v| v.contains("configuration error")));
+
+        let script = Scenario::object(ObjectKind::Cas)
+            .workload(Workload::script(Vec::new()))
+            .census(&BfsConfig::default());
+        assert!(!script.passed);
+        assert!(script
+            .violation
+            .as_deref()
+            .is_some_and(|v| v.contains("configuration error")));
+    }
+
+    #[test]
+    #[should_panic(expected = "script workload references p7")]
+    fn scenario_rejects_script_pids_beyond_the_world() {
+        let _ = Scenario::object(ObjectKind::Register)
+            .workload(Workload::script(vec![(Pid::new(7), OpSpec::Write(1))]))
+            .simulate(&SimConfig::default());
+    }
+
+    #[test]
+    fn auto_symmetry_resolves_from_the_resolved_workload() {
+        use crate::explore::SymmetryMode;
+        // One-op alphabet, 3 processes: every list identical → reduction on.
+        let sym = Scenario::object(ObjectKind::Cas)
+            .processes(3)
+            .workload(Workload::round_robin(
+                vec![OpSpec::Cas { old: 0, new: 1 }],
+                1,
+            ))
+            .faults(CrashModel::exhaustive(1).retries(1));
+        let auto = sym.explore(&ExploreConfig::default());
+        let off = sym.explore(&ExploreConfig {
+            symmetry: SymmetryMode::Off,
+            ..Default::default()
+        });
+        auto.assert_passed();
+        off.assert_passed();
+        assert_eq!(
+            auto.stats.executions, off.stats.executions,
+            "reduction never changes totals"
+        );
+        assert!(
+            auto.stats.distinct_configs < off.stats.distinct_configs,
+            "auto-enabled reduction expanded fewer nodes ({} vs {})",
+            auto.stats.distinct_configs,
+            off.stats.distinct_configs
+        );
+
+        // Hand-assigned per-process lists keep reduction off even when
+        // identical (the family gate is conservative, per the Auto contract).
+        let hand = Scenario::object(ObjectKind::Cas)
+            .processes(3)
+            .workload(Workload::per_process(vec![
+                vec![OpSpec::Cas {
+                    old: 0,
+                    new: 1
+                }];
+                3
+            ]))
+            .faults(CrashModel::exhaustive(1).retries(1));
+        let hand_auto = hand.explore(&ExploreConfig::default());
+        assert_eq!(
+            hand_auto.stats.distinct_configs, off.stats.distinct_configs,
+            "per-process workloads resolve Auto to Off"
         );
     }
 

@@ -13,7 +13,7 @@
 //! recording) lives in the shared [`crate::driver::Driver`].
 
 use detectable::{OpSpec, RecoverableObject};
-use nvm::{CacheMode, CrashPolicy, LayoutBuilder, Pid, SimMemory};
+use nvm::{CacheMode, CrashPolicy, LayoutBuilder, SimMemory};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -97,15 +97,17 @@ pub fn build_world_mode<O>(
 }
 
 /// Runs one simulation of `obj` over `mem` with explicit per-process
-/// operation plans — the engine beneath both the deprecated [`run_sim`]
-/// shim and [`Scenario::simulate`](crate::Scenario::simulate).
+/// operation plans — the engine beneath
+/// [`Scenario::simulate`](crate::Scenario::simulate), public for
+/// engine-level equivalence tests and bespoke measurement loops that need
+/// the world afterwards (the Scenario runners encapsulate it).
 ///
 /// # Panics
 ///
 /// Panics if the step budget is exhausted (livelock) — crash-heavy runs of
 /// lock-free operations should use `retry_on_fail: false` or a generous
 /// budget.
-pub(crate) fn sim_engine(
+pub fn sim_engine(
     obj: &dyn RecoverableObject,
     mem: &SimMemory,
     cfg: &SimConfig,
@@ -165,47 +167,12 @@ pub(crate) fn sim_engine(
     }
 }
 
-/// Runs one simulation of `obj` over `mem`.
-///
-/// `workload(pid, i)` supplies the `i`-th operation of process `pid`; every
-/// process performs [`SimConfig::ops_per_process`] operations.
-///
-/// Deprecated shim: the workload closure is materialized into per-process
-/// operation lists and handed to the same engine
-/// [`Scenario::simulate`](crate::Scenario::simulate) runs, so histories are
-/// byte-identical to the `Scenario` path on equal seeds.
-///
-/// # Panics
-///
-/// Panics if the step budget is exhausted (livelock) — crash-heavy runs of
-/// lock-free operations should use `retry_on_fail: false` or a generous
-/// budget.
-#[deprecated(
-    since = "0.2.0",
-    note = "build a `harness::Scenario` and call `.simulate(&SimConfig)` instead"
-)]
-pub fn run_sim(
-    obj: &dyn RecoverableObject,
-    mem: &SimMemory,
-    cfg: &SimConfig,
-    mut workload: impl FnMut(Pid, usize) -> OpSpec,
-) -> SimReport {
-    let n = obj.processes() as usize;
-    let plan: Vec<Vec<OpSpec>> = (0..n)
-        .map(|p| {
-            (0..cfg.ops_per_process)
-                .map(|i| workload(Pid::new(p as u32), i))
-                .collect()
-        })
-        .collect();
-    sim_engine(obj, mem, cfg, &plan)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::linearize::check_history;
     use detectable::{DetectableCas, DetectableRegister, ObjectKind};
+    use nvm::Pid;
 
     /// Test-local stand-in for the old closure API: materialize and run.
     fn run_sim(

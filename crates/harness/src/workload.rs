@@ -133,7 +133,17 @@ impl Workload {
                 lists.resize(n, Vec::new());
                 ResolvedWorkload::PerProcess(lists)
             }
-            Workload::Script(ops) => ResolvedWorkload::Script(ops.clone()),
+            Workload::Script(ops) => {
+                for (pid, op) in ops {
+                    assert!(
+                        pid.idx() < n,
+                        "script workload references {pid} (op {op}) but the world has only \
+                         {n} processes (pids are 0-based: valid pids are p0..p{})",
+                        n.saturating_sub(1)
+                    );
+                }
+                ResolvedWorkload::Script(ops.clone())
+            }
             Workload::RoundRobin {
                 alphabet,
                 ops_per_process,
@@ -190,11 +200,30 @@ impl Workload {
         }
     }
 
+    /// Whether this workload *family* is process-symmetric by construction
+    /// — generated from an operation alphabet the same way for every
+    /// process ([`round_robin`](Workload::round_robin),
+    /// [`random`](Workload::random), [`mixed`](Workload::mixed)) rather
+    /// than hand-assigned per process or scripted. Used by
+    /// [`Scenario::explore`](crate::Scenario::explore) to resolve
+    /// [`SymmetryMode::Auto`](crate::explore::SymmetryMode): reduction is
+    /// auto-enabled only for these families, and only when the *resolved*
+    /// lists actually contain an orbit
+    /// ([`ResolvedWorkload::symmetric`]).
+    pub fn alphabet_generated(&self) -> bool {
+        matches!(
+            self,
+            Workload::RoundRobin { .. } | Workload::Random { .. } | Workload::Mixed { .. }
+        )
+    }
+
     /// The operation alphabet this workload implies for alphabet-driven
     /// runners (the BFS census and the perturbation search): explicit for
     /// the alphabet variants, the distinct operations in appearance order
     /// for list variants, and the standard per-kind search alphabet
-    /// otherwise.
+    /// otherwise. **May be empty** when a list variant contains no
+    /// operations at all — alphabet-driven runners reject that as a
+    /// configuration error rather than censusing a zero-op world.
     pub fn alphabet(&self, kind: ObjectKind) -> Vec<OpSpec> {
         match self {
             Workload::RoundRobin { alphabet, .. } | Workload::Random { alphabet, .. } => {
@@ -226,6 +255,21 @@ impl Workload {
 }
 
 impl ResolvedWorkload {
+    /// The symmetry witness: whether some two processes run *identical*
+    /// operation lists, i.e. the configuration has at least one nontrivial
+    /// process-id orbit for the explorer's symmetry reduction to merge.
+    /// Always `false` for scripts (a script pins the acting process of
+    /// every step, so renaming changes the execution).
+    pub fn symmetric(&self) -> bool {
+        match self {
+            ResolvedWorkload::Script(_) => false,
+            ResolvedWorkload::PerProcess(lists) => lists
+                .iter()
+                .enumerate()
+                .any(|(i, a)| lists[..i].iter().any(|b| a == b)),
+        }
+    }
+
     /// Per-process operation lists — projecting a script onto each process's
     /// subsequence (randomized schedulers preserve per-process order only).
     pub fn into_per_process(self, processes: u32) -> Vec<Vec<OpSpec>> {
@@ -374,5 +418,43 @@ mod tests {
         let lists = w.resolve(ObjectKind::Counter, 3, 0).into_per_process(3);
         assert_eq!(lists.len(), 3);
         assert!(lists[1].is_empty() && lists[2].is_empty());
+    }
+
+    #[test]
+    #[should_panic(
+        expected = "script workload references p2 (op Write(9)) but the world has only 2 processes"
+    )]
+    fn script_with_out_of_range_pid_is_rejected_at_resolve() {
+        // Regression: this used to slip through resolve and blow up later
+        // as a bare index-out-of-bounds in `into_per_process`.
+        let w = Workload::script(vec![
+            (Pid::new(0), OpSpec::Write(1)),
+            (Pid::new(2), OpSpec::Write(9)),
+        ]);
+        let _ = w.resolve(ObjectKind::Register, 2, 0);
+    }
+
+    #[test]
+    fn symmetry_witness_requires_two_equal_lists() {
+        let kind = ObjectKind::Counter;
+        // Alphabet of one op: every process gets the same list.
+        let sym = Workload::round_robin(vec![OpSpec::Inc], 2).resolve(kind, 3, 0);
+        assert!(sym.symmetric());
+        // Two-op alphabet, 2 processes: the stagger makes all lists differ.
+        let asym = Workload::round_robin(vec![OpSpec::Inc, OpSpec::Read], 2).resolve(kind, 2, 0);
+        assert!(!asym.symmetric());
+        // …but with 3 processes, p0 and p2 coincide.
+        let wrap = Workload::round_robin(vec![OpSpec::Inc, OpSpec::Read], 2).resolve(kind, 3, 0);
+        assert!(wrap.symmetric());
+        // Scripts never witness symmetry.
+        let script = Workload::script(vec![(Pid::new(0), OpSpec::Inc)]).resolve(kind, 2, 0);
+        assert!(!script.symmetric());
+        // Family gate: only alphabet-generated workloads auto-enable.
+        assert!(Workload::mixed(2).alphabet_generated());
+        assert!(Workload::random(vec![OpSpec::Inc], 2).alphabet_generated());
+        assert!(
+            !Workload::per_process(vec![vec![OpSpec::Inc], vec![OpSpec::Inc]]).alphabet_generated()
+        );
+        assert!(!Workload::script(Vec::new()).alphabet_generated());
     }
 }

@@ -186,13 +186,61 @@ impl LayoutBuilder {
                 }
             }
         }
+        let private_slots = Self::private_slots(&self.regions);
         // Region lookup table: regions are allocated contiguously in address
         // order, so a sorted Vec supports binary search by base address.
         Layout {
             regions: self.regions,
             total_words: self.next,
             shared_mask: shared,
+            private_slots,
         }
+    }
+
+    /// Computes the per-process private-cell correspondence used by
+    /// process-symmetry canonicalization (see [`Layout::private_slots`]).
+    ///
+    /// Private regions must come in *uniform groups* — maximal runs of
+    /// consecutive regions owned by processes `0, 1, …, N−1` in order, all
+    /// with the same word count and width, exactly the pattern
+    /// [`LayoutBuilder::private_array`] emits — and every group must agree
+    /// on `N`. Anything else (a bare [`LayoutBuilder::private`] region, or
+    /// objects built for different process counts in one world) yields
+    /// `None`: the correspondence would be guesswork, so permutation-based
+    /// reductions are simply unavailable for that layout.
+    fn private_slots(regions: &[Region]) -> Option<Vec<Vec<u32>>> {
+        let mut slots: Option<Vec<Vec<u32>>> = None;
+        let mut i = 0;
+        while i < regions.len() {
+            let Space::Private(first) = regions[i].space else {
+                i += 1;
+                continue;
+            };
+            if first != Pid::new(0) {
+                return None;
+            }
+            let (words, bits) = (regions[i].words, regions[i].bits_per_word);
+            let mut m = 0;
+            while let Some(r) = regions.get(i + m) {
+                if r.space == Space::Private(Pid::new(m as u32))
+                    && r.words == words
+                    && r.bits_per_word == bits
+                {
+                    m += 1;
+                } else {
+                    break;
+                }
+            }
+            let slots = slots.get_or_insert_with(|| vec![Vec::new(); m]);
+            if slots.len() != m {
+                return None;
+            }
+            for (pid_slots, r) in slots.iter_mut().zip(&regions[i..i + m]) {
+                pid_slots.extend(r.base.0..r.base.0 + r.words);
+            }
+            i += m;
+        }
+        slots
     }
 }
 
@@ -202,6 +250,7 @@ pub struct Layout {
     regions: Vec<Region>,
     total_words: u32,
     shared_mask: Vec<bool>,
+    private_slots: Option<Vec<Vec<u32>>>,
 }
 
 impl Layout {
@@ -267,6 +316,23 @@ impl Layout {
             }
         }
         h.finish()
+    }
+
+    /// The per-process private-cell correspondence, when the layout supports
+    /// process-id permutation: `private_slots()[p]` lists the word indices
+    /// owned by process `p` in allocation order, and for every slot `k` the
+    /// cells `private_slots()[·][k]` play the same structural role for their
+    /// respective owners (they come from the same
+    /// [`private_array`](LayoutBuilder::private_array) group at the same
+    /// offset). Renaming process `p` to `q` therefore moves the contents of
+    /// slot list `p` onto slot list `q` wholesale.
+    ///
+    /// `None` when the layout's private allocation is not process-uniform
+    /// (bare [`private`](LayoutBuilder::private) regions, or groups built
+    /// for differing process counts) — symmetry reductions must then treat
+    /// the layout as opaque.
+    pub fn private_slots(&self) -> Option<&[Vec<u32>]> {
+        self.private_slots.as_deref()
     }
 
     /// Extracts the shared-region contents of `words` as an exact census key.
@@ -369,5 +435,50 @@ mod tests {
     fn empty_region_panics() {
         let mut b = LayoutBuilder::new();
         let _ = b.shared("bad", 0, 1);
+    }
+
+    #[test]
+    fn private_slots_follow_private_array_groups() {
+        let (l, _, _, rd) = sample(); // one group: RD, 2 pids × 3 words
+        let slots = l.private_slots().expect("uniform layout");
+        assert_eq!(slots.len(), 2);
+        assert_eq!(slots[0], vec![rd.index() as u32, 10, 11]);
+        assert_eq!(slots[1], vec![12, 13, 14]);
+
+        // Two groups concatenate per pid, in region order.
+        let mut b = LayoutBuilder::new();
+        let _x = b.shared("X", 1, 64);
+        let a = b.private_array("A", 3, 2, 64);
+        let c = b.private_array("C", 3, 1, 8);
+        let l = b.finish();
+        let slots = l.private_slots().expect("uniform layout");
+        assert_eq!(slots.len(), 3);
+        assert_eq!(
+            slots[1],
+            vec![
+                a.at(2).index() as u32,
+                a.at(3).index() as u32,
+                c.at(1).index() as u32
+            ]
+        );
+    }
+
+    #[test]
+    fn private_slots_reject_nonuniform_layouts() {
+        // A bare private region (no full 0..n group).
+        let mut b = LayoutBuilder::new();
+        let _ = b.private(Pid::new(1), "lone", 1, 8);
+        assert!(b.finish().private_slots().is_none());
+
+        // Groups with disagreeing process counts.
+        let mut b = LayoutBuilder::new();
+        let _ = b.private_array("A", 2, 1, 8);
+        let _ = b.private_array("B", 3, 1, 8);
+        assert!(b.finish().private_slots().is_none());
+
+        // All-shared layouts trivially have no correspondence.
+        let mut b = LayoutBuilder::new();
+        let _ = b.shared("X", 4, 64);
+        assert!(b.finish().private_slots().is_none());
     }
 }

@@ -485,6 +485,62 @@ impl SimMemory {
         h.finish()
     }
 
+    /// Fills `out` with this memory's word contents under the process-id
+    /// permutation `perm` (`perm[p]` is the new identity of process `p`):
+    /// private cells are relocated wholesale along the layout's
+    /// [`private_slots`](Layout::private_slots) correspondence, shared cells
+    /// are copied verbatim. With `overlay` the *logical* values are taken
+    /// (cache overlay applied); without it the raw NVM contents, so
+    /// shared-cache explorers can canonicalize the `(NVM, logical)` pair
+    /// that determines all future behavior.
+    ///
+    /// This is the layout-generic half of orbit canonicalization for
+    /// symmetry-reduced search: pid-dependent encodings *inside* words
+    /// (packed per-process bit vectors, stored process ids) are the
+    /// object's business — see `RecoverableObject::permute_memory` in the
+    /// `detectable` crate, which rewrites them in the filled buffer.
+    ///
+    /// Returns `false` (leaving `out` unspecified) when the layout has no
+    /// private-cell correspondence or `perm`'s length disagrees with it.
+    pub fn logical_words_permuted(&self, perm: &[u32], overlay: bool, out: &mut Vec<Word>) -> bool {
+        let Some(slots) = self.layout.private_slots() else {
+            return false;
+        };
+        if slots.len() != perm.len() {
+            return false;
+        }
+        debug_assert!(
+            {
+                let mut seen = vec![false; perm.len()];
+                perm.iter().all(|&q| {
+                    (q as usize) < seen.len() && !std::mem::replace(&mut seen[q as usize], true)
+                })
+            },
+            "perm is not a permutation: {perm:?}"
+        );
+        out.clear();
+        out.extend(self.nvm.borrow().iter().copied());
+        if overlay {
+            for (&i, &w) in self.cache.borrow().iter() {
+                out[i as usize] = w;
+            }
+        }
+        if perm.iter().enumerate().all(|(p, &q)| p as u32 == q) {
+            return true; // identity: nothing moves
+        }
+        let gathered: Vec<Word> = slots
+            .iter()
+            .flat_map(|cells| cells.iter().map(|&c| out[c as usize]))
+            .collect();
+        let per = slots[0].len();
+        for (p, &q) in perm.iter().enumerate() {
+            for (k, &dst) in slots[q as usize].iter().enumerate() {
+                out[dst as usize] = gathered[p * per + k];
+            }
+        }
+        true
+    }
+
     /// Hash of the logical shared-memory state (Theorem 1's
     /// memory-equivalence classes, up to hash collision).
     pub fn shared_fingerprint(&self) -> u64 {
@@ -995,6 +1051,52 @@ mod tests {
         assert_ne!(f.state_hash(), m.state_hash());
         // Stats start fresh in the fork.
         assert_eq!(f.stats().writes, 1);
+    }
+
+    #[test]
+    fn logical_words_permuted_relocates_private_slices() {
+        let mut b = LayoutBuilder::new();
+        let x = b.shared("X", 1, 64);
+        let rd = b.private_array("RD", 3, 2, 64);
+        let m = SimMemory::new(b.finish());
+        m.write(Pid::new(0), x, 99);
+        for p in 0..3u32 {
+            m.write(Pid::new(p), rd.at(p as usize * 2), u64::from(10 * p));
+            m.write(
+                Pid::new(p),
+                rd.at(p as usize * 2 + 1),
+                u64::from(10 * p + 1),
+            );
+        }
+        let mut out = Vec::new();
+        // Rotate 0→1→2→0.
+        assert!(m.logical_words_permuted(&[1, 2, 0], true, &mut out));
+        assert_eq!(out[x.index()], 99, "shared cells stay put");
+        // p2's new slice (index 2) holds old p1's data.
+        assert_eq!(&out[rd.at(4).index()..=rd.at(5).index()], &[10, 11]);
+        // p0's new slice holds old p2's data.
+        assert_eq!(&out[rd.at(0).index()..=rd.at(1).index()], &[20, 21]);
+
+        // Identity permutation reproduces full_key.
+        assert!(m.logical_words_permuted(&[0, 1, 2], true, &mut out));
+        assert_eq!(out, m.full_key());
+
+        // Wrong arity is rejected.
+        assert!(!m.logical_words_permuted(&[1, 0], true, &mut out));
+    }
+
+    #[test]
+    fn logical_words_permuted_overlay_flag_selects_nvm_or_logical() {
+        let mut b = LayoutBuilder::new();
+        let x = b.shared("X", 1, 64);
+        let _rd = b.private_array("RD", 2, 1, 64);
+        let m = SimMemory::with_mode(b.finish(), CacheMode::SharedCache);
+        m.write(Pid::new(0), x, 7); // dirty: in cache, not NVM
+        let mut out = Vec::new();
+        assert!(m.logical_words_permuted(&[0, 1], true, &mut out));
+        assert_eq!(out[x.index()], 7);
+        assert!(m.logical_words_permuted(&[0, 1], false, &mut out));
+        assert_eq!(out[x.index()], 0, "raw NVM ignores the dirty overlay");
     }
 
     #[test]

@@ -86,11 +86,9 @@ pub mod prelude {
     pub use harness::{
         build_world, build_world_mode, check_history, gray_code_cas_ops, probe_aux_state,
         validate_witness_on_impl, BfsConfig, CrashModel, Driver, ExploreConfig, OpSource,
-        RetryPolicy, Runner, Scenario, SimConfig, StepOutcome, Sweep, SweepReport, Verdict,
-        Workload,
+        RetryPolicy, Runner, Scenario, SimConfig, StepOutcome, Sweep, SweepReport, SymmetryMode,
+        Verdict, Workload,
     };
-    #[allow(deprecated)]
-    pub use harness::{census_drive, explore, run_sim};
     pub use nvm::{
         run_to_completion, AtomicMemory, CacheMode, CrashPolicy, LayoutBuilder, Machine, Memory,
         Pid, Poll, SimMemory, Word, ACK, FALSE, RESP_FAIL, RESP_NONE, TRUE,

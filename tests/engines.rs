@@ -1,22 +1,28 @@
-//! Integration: deprecation-shim coverage. The pre-`Scenario` free
-//! functions (`run_sim`, `census_drive`, `census_bfs`, `explore`,
-//! `find_doubly_perturbing_witness`) remain callable for one release and
-//! must stay behaviorally identical to their `Scenario` equivalents —
-//! byte-identical histories on fixed seeds for the simulator, equal counts
-//! everywhere else.
-
-#![allow(deprecated)]
+//! Integration: engine-level equivalence. The `Scenario` runners are thin
+//! lowerings onto the public engines (`sim_engine`, `explore_engine`,
+//! `census_drive_engine`, `census_bfs_engine`, `witness_search`); these
+//! tests pin that the lowering adds nothing — byte-identical histories on
+//! fixed seeds for the simulator, equal counts everywhere else. (They
+//! started life as deprecation-shim coverage; the shims are gone, the
+//! equivalence contract remains.)
 
 use detectable::{DetectableCas, DetectableRegister, ObjectKind, OpSpec};
 use harness::{
-    build_world, census_bfs, census_drive, default_alphabet, explore,
-    find_doubly_perturbing_witness, gray_code_cas_ops, mixed_op, run_sim, BfsConfig, CrashModel,
-    ExploreConfig, OpSource, Scenario, SimConfig, Workload,
+    build_world, census_bfs_engine, census_drive_engine, default_alphabet, explore_engine,
+    gray_code_cas_ops, mixed_op, sim_engine, witness_search, BfsConfig, CrashModel, ExploreConfig,
+    OpSource, Scenario, SimConfig, Workload,
 };
 use nvm::Pid;
 
+/// Materializes the per-process plan the way `Scenario::simulate` does.
+fn mixed_plan(kind: ObjectKind, processes: u32, ops: usize) -> Vec<Vec<OpSpec>> {
+    (0..processes)
+        .map(|p| (0..ops).map(|i| mixed_op(kind, Pid::new(p), i)).collect())
+        .collect()
+}
+
 #[test]
-fn run_sim_histories_are_byte_identical_to_scenario_simulate() {
+fn sim_engine_histories_are_byte_identical_to_scenario_simulate() {
     for seed in [0u64, 7, 42, 1_000, 65_535] {
         let cfg = SimConfig {
             seed,
@@ -25,13 +31,11 @@ fn run_sim_histories_are_byte_identical_to_scenario_simulate() {
             ..Default::default()
         };
 
-        // Old path: free function + closure workload over a hand-built world.
+        // Engine path: hand-built world + explicit plan.
         let (reg, mem) = build_world(|b| DetectableRegister::new(b, 3, 0));
-        let old = run_sim(&reg, &mem, &cfg, |pid, i| {
-            mixed_op(ObjectKind::Register, pid, i)
-        });
+        let old = sim_engine(&reg, &mem, &cfg, &mixed_plan(ObjectKind::Register, 3, 3));
 
-        // New path: the same experiment as a Scenario.
+        // Scenario path: the same experiment through the front door.
         let new = Scenario::object(ObjectKind::Register)
             .processes(3)
             .workload(Workload::mixed(3))
@@ -49,7 +53,7 @@ fn run_sim_histories_are_byte_identical_to_scenario_simulate() {
 }
 
 #[test]
-fn run_sim_matches_scenario_under_crash_model_override() {
+fn sim_engine_matches_scenario_under_crash_model_override() {
     let cfg = SimConfig {
         seed: 99,
         ops_per_process: 2,
@@ -58,7 +62,7 @@ fn run_sim_matches_scenario_under_crash_model_override() {
         ..Default::default()
     };
     let (cas, mem) = build_world(|b| DetectableCas::new(b, 3, 0));
-    let old = run_sim(&cas, &mem, &cfg, |pid, i| mixed_op(ObjectKind::Cas, pid, i));
+    let old = sim_engine(&cas, &mem, &cfg, &mixed_plan(ObjectKind::Cas, 3, 2));
     let new = Scenario::object(ObjectKind::Cas)
         .processes(3)
         .workload(Workload::mixed(2))
@@ -71,11 +75,11 @@ fn run_sim_matches_scenario_under_crash_model_override() {
 }
 
 #[test]
-fn census_drive_counts_match_scenario_census() {
+fn census_drive_engine_counts_match_scenario_census() {
     for n in 1..=6u32 {
         let (cas, mem) = build_world(|b| DetectableCas::new(b, n, 0));
         let ops = gray_code_cas_ops(n);
-        let old = census_drive(&cas, &mem, &ops);
+        let old = census_drive_engine(&cas, &mem, &ops);
 
         let new = Scenario::object(ObjectKind::Cas)
             .processes(n)
@@ -89,7 +93,7 @@ fn census_drive_counts_match_scenario_census() {
 }
 
 #[test]
-fn census_bfs_counts_match_scenario_census() {
+fn census_bfs_engine_counts_match_scenario_census() {
     let alphabet = [
         OpSpec::Cas { old: 0, new: 1 },
         OpSpec::Cas { old: 1, new: 0 },
@@ -100,7 +104,7 @@ fn census_bfs_counts_match_scenario_census() {
         ..Default::default()
     };
     let (cas, mem) = build_world(|b| DetectableCas::new(b, 2, 0));
-    let old = census_bfs(&cas, &mem, &alphabet, &cfg);
+    let old = census_bfs_engine(&cas, &mem, &alphabet, &cfg);
 
     let new = Scenario::object(ObjectKind::Cas)
         .workload(Workload::round_robin(alphabet.to_vec(), 4))
@@ -111,7 +115,7 @@ fn census_bfs_counts_match_scenario_census() {
 }
 
 #[test]
-fn explore_shim_matches_scenario_explore() {
+fn explore_engine_matches_scenario_explore() {
     let script = [
         (Pid::new(0), OpSpec::Write(1)),
         (Pid::new(1), OpSpec::Read),
@@ -119,7 +123,7 @@ fn explore_shim_matches_scenario_explore() {
     ];
     let cfg = ExploreConfig::default();
     let (reg, mem) = build_world(|b| DetectableRegister::new(b, 2, 0));
-    let old = explore(&reg, &mem, OpSource::Script(&script), &cfg);
+    let old = explore_engine(&reg, &mem, OpSource::Script(&script), &cfg);
 
     let new = Scenario::object(ObjectKind::Register)
         .workload(Workload::script(script.to_vec()))
@@ -131,13 +135,13 @@ fn explore_shim_matches_scenario_explore() {
 }
 
 #[test]
-fn witness_search_shim_matches_scenario_perturb() {
+fn witness_search_matches_scenario_perturb() {
     for kind in [
         ObjectKind::Register,
         ObjectKind::Cas,
         ObjectKind::MaxRegister,
     ] {
-        let old = find_doubly_perturbing_witness(kind, &default_alphabet(kind), 3, 3);
+        let old = witness_search(kind, &default_alphabet(kind), 3, 3);
         let new = Scenario::object(kind).perturb();
         assert_eq!(
             old.is_some(),
@@ -145,13 +149,4 @@ fn witness_search_shim_matches_scenario_perturb() {
         );
         assert_eq!(old, new.witness, "{kind:?}: identical first witness");
     }
-}
-
-#[test]
-fn deprecated_workload_alias_still_constructs() {
-    // The old explorer input type is reachable under its old name.
-    let script = [(Pid::new(0), OpSpec::Write(1))];
-    let source: harness::explore::Workload<'_> = harness::explore::Workload::Script(&script);
-    let (reg, mem) = build_world(|b| DetectableRegister::new(b, 2, 0));
-    explore(&reg, &mem, source, &ExploreConfig::default()).assert_clean();
 }

@@ -60,17 +60,23 @@ fn objects_do_not_interfere_under_simulation() {
         retry_on_fail: true,
         ..Default::default()
     };
-    // Deprecated-shim coverage: this test shares one world between the
-    // simulated object and a sentinel, which the Scenario runners (which
-    // build their own worlds) deliberately do not expose.
-    #[allow(deprecated)]
-    let report = harness::run_sim(&reg, &mem, &cfg, |pid, i| {
-        if (pid.idx() + i) % 2 == 0 {
-            OpSpec::Write(i as u32)
-        } else {
-            OpSpec::Read
-        }
-    });
+    // Engine-level call: this test shares one world between the simulated
+    // object and a sentinel, which the Scenario runners (which build their
+    // own worlds) deliberately do not expose.
+    let plan: Vec<Vec<OpSpec>> = (0..2usize)
+        .map(|pid| {
+            (0..4)
+                .map(|i| {
+                    if (pid + i) % 2 == 0 {
+                        OpSpec::Write(i as u32)
+                    } else {
+                        OpSpec::Read
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let report = harness::sim_engine(&reg, &mem, &cfg, &plan);
     check_history(detectable::ObjectKind::Register, &report.history).unwrap();
     assert_eq!(run_op(&sentinel, &mem, Pid::new(0), OpSpec::Read), 777);
 }

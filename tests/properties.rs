@@ -115,10 +115,10 @@ proptest! {
             retry_on_fail: false, // abandoned fails stay unapplied
             ..Default::default()
         };
-        // Deprecated-shim coverage: this property needs the built world
-        // afterwards (`peek_value`), which the Scenario runners encapsulate.
-        #[allow(deprecated)]
-        let report = harness::run_sim(&ctr, &mem, &cfg, |_, _| OpSpec::Inc);
+        // Engine-level call: this property needs the built world afterwards
+        // (`peek_value`), which the Scenario runners encapsulate.
+        let plan = vec![vec![OpSpec::Inc; 3]; 3];
+        let report = harness::sim_engine(&ctr, &mem, &cfg, &plan);
         let confirmed = report
             .history
             .to_records()
