@@ -1,12 +1,21 @@
-//! **Experiment E12** — census-engine throughput: configurations expanded
-//! per second on the N = 4 detectable-CAS world, full-snapshot reference
-//! engine vs the fork/checkpoint engine, sequential vs parallel.
+//! **Experiment E12/E14** — census-engine throughput: configurations
+//! expanded per second on the N = 4 detectable-CAS world — full-snapshot
+//! reference engine vs the arena/work-stealing engine, sequential vs
+//! parallel, exact vs dominance-pruned.
 //!
-//! The fork engine expands each successor under an undo-log checkpoint
-//! (O(writes) instead of a full-memory restore) and shards its visited set,
-//! so its states/sec figure is the headline number future PRs track via the
-//! committed `BENCH_census.json` baseline (regenerate it with
-//! `cargo bench -p bench --bench census_throughput`).
+//! The arena engine expands each successor under an undo-log checkpoint
+//! (O(writes) instead of a full-memory restore), stores frontier states as
+//! 8-byte handles into a deduplicating arena, and schedules expansion by
+//! work-stealing, so its states/sec figure is the headline number future
+//! PRs track via the committed `BENCH_census.json` baseline (regenerate it
+//! with `cargo bench -p bench --bench census_throughput`).
+//!
+//! Every sample records the host's CPU count. **Parallel samples are
+//! skipped (with a note in the baseline) when the host has a single CPU**:
+//! threads cannot beat sequential expansion without cores to run on, and a
+//! committed slowdown row would misread as an engine regression. The
+//! fork-par speedup targets (≥ 1.8× fork-seq at 4 threads) are only
+//! meaningful on `host_cpus ≥ 4` runs.
 
 use std::time::Instant;
 
@@ -35,6 +44,7 @@ fn config(parallelism: usize) -> BfsConfig {
         max_ops: MAX_OPS,
         max_states: 20_000_000,
         parallelism,
+        dominance: false,
     }
 }
 
@@ -42,8 +52,13 @@ fn world() -> (DetectableCas, SimMemory) {
     build_world(|b| DetectableCas::new(b, N, 0))
 }
 
+fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 fn census_throughput(c: &mut Criterion) {
     let (cas, mem) = world();
+    let cpus = host_cpus();
     let mut g = c.benchmark_group("census_throughput");
     let probe = census_bfs_snapshot_engine(&cas, &mem, &alphabet(), &config(1));
     g.throughput(criterion::Throughput::Elements(probe.work as u64));
@@ -51,6 +66,10 @@ fn census_throughput(c: &mut Criterion) {
         b.iter(|| census_bfs_snapshot_engine(&cas, &mem, &alphabet(), &config(1)));
     });
     for threads in [1usize, 2, 4] {
+        if threads > 1 && cpus == 1 {
+            eprintln!("skipping fork-par{threads}: host_cpus == 1 (parallel rows meaningless)");
+            continue;
+        }
         let label = if threads == 1 {
             "fork-seq".to_string()
         } else {
@@ -72,12 +91,16 @@ criterion_group!(benches, census_throughput, record_baseline);
 criterion_main!(benches);
 
 /// Records `BENCH_census.json` next to the workspace root: one sample per
-/// engine variant with the expanded-state count, wall time, and derived
-/// states/sec, plus a `table` document (the `census_table --json` schema)
-/// that CI diffs live output against.
+/// engine variant with the expanded-state count, wall time, derived
+/// states/sec and the host CPU count it ran under, plus a `table` document
+/// (the `census_table --json` schema) that CI diffs live output against.
+/// Parallel variants are skipped — and listed under `"skipped"` — on
+/// single-CPU hosts.
 fn record_baseline(_c: &mut Criterion) {
     let (cas, mem) = world();
+    let cpus = host_cpus();
     let mut entries = Vec::new();
+    let mut skipped: Vec<String> = Vec::new();
 
     let mut sample = |label: &str, run: &dyn Fn() -> CensusReport| {
         let _ = run(); // warm
@@ -91,6 +114,7 @@ fn record_baseline(_c: &mut Criterion) {
                 "      \"engine\": \"{}\",\n",
                 "      \"states\": {},\n",
                 "      \"distinct_shared\": {},\n",
+                "      \"host_cpus\": {},\n",
                 "      \"mean_seconds\": {:.6},\n",
                 "      \"states_per_sec\": {:.0}\n",
                 "    }}"
@@ -98,6 +122,7 @@ fn record_baseline(_c: &mut Criterion) {
             label,
             out.work,
             out.distinct_shared,
+            cpus,
             elapsed.as_secs_f64(),
             out.work as f64 / elapsed.as_secs_f64(),
         ));
@@ -106,25 +131,45 @@ fn record_baseline(_c: &mut Criterion) {
     sample("snapshot-seq", &|| {
         census_bfs_snapshot_engine(&cas, &mem, &alphabet(), &config(1))
     });
+    let scenario_report = |cfg: BfsConfig| -> CensusReport {
+        let v = Scenario::object(ObjectKind::Cas)
+            .processes(N)
+            .workload(Workload::round_robin(alphabet().to_vec(), MAX_OPS))
+            .census(&cfg);
+        CensusReport {
+            distinct_shared: v.stats.distinct_configs as usize,
+            theorem_bound: v.stats.theorem_bound,
+            work: v.stats.executions as usize,
+            steps: v.stats.steps,
+            resolved_ops: v.stats.resolved_ops,
+            persists: v.stats.persists,
+            truncated: v.stats.truncated,
+        }
+    };
     for threads in [1usize, 2, 4] {
         let label = if threads == 1 {
             "fork-seq".to_string()
         } else {
             format!("fork-par{threads}")
         };
-        let scenario = Scenario::object(ObjectKind::Cas)
-            .processes(N)
-            .workload(Workload::round_robin(alphabet().to_vec(), MAX_OPS));
-        sample(&label, &|| {
-            let v = scenario.census(&config(threads));
-            CensusReport {
-                distinct_shared: v.stats.distinct_configs as usize,
-                theorem_bound: v.stats.theorem_bound,
-                work: v.stats.executions as usize,
-                truncated: v.stats.truncated,
-            }
-        });
+        if threads > 1 && cpus == 1 {
+            skipped.push(format!(
+                "{label}: host_cpus == 1 — parallel expansion cannot beat \
+                 sequential without cores; rerun on a multi-core host for \
+                 meaningful parallel rows"
+            ));
+            continue;
+        }
+        sample(&label, &|| scenario_report(config(threads)));
     }
+    // The dominance-pruned engine: fewer expansions for the same verdict,
+    // tracked so pruning regressions surface in the baseline diff.
+    sample("dom-seq", &|| {
+        scenario_report(BfsConfig {
+            dominance: true,
+            ..config(1)
+        })
+    });
 
     // A small canonical table run so the committed baseline carries the
     // `census_table --json` schema for CI to diff against.
@@ -137,15 +182,19 @@ fn record_baseline(_c: &mut Criterion) {
         })
         .collect();
 
-    // Parallel samples only beat fork-seq on multi-core hosts; record the
-    // host's core count so the baseline is interpretable.
-    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let skipped_json = skipped
+        .iter()
+        .map(|s| format!("\"{s}\""))
+        .collect::<Vec<_>>()
+        .join(", ");
     let json = format!(
         "{{\n  \"benchmark\": \"census_throughput\",\n  \"workload\": \
          \"theorem1 census, detectable CAS N=4, 2-op alphabet, max_ops 5\",\n  \
          \"host_cpus\": {},\n  \
+         \"skipped\": [{}],\n  \
          \"samples\": [\n{}\n  ],\n  \"table\": {}\n}}\n",
-        host_cpus,
+        cpus,
+        skipped_json,
         entries.join(",\n"),
         census_table_json(1, &table_verdicts),
     );

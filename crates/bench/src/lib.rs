@@ -70,7 +70,7 @@ pub use harness::markdown_table;
 /// machine-readable verdict stream (for CI and bench tracking) instead of
 /// the Markdown tables.
 pub fn json_mode() -> bool {
-    std::env::args().any(|a| a == "--json")
+    flag_present("json")
 }
 
 /// The value of `--<name> V` or `--<name>=V` on the command line, if the
@@ -96,6 +96,12 @@ pub fn flag_value(name: &str) -> Option<String> {
         }
     }
     None
+}
+
+/// Whether the bare flag `--<name>` is present on the command line.
+pub fn flag_present(name: &str) -> bool {
+    let flag = format!("--{name}");
+    std::env::args().any(|a| a == flag)
 }
 
 /// Worker threads requested via `--threads N` (default 1). Experiment

@@ -13,37 +13,52 @@
 //!   the theorem proves necessary;
 //! * [`census_bfs_engine`] breadth-first-explores every reachable configuration of
 //!   a small world (all interleavings of a bounded operation budget) and
-//!   counts distinct shared states — the exhaustive version, good to
-//!   N = 4–5 on the standard 2-op CAS alphabet;
+//!   counts distinct shared states — the exhaustive version, good to N = 5
+//!   exactly and N = 6 under dominance pruning on the standard 2-op CAS
+//!   alphabet;
 //! * running either against the **non-detectable** recoverable CAS baseline
 //!   shows its configuration count stays at the domain size, isolating
 //!   detectability as the cause of the space blow-up.
 //!
 //! # Engine
 //!
-//! The exhaustive census is a **wave-synchronous parallel BFS** over system
+//! The exhaustive census is a **work-stealing parallel BFS** over system
 //! configurations (memory contents + driver volatile state + remaining
-//! operation budget):
+//! operation budget), built from three pieces:
 //!
-//! * Frontier nodes carry full [`nvm::MemSnapshot`]s (BFS revisits states in
-//!   arbitrary order, so the explorer's LIFO checkpoints cannot *represent*
-//!   nodes), but **expansion** is checkpoint-based: a worker restores a
-//!   node's snapshot once onto its own scratch [`fork`](SimMemory::fork) of
-//!   the memory, then enters every successor under a
-//!   [`checkpoint`](SimMemory::checkpoint) and leaves via
+//! * **Arena-backed states.** The census is crash-free, so a
+//!   configuration's memory half is fully determined by its *logical* word
+//!   image ([`SimMemory::logical_hash`] already keys on exactly that).
+//!   Frontier nodes therefore carry an 8-byte [`nvm::CompactState`] handle
+//!   into a shared append-only [`nvm::StateArena`] — each distinct image is
+//!   stored once, however many nodes (different in-flight machines, same
+//!   memory) share it — instead of a per-node
+//!   [`MemSnapshot`](nvm::MemSnapshot). Peak memory drops from
+//!   O(nodes × memory) toward O(nodes + distinct images), and handing a
+//!   node to another worker moves one word, not a heap. **Expansion** is
+//!   checkpoint-based as before: a worker installs a node's image once onto
+//!   its own scratch [`fork`](SimMemory::fork) via
+//!   [`load_words`](SimMemory::load_words), then enters every successor
+//!   under a [`checkpoint`](SimMemory::checkpoint) and leaves via
 //!   [`rollback`](SimMemory::rollback) — O(writes of one step) per
-//!   successor instead of the old engine's full O(memory) restore.
-//! * Each wave, the frontier is split round-robin across
-//!   [`BfsConfig::parallelism`] workers. Workers share a sharded `visited`
-//!   set (128-bit configuration fingerprints, the same collision trade-off
-//!   the explorer's pruning memo makes) and a sharded `shared_seen` set
-//!   (exact logical shared-memory keys — the quantity Theorem 1 bounds is
-//!   never approximated).
-//! * `visited` admission is capped at [`BfsConfig::max_states`]: a node
-//!   enters the frontier (and is later expanded) only if it wins one of
-//!   exactly `max_states` admission slots, so peak memory is O(`max_states`)
-//!   snapshots no matter how large the reachable space is, and hitting the
-//!   cap sets [`CensusReport::truncated`].
+//!   successor.
+//! * **Work-stealing scheduling** — in the scheduling-discipline sense:
+//!   one chunked shared frontier deque, not per-worker deques with
+//!   stealing. Workers pull chunks of nodes from the shared deque and push
+//!   admitted successors back, so a worker never idles at a wave barrier
+//!   while a slow sibling finishes (the old wave-synchronous engine lost
+//!   its parallel speedup exactly there). A pending-node count drives
+//!   termination. The visited set (sharded
+//!   128-bit configuration fingerprints) and the shared-configuration set
+//!   (sharded **exact** logical shared-memory keys — the quantity Theorem 1
+//!   bounds is never approximated) are unchanged.
+//! * **Dominance pruning** ([`BfsConfig::dominance`]) — see below.
+//!
+//! `visited` admission is capped at [`BfsConfig::max_states`]: a node
+//! enters the frontier (and is later expanded) only if it wins one of
+//! exactly `max_states` admission slots, so peak memory is O(`max_states`)
+//! nodes no matter how large the reachable space is, and hitting the cap
+//! sets [`CensusReport::truncated`].
 //!
 //! On runs that complete within `max_states`, the visited set, the
 //! shared-configuration set and the expansion count are each determined by
@@ -53,18 +68,44 @@
 //! scheduling-dependent (sequential truncated runs remain deterministic:
 //! admission order is canonical BFS order).
 //!
+//! # Dominance pruning
+//!
+//! Two frontier nodes that agree on memory and driver state but differ in
+//! consumed operation budget have nested futures: everything reachable
+//! from the higher-`ops_used` copy is reachable from the lower one
+//! (invocations only *gain* legality as budget frees up; machine steps are
+//! budget-blind). [`BfsConfig::dominance`] exploits this quotient: the
+//! budget leaves the visited fingerprint, and a configuration is
+//! (re-)expanded only when seen with a strictly lower `ops_used` than any
+//! admission before it — so each configuration is expanded at most a
+//! handful of times instead of once per distinct budget, cutting the
+//! explored node count by up to the `max_ops` factor.
+//!
+//! The mode is **explicitly non-count-preserving**: `work` (expansions) and
+//! the number of visited nodes shrink, and under parallelism the exact
+//! expansion count depends on discovery order (a configuration found at
+//! budget 3 then 2 is expanded twice; found at 2 first, once). What is
+//! preserved — and pinned by differential tests against the exact engine —
+//! is the **verdict**: on complete runs the set of *configurations*
+//! expanded is exactly the reachable set, every configuration's final
+//! expansion happens at its minimal reachable budget (which generates the
+//! maximal successor set), and therefore `distinct_shared`, bound
+//! satisfaction and truncation match the exact engine at every thread
+//! level.
+//!
 //! [`census_bfs_snapshot_engine`] preserves the original single-threaded
-//! full-snapshot engine (exact node keys, one `restore` per successor) as a
-//! differential-testing reference and benchmark baseline.
+//! full-snapshot engine (exact node keys, one `restore` per successor, no
+//! dominance) as the differential-testing reference and benchmark baseline.
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{HashSet, VecDeque};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
 use detectable::{OpSpec, RecoverableObject};
-use nvm::{Pid, SimMemory, Word};
+use nvm::{Memory, Pid, SimMemory, StateArena, Word};
 
 use crate::driver::{Driver, RetryPolicy};
 
@@ -78,6 +119,13 @@ pub struct CensusReport {
     /// Operations completed (census_drive) or configurations expanded
     /// (census_bfs).
     pub work: usize,
+    /// Scheduler actions driven: machine steps for the solo drive,
+    /// successor generations (one invoke or step each) for the BFS.
+    pub steps: u64,
+    /// Operations that resolved (returned a response) during the run.
+    pub resolved_ops: u64,
+    /// Explicit persist instructions executed while driving.
+    pub persists: u64,
     /// Whether a budget cut coverage short: the BFS ran out of
     /// [`BfsConfig::max_states`] admission slots with unexplored
     /// configurations remaining, or a solo drive's operation exhausted its
@@ -124,11 +172,15 @@ pub fn census_drive_engine(
 ) -> CensusReport {
     let mut seen: HashSet<Vec<Word>> = HashSet::new();
     let mut driver = Driver::for_object(obj);
+    let persists_before = mem.stats().persists;
     let mut completed = 0usize;
+    let mut steps = 0u64;
     let mut truncated = false;
     seen.insert(mem.shared_key());
     for (pid, op) in ops {
-        match driver.try_run_solo(obj, mem, pid.idx(), *op, SOLO_STEP_LIMIT) {
+        let (resp, used) = driver.try_run_solo_counted(obj, mem, pid.idx(), *op, SOLO_STEP_LIMIT);
+        steps += used as u64;
+        match resp {
             Some(_) => {
                 completed += 1;
                 seen.insert(mem.shared_key());
@@ -148,6 +200,9 @@ pub fn census_drive_engine(
         distinct_shared: seen.len(),
         theorem_bound: (1u64 << obj.processes()) - 1,
         work: completed,
+        steps,
+        resolved_ops: completed as u64,
+        persists: mem.stats().persists - persists_before,
         truncated,
     }
 }
@@ -170,16 +225,16 @@ pub fn gray_code_cas_ops(n: u32) -> Vec<(Pid, OpSpec)> {
     ops
 }
 
-/// Limits and parallelism for [`census_bfs_engine`].
+/// Limits, parallelism and pruning for [`census_bfs_engine`].
 #[derive(Clone, Debug)]
 pub struct BfsConfig {
     /// Total operations any single execution path may start.
     pub max_ops: usize,
     /// Admission cap on the visited set: at most this many configurations
     /// are ever admitted for expansion, so peak memory is O(`max_states`)
-    /// snapshots (plus the per-successor shared keys they generate, bounded
-    /// by the branching factor). Exactly `max_states` nodes are expanded
-    /// when the cap binds, and the report is flagged
+    /// nodes (plus the per-successor shared keys they generate, bounded by
+    /// the branching factor). Exactly `max_states` nodes are expanded when
+    /// the cap binds, and the report is flagged
     /// [`truncated`](CensusReport::truncated).
     pub max_states: usize,
     /// Worker threads for frontier expansion. `0` and `1` both mean
@@ -187,6 +242,14 @@ pub struct BfsConfig {
     /// identical counts at every setting (see the [module docs](self) for
     /// the truncation caveat).
     pub parallelism: usize,
+    /// ops_used-dominance pruning: expand only the lowest-remaining-budget
+    /// copy of each configuration. **Non-count-preserving** — `work`
+    /// shrinks and (under parallelism) becomes scheduling-dependent — but
+    /// the verdict (`distinct_shared`, bound satisfaction, truncation) is
+    /// provably identical to the exact engine on complete runs; see the
+    /// [module docs](self). Off by default; the exact engine remains the
+    /// reference.
+    pub dominance: bool,
 }
 
 impl Default for BfsConfig {
@@ -195,14 +258,17 @@ impl Default for BfsConfig {
             max_ops: 6,
             max_states: 2_000_000,
             parallelism: 1,
+            dominance: false,
         }
     }
 }
 
-/// One frontier entry: a full memory snapshot plus the driver's volatile
-/// state and the operation budget consumed so far.
+/// One frontier entry: an arena handle to the node's logical memory image,
+/// the driver's volatile state, and the operation budget consumed so far.
+/// Everything a worker needs to resume the configuration, at 8 bytes plus
+/// the driver.
 struct BfsNode {
-    snap: nvm::MemSnapshot,
+    state: nvm::CompactState,
     driver: Driver,
     ops_used: usize,
 }
@@ -219,73 +285,107 @@ fn encode_node(mem: &SimMemory, driver: &Driver, ops_used: usize) -> Vec<Word> {
     key
 }
 
-/// 128-bit fingerprint of the same configuration [`encode_node`] keys
-/// exactly: *logical* memory contents
-/// ([`logical_hash`](SimMemory::logical_hash) — not
-/// [`state_hash`](SimMemory::state_hash), whose dirty-set and crash-ordinal
-/// sensitivity would split states the full-key reference engine merges),
-/// driver volatile state, operation budget. Collisions (vanishingly
-/// unlikely) could merge two distinct configurations — the same trade-off
-/// the explorer's pruning memo makes, bought here because a 16-byte
-/// fingerprint keeps a multi-million-state visited set in cache where
-/// exact full-memory keys thrash.
-fn fingerprint_node(
-    mem: &SimMemory,
-    driver: &Driver,
-    ops_used: usize,
-    scratch: &mut Vec<Word>,
-) -> (u64, u64) {
-    scratch.clear();
-    scratch.push(ops_used as Word);
-    driver.encode_key(scratch);
+/// Two independently salted 64-bit hashes of the logical image alone —
+/// the memory component of the configuration fingerprint, computed in one
+/// place so a generated successor pays exactly two full-image passes: the
+/// halves feed [`fingerprint_image`], and the first half doubles as the
+/// arena's routing/index hash on admission (a pure function of the image,
+/// as [`StateArena::intern`] requires — no third pass to re-hash the same
+/// words).
+fn image_hashes(image: &[Word]) -> (u64, u64) {
     let mut halves = [0u64; 2];
     for (salt, half) in halves.iter_mut().enumerate() {
         let mut h = DefaultHasher::new();
-        // The salt feeds the memory hash itself: the two halves collide
-        // independently, giving the full fingerprint 128-bit resistance on
-        // the memory component, not 64 bits copied twice.
-        mem.logical_hash(salt as u64).hash(&mut h);
-        scratch.hash(&mut h);
+        (salt as u64).hash(&mut h);
+        image.hash(&mut h);
         *half = h.finish();
     }
     (halves[0], halves[1])
 }
 
+/// 128-bit fingerprint of the configuration [`encode_node`] keys exactly:
+/// the *logical* memory image (the same identification
+/// [`logical_hash`](SimMemory::logical_hash) makes — not
+/// [`state_hash`](SimMemory::state_hash), whose dirty-set and crash-ordinal
+/// sensitivity would split states the full-key reference engine merges),
+/// driver volatile state, and — unless dominance pruning quotients it
+/// away — the operation budget. Collisions (vanishingly unlikely) could
+/// merge two distinct configurations — the same trade-off the explorer's
+/// pruning memo makes, bought because a 16-byte fingerprint keeps a
+/// multi-million-state visited set in cache where exact full-memory keys
+/// thrash. Each half folds its own independently salted full-image hash
+/// (from [`image_hashes`]) with the driver key, so the two halves collide
+/// independently on the memory component (true 128-bit resistance, not
+/// one 64-bit hash copied twice).
+fn fingerprint_image(
+    image_hashes: (u64, u64),
+    driver: &Driver,
+    ops_used: usize,
+    dominance: bool,
+    scratch: &mut Vec<Word>,
+) -> (u64, u64) {
+    scratch.clear();
+    if !dominance {
+        scratch.push(ops_used as Word);
+    }
+    driver.encode_key(scratch);
+    let combine = |image_hash: u64| {
+        let mut h = DefaultHasher::new();
+        image_hash.hash(&mut h);
+        scratch.hash(&mut h);
+        h.finish()
+    };
+    (combine(image_hashes.0), combine(image_hashes.1))
+}
+
 const SHARDS: usize = 64;
+
+/// One visited-set shard: a plain fingerprint set in exact mode (the
+/// budget is already folded into the fingerprint, so storing it again
+/// would spend ~8 bytes per entry on a value no one reads — real money at
+/// the 20M-entry default cap), a fingerprint → lowest-admitted-budget map
+/// in dominance mode.
+enum VisitedShard {
+    Exact(HashSet<(u64, u64)>),
+    Dominance(HashMap<(u64, u64), u32>),
+}
 
 /// The visited set: sharded configuration fingerprints behind an exact
 /// admission counter. [`try_admit`](Self::try_admit) hands out at most
 /// `cap` slots across all threads (a reservation CAS loop, so the cap is
-/// exact even under parallel insertion); a rejected-for-capacity novel
-/// configuration marks the census truncated.
+/// exact even under parallel insertion); a rejected-for-capacity admission
+/// marks the census truncated. In dominance mode each fingerprint carries
+/// the lowest `ops_used` admitted so far and re-admits when seen with a
+/// strictly lower budget (consuming a fresh slot — every expansion is
+/// bounded by the cap).
 struct VisitedSet {
-    shards: Vec<Mutex<HashSet<(u64, u64)>>>,
+    shards: Vec<Mutex<VisitedShard>>,
     admitted: AtomicUsize,
     cap: usize,
     truncated: AtomicBool,
 }
 
 impl VisitedSet {
-    fn new(cap: usize) -> Self {
+    fn new(cap: usize, dominance: bool) -> Self {
         VisitedSet {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashSet::new())).collect(),
+            shards: (0..SHARDS)
+                .map(|_| {
+                    Mutex::new(if dominance {
+                        VisitedShard::Dominance(HashMap::new())
+                    } else {
+                        VisitedShard::Exact(HashSet::new())
+                    })
+                })
+                .collect(),
             admitted: AtomicUsize::new(0),
             cap,
             truncated: AtomicBool::new(false),
         }
     }
 
-    /// Admits `key` if it is novel and a slot remains; returns whether the
-    /// caller now owns the configuration (and must expand it).
-    fn try_admit(&self, key: (u64, u64)) -> bool {
-        let mut shard = self.shards[(key.0 as usize) % SHARDS]
-            .lock()
-            .expect("visited shard poisoned");
-        if shard.contains(&key) {
-            return false;
-        }
-        // Reserve an admission slot before inserting: the cap stays exact
-        // under concurrent admission from every shard.
+    /// Reserves an admission slot before inserting, keeping the cap exact
+    /// under concurrent admission from every shard.
+    fn reserve_slot(&self) -> bool {
         loop {
             let c = self.admitted.load(Ordering::Relaxed);
             if c >= self.cap {
@@ -297,11 +397,51 @@ impl VisitedSet {
                 .compare_exchange(c, c + 1, Ordering::Relaxed, Ordering::Relaxed)
                 .is_ok()
             {
-                break;
+                return true;
             }
         }
-        shard.insert(key);
-        true
+    }
+
+    /// Admits `key` at budget `ops_used` if it warrants an expansion (novel
+    /// fingerprint, or — dominance mode — strictly lower budget than every
+    /// prior admission) and a slot remains; returns whether the caller now
+    /// owns the expansion.
+    fn try_admit(&self, key: (u64, u64), ops_used: usize) -> bool {
+        let mut shard = self.shards[(key.0 as usize) % SHARDS]
+            .lock()
+            .expect("visited shard poisoned");
+        match &mut *shard {
+            VisitedShard::Exact(set) => {
+                if set.contains(&key) {
+                    return false;
+                }
+                if !self.reserve_slot() {
+                    return false;
+                }
+                set.insert(key);
+                true
+            }
+            VisitedShard::Dominance(map) => match map.entry(key) {
+                Entry::Occupied(mut e) => {
+                    if (ops_used as u32) < *e.get() {
+                        if !self.reserve_slot() {
+                            return false;
+                        }
+                        *e.get_mut() = ops_used as u32;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                Entry::Vacant(v) => {
+                    if !self.reserve_slot() {
+                        return false;
+                    }
+                    v.insert(ops_used as u32);
+                    true
+                }
+            },
+        }
     }
 }
 
@@ -347,11 +487,213 @@ const CENSUS_RETRY: RetryPolicy = RetryPolicy {
     reset_per_op: false,
 };
 
+/// Nodes a worker pulls from the shared frontier per lock acquisition:
+/// large enough to amortize the mutex, small enough to keep siblings fed.
+const STEAL_CHUNK: usize = 16;
+
+/// The shared work-stealing frontier: one deque of admitted-but-unexpanded
+/// nodes plus a pending-node count for termination. A node is *pending*
+/// from admission until its expansion has pushed all of its admitted
+/// successors, so `pending == 0` ⇒ the deque is empty and no expansion can
+/// refill it ⇒ the search is done.
+///
+/// `aborted` is the panic escape hatch: a worker that unwinds mid-node
+/// never calls [`node_done`](Self::node_done), so `pending` would stay
+/// positive and every sibling would sleep in
+/// [`pop_chunk`](Self::pop_chunk) forever while `thread::scope` waits to
+/// join them. Each worker therefore holds an [`AbortOnExit`] guard whose
+/// drop (normal or unwinding) flips the flag and wakes all sleepers; once
+/// every worker has exited, the scope propagates the original panic.
+struct Frontier {
+    queue: Mutex<VecDeque<BfsNode>>,
+    ready: Condvar,
+    pending: AtomicUsize,
+    aborted: AtomicBool,
+}
+
+/// Drop guard a census worker holds for its whole run: aborts the frontier
+/// on the way out. After a panic this unblocks the siblings (see
+/// [`Frontier::aborted`]); after a normal exit it is a no-op in effect,
+/// because a worker only returns once `pending == 0`, when every sibling
+/// is exiting anyway.
+struct AbortOnExit<'a>(&'a Frontier);
+
+impl Drop for AbortOnExit<'_> {
+    fn drop(&mut self) {
+        self.0.abort();
+    }
+}
+
+impl Frontier {
+    fn new() -> Self {
+        Frontier {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            pending: AtomicUsize::new(0),
+            aborted: AtomicBool::new(false),
+        }
+    }
+
+    /// Flags the search as dead and wakes every sleeping worker (the lock
+    /// is taken so a worker between its checks and its wait cannot miss the
+    /// wakeup). Safe to call at any time; all `pop_chunk` calls return
+    /// `false` from then on.
+    fn abort(&self) {
+        self.aborted.store(true, Ordering::SeqCst);
+        if let Ok(_q) = self.queue.lock() {
+            self.ready.notify_all();
+        }
+    }
+
+    /// Registers and enqueues freshly admitted successors. The pending
+    /// count rises before the expanding node's own pending is released
+    /// ([`node_done`](Self::node_done)), so the count never transits zero
+    /// while work exists.
+    fn enqueue(&self, nodes: &mut Vec<BfsNode>) {
+        if nodes.is_empty() {
+            return;
+        }
+        self.pending.fetch_add(nodes.len(), Ordering::SeqCst);
+        let mut q = self.queue.lock().expect("frontier poisoned");
+        q.extend(nodes.drain(..));
+        drop(q);
+        self.ready.notify_all();
+    }
+
+    /// Releases one expanded node's pending slot; the last release wakes
+    /// every idle worker so they can observe termination.
+    fn node_done(&self) {
+        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Take the lock before notifying: a worker between its empty
+            // check and its wait must not miss the final wakeup.
+            let _q = self.queue.lock().expect("frontier poisoned");
+            self.ready.notify_all();
+        }
+    }
+
+    /// Pops up to [`STEAL_CHUNK`] nodes into `out`, blocking while the
+    /// deque is empty but expansions are still outstanding. Returns `false`
+    /// when the search has drained (or was aborted by a panicking sibling).
+    fn pop_chunk(&self, out: &mut Vec<BfsNode>) -> bool {
+        let mut q = self.queue.lock().expect("frontier poisoned");
+        loop {
+            if self.aborted.load(Ordering::SeqCst) {
+                return false;
+            }
+            if !q.is_empty() {
+                let take = STEAL_CHUNK.min(q.len());
+                out.extend(q.drain(..take));
+                return true;
+            }
+            if self.pending.load(Ordering::SeqCst) == 0 {
+                return false;
+            }
+            q = self.ready.wait(q).expect("frontier poisoned");
+        }
+    }
+}
+
+/// Per-worker scratch buffers, reused across every successor.
+#[derive(Default)]
+struct Scratch {
+    /// Logical image of the node being expanded.
+    node_image: Vec<Word>,
+    /// Logical image of the successor just generated.
+    image: Vec<Word>,
+    /// Driver-key encoding buffer for fingerprints.
+    key: Vec<Word>,
+}
+
+/// Per-worker scheduler-action tallies, summed into the report.
+#[derive(Default)]
+struct Tally {
+    steps: u64,
+    resolved: u64,
+}
+
+/// Everything expansion needs, shared (immutably) across workers.
+struct Census<'a> {
+    obj: &'a dyn RecoverableObject,
+    alphabet: &'a [OpSpec],
+    cfg: &'a BfsConfig,
+    arena: &'a StateArena,
+    visited: &'a VisitedSet,
+    shared_seen: &'a SharedSeen,
+}
+
+impl Census<'_> {
+    /// Observes one generated successor: its shared key always, and — if it
+    /// wins admission — interns its image and queues it in `out`.
+    fn successor(
+        &self,
+        mem: &SimMemory,
+        out: &mut Vec<BfsNode>,
+        scratch: &mut Scratch,
+        driver: Driver,
+        ops_used: usize,
+    ) {
+        mem.logical_words_into(&mut scratch.image);
+        self.shared_seen
+            .insert(mem.layout().shared_words(&scratch.image));
+        let hashes = image_hashes(&scratch.image);
+        let fp = fingerprint_image(
+            hashes,
+            &driver,
+            ops_used,
+            self.cfg.dominance,
+            &mut scratch.key,
+        );
+        if self.visited.try_admit(fp, ops_used) {
+            out.push(BfsNode {
+                state: self.arena.intern(&scratch.image, hashes.0),
+                driver,
+                ops_used,
+            });
+        }
+    }
+
+    /// Expands one node on a scratch memory: install its image once, then
+    /// enter every successor under a checkpoint and roll it back — O(writes
+    /// of one step) per successor. Admitted successors land in `out`.
+    fn expand(
+        &self,
+        mem: &SimMemory,
+        node: &BfsNode,
+        out: &mut Vec<BfsNode>,
+        scratch: &mut Scratch,
+        tally: &mut Tally,
+    ) {
+        self.arena.read_into(node.state, &mut scratch.node_image);
+        mem.load_words(&scratch.node_image);
+        for i in 0..self.obj.processes() as usize {
+            if node.driver.state(i).in_flight() {
+                // Step the in-flight machine.
+                let cp = mem.checkpoint();
+                let mut driver = node.driver.clone();
+                let outcome = driver.step(self.obj, mem, i, &CENSUS_RETRY);
+                tally.steps += 1;
+                tally.resolved += u64::from(outcome.resolved());
+                self.successor(mem, out, scratch, driver, node.ops_used);
+                mem.rollback(cp);
+            } else if node.ops_used < self.cfg.max_ops {
+                for op in self.alphabet {
+                    let cp = mem.checkpoint();
+                    let mut driver = node.driver.clone();
+                    driver.invoke(self.obj, mem, i, *op, &CENSUS_RETRY);
+                    tally.steps += 1;
+                    self.successor(mem, out, scratch, driver, node.ops_used + 1);
+                    mem.rollback(cp);
+                }
+            }
+        }
+    }
+}
+
 /// Exhaustive crash-free reachability engine: explores every interleaving of up to
 /// `cfg.max_ops` operations drawn from `alphabet` (any process, any time)
 /// and counts the distinct shared-memory configurations of all reachable
-/// states. See the [module docs](self) for the wave-parallel fork/checkpoint
-/// design; `mem` itself is only snapshotted and forked, never mutated.
+/// states. See the [module docs](self) for the arena / work-stealing /
+/// dominance design; `mem` itself is only read and forked, never mutated.
 pub fn census_bfs_engine(
     obj: &dyn RecoverableObject,
     mem: &SimMemory,
@@ -359,158 +701,145 @@ pub fn census_bfs_engine(
     cfg: &BfsConfig,
 ) -> CensusReport {
     let workers = cfg.parallelism.max(1);
-    let visited = VisitedSet::new(cfg.max_states);
+    let arena = StateArena::new(mem.layout().total_words());
+    let visited = VisitedSet::new(cfg.max_states, cfg.dominance);
     let shared_seen = SharedSeen::new();
+    let census = Census {
+        obj,
+        alphabet,
+        cfg,
+        arena: &arena,
+        visited: &visited,
+        shared_seen: &shared_seen,
+    };
 
     // Root admission: the initial configuration observes its shared key
     // unconditionally but competes for an expansion slot like any other.
     let root_driver = Driver::without_history(obj.processes());
     shared_seen.insert(mem.shared_key());
-    let mut scratch = Vec::new();
-    let mut frontier: Vec<BfsNode> = Vec::new();
-    if visited.try_admit(fingerprint_node(mem, &root_driver, 0, &mut scratch)) {
-        frontier.push(BfsNode {
-            snap: mem.snapshot(),
-            driver: root_driver,
-            ops_used: 0,
-        });
-    }
+    let mut scratch = Scratch::default();
+    mem.logical_words_into(&mut scratch.image);
+    let root_hashes = image_hashes(&scratch.image);
+    let root_fp = fingerprint_image(
+        root_hashes,
+        &root_driver,
+        0,
+        cfg.dominance,
+        &mut scratch.key,
+    );
+    let root = visited.try_admit(root_fp, 0).then(|| BfsNode {
+        state: arena.intern(&scratch.image, root_hashes.0),
+        driver: root_driver,
+        ops_used: 0,
+    });
 
-    // Worker scratch memories: pure scratch (every node expansion begins by
-    // restoring that node's snapshot), so one fork per worker serves the
-    // whole run.
-    let mut forks: Vec<SimMemory> = (0..workers).map(|_| mem.fork()).collect();
+    let steps = AtomicU64::new(0);
+    let resolved = AtomicU64::new(0);
+    let persists = AtomicU64::new(0);
 
-    let mut expanded = 0usize;
-    while !frontier.is_empty() {
-        expanded += frontier.len();
-        let lanes = workers.min(frontier.len());
-        frontier = if lanes <= 1 {
-            expand_lane(
-                obj,
-                &forks[0],
-                alphabet,
-                cfg,
-                frontier,
-                &visited,
-                &shared_seen,
-            )
-        } else {
-            // Round-robin the wave across workers (the Sweep recipe); the
-            // merge order only shapes the next wave's traversal order, which
-            // no reported count depends on.
-            let mut lane_nodes: Vec<Vec<BfsNode>> = (0..lanes).map(|_| Vec::new()).collect();
-            for (k, node) in frontier.into_iter().enumerate() {
-                lane_nodes[k % lanes].push(node);
+    if workers <= 1 {
+        // Sequential path: a plain FIFO keeps admission in canonical BFS
+        // order, so truncated sequential runs stay deterministic (and,
+        // without dominance, match the snapshot reference engine's
+        // admissions exactly — the reference never prunes).
+        let fork = mem.fork();
+        let mut tally = Tally::default();
+        let mut queue: VecDeque<BfsNode> = VecDeque::new();
+        let mut out = Vec::new();
+        queue.extend(root);
+        while let Some(node) = queue.pop_front() {
+            census.expand(&fork, &node, &mut out, &mut scratch, &mut tally);
+            queue.extend(out.drain(..));
+        }
+        steps.store(tally.steps, Ordering::Relaxed);
+        resolved.store(tally.resolved, Ordering::Relaxed);
+        persists.store(fork.stats().persists, Ordering::Relaxed);
+    } else {
+        let frontier = Frontier::new();
+        if let Some(root) = root {
+            frontier.pending.store(1, Ordering::SeqCst);
+            frontier
+                .queue
+                .lock()
+                .expect("frontier poisoned")
+                .push_back(root);
+        }
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                let census = &census;
+                let frontier = &frontier;
+                let steps = &steps;
+                let resolved = &resolved;
+                let persists = &persists;
+                let fork = mem.fork();
+                s.spawn(move || {
+                    let _abort_guard = AbortOnExit(frontier);
+                    let mut scratch = Scratch::default();
+                    let mut tally = Tally::default();
+                    let mut chunk = Vec::new();
+                    let mut out = Vec::new();
+                    while frontier.pop_chunk(&mut chunk) {
+                        for node in chunk.drain(..) {
+                            census.expand(&fork, &node, &mut out, &mut scratch, &mut tally);
+                            frontier.enqueue(&mut out);
+                            frontier.node_done();
+                        }
+                    }
+                    steps.fetch_add(tally.steps, Ordering::Relaxed);
+                    resolved.fetch_add(tally.resolved, Ordering::Relaxed);
+                    persists.fetch_add(fork.stats().persists, Ordering::Relaxed);
+                });
             }
-            let lane_results: Vec<Vec<BfsNode>> = std::thread::scope(|s| {
-                let handles: Vec<_> = lane_nodes
-                    .into_iter()
-                    .zip(forks.iter_mut())
-                    .map(|(nodes, fork)| {
-                        let visited = &visited;
-                        let shared_seen = &shared_seen;
-                        s.spawn(move || {
-                            expand_lane(obj, fork, alphabet, cfg, nodes, visited, shared_seen)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("census worker panicked"))
-                    .collect()
-            });
-            lane_results.into_iter().flatten().collect()
-        };
+        });
     }
 
     CensusReport {
         distinct_shared: shared_seen.len(),
         theorem_bound: (1u64 << obj.processes()) - 1,
-        work: expanded,
+        // Every admitted node is expanded exactly once before the search
+        // drains, so admissions are the expansion count.
+        work: visited.admitted.load(Ordering::Relaxed),
+        steps: steps.into_inner(),
+        resolved_ops: resolved.into_inner(),
+        persists: persists.into_inner(),
         truncated: visited.truncated.load(Ordering::Relaxed),
     }
 }
 
-/// Expands one lane of frontier nodes on a scratch memory: restore each
-/// node's snapshot once, then enter every successor under a checkpoint and
-/// roll it back — O(writes of one step) per successor. Returns the admitted
-/// successors (the lane's share of the next wave).
-fn expand_lane(
-    obj: &dyn RecoverableObject,
-    mem: &SimMemory,
-    alphabet: &[OpSpec],
-    cfg: &BfsConfig,
-    nodes: Vec<BfsNode>,
-    visited: &VisitedSet,
-    shared_seen: &SharedSeen,
-) -> Vec<BfsNode> {
-    let n = obj.processes() as usize;
-    let mut out = Vec::new();
-    let mut scratch = Vec::new();
-    for node in nodes {
-        mem.restore(&node.snap);
-        let successor = |mem: &SimMemory,
-                         out: &mut Vec<BfsNode>,
-                         scratch: &mut Vec<Word>,
-                         driver: Driver,
-                         ops_used: usize| {
-            shared_seen.insert(mem.shared_key());
-            if visited.try_admit(fingerprint_node(mem, &driver, ops_used, scratch)) {
-                out.push(BfsNode {
-                    snap: mem.snapshot(),
-                    driver,
-                    ops_used,
-                });
-            }
-        };
-        for i in 0..n {
-            if node.driver.state(i).in_flight() {
-                // Step the in-flight machine.
-                let cp = mem.checkpoint();
-                let mut driver = node.driver.clone();
-                let _ = driver.step(obj, mem, i, &CENSUS_RETRY);
-                successor(mem, &mut out, &mut scratch, driver, node.ops_used);
-                mem.rollback(cp);
-            } else if node.ops_used < cfg.max_ops {
-                for op in alphabet {
-                    let cp = mem.checkpoint();
-                    let mut driver = node.driver.clone();
-                    driver.invoke(obj, mem, i, *op, &CENSUS_RETRY);
-                    successor(mem, &mut out, &mut scratch, driver, node.ops_used + 1);
-                    mem.rollback(cp);
-                }
-            }
-        }
-    }
-    out
-}
-
 /// The original single-threaded full-snapshot census engine, kept as the
-/// differential-testing reference for [`census_bfs_engine`]'s fork engine and as
+/// differential-testing reference for [`census_bfs_engine`]'s arena engine and as
 /// the benchmark baseline (`census_throughput` / `BENCH_census.json`).
 ///
 /// Node identity uses exact full-memory keys (no fingerprint hashing) and
 /// every successor is entered by a full [`SimMemory::restore`]. Limit
-/// semantics match the fork engine — `max_states` caps visited-set
+/// semantics match the arena engine — `max_states` caps visited-set
 /// admissions, exactly that many nodes are expanded, truncation is
 /// reported — so on any world the two engines agree on every count
 /// (sequentially, even under truncation: both admit in canonical BFS
-/// order). `cfg.parallelism` is ignored.
+/// order). `cfg.parallelism` and `cfg.dominance` are ignored: this engine
+/// is always sequential and exact.
 pub fn census_bfs_snapshot_engine(
     obj: &dyn RecoverableObject,
     mem: &SimMemory,
     alphabet: &[OpSpec],
     cfg: &BfsConfig,
 ) -> CensusReport {
+    /// Reference-engine frontier entry: a full memory snapshot.
+    struct SnapNode {
+        snap: nvm::MemSnapshot,
+        driver: Driver,
+        ops_used: usize,
+    }
+
     let n = obj.processes() as usize;
     let mut shared_seen: HashSet<Vec<Word>> = HashSet::new();
     let mut visited: HashSet<Vec<Word>> = HashSet::new();
-    let mut queue: VecDeque<BfsNode> = VecDeque::new();
+    let mut queue: VecDeque<SnapNode> = VecDeque::new();
     let mut truncated = false;
+    let persists_before = mem.stats().persists;
     let start = mem.snapshot();
 
-    let root = BfsNode {
+    let root = SnapNode {
         snap: mem.snapshot(),
         // History-free: BFS nodes are cloned per successor and the census
         // counts configurations, never paths.
@@ -526,6 +855,8 @@ pub fn census_bfs_snapshot_engine(
     }
 
     let mut expanded = 0usize;
+    let mut steps = 0u64;
+    let mut resolved = 0u64;
     while let Some(node) = queue.pop_front() {
         expanded += 1;
         let mut successor = |mem: &SimMemory, driver: Driver, ops_used: usize| {
@@ -536,7 +867,7 @@ pub fn census_bfs_snapshot_engine(
                     truncated = true;
                 } else {
                     visited.insert(key);
-                    queue.push_back(BfsNode {
+                    queue.push_back(SnapNode {
                         snap: mem.snapshot(),
                         driver,
                         ops_used,
@@ -548,13 +879,16 @@ pub fn census_bfs_snapshot_engine(
             if node.driver.state(i).in_flight() {
                 mem.restore(&node.snap);
                 let mut driver = node.driver.clone();
-                let _ = driver.step(obj, mem, i, &CENSUS_RETRY);
+                let outcome = driver.step(obj, mem, i, &CENSUS_RETRY);
+                steps += 1;
+                resolved += u64::from(outcome.resolved());
                 successor(mem, driver, node.ops_used);
             } else if node.ops_used < cfg.max_ops {
                 for op in alphabet {
                     mem.restore(&node.snap);
                     let mut driver = node.driver.clone();
                     driver.invoke(obj, mem, i, *op, &CENSUS_RETRY);
+                    steps += 1;
                     successor(mem, driver, node.ops_used + 1);
                 }
             }
@@ -566,6 +900,9 @@ pub fn census_bfs_snapshot_engine(
         distinct_shared: shared_seen.len(),
         theorem_bound: (1u64 << obj.processes()) - 1,
         work: expanded,
+        steps,
+        resolved_ops: resolved,
+        persists: mem.stats().persists - persists_before,
         truncated,
     }
 }
@@ -614,6 +951,11 @@ mod tests {
             );
             assert!(!report.truncated);
             assert_eq!(report.work, ops.len());
+            assert_eq!(report.resolved_ops, ops.len() as u64);
+            assert!(
+                report.steps >= report.resolved_ops,
+                "every op takes at least one step"
+            );
             // Exactly 2^N: every vector appears with a value determined by
             // the walk, so the count equals the number of vectors.
             assert_eq!(report.distinct_shared as u64, 1u64 << n);
@@ -705,7 +1047,7 @@ mod tests {
 
     #[test]
     fn fork_engine_matches_snapshot_reference() {
-        // Differential test: the parallel fork/checkpoint engine and the
+        // Differential test: the parallel arena/checkpoint engine and the
         // original full-snapshot engine agree on every count, complete or
         // truncated (sequentially both admit in canonical BFS order).
         let (cas, mem) = build_world(|b| DetectableCas::new(b, 2, 0));
@@ -720,6 +1062,9 @@ mod tests {
             assert_eq!(fork.distinct_shared, snap.distinct_shared, "{cfg:?}");
             assert_eq!(fork.work, snap.work, "{cfg:?}");
             assert_eq!(fork.truncated, snap.truncated, "{cfg:?}");
+            assert_eq!(fork.steps, snap.steps, "{cfg:?}");
+            assert_eq!(fork.resolved_ops, snap.resolved_ops, "{cfg:?}");
+            assert_eq!(fork.persists, snap.persists, "{cfg:?}");
         }
     }
 
@@ -729,7 +1074,7 @@ mod tests {
         let base = BfsConfig {
             max_ops: 4,
             max_states: 2_000_000,
-            parallelism: 1,
+            ..Default::default()
         };
         let seq = census_bfs_engine(&cas, &mem, &cas_alphabet(), &base);
         assert!(!seq.truncated);
@@ -745,6 +1090,65 @@ mod tests {
             );
             assert_eq!(par.distinct_shared, seq.distinct_shared, "p={parallelism}");
             assert_eq!(par.work, seq.work, "p={parallelism}");
+            assert_eq!(par.truncated, seq.truncated, "p={parallelism}");
+            assert_eq!(par.steps, seq.steps, "p={parallelism}");
+            assert_eq!(par.resolved_ops, seq.resolved_ops, "p={parallelism}");
+            assert_eq!(par.persists, seq.persists, "p={parallelism}");
+        }
+    }
+
+    #[test]
+    fn dominance_preserves_the_verdict_but_not_the_work() {
+        let (cas, mem) = build_world(|b| DetectableCas::new(b, 3, 0));
+        let exact_cfg = BfsConfig {
+            max_ops: 4,
+            max_states: 2_000_000,
+            ..Default::default()
+        };
+        let exact = census_bfs_engine(&cas, &mem, &cas_alphabet(), &exact_cfg);
+        let dom = census_bfs_engine(
+            &cas,
+            &mem,
+            &cas_alphabet(),
+            &BfsConfig {
+                dominance: true,
+                ..exact_cfg
+            },
+        );
+        assert!(!exact.truncated && !dom.truncated);
+        assert_eq!(dom.distinct_shared, exact.distinct_shared);
+        assert_eq!(dom.meets_bound(), exact.meets_bound());
+        assert!(
+            dom.work < exact.work,
+            "dominance must actually prune ({} vs {})",
+            dom.work,
+            exact.work
+        );
+    }
+
+    #[test]
+    fn dominance_verdict_is_thread_invariant() {
+        let (cas, mem) = build_world(|b| DetectableCas::new(b, 3, 0));
+        let base = BfsConfig {
+            max_ops: 4,
+            max_states: 2_000_000,
+            dominance: true,
+            ..Default::default()
+        };
+        let seq = census_bfs_engine(&cas, &mem, &cas_alphabet(), &base);
+        for parallelism in [2, 8] {
+            let par = census_bfs_engine(
+                &cas,
+                &mem,
+                &cas_alphabet(),
+                &BfsConfig {
+                    parallelism,
+                    ..base.clone()
+                },
+            );
+            // The verdict is canonical; `work` is scheduling-dependent in
+            // dominance mode and deliberately not compared.
+            assert_eq!(par.distinct_shared, seq.distinct_shared, "p={parallelism}");
             assert_eq!(par.truncated, seq.truncated, "p={parallelism}");
         }
     }

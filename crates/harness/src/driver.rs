@@ -466,18 +466,32 @@ impl Driver {
         op: OpSpec,
         limit: usize,
     ) -> Option<Word> {
+        self.try_run_solo_counted(obj, mem, i, op, limit).0
+    }
+
+    /// [`try_run_solo`](Self::try_run_solo) that also reports how many
+    /// machine steps the operation consumed (the census drive accounts
+    /// scheduler work with it). On incompletion the count is `limit`.
+    pub fn try_run_solo_counted(
+        &mut self,
+        obj: &dyn RecoverableObject,
+        mem: &dyn Memory,
+        i: usize,
+        op: OpSpec,
+        limit: usize,
+    ) -> (Option<Word>, usize) {
         let retry = RetryPolicy {
             retry_on_fail: false,
             max_retries: 0,
             reset_per_op: false,
         };
         self.invoke(obj, mem, i, op, &retry);
-        for _ in 0..limit {
+        for used in 1..=limit {
             if let StepOutcome::Returned(resp) = self.step(obj, mem, i, &retry) {
-                return Some(resp);
+                return (Some(resp), used);
             }
         }
-        None
+        (None, limit)
     }
 
     /// Appends a canonical encoding of the driver's volatile state — per

@@ -545,6 +545,9 @@ impl Scenario {
             witness: None,
             stats: RunStats {
                 executions: report.work as u64,
+                resolved_ops: report.resolved_ops,
+                steps: report.steps,
+                persists: report.persists,
                 distinct_configs: report.distinct_shared as u64,
                 theorem_bound: report.theorem_bound,
                 truncated: report.truncated,

@@ -1,0 +1,210 @@
+//! Append-only, deduplicating word-image arena for state-space searches.
+//!
+//! Breadth-first searches revisit states in arbitrary order, so every
+//! frontier node must *carry* the memory it will resume from. Storing a
+//! [`MemSnapshot`](crate::MemSnapshot) per node costs a `Vec` plus a
+//! `BTreeMap` allocation each, and moving nodes between worker threads
+//! moves those heaps with them. For crash-free searches the logical word
+//! image alone determines all future behavior, and the same image recurs
+//! across many nodes (the same memory with different in-flight machines),
+//! so the Theorem 1 census stores each **distinct** image once in a shared
+//! [`StateArena`] and hands nodes around as 8-byte [`CompactState`]
+//! handles: peak memory drops from O(nodes × memory) to
+//! O(nodes + distinct images × memory), and node hand-off between workers
+//! is a copy of one word.
+//!
+//! The arena is sharded (64 ways, like the census visited set): interning
+//! hashes the image, locks one shard, compares against the images already
+//! stored under that hash (dedup is **exact** — hashes only route), and
+//! appends to the shard's flat word store only when the image is novel.
+//! Entries are never moved or freed, so a handle stays valid for the
+//! arena's lifetime and reads only lock the one shard they touch.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::word::Word;
+
+const SHARDS: usize = 64;
+
+/// A handle to one interned word image: shard and slot, packed so frontier
+/// nodes carry 8 bytes instead of an owned memory copy. Equal images intern
+/// to equal handles (within one arena), so handles double as exact image
+/// identity.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CompactState {
+    shard: u32,
+    slot: u32,
+}
+
+#[derive(Default)]
+struct Shard {
+    /// Image hash → slots whose stored image carries that hash (exact
+    /// comparison resolves collisions).
+    index: HashMap<u64, Vec<u32>>,
+    /// Slot `s` occupies `words[s * stride .. (s + 1) * stride]`.
+    words: Vec<Word>,
+}
+
+/// A sharded, append-only store of fixed-width word images with exact
+/// deduplication. See the [module docs](self).
+pub struct StateArena {
+    stride: usize,
+    shards: Vec<Mutex<Shard>>,
+    distinct: AtomicUsize,
+}
+
+impl StateArena {
+    /// An empty arena for images of exactly `stride` words (a search over
+    /// one layout interns `Layout::total_words`-sized images).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero — a zero-width image cannot address
+    /// anything.
+    pub fn new(stride: usize) -> Self {
+        assert!(stride > 0, "arena stride must be positive");
+        StateArena {
+            stride,
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            distinct: AtomicUsize::new(0),
+        }
+    }
+
+    /// Words per interned image.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Number of distinct images stored.
+    pub fn distinct(&self) -> usize {
+        self.distinct.load(Ordering::Relaxed)
+    }
+
+    /// Total words held across all shards (`distinct() * stride()`) — the
+    /// arena's storage footprint, for callers accounting memory.
+    pub fn stored_words(&self) -> usize {
+        self.distinct() * self.stride
+    }
+
+    /// A suitable [`intern`](Self::intern) hash for callers that have not
+    /// already hashed the image for their own bookkeeping.
+    pub fn hash_image(image: &[Word]) -> u64 {
+        let mut h = DefaultHasher::new();
+        image.hash(&mut h);
+        h.finish()
+    }
+
+    /// Interns `image`, returning its handle: the existing slot if an equal
+    /// image was interned before (by any thread), a freshly appended slot
+    /// otherwise.
+    ///
+    /// `hash` routes the image to a shard and keys the dedup index, so it
+    /// **must be a pure function of the image contents** (the same image
+    /// must always arrive with the same hash, or dedup silently degrades
+    /// to duplicate storage — identity stays exact either way, membership
+    /// is decided by comparison). Callers that already hash the image for
+    /// their own bookkeeping (the census fingerprints successors anyway)
+    /// pass that hash instead of paying a second full-image pass;
+    /// [`hash_image`](Self::hash_image) serves everyone else.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image.len()` differs from the arena stride.
+    pub fn intern(&self, image: &[Word], hash: u64) -> CompactState {
+        assert_eq!(image.len(), self.stride, "image width != arena stride");
+        let shard_idx = (hash as usize) % SHARDS;
+        let mut shard = self.shards[shard_idx].lock().expect("arena shard poisoned");
+        let Shard { index, words } = &mut *shard;
+        let slots = index.entry(hash).or_default();
+        // Hash routing only: membership is decided by exact comparison.
+        for &slot in slots.iter() {
+            let at = slot as usize * self.stride;
+            if &words[at..at + self.stride] == image {
+                return CompactState {
+                    shard: shard_idx as u32,
+                    slot,
+                };
+            }
+        }
+        let slot = (words.len() / self.stride) as u32;
+        slots.push(slot);
+        words.extend_from_slice(image);
+        self.distinct.fetch_add(1, Ordering::Relaxed);
+        CompactState {
+            shard: shard_idx as u32,
+            slot,
+        }
+    }
+
+    /// Copies the image behind `handle` into `out` (cleared first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `handle` did not come from this arena (shard or slot out
+    /// of range).
+    pub fn read_into(&self, handle: CompactState, out: &mut Vec<Word>) {
+        let shard = self.shards[handle.shard as usize]
+            .lock()
+            .expect("arena shard poisoned");
+        let at = handle.slot as usize * self.stride;
+        assert!(
+            at + self.stride <= shard.words.len(),
+            "arena handle out of range"
+        );
+        out.clear();
+        out.extend_from_slice(&shard.words[at..at + self.stride]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn intern(arena: &StateArena, image: &[Word]) -> CompactState {
+        arena.intern(image, StateArena::hash_image(image))
+    }
+
+    #[test]
+    fn intern_dedups_and_reads_back() {
+        let arena = StateArena::new(3);
+        let a = intern(&arena, &[1, 2, 3]);
+        let b = intern(&arena, &[4, 5, 6]);
+        let a2 = intern(&arena, &[1, 2, 3]);
+        assert_eq!(a, a2, "equal images share a slot");
+        assert_ne!(a, b);
+        assert_eq!(arena.distinct(), 2);
+        assert_eq!(arena.stored_words(), 6);
+        let mut out = Vec::new();
+        arena.read_into(a, &mut out);
+        assert_eq!(out, vec![1, 2, 3]);
+        arena.read_into(b, &mut out);
+        assert_eq!(out, vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn concurrent_interning_agrees_on_identity() {
+        let arena = StateArena::new(2);
+        let handles: Vec<Vec<CompactState>> = std::thread::scope(|s| {
+            (0..4)
+                .map(|_| s.spawn(|| (0..100u64).map(|i| intern(&arena, &[i % 10, 7])).collect()))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("intern worker panicked"))
+                .collect()
+        });
+        assert_eq!(arena.distinct(), 10, "10 distinct images across threads");
+        for other in &handles[1..] {
+            assert_eq!(&handles[0], other, "every thread saw the same handles");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn wrong_width_is_rejected() {
+        intern(&StateArena::new(2), &[1]);
+    }
+}

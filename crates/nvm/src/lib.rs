@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod ann;
+pub mod arena;
 pub mod layout;
 pub mod machine;
 pub mod memory;
@@ -57,6 +58,7 @@ pub mod stats;
 pub mod word;
 
 pub use ann::AnnBank;
+pub use arena::{CompactState, StateArena};
 pub use layout::{Layout, LayoutBuilder, Loc, Region, Space};
 pub use machine::{run_to_completion, Machine, Poll, StepLimitError};
 pub use memory::{

@@ -455,6 +455,52 @@ impl SimMemory {
         *self.crashes.borrow_mut() = snap.crashes;
     }
 
+    /// Fills `out` (cleared first) with the logical contents of all NVM —
+    /// the allocation-free [`full_key`](Self::full_key), for hot loops that
+    /// read the image into a reusable scratch buffer (the census reads one
+    /// per generated successor).
+    pub fn logical_words_into(&self, out: &mut Vec<Word>) {
+        out.clear();
+        out.extend(self.nvm.borrow().iter().copied());
+        for (&i, &w) in self.cache.borrow().iter() {
+            out[i as usize] = w;
+        }
+    }
+
+    /// Installs `words` as the memory's logical contents: NVM takes the
+    /// image verbatim and the cache is cleared (every cell persisted). The
+    /// crash ordinal is untouched.
+    ///
+    /// This is the restore half of the census arena: for **crash-free**
+    /// continuations a state is fully determined by its logical words
+    /// ([`logical_hash`](Self::logical_hash) makes the same identification),
+    /// so a search node can be reconstituted from the interned image alone.
+    /// Searches that inject crashes must keep full [`snapshot`]s — dirtiness
+    /// is behavior there, and this method erases it.
+    ///
+    /// Under an open [`checkpoint`](Self::checkpoint) the load is journaled
+    /// (as a full-state entry) so `rollback` stays correct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` does not span the layout exactly.
+    ///
+    /// [`snapshot`]: Self::snapshot
+    pub fn load_words(&self, words: &[Word]) {
+        assert_eq!(
+            words.len(),
+            self.layout.total_words(),
+            "logical image width != layout words"
+        );
+        if self.journaling() {
+            self.journal
+                .borrow_mut()
+                .push(UndoEntry::Full(Box::new(self.snapshot())));
+        }
+        self.nvm.borrow_mut().copy_from_slice(words);
+        self.cache.borrow_mut().clear();
+    }
+
     /// Salted hash of the *logical* contents of all NVM (cache overlay
     /// applied; dirtiness and the crash ordinal excluded) — the
     /// allocation-free equivalent of hashing [`full_key`](Self::full_key).
@@ -574,10 +620,8 @@ impl SimMemory {
     }
 
     fn logical_words(&self) -> Vec<Word> {
-        let mut words = self.nvm.borrow().clone();
-        for (&i, &w) in self.cache.borrow().iter() {
-            words[i as usize] = w;
-        }
+        let mut words = Vec::new();
+        self.logical_words_into(&mut words);
         words
     }
 
@@ -1107,6 +1151,44 @@ mod tests {
         m.rollback(cp);
         let s = m.stats();
         assert_eq!((s.checkpoints, s.rollbacks), (1, 1));
+    }
+
+    #[test]
+    fn load_words_installs_a_clean_logical_image() {
+        let (m, x, _) = mem(CacheMode::SharedCache);
+        let p = Pid::new(0);
+        m.write(p, x, 5); // dirty
+        let mut image = Vec::new();
+        m.logical_words_into(&mut image);
+        assert_eq!(image, m.full_key(), "scratch read matches full_key");
+
+        let (m2, x2, _) = mem(CacheMode::SharedCache);
+        m2.load_words(&image);
+        assert_eq!(m2.full_key(), image);
+        assert_eq!(m2.logical_hash(3), m.logical_hash(3));
+        // The image is installed persisted: a crash loses nothing.
+        m2.crash(CrashPolicy::DropAll);
+        assert_eq!(m2.read(p, x2), 5);
+    }
+
+    #[test]
+    fn load_words_under_checkpoint_rolls_back() {
+        let (m, x, _) = mem(CacheMode::SharedCache);
+        let p = Pid::new(0);
+        m.write(p, x, 1); // dirty
+        let before = m.snapshot();
+        let cp = m.checkpoint();
+        m.load_words(&vec![9; m.layout.total_words()]);
+        assert_eq!(m.read(p, x), 9);
+        m.rollback(cp);
+        assert_eq!(m.snapshot(), before, "dirtiness restored too");
+    }
+
+    #[test]
+    #[should_panic(expected = "layout words")]
+    fn load_words_rejects_wrong_width() {
+        let (m, _, _) = mem(CacheMode::PrivateCache);
+        m.load_words(&[1]);
     }
 
     #[test]

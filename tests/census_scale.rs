@@ -1,8 +1,11 @@
-//! Integration: census limit/truncation semantics and the parallel
-//! fork/checkpoint engine — the cap expands exactly `max_states` nodes,
-//! truncation is visible end to end (report, `Verdict`, JSON), parallel
-//! runs count identically at every thread level, and the fork engine agrees
-//! with the retained full-snapshot reference engine.
+//! Integration: census limit/truncation semantics, the parallel
+//! arena/work-stealing engine, and dominance pruning — the cap expands
+//! exactly `max_states` nodes, truncation is visible end to end (report,
+//! `Verdict`, JSON), exact-engine runs count identically at every thread
+//! level, the arena engine agrees with the retained full-snapshot
+//! reference engine, and the dominance-pruned mode reproduces the exact
+//! verdict (while legitimately shrinking the raw work counts — the
+//! non-count-preserving contract, pinned below).
 
 use detectable::{ObjectKind, OpSpec, RecoverableObject};
 use harness::{
@@ -83,7 +86,7 @@ fn parallel_census_reports_identical_counts() {
     let base = BfsConfig {
         max_ops: 4,
         max_states: 2_000_000,
-        parallelism: 1,
+        ..Default::default()
     };
     let seq = cas_census(3, &base);
     assert!(
@@ -161,6 +164,232 @@ fn fork_engine_matches_snapshot_reference_in_shared_cache_mode() {
     );
     assert_eq!(fork.stats.executions, reference.work as u64);
     assert_eq!(fork.stats.truncated, reference.truncated);
+}
+
+// ───────────────── dominance pruning (non-count-preserving) ─────────────────
+
+/// Satellite: the dominance-pruned engine reproduces the exact engine's
+/// *verdict* — distinct configurations, bound satisfaction, truncation —
+/// across every object kind at N ≤ 3, over each kind's standard search
+/// alphabet. Work counts are deliberately not compared (see the pinned
+/// divergence test below).
+#[test]
+fn dominance_verdict_matches_exact_across_all_kinds() {
+    let kinds = [
+        ObjectKind::Register,
+        ObjectKind::Cas,
+        ObjectKind::MaxRegister,
+        ObjectKind::Counter,
+        ObjectKind::Faa,
+        ObjectKind::Swap,
+        ObjectKind::Tas,
+        ObjectKind::Queue,
+    ];
+    for kind in kinds {
+        for n in 1..=3u32 {
+            let scenario = || {
+                Scenario::object(kind)
+                    .processes(n)
+                    .workload(Workload::mixed(3))
+            };
+            let exact_cfg = BfsConfig {
+                max_ops: 3,
+                max_states: 2_000_000,
+                ..Default::default()
+            };
+            let exact = scenario().census(&exact_cfg);
+            let dom = scenario().census(&BfsConfig {
+                dominance: true,
+                ..exact_cfg
+            });
+            assert!(!exact.stats.truncated, "{kind:?} n={n} must complete");
+            assert_eq!(
+                dom.stats.distinct_configs, exact.stats.distinct_configs,
+                "{kind:?} n={n}: dominance changed the configuration count"
+            );
+            assert_eq!(dom.stats.truncated, exact.stats.truncated, "{kind:?} n={n}");
+            assert_eq!(dom.bound_met, exact.bound_met, "{kind:?} n={n}");
+            assert_eq!(dom.passed, exact.passed, "{kind:?} n={n}");
+            assert!(
+                dom.stats.executions <= exact.stats.executions,
+                "{kind:?} n={n}: pruning can only shrink the expansion count"
+            );
+        }
+    }
+}
+
+/// The non-count-preserving contract, pinned: on the 2-process CAS world
+/// with a 4-op budget the exact engine expands 1486 configurations and the
+/// dominance engine 894 — the budget dimension is quotiented away — while
+/// both observe the same 4 distinct shared configurations. These numbers
+/// are stable (sequential admission is canonical BFS order in both modes);
+/// if an engine change moves them, this test is the prompt to re-derive
+/// why.
+#[test]
+fn dominance_work_divergence_is_pinned() {
+    let cfg = BfsConfig {
+        max_ops: 4,
+        max_states: 2_000_000,
+        ..Default::default()
+    };
+    let exact = cas_census(2, &cfg);
+    let dom = cas_census(
+        2,
+        &BfsConfig {
+            dominance: true,
+            ..cfg
+        },
+    );
+    assert_eq!(exact.stats.executions, 1486, "exact expansion count");
+    assert_eq!(dom.stats.executions, 894, "dominance expansion count");
+    assert_eq!(exact.stats.distinct_configs, 4);
+    assert_eq!(dom.stats.distinct_configs, 4);
+    assert_eq!(exact.bound_met, Some(true));
+    assert_eq!(dom.bound_met, Some(true));
+}
+
+// ───────────────── census work stats (RunStats population) ─────────────────
+
+/// Satellite: census verdicts populate `RunStats.steps`, `persists` and
+/// `resolved_ops` (they serialized as 0 before, misleading in the
+/// committed bench table) — for both the BFS and the solo-drive engines,
+/// end to end into the JSON stream.
+#[test]
+fn census_verdicts_populate_work_stats() {
+    let bfs = cas_census(
+        2,
+        &BfsConfig {
+            max_ops: 4,
+            max_states: 2_000_000,
+            ..Default::default()
+        },
+    );
+    assert_eq!(bfs.stats.steps, 2898, "successor generations");
+    assert_eq!(bfs.stats.resolved_ops, 852, "operations that returned");
+    assert_eq!(bfs.stats.persists, 3506, "persist primitives driven");
+    assert!(!bfs.to_json().contains("\"steps\":0"));
+
+    let drive = Scenario::object(ObjectKind::Cas)
+        .processes(2)
+        .workload(Workload::script(harness::gray_code_cas_ops(2)))
+        .census(&BfsConfig::default());
+    assert_eq!(drive.stats.resolved_ops, 3, "the 2^2 − 1 Gray-code ops");
+    assert!(
+        drive.stats.steps >= drive.stats.resolved_ops,
+        "each op takes at least one machine step"
+    );
+    assert!(drive.stats.persists > 0, "Algorithm 2 persists its RD bits");
+}
+
+// ───────────────── release-only scale pins (exact N = 4, dominance N = 4) ─────────────────
+
+/// The E12 scale pin, release builds only (the debug tier-1 run skips it):
+/// the exact engine reproduces the canonical N = 4 numbers — 647 456
+/// expansions, 16 distinct configurations — at every thread level, and the
+/// dominance engine reproduces the verdict with fewer expansions. This is
+/// the acceptance gate for engine rewrites: counts may never move.
+#[cfg(not(debug_assertions))]
+#[test]
+fn n4_census_counts_are_pinned_at_every_thread_level() {
+    let base = BfsConfig {
+        max_ops: 5,
+        max_states: 20_000_000,
+        ..Default::default()
+    };
+    for parallelism in [1usize, 2, 4] {
+        let v = cas_census(
+            4,
+            &BfsConfig {
+                parallelism,
+                ..base.clone()
+            },
+        );
+        assert_eq!(v.stats.executions, 647_456, "threads={parallelism}");
+        assert_eq!(v.stats.distinct_configs, 16, "threads={parallelism}");
+        assert!(!v.stats.truncated);
+        assert_eq!(v.bound_met, Some(true));
+    }
+    let dom = cas_census(
+        4,
+        &BfsConfig {
+            dominance: true,
+            ..base
+        },
+    );
+    assert_eq!(dom.stats.executions, 554_244, "dominance N=4 expansions");
+    assert_eq!(dom.stats.distinct_configs, 16);
+    assert_eq!(dom.bound_met, Some(true));
+}
+
+// ───────────────── worker panic propagation ─────────────────
+
+/// A machine that panics when stepped: the adversarial probe for the
+/// parallel census's abort path.
+struct PanicMachine(Pid);
+
+impl Machine for PanicMachine {
+    fn step(&mut self, _mem: &dyn Memory) -> Poll {
+        panic!("object invariant violated (test probe)");
+    }
+    fn pid(&self) -> Pid {
+        self.0
+    }
+    fn label(&self) -> &'static str {
+        "panic"
+    }
+    fn clone_box(&self) -> Box<dyn Machine> {
+        Box::new(PanicMachine(self.0))
+    }
+    fn encode(&self) -> Vec<Word> {
+        Vec::new()
+    }
+}
+
+struct PanicObject;
+
+impl RecoverableObject for PanicObject {
+    fn prepare(&self, _mem: &dyn Memory, _pid: Pid, _op: &OpSpec) {}
+    fn invoke(&self, pid: Pid, _op: &OpSpec) -> Box<dyn Machine> {
+        Box::new(PanicMachine(pid))
+    }
+    fn recover(&self, pid: Pid, _op: &OpSpec) -> Box<dyn Machine> {
+        Box::new(PanicMachine(pid))
+    }
+    fn processes(&self) -> u32 {
+        2
+    }
+    fn kind(&self) -> ObjectKind {
+        ObjectKind::Register
+    }
+    fn name(&self) -> &'static str {
+        "panicking-register"
+    }
+}
+
+/// A worker that panics mid-expansion must propagate the panic out of the
+/// engine — not leave its siblings asleep on the frontier condvar forever
+/// (a worker that unwinds never releases its pending node, so without the
+/// abort guard the pending count would never reach zero and the run would
+/// hang until a CI timeout). `thread::scope` rewraps the payload ("a
+/// scoped thread panicked"), so no message is pinned here — the regression
+/// this guards against is a hang, which fails as a suite timeout.
+#[test]
+#[should_panic]
+fn parallel_census_propagates_a_worker_panic_instead_of_hanging() {
+    let (_, mem) = build_world(|b| {
+        b.shared("X", 1, 64);
+        PanicObject
+    });
+    let _ = harness::census_bfs_engine(
+        &PanicObject,
+        &mem,
+        &[OpSpec::Read],
+        &BfsConfig {
+            max_ops: 2,
+            parallelism: 2,
+            ..Default::default()
+        },
+    );
 }
 
 // ───────────────── solo-drive incompletion ─────────────────
