@@ -22,8 +22,8 @@ use std::time::Instant;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use detectable::{DetectableCas, ObjectKind, OpSpec};
 use harness::{
-    build_world, census_bfs_snapshot_engine, census_table_json, BfsConfig, CensusReport, Scenario,
-    Workload,
+    build_world, census_bfs_engine, census_bfs_external_engine, census_bfs_snapshot_engine,
+    census_table_json, BfsConfig, CensusReport, Scenario, Workload,
 };
 use nvm::SimMemory;
 
@@ -45,6 +45,7 @@ fn config(parallelism: usize) -> BfsConfig {
         max_states: 20_000_000,
         parallelism,
         dominance: false,
+        ..Default::default()
     }
 }
 
@@ -92,18 +93,23 @@ criterion_main!(benches);
 
 /// Records `BENCH_census.json` next to the workspace root: one sample per
 /// engine variant with the expanded-state count, wall time, derived
-/// states/sec and the host CPU count it ran under, plus a `table` document
-/// (the `census_table --json` schema) that CI diffs live output against.
-/// Parallel variants are skipped — and listed under `"skipped"` — on
-/// single-CPU hosts.
+/// states/sec, peak resident bytes, spilled bytes and the host CPU count it
+/// ran under, plus a `table` document (the `census_table --json` schema)
+/// that CI diffs live output against. Disk-tier rows (`ext-n5-seq`,
+/// `ext-n6-dom`) run the external-memory engine under a 512 MiB budget next
+/// to their in-RAM twins and assert the E15 acceptance contract: identical
+/// counts, measured peak under the budget. Parallel variants are skipped —
+/// and listed under `"skipped"` — on single-CPU hosts.
 fn record_baseline(_c: &mut Criterion) {
     let (cas, mem) = world();
     let cpus = host_cpus();
     let mut entries = Vec::new();
     let mut skipped: Vec<String> = Vec::new();
 
-    let mut sample = |label: &str, run: &dyn Fn() -> CensusReport| {
-        let _ = run(); // warm
+    let mut sample = |label: &str, warm: bool, run: &dyn Fn() -> CensusReport| -> CensusReport {
+        if warm {
+            let _ = run();
+        }
         let start = Instant::now();
         let out = run();
         let elapsed = start.elapsed();
@@ -116,7 +122,9 @@ fn record_baseline(_c: &mut Criterion) {
                 "      \"distinct_shared\": {},\n",
                 "      \"host_cpus\": {},\n",
                 "      \"mean_seconds\": {:.6},\n",
-                "      \"states_per_sec\": {:.0}\n",
+                "      \"states_per_sec\": {:.0},\n",
+                "      \"peak_resident_bytes\": {},\n",
+                "      \"spilled_bytes\": {}\n",
                 "    }}"
             ),
             label,
@@ -125,10 +133,13 @@ fn record_baseline(_c: &mut Criterion) {
             cpus,
             elapsed.as_secs_f64(),
             out.work as f64 / elapsed.as_secs_f64(),
+            out.peak_resident_bytes,
+            out.spill.map_or(0, |s| s.bytes_spilled),
         ));
+        out
     };
 
-    sample("snapshot-seq", &|| {
+    sample("snapshot-seq", true, &|| {
         census_bfs_snapshot_engine(&cas, &mem, &alphabet(), &config(1))
     });
     let scenario_report = |cfg: BfsConfig| -> CensusReport {
@@ -144,6 +155,8 @@ fn record_baseline(_c: &mut Criterion) {
             resolved_ops: v.stats.resolved_ops,
             persists: v.stats.persists,
             truncated: v.stats.truncated,
+            peak_resident_bytes: v.stats.peak_resident_bytes,
+            spill: None,
         }
     };
     for threads in [1usize, 2, 4] {
@@ -160,16 +173,59 @@ fn record_baseline(_c: &mut Criterion) {
             ));
             continue;
         }
-        sample(&label, &|| scenario_report(config(threads)));
+        sample(&label, true, &|| scenario_report(config(threads)));
     }
     // The dominance-pruned engine: fewer expansions for the same verdict,
     // tracked so pruning regressions surface in the baseline diff.
-    sample("dom-seq", &|| {
+    sample("dom-seq", true, &|| {
         scenario_report(BfsConfig {
             dominance: true,
             ..config(1)
         })
     });
+
+    // Disk-tier rows (experiment E15): the external-memory engine vs the
+    // in-RAM engine on the worlds the disk tier exists for — N = 5 exact
+    // and N = 6 dominance — under a deliberately small RAM budget. These
+    // are single-shot (no warm run): each costs minutes on one core, and
+    // the point of the row is the peak-resident / counts contract, with
+    // throughput as the secondary trend line.
+    const EXT_BUDGET: usize = 512 << 20;
+    let spill = std::env::temp_dir().join(format!("census-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&spill).expect("spill dir");
+    let ext_cfg = |dominance: bool, disk: bool| BfsConfig {
+        max_ops: 5,
+        max_states: 20_000_000,
+        parallelism: 1,
+        dominance,
+        disk_dir: disk.then(|| spill.clone()),
+        ram_budget: disk.then_some(EXT_BUDGET),
+    };
+    for (n, dominance) in [(5u32, false), (6, true)] {
+        let (obj, world_mem) = build_world(|b| DetectableCas::new(b, n, 0));
+        let tag = if dominance { "dom" } else { "seq" };
+        let ram = sample(&format!("ram-n{n}-{tag}"), false, &|| {
+            census_bfs_engine(&obj, &world_mem, &alphabet(), &ext_cfg(dominance, false))
+        });
+        let ext = sample(&format!("ext-n{n}-{tag}"), false, &|| {
+            census_bfs_external_engine(&obj, &world_mem, &alphabet(), &ext_cfg(dominance, true))
+        });
+        // The acceptance contract for the disk tier: identical verdict and
+        // counts under the budget, with the measured peak actually under it.
+        assert_eq!(ext.distinct_shared, ram.distinct_shared, "N={n}");
+        assert_eq!(ext.work, ram.work, "N={n}");
+        assert_eq!(ext.steps, ram.steps, "N={n}");
+        assert!(
+            ext.peak_resident_bytes < EXT_BUDGET as u64,
+            "N={n}: external peak {} over budget {EXT_BUDGET}",
+            ext.peak_resident_bytes
+        );
+        assert!(
+            ext.spill.is_some_and(|s| s.bytes_spilled > 0),
+            "N={n}: disk run spilled nothing"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&spill);
 
     // A small canonical table run so the committed baseline carries the
     // `census_table --json` schema for CI to diff against.

@@ -1,5 +1,5 @@
-//! **Experiment E1 / E12 / E14** — Theorem 1 / Figure 1: the reachable-
-//! configuration census.
+//! **Experiment E1 / E12 / E14 / E15** — Theorem 1 / Figure 1: the
+//! reachable-configuration census.
 //!
 //! Counts distinct shared-memory configurations (memory-equivalence classes)
 //! reachable by the detectable CAS (Algorithm 2) and by the non-detectable
@@ -14,18 +14,26 @@
 //!   exhaustive census to N = 4 and N = 5 (experiment E12); `--threads N`
 //!   spreads frontier expansion over worker threads with identical counts
 //!   at every setting;
-//! * the *bfs-dom* row is the N = 6 census under ops_used-dominance pruning
-//!   (experiment E14): expansions shrink by roughly the op-budget factor,
-//!   the distinct-configuration verdict is provably that of the exact
-//!   engine, and 63 ≥ 2⁶ − 1 completes on CI hardware. `--dominance`
-//!   switches every BFS row to the pruned engine;
+//! * *bfs-dom* rows use ops_used-dominance pruning (experiment E14):
+//!   expansions shrink by roughly the op-budget factor, the
+//!   distinct-configuration verdict is provably that of the exact engine,
+//!   and 63 ≥ 2⁶ − 1 completes on CI hardware. `--dominance` switches
+//!   every BFS row to the pruned engine;
+//! * `--max-n K` extends (or shrinks) the BFS sweep: the default 6 is
+//!   today's CI table; `--max-n 7` adds the N = 7 *bfs-dom* row
+//!   (experiment E15), which needs a 6-op budget (`Σ C(7,k), k ≤ 6` =
+//!   `127 = 2^7 − 1`) and is sized for the external-memory engine —
+//!   pass `--disk-dir DIR` (and optionally `--ram-budget BYTES`) to spill
+//!   the frontier, arena segments and visited set to disk instead of
+//!   holding the multi-hundred-million-node space resident;
 //! * the non-detectable baseline stays at the value-domain size, flat in N —
 //!   the ablation isolating detectability as the cause of the blow-up.
 //!
-//! Run: `cargo run --release -p bench --bin census_table [-- --threads N] [--dominance] [--json]`
+//! Run: `cargo run --release -p bench --bin census_table [-- --threads N]
+//! [--dominance] [--max-n K] [--disk-dir DIR] [--ram-budget BYTES] [--json]`
 
 use baselines::NonDetectableCas;
-use bench::{flag_present, json_mode, markdown_table, threads_flag};
+use bench::{flag_present, flag_value, json_mode, markdown_table, threads_flag};
 use detectable::{ObjectKind, OpSpec};
 use harness::{census_table_json, gray_code_cas_ops, BfsConfig, Scenario, Verdict, Workload};
 
@@ -56,24 +64,15 @@ fn bfs_scenario(n: u32, detectable: bool) -> Scenario {
 }
 
 /// Operation budget for the exhaustive BFS at `n` processes: `2N` keeps the
-/// small worlds comparable with the historical tables; N ≥ 4 uses 5 ops —
+/// small worlds comparable with the historical tables; N = 4..6 uses 5 ops —
 /// enough to reach every vector of toggle weight ≤ 5 (63 of 64 at N = 6,
 /// exactly the `2^N − 1` bound) while the state space stays a CI-sized few
-/// million.
+/// million. N = 7 needs 6 ops (`Σ C(7,k), k ≤ 6` = `127 = 2^7 − 1`).
 fn bfs_ops(n: u32) -> usize {
-    if n <= 3 {
-        2 * n as usize
-    } else {
-        5
-    }
-}
-
-fn bfs_config(n: u32, threads: usize, dominance: bool) -> BfsConfig {
-    BfsConfig {
-        max_ops: bfs_ops(n),
-        max_states: 20_000_000,
-        parallelism: threads,
-        dominance,
+    match n {
+        0..=3 => 2 * n as usize,
+        4..=6 => 5,
+        _ => 6,
     }
 }
 
@@ -98,6 +97,11 @@ fn row(mode: &str, n: u32, v: &Verdict) -> Vec<String> {
 fn main() {
     let threads = threads_flag();
     let dominance = flag_present("dominance");
+    let max_n: u32 =
+        flag_value("max-n").map_or(6, |v| v.parse().expect("--max-n takes a process count"));
+    let disk_dir = flag_value("disk-dir").map(std::path::PathBuf::from);
+    let ram_budget: Option<usize> =
+        flag_value("ram-budget").map(|v| v.parse().expect("--ram-budget takes a byte count"));
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut verdicts: Vec<Verdict> = Vec::new();
 
@@ -114,12 +118,19 @@ fn main() {
     }
 
     // Exhaustive BFS, both implementations. The arena engine reaches N = 5
-    // exactly; the N = 6 row needs the dominance quotient to stay CI-sized,
-    // so it is always pruned and labeled as such (the verdict is the exact
-    // engine's by the dominance soundness argument — see DESIGN §3.3).
+    // exactly; the N ≥ 6 rows need the dominance quotient to stay tractable,
+    // so they are always pruned and labeled as such (the verdict is the
+    // exact engine's by the dominance soundness argument — see DESIGN §3.3).
     let mut bfs_row = |n: u32, detectable: bool| {
         let dom = dominance || (detectable && n >= 6);
-        let cfg = bfs_config(n, threads, dom);
+        let cfg = BfsConfig {
+            max_ops: bfs_ops(n),
+            max_states: 20_000_000,
+            parallelism: threads,
+            dominance: dom,
+            disk_dir: disk_dir.clone(),
+            ram_budget,
+        };
         let v = bfs_scenario(n, detectable).census(&cfg);
         let mode_tag = if dom { "bfs-dom" } else { "bfs" };
         rows.push(row(
@@ -132,10 +143,10 @@ fn main() {
         ));
         verdicts.push(v);
     };
-    for n in 1..=6u32 {
+    for n in 1..=max_n {
         bfs_row(n, true);
     }
-    for n in 1..=5u32 {
+    for n in 1..=max_n.min(5) {
         bfs_row(n, false);
     }
 
@@ -144,11 +155,16 @@ fn main() {
         return;
     }
 
-    println!("# E1/E12/E14 — Theorem 1 census: reachable shared-memory configurations\n");
+    println!("# E1/E12/E14/E15 — Theorem 1 census: reachable shared-memory configurations\n");
     println!(
-        "BFS rows expanded on {threads} worker thread(s){}.\n",
+        "BFS rows expanded on {threads} worker thread(s){}{}.\n",
         if dominance {
             " with ops_used-dominance pruning"
+        } else {
+            ""
+        },
+        if disk_dir.is_some() {
+            " on the external-memory (disk-spill) engine"
         } else {
             ""
         }

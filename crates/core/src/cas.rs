@@ -195,6 +195,20 @@ impl RecoverableObject for DetectableCas {
         "detectable-cas"
     }
 
+    fn decodable(&self) -> bool {
+        true
+    }
+
+    fn decode_op(&self, pid: Pid, op: &OpSpec, words: &[Word]) -> Option<Box<dyn Machine>> {
+        match *op {
+            OpSpec::Cas { old, new } => CasMachine::decode(&self.inner, pid, old, new, words)
+                .map(|m| Box::new(m) as Box<dyn Machine>),
+            OpSpec::Read => CasReadMachine::decode(&self.inner, pid, words)
+                .map(|m| Box::new(m) as Box<dyn Machine>),
+            _ => None,
+        }
+    }
+
     /// The only pid-dependent encoding beyond the (generically relocated)
     /// private regions is the `N`-bit toggle vector packed inside `C`:
     /// process `p`'s bit moves to position `perm[p]`. `RD_p` holds a single
@@ -259,6 +273,47 @@ impl CasMachine {
             newvec: 0,
             res: false,
         }
+    }
+
+    /// Inverse of [`Machine::encode`]: rebuilds a `Cas(old, new)` machine
+    /// from its encoding. Compositions (counter, swap, TAS) also route
+    /// their nested CAS machines through this — the operation arguments are
+    /// recoverable because `encode` stores them in `words[1..=2]`.
+    pub(crate) fn decode(
+        obj: &Arc<CasInner>,
+        pid: Pid,
+        old: u32,
+        new: u32,
+        words: &[Word],
+    ) -> Option<CasMachine> {
+        if words.len() != 7
+            || words[1] != u64::from(old)
+            || words[2] != u64::from(new)
+            || words[6] > 1
+        {
+            return None;
+        }
+        let state = match words[0] {
+            28 => CState::L28,
+            s @ 30..=31 => CState::L30 { resp: s - 30 },
+            33 => CState::L33,
+            34 => CState::L34,
+            35 => CState::L35,
+            36 => CState::L36,
+            37 => CState::Done,
+            _ => return None,
+        };
+        Some(CasMachine {
+            obj: Arc::clone(obj),
+            pid,
+            old,
+            new,
+            state,
+            val: u32::try_from(words[3]).ok()?,
+            vec: words[4],
+            newvec: words[5],
+            res: words[6] == 1,
+        })
     }
 }
 
@@ -519,6 +574,25 @@ impl CasReadMachine {
             state: CRdState::ReadC,
             val: 0,
         }
+    }
+
+    /// Inverse of [`Machine::encode`] for the `Read` machine.
+    fn decode(obj: &Arc<CasInner>, pid: Pid, words: &[Word]) -> Option<CasReadMachine> {
+        if words.len() != 2 {
+            return None;
+        }
+        let state = match words[0] {
+            1 => CRdState::ReadC,
+            2 => CRdState::Persist,
+            3 => CRdState::Done,
+            _ => return None,
+        };
+        Some(CasReadMachine {
+            obj: Arc::clone(obj),
+            pid,
+            state,
+            val: u32::try_from(words[1]).ok()?,
+        })
     }
 }
 

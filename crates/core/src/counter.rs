@@ -204,6 +204,23 @@ macro_rules! impl_recoverable {
             fn permute_memory(&self, words: &mut [Word], perm: &[u32]) -> bool {
                 self.inner.cas.permute_memory(words, perm)
             }
+
+            fn decodable(&self) -> bool {
+                true
+            }
+
+            fn decode_op(&self, pid: Pid, op: &OpSpec, words: &[Word]) -> Option<Box<dyn Machine>> {
+                match op {
+                    $read_op => ReadMachine::decode(&self.inner, pid, words)
+                        .map(|m| Box::new(m) as Box<dyn Machine>),
+                    $add_op => {
+                        let d = delta_of(&self.inner, op);
+                        AddMachine::decode(&self.inner, pid, d, words)
+                            .map(|m| Box::new(m) as Box<dyn Machine>)
+                    }
+                    _ => None,
+                }
+            }
         }
     };
 }
@@ -275,6 +292,46 @@ impl AddMachine {
             Flavor::Counter => ACK,
             Flavor::Faa => u64::from(v),
         }
+    }
+
+    /// Inverse of [`Machine::encode`]: rebuilds an in-flight `Inc`/`Faa`
+    /// machine, reconstructing a nested CAS attempt through the inner
+    /// object's own decoder (its `old`/`new` arguments are recoverable from
+    /// the nested encoding and must agree with this attempt's `v`/`delta`).
+    fn decode(obj: &Arc<CounterInner>, pid: Pid, delta: u32, words: &[Word]) -> Option<AddMachine> {
+        if words.len() < 3 || words[2] != u64::from(delta) {
+            return None;
+        }
+        let v = u32::try_from(words[1]).ok()?;
+        let flat = words.len() == 3;
+        let state = match words[0] {
+            1 if flat && v == 0 => AddState::ReadValue,
+            2 if flat => AddState::ResetInnerResp { v },
+            3 if flat => AddState::ResetInnerCp { v },
+            4 if flat => AddState::PersistArgs { v },
+            5 if flat => AddState::OuterCheckpoint { v },
+            6 => {
+                let inner = &words[3..];
+                let (old, new) = (
+                    u32::try_from(*inner.get(1)?).ok()?,
+                    u32::try_from(*inner.get(2)?).ok()?,
+                );
+                if old != v || new != v.wrapping_add(delta) {
+                    return None;
+                }
+                let m = obj.cas.decode_op(pid, &OpSpec::Cas { old, new }, inner)?;
+                AddState::RunCas { v, m }
+            }
+            7 if flat => AddState::PersistResp { v },
+            8 if flat && v == 0 => AddState::Done,
+            _ => return None,
+        };
+        Some(AddMachine {
+            obj: Arc::clone(obj),
+            pid,
+            delta,
+            state,
+        })
     }
 }
 
@@ -552,6 +609,22 @@ impl ReadMachine {
             pid,
             val: None,
         }
+    }
+
+    /// Inverse of [`Machine::encode`] for the composed `Read` machine.
+    fn decode(obj: &Arc<CounterInner>, pid: Pid, words: &[Word]) -> Option<ReadMachine> {
+        if words.len() != 1 {
+            return None;
+        }
+        let val = match words[0] {
+            RESP_NONE => None,
+            w => Some(u32::try_from(w).ok()?),
+        };
+        Some(ReadMachine {
+            obj: Arc::clone(obj),
+            pid,
+            val,
+        })
     }
 }
 

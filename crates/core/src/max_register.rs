@@ -123,6 +123,20 @@ impl RecoverableObject for MaxRegister {
         "max-register"
     }
 
+    fn decodable(&self) -> bool {
+        true
+    }
+
+    fn decode_op(&self, pid: Pid, op: &OpSpec, words: &[Word]) -> Option<Box<dyn Machine>> {
+        match *op {
+            OpSpec::WriteMax(v) => WriteMaxMachine::decode(&self.inner, pid, v, words)
+                .map(|m| Box::new(m) as Box<dyn Machine>),
+            OpSpec::Read => MaxReadMachine::decode(&self.inner, pid, words)
+                .map(|m| Box::new(m) as Box<dyn Machine>),
+            _ => None,
+        }
+    }
+
     // No `permute_memory`: although `MR` itself relocates trivially, the
     // `Read` double-collect scans `MR[0..N]` in **fixed index order**, so
     // renaming processes is not an automorphism of the step relation — a
@@ -160,6 +174,30 @@ impl WriteMaxMachine {
             val,
             state: WMState::L47,
         }
+    }
+
+    /// Inverse of [`Machine::encode`] for `WriteMax(val)`.
+    fn decode(
+        obj: &Arc<MaxRegInner>,
+        pid: Pid,
+        val: u32,
+        words: &[Word],
+    ) -> Option<WriteMaxMachine> {
+        if words.len() != 2 || words[1] != u64::from(val) {
+            return None;
+        }
+        let state = match words[0] {
+            47 => WMState::L47,
+            48 => WMState::L48,
+            49 => WMState::Done,
+            _ => return None,
+        };
+        Some(WriteMaxMachine {
+            obj: Arc::clone(obj),
+            pid,
+            val,
+            state,
+        })
     }
 }
 
@@ -251,6 +289,33 @@ impl MaxReadMachine {
             a: vec![0; n],
             res: 0,
         }
+    }
+
+    /// Inverse of [`Machine::encode`] for `Read`.
+    fn decode(obj: &Arc<MaxRegInner>, pid: Pid, words: &[Word]) -> Option<MaxReadMachine> {
+        let n = obj.n;
+        if words.len() != 2 + n as usize {
+            return None;
+        }
+        let state = match words[0] {
+            54 => MRState::Persist,
+            55 => MRState::Done,
+            s if (100..100 + u64::from(n)).contains(&s) => MRState::Verify((s - 100) as u32),
+            s if (200..200 + u64::from(n)).contains(&s) => MRState::Collect((s - 200) as u32),
+            _ => return None,
+        };
+        let res = u32::try_from(words[1]).ok()?;
+        let a = words[2..]
+            .iter()
+            .map(|&w| u32::try_from(w).ok())
+            .collect::<Option<Vec<_>>>()?;
+        Some(MaxReadMachine {
+            obj: Arc::clone(obj),
+            pid,
+            state,
+            a,
+            res,
+        })
     }
 }
 

@@ -165,6 +165,30 @@ pub trait RecoverableObject: Send + Sync {
         false
     }
 
+    /// Whether [`decode_op`](Self::decode_op) can reconstruct every machine
+    /// this object hands out for census-alphabet operations. The external
+    /// (disk-spilling) census engine serializes frontier nodes as words and
+    /// needs this inverse to resume them; the harness routes objects that
+    /// return `false` (the default) to the in-RAM engine instead — the same
+    /// graceful-fallback convention as [`permute_memory`](Self::permute_memory).
+    fn decodable(&self) -> bool {
+        false
+    }
+
+    /// Reconstructs an in-flight operation machine from its
+    /// [`encode`](nvm::Machine::encode) words: the inverse of stepping
+    /// [`invoke`](Self::invoke)`(pid, op)` some number of times and encoding.
+    /// The contract is exact round-tripping — the returned machine must
+    /// encode identically and behave identically from here on (the machine
+    /// encode contract already guarantees the latter given the former).
+    /// Returns `None` for unrecognized words or unsupported operations; the
+    /// default implementation recognizes nothing, matching
+    /// [`decodable`](Self::decodable)` == false`.
+    fn decode_op(&self, pid: Pid, op: &OpSpec, words: &[Word]) -> Option<Box<dyn Machine>> {
+        let _ = (pid, op, words);
+        None
+    }
+
     /// A short name for tables and traces.
     fn name(&self) -> &'static str;
 }

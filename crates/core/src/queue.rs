@@ -224,6 +224,21 @@ impl RecoverableObject for DetectableQueue {
         ObjectKind::Queue
     }
 
+    fn decodable(&self) -> bool {
+        true
+    }
+
+    fn decode_op(&self, pid: Pid, op: &OpSpec, words: &[Word]) -> Option<Box<dyn Machine>> {
+        match *op {
+            OpSpec::Enq(v) => EnqMachine::decode(&self.inner, pid, v, words)
+                .map(|m| Box::new(m) as Box<dyn Machine>),
+            OpSpec::Deq => {
+                DeqMachine::decode(&self.inner, pid, words).map(|m| Box::new(m) as Box<dyn Machine>)
+            }
+            _ => None,
+        }
+    }
+
     fn name(&self) -> &'static str {
         "detectable-queue"
     }
@@ -275,6 +290,40 @@ impl EnqMachine {
             last: 0,
             nxt: 0,
         }
+    }
+
+    /// Inverse of [`Machine::encode`] for `Enq(val)`.
+    fn decode(obj: &Arc<QueueInner>, pid: Pid, val: u32, words: &[Word]) -> Option<EnqMachine> {
+        if words.len() != 6 || words[1] != u64::from(val) {
+            return None;
+        }
+        let state = match words[0] {
+            0 => EState::AllocRead,
+            1 => EState::WriteValue,
+            2 => EState::WriteNext,
+            3 => EState::WriteEnqNode,
+            4 => EState::AllocBump,
+            5 => EState::Checkpoint,
+            6 => EState::ReadTail,
+            7 => EState::ReadNext,
+            8 => EState::PersistLast,
+            9 => EState::CasNext,
+            10 => EState::SwingTail,
+            11 => EState::HelpSwing,
+            12 => EState::PersistResp,
+            13 => EState::Done,
+            _ => return None,
+        };
+        Some(EnqMachine {
+            obj: Arc::clone(obj),
+            pid,
+            val,
+            state,
+            idx: u32::try_from(words[2]).ok()?,
+            alloc_count: u32::try_from(words[3]).ok()?,
+            last: u32::try_from(words[4]).ok()?,
+            nxt: words[5],
+        })
     }
 }
 
@@ -577,6 +626,42 @@ impl DeqMachine {
             nxt: 0,
             val: 0,
         }
+    }
+
+    /// Inverse of [`Machine::encode`] for `Deq`.
+    fn decode(obj: &Arc<QueueInner>, pid: Pid, words: &[Word]) -> Option<DeqMachine> {
+        if words.len() != 6 {
+            return None;
+        }
+        let state = match words[0] {
+            1 => DState::ReadSeq,
+            2 => DState::Checkpoint,
+            3 => DState::ReadHead,
+            4 => DState::ReadTail,
+            5 => DState::ReadNext,
+            6 => DState::RecheckHead,
+            7 => DState::HelpSwingTail,
+            8 => DState::ClaimCas,
+            9 => DState::ReadValue,
+            10 => DState::SwingHead,
+            11 => DState::HelpSwingHead,
+            12 => DState::Done,
+            13 => DState::PersistTarget,
+            // Encode wraps: real responses land on 100 + value, the
+            // sentinels near `u64::MAX` on 97..=99 (see `encode`).
+            s @ (97..=99 | 100..) => DState::PersistResp(s.wrapping_sub(100)),
+            _ => return None,
+        };
+        Some(DeqMachine {
+            obj: Arc::clone(obj),
+            pid,
+            state,
+            id: words[1],
+            h: u32::try_from(words[2]).ok()?,
+            t: u32::try_from(words[3]).ok()?,
+            nxt: words[4],
+            val: words[5],
+        })
     }
 }
 

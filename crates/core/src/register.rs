@@ -241,6 +241,20 @@ impl RecoverableObject for DetectableRegister {
         "detectable-register"
     }
 
+    fn decodable(&self) -> bool {
+        true
+    }
+
+    fn decode_op(&self, pid: Pid, op: &OpSpec, words: &[Word]) -> Option<Box<dyn Machine>> {
+        match *op {
+            OpSpec::Write(v) => WriteMachine::decode(&self.inner, pid, v, words)
+                .map(|m| Box::new(m) as Box<dyn Machine>),
+            OpSpec::Read => ReadMachine::decode(&self.inner, pid, words)
+                .map(|m| Box::new(m) as Box<dyn Machine>),
+            _ => None,
+        }
+    }
+
     // No `permute_memory`: the write path sets *all* of the writer's
     // toggle bits `A[0..N][p][t]` in fixed index order, so renaming
     // processes is not an automorphism of the step relation (concurrent
@@ -297,6 +311,44 @@ impl WriteMachine {
             qtoggle: 0,
             mtoggle: 0,
         }
+    }
+
+    /// Inverse of [`Machine::encode`]: rebuilds an in-flight `Write(val)`
+    /// machine from its encoding.
+    fn decode(
+        obj: &Arc<RegisterInner>,
+        pid: Pid,
+        val: u32,
+        words: &[Word],
+    ) -> Option<WriteMachine> {
+        if words.len() != 6 || words[1] != u64::from(val) {
+            return None;
+        }
+        let state = match words[0] {
+            1 => WState::L1,
+            2 => WState::L2,
+            3 => WState::L3,
+            4 => WState::L4,
+            5 => WState::L5,
+            6 => WState::L6,
+            7 => WState::L7,
+            8 => WState::L8,
+            11 => WState::L11,
+            12 => WState::L12,
+            13 => WState::Done,
+            s if (100..100 + u64::from(obj.n)).contains(&s) => WState::Loop((s - 100) as u32),
+            _ => return None,
+        };
+        Some(WriteMachine {
+            obj: Arc::clone(obj),
+            pid,
+            val,
+            state,
+            qval: u32::try_from(words[2]).ok()?,
+            q: u32::try_from(words[3]).ok()?,
+            qtoggle: words[4],
+            mtoggle: words[5],
+        })
     }
 }
 
@@ -641,6 +693,25 @@ impl ReadMachine {
             state: RState::ReadR,
             val: 0,
         }
+    }
+
+    /// Inverse of [`Machine::encode`] for the `Read` machine.
+    fn decode(obj: &Arc<RegisterInner>, pid: Pid, words: &[Word]) -> Option<ReadMachine> {
+        if words.len() != 2 {
+            return None;
+        }
+        let state = match words[0] {
+            1 => RState::ReadR,
+            2 => RState::Persist,
+            3 => RState::Done,
+            _ => return None,
+        };
+        Some(ReadMachine {
+            obj: Arc::clone(obj),
+            pid,
+            state,
+            val: u32::try_from(words[1]).ok()?,
+        })
     }
 }
 

@@ -138,6 +138,20 @@ impl RecoverableObject for DetectableSwap {
     fn permute_memory(&self, words: &mut [Word], perm: &[u32]) -> bool {
         self.inner.cas.permute_memory(words, perm)
     }
+
+    fn decodable(&self) -> bool {
+        true
+    }
+
+    fn decode_op(&self, pid: Pid, op: &OpSpec, words: &[Word]) -> Option<Box<dyn Machine>> {
+        match *op {
+            OpSpec::Swap(v) => SwapMachine::decode(&self.inner, pid, v, words)
+                .map(|m| Box::new(m) as Box<dyn Machine>),
+            OpSpec::Read => SwapReadMachine::decode(&self.inner, pid, words)
+                .map(|m| Box::new(m) as Box<dyn Machine>),
+            _ => None,
+        }
+    }
 }
 
 // One capsule per attempt: read C, refresh the inner announcement, persist
@@ -170,6 +184,44 @@ impl SwapMachine {
             val,
             state: SwState::ReadValue,
         }
+    }
+
+    /// Inverse of [`Machine::encode`]: rebuilds an in-flight `Swap(val)`,
+    /// reconstructing a nested CAS attempt through the inner object's
+    /// decoder (its `old` must agree with the attempt's observed value and
+    /// its `new` with the swap argument).
+    fn decode(obj: &Arc<SwapInner>, pid: Pid, val: u32, words: &[Word]) -> Option<SwapMachine> {
+        if words.len() < 3 || words[2] != u64::from(val) {
+            return None;
+        }
+        let v = u32::try_from(words[1]).ok()?;
+        let flat = words.len() == 3;
+        let state = match words[0] {
+            1 if flat && v == 0 => SwState::ReadValue,
+            2 if flat => SwState::ResetInnerResp { v },
+            3 if flat => SwState::ResetInnerCp { v },
+            4 if flat => SwState::PersistArg { v },
+            5 if flat => SwState::OuterCheckpoint { v },
+            6 => {
+                let inner = &words[3..];
+                if inner.get(1) != Some(&u64::from(v)) || inner.get(2) != Some(&u64::from(val)) {
+                    return None;
+                }
+                let m = obj
+                    .cas
+                    .decode_op(pid, &OpSpec::Cas { old: v, new: val }, inner)?;
+                SwState::RunCas { v, m }
+            }
+            7 if flat => SwState::PersistResp { v },
+            8 if flat && v == 0 => SwState::Done,
+            _ => return None,
+        };
+        Some(SwapMachine {
+            obj: Arc::clone(obj),
+            pid,
+            val,
+            state,
+        })
     }
 }
 
@@ -414,6 +466,24 @@ struct SwapReadMachine {
     obj: Arc<SwapInner>,
     pid: Pid,
     val: Option<u32>,
+}
+
+impl SwapReadMachine {
+    /// Inverse of [`Machine::encode`] for the composed `Read` machine.
+    fn decode(obj: &Arc<SwapInner>, pid: Pid, words: &[Word]) -> Option<SwapReadMachine> {
+        if words.len() != 1 {
+            return None;
+        }
+        let val = match words[0] {
+            RESP_NONE => None,
+            w => Some(u32::try_from(w).ok()?),
+        };
+        Some(SwapReadMachine {
+            obj: Arc::clone(obj),
+            pid,
+            val,
+        })
+    }
 }
 
 impl Machine for SwapReadMachine {

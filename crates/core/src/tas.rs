@@ -140,6 +140,23 @@ impl RecoverableObject for DetectableTas {
     fn permute_memory(&self, words: &mut [Word], perm: &[u32]) -> bool {
         self.inner.cas.permute_memory(words, perm)
     }
+
+    fn decodable(&self) -> bool {
+        true
+    }
+
+    fn decode_op(&self, pid: Pid, op: &OpSpec, words: &[Word]) -> Option<Box<dyn Machine>> {
+        let flavor = match op {
+            OpSpec::TestAndSet => TasFlavor::Set,
+            OpSpec::Reset => TasFlavor::Reset,
+            OpSpec::Read => {
+                return TasReadMachine::decode(&self.inner, pid, words)
+                    .map(|m| Box::new(m) as Box<dyn Machine>)
+            }
+            _ => return None,
+        };
+        TasMachine::decode(&self.inner, pid, flavor, words).map(|m| Box::new(m) as Box<dyn Machine>)
+    }
 }
 
 /// Which operation the shared machine is executing.
@@ -187,6 +204,43 @@ impl TasMachine {
             flavor,
             state: TState::ReadValue,
         }
+    }
+
+    /// Inverse of [`Machine::encode`]: rebuilds an in-flight `TestAndSet`
+    /// or `Reset`, routing a nested CAS attempt through the inner object's
+    /// decoder (its arguments are fixed by the flavor).
+    fn decode(
+        obj: &Arc<TasInner>,
+        pid: Pid,
+        flavor: TasFlavor,
+        words: &[Word],
+    ) -> Option<TasMachine> {
+        if words.len() < 2 || words[1] != flavor as u64 {
+            return None;
+        }
+        let rest = &words[2..];
+        let state = match words[0] {
+            1 if rest.is_empty() => TState::ReadValue,
+            2 if rest.is_empty() => TState::ResetInnerResp,
+            3 if rest.is_empty() => TState::ResetInnerCp,
+            4 if rest.is_empty() => TState::OuterCheckpoint,
+            5 => {
+                let (old, new) = flavor.cas_args();
+                if rest.get(1) != Some(&u64::from(old)) || rest.get(2) != Some(&u64::from(new)) {
+                    return None;
+                }
+                TState::RunCas(obj.cas.decode_op(pid, &OpSpec::Cas { old, new }, rest)?)
+            }
+            6 if rest.len() == 1 => TState::PersistResp(rest[0]),
+            7 if rest.is_empty() => TState::Done,
+            _ => return None,
+        };
+        Some(TasMachine {
+            obj: Arc::clone(obj),
+            pid,
+            flavor,
+            state,
+        })
     }
 }
 
@@ -423,6 +477,24 @@ struct TasReadMachine {
     obj: Arc<TasInner>,
     pid: Pid,
     val: Option<u32>,
+}
+
+impl TasReadMachine {
+    /// Inverse of [`Machine::encode`] for the composed `Read` machine.
+    fn decode(obj: &Arc<TasInner>, pid: Pid, words: &[Word]) -> Option<TasReadMachine> {
+        if words.len() != 1 {
+            return None;
+        }
+        let val = match words[0] {
+            RESP_NONE => None,
+            w => Some(u32::try_from(w).ok()?),
+        };
+        Some(TasReadMachine {
+            obj: Arc::clone(obj),
+            pid,
+            val,
+        })
+    }
 }
 
 impl Machine for TasReadMachine {

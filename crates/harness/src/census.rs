@@ -108,6 +108,7 @@ use detectable::{OpSpec, RecoverableObject};
 use nvm::{Memory, Pid, SimMemory, StateArena, Word};
 
 use crate::driver::{Driver, RetryPolicy};
+use crate::external::SpillStats;
 
 /// Result of a census run.
 #[derive(Clone, Debug)]
@@ -132,6 +133,16 @@ pub struct CensusReport {
     /// step budget. A truncated census that misses the bound is a coverage
     /// artifact, not a refutation — see [`bound_failed`](Self::bound_failed).
     pub truncated: bool,
+    /// Estimated peak resident bytes of the engine's own data structures
+    /// (visited/shared sets, arena, frontier — not process RSS). In-RAM
+    /// engines derive it from final set sizes (their sets only grow);
+    /// the external engine tracks its bounded buffers generation by
+    /// generation. `0` means the engine predates the accounting (none do
+    /// today) — the solo drive reports its seen-set footprint.
+    pub peak_resident_bytes: u64,
+    /// Disk-tier counters when the external engine ran; `None` for the
+    /// in-RAM engines.
+    pub spill: Option<SpillStats>,
 }
 
 impl CensusReport {
@@ -204,7 +215,18 @@ pub fn census_drive_engine(
         resolved_ops: completed as u64,
         persists: mem.stats().persists - persists_before,
         truncated,
+        peak_resident_bytes: set_bytes(seen.len(), mem.shared_key().len() * 8),
+        spill: None,
     }
+}
+
+/// Estimated resident bytes of a hash set holding `len` entries of
+/// `entry_bytes` payload each: payload plus ~32 bytes of table overhead
+/// per entry (bucket word, hash, capacity headroom). All census peak
+/// estimates are built from this — they account the engine's own data
+/// structures, not allocator slack or process RSS.
+fn set_bytes(len: usize, entry_bytes: usize) -> u64 {
+    (len as u64) * (entry_bytes as u64 + 32)
 }
 
 /// The constructive Theorem 1 witness: a Gray-code walk over all `2^N`
@@ -250,6 +272,22 @@ pub struct BfsConfig {
     /// [module docs](self). Off by default; the exact engine remains the
     /// reference.
     pub dominance: bool,
+    /// Directory for the external-memory engine's spill files (arena
+    /// segments, frontier generations, sort runs, the visited-fingerprint
+    /// file). `Some` routes [`Scenario::census`](crate::Scenario::census)
+    /// BFS runs through [`census_bfs_external_engine`] when the object
+    /// supports machine decoding
+    /// ([`RecoverableObject::decodable`]); `None` (the default) keeps
+    /// everything in RAM.
+    ///
+    /// [`census_bfs_external_engine`]: crate::external::census_bfs_external_engine
+    pub disk_dir: Option<std::path::PathBuf>,
+    /// Soft RAM target in bytes for the external engine's bounded buffers
+    /// (arena segment + hot cache, sort chunks, admission bitmaps). `None`
+    /// picks a default sized for the host; small values force multi-segment
+    /// arena spill and multi-run external sorts (the differential tests use
+    /// this). Advisory for the in-RAM engines (they ignore it).
+    pub ram_budget: Option<usize>,
 }
 
 impl Default for BfsConfig {
@@ -259,6 +297,8 @@ impl Default for BfsConfig {
             max_states: 2_000_000,
             parallelism: 1,
             dominance: false,
+            disk_dir: None,
+            ram_budget: None,
         }
     }
 }
@@ -292,7 +332,7 @@ fn encode_node(mem: &SimMemory, driver: &Driver, ops_used: usize) -> Vec<Word> {
 /// arena's routing/index hash on admission (a pure function of the image,
 /// as [`StateArena::intern`] requires — no third pass to re-hash the same
 /// words).
-fn image_hashes(image: &[Word]) -> (u64, u64) {
+pub(crate) fn image_hashes(image: &[Word]) -> (u64, u64) {
     let mut halves = [0u64; 2];
     for (salt, half) in halves.iter_mut().enumerate() {
         let mut h = DefaultHasher::new();
@@ -317,7 +357,7 @@ fn image_hashes(image: &[Word]) -> (u64, u64) {
 /// (from [`image_hashes`]) with the driver key, so the two halves collide
 /// independently on the memory component (true 128-bit resistance, not
 /// one 64-bit hash copied twice).
-fn fingerprint_image(
+pub(crate) fn fingerprint_image(
     image_hashes: (u64, u64),
     driver: &Driver,
     ops_used: usize,
@@ -481,7 +521,7 @@ impl SharedSeen {
 }
 
 /// The crash-free retry policy every census engine drives under.
-const CENSUS_RETRY: RetryPolicy = RetryPolicy {
+pub(crate) const CENSUS_RETRY: RetryPolicy = RetryPolicy {
     retry_on_fail: false,
     max_retries: 0,
     reset_per_op: false,
@@ -793,16 +833,29 @@ pub fn census_bfs_engine(
         });
     }
 
+    let admitted = visited.admitted.load(Ordering::Relaxed);
+    // Peak estimate from final sizes: the arena, the visited set and the
+    // shared-configuration set only grow, and the frontier never holds
+    // more than the admitted node count.
+    let shared_entry = mem.shared_key().len() * 8;
+    let node_bytes = std::mem::size_of::<BfsNode>() + obj.processes() as usize * 48;
+    let peak = arena.stored_words() as u64 * 8
+        + set_bytes(admitted, 24)
+        + set_bytes(shared_seen.len(), shared_entry)
+        + (admitted * node_bytes) as u64;
+
     CensusReport {
         distinct_shared: shared_seen.len(),
         theorem_bound: (1u64 << obj.processes()) - 1,
         // Every admitted node is expanded exactly once before the search
         // drains, so admissions are the expansion count.
-        work: visited.admitted.load(Ordering::Relaxed),
+        work: admitted,
         steps: steps.into_inner(),
         resolved_ops: resolved.into_inner(),
         persists: persists.into_inner(),
         truncated: visited.truncated.load(Ordering::Relaxed),
+        peak_resident_bytes: peak,
+        spill: None,
     }
 }
 
@@ -896,6 +949,10 @@ pub fn census_bfs_snapshot_engine(
     }
 
     mem.restore(&start);
+    let full_entry = mem.layout().total_words() * 8;
+    let peak = set_bytes(visited.len(), full_entry)
+        + set_bytes(shared_seen.len(), mem.shared_key().len() * 8)
+        + (visited.len() * (full_entry + obj.processes() as usize * 48)) as u64;
     CensusReport {
         distinct_shared: shared_seen.len(),
         theorem_bound: (1u64 << obj.processes()) - 1,
@@ -904,6 +961,8 @@ pub fn census_bfs_snapshot_engine(
         resolved_ops: resolved,
         persists: mem.stats().persists - persists_before,
         truncated,
+        peak_resident_bytes: peak,
+        spill: None,
     }
 }
 

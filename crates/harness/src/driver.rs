@@ -166,6 +166,31 @@ pub fn op_key(op: &OpSpec) -> Word {
     }
 }
 
+/// Inverse of [`op_key`]: reconstructs the operation from its visited-set
+/// word. Returns `None` for words that no [`OpSpec`] maps to.
+pub fn op_from_key(key: Word) -> Option<OpSpec> {
+    const TAG: u32 = 60;
+    let payload = key & ((1u64 << TAG) - 1);
+    let arg = u32::try_from(payload).ok();
+    match key >> TAG {
+        1 if payload == 0 => Some(OpSpec::Read),
+        2 if payload == 0 => Some(OpSpec::Inc),
+        3 if payload == 0 => Some(OpSpec::TestAndSet),
+        4 if payload == 0 => Some(OpSpec::Reset),
+        5 if payload == 0 => Some(OpSpec::Deq),
+        6 => Some(OpSpec::Write(arg?)),
+        7 => Some(OpSpec::Cas {
+            old: (payload >> 30) as u32,
+            new: (payload & ((1 << 30) - 1)) as u32,
+        }),
+        8 => Some(OpSpec::WriteMax(arg?)),
+        10 => Some(OpSpec::Faa(arg?)),
+        11 => Some(OpSpec::Swap(arg?)),
+        12 => Some(OpSpec::Enq(arg?)),
+        _ => None,
+    }
+}
+
 /// Drives N processes' operation life cycles over a shared memory,
 /// recording the execution [`History`].
 ///
@@ -528,6 +553,69 @@ impl Driver {
             }
         }
     }
+
+    /// Serializes a crash-free frontier driver — every process `Idle` or
+    /// `Running` with zero retries, as the census produces — into a flat
+    /// word vector that [`decode_frontier`](Self::decode_frontier) can
+    /// reconstruct. Returns `None` if any process is in another stage or
+    /// has consumed retries (such drivers also carry history-recording
+    /// state this codec deliberately does not capture).
+    ///
+    /// Per process: `0` for `Idle`, or `1, op_key, len, machine words…` for
+    /// `Running`. The external census engine stores these words in its
+    /// on-disk frontier instead of live machines.
+    pub fn try_encode_frontier(&self, out: &mut Vec<Word>) -> bool {
+        let start = out.len();
+        for (st, retries) in self.states.iter().zip(&self.retries) {
+            if *retries != 0 {
+                out.truncate(start);
+                return false;
+            }
+            match st {
+                ProcState::Idle => out.push(0),
+                ProcState::Running { op, m } => {
+                    out.push(1);
+                    out.push(op_key(op));
+                    let e = m.encode();
+                    out.push(e.len() as Word);
+                    out.extend(e);
+                }
+                _ => {
+                    out.truncate(start);
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Reconstructs a history-less driver from
+    /// [`try_encode_frontier`](Self::try_encode_frontier) words, rebuilding
+    /// each `Running` machine through [`RecoverableObject::decode_op`].
+    /// Returns `None` on malformed words or when the object cannot decode a
+    /// machine — callers fall back to the in-RAM engine in that case.
+    pub fn decode_frontier(obj: &dyn RecoverableObject, n: u32, words: &[Word]) -> Option<Driver> {
+        let mut d = Driver::without_history(n);
+        let mut at = 0usize;
+        for i in 0..n as usize {
+            match *words.get(at)? {
+                0 => at += 1,
+                1 => {
+                    let op = op_from_key(*words.get(at + 1)?)?;
+                    let len = usize::try_from(*words.get(at + 2)?).ok()?;
+                    let enc = words.get(at + 3..at + 3 + len)?;
+                    let m = obj.decode_op(Pid::new(i as u32), &op, enc)?;
+                    d.states[i] = ProcState::Running { op, m };
+                    at += 3 + len;
+                }
+                _ => return None,
+            }
+        }
+        if at != words.len() {
+            return None;
+        }
+        Some(d)
+    }
 }
 
 #[cfg(test)]
@@ -642,6 +730,86 @@ mod tests {
         assert_eq!(d.run_solo(&reg, &mem, 0, OpSpec::Write(5), 1000), ACK);
         assert_eq!(d.run_solo(&reg, &mem, 1, OpSpec::Read, 1000), 5);
         assert!(d.history().events().is_empty());
+    }
+
+    #[test]
+    fn frontier_codec_roundtrips_running_and_idle() {
+        let (reg, mem) = build_world(|b| DetectableRegister::new(b, 3, 0));
+        let mut d = Driver::without_history(3);
+        let retry = RetryPolicy::default();
+        d.invoke(&reg, &mem, 0, OpSpec::Write(4), &retry);
+        let _ = d.step(&reg, &mem, 0, &retry);
+        d.invoke(&reg, &mem, 2, OpSpec::Read, &retry);
+
+        let mut words = Vec::new();
+        assert!(d.try_encode_frontier(&mut words));
+        let d2 = Driver::decode_frontier(&reg, 3, &words).expect("decode");
+
+        let key = |d: &Driver| {
+            let mut k = Vec::new();
+            d.encode_key(&mut k);
+            k
+        };
+        assert_eq!(key(&d), key(&d2));
+
+        // The decoded driver finishes the in-flight ops identically.
+        let mut a = d.clone();
+        let mut b = d2;
+        for i in [0usize, 2] {
+            let snap = mem.snapshot();
+            let ra = loop {
+                if let StepOutcome::Returned(w) = a.step(&reg, &mem, i, &retry) {
+                    break w;
+                }
+            };
+            mem.restore(&snap);
+            let rb = loop {
+                if let StepOutcome::Returned(w) = b.step(&reg, &mem, i, &retry) {
+                    break w;
+                }
+            };
+            assert_eq!(ra, rb);
+        }
+    }
+
+    #[test]
+    fn frontier_codec_refuses_non_census_states() {
+        let (cas, mem) = build_world(|b| DetectableCas::new(b, 2, 0));
+        let mut d = Driver::without_history(2);
+        let retry = RetryPolicy::default();
+        d.invoke(&cas, &mem, 0, OpSpec::Cas { old: 0, new: 1 }, &retry);
+        d.crash(&mem, CrashPolicy::DropAll);
+        let mut words = Vec::new();
+        assert!(!d.try_encode_frontier(&mut words));
+        assert!(words.is_empty());
+        // Malformed words refuse to decode.
+        assert!(Driver::decode_frontier(&cas, 2, &[9]).is_none());
+        assert!(Driver::decode_frontier(&cas, 2, &[0]).is_none());
+        assert!(Driver::decode_frontier(&cas, 2, &[0, 0, 7]).is_none());
+    }
+
+    #[test]
+    fn op_key_inverts() {
+        let ops = [
+            OpSpec::Read,
+            OpSpec::Inc,
+            OpSpec::TestAndSet,
+            OpSpec::Reset,
+            OpSpec::Deq,
+            OpSpec::Write(3),
+            OpSpec::Cas { old: 2, new: 5 },
+            OpSpec::WriteMax(9),
+            OpSpec::Faa(7),
+            OpSpec::Swap(1),
+            OpSpec::Enq(6),
+        ];
+        for op in ops {
+            assert_eq!(op_from_key(op_key(&op)), Some(op), "{op}");
+        }
+        assert_eq!(op_from_key(0), None);
+        assert_eq!(op_from_key(u64::MAX), None);
+        // A tag with a stray payload where none is allowed refuses.
+        assert_eq!(op_from_key((1u64 << 60) | 5), None);
     }
 
     #[test]

@@ -154,6 +154,15 @@ pub struct ExploreConfig {
     /// count outgrows RAM degrades to re-exploring evicted states instead
     /// of aborting — totals stay exact, only `unique_nodes`/work grows.
     pub memo_budget: Option<usize>,
+    /// Disk tier for the pruning memo: with a directory set, generations
+    /// evicted under [`memo_budget`](Self::memo_budget) are written as
+    /// sorted run files instead of being forgotten, and a memo miss probes
+    /// the runs (newest first, binary search) before declaring the
+    /// configuration unseen — so a budget-bound run keeps its pruning
+    /// knowledge at disk latency instead of re-exploring. Totals are
+    /// unchanged either way; the run files live in a unique subdirectory
+    /// removed when the exploration finishes.
+    pub disk_dir: Option<std::path::PathBuf>,
     /// Worker threads for subtree exploration. `0` and `1` both mean
     /// in-place sequential search; results on runs that finish within the
     /// leaf budget are deterministic regardless of the setting (see the
@@ -175,6 +184,7 @@ impl Default for ExploreConfig {
             // exhaustive run fits, small enough that a state-space blow-up
             // degrades to re-exploration instead of OOM.
             memo_budget: Some(4_000_000),
+            disk_dir: None,
             parallelism: 1,
         }
     }
@@ -199,10 +209,15 @@ pub struct ExploreOutcome {
     /// Whether symmetry reduction was actually active (requested *and*
     /// supported by the object, layout, and workload shape).
     pub symmetry: bool,
-    /// Memo entries dropped by generation eviction under
+    /// Memo entries dropped from RAM by generation eviction under
     /// [`ExploreConfig::memo_budget`] (informational; eviction never
-    /// changes totals, it only forces re-exploration).
+    /// changes totals, it only forces re-exploration — or, with
+    /// [`ExploreConfig::disk_dir`], a disk probe).
     pub memo_evictions: usize,
+    /// Memo hits served from spilled run files
+    /// ([`ExploreConfig::disk_dir`]): pruning that a RAM-only budgeted run
+    /// would have lost to eviction.
+    pub memo_disk_hits: usize,
 }
 
 impl ExploreOutcome {
@@ -305,6 +320,67 @@ struct MemoShard {
     cur: HashMap<(u64, u64), u64>,
     prev: HashMap<(u64, u64), u64>,
     evicted: usize,
+    /// Spilled generations of this shard, oldest first (disk tier only).
+    runs: Vec<std::path::PathBuf>,
+}
+
+/// The memo's disk tier: a unique run directory plus counters. Created by
+/// [`Memo::new`] when [`ExploreConfig::disk_dir`] is set; the directory is
+/// removed when the memo is dropped.
+struct MemoDisk {
+    dir: std::path::PathBuf,
+    seq: AtomicUsize,
+    disk_hits: AtomicUsize,
+}
+
+impl MemoDisk {
+    /// Writes one evicted generation as a `(k0, k1, count)`-sorted run
+    /// file and returns its path. I/O failure panics: a half-written run
+    /// would silently serve wrong counts.
+    fn spill(&self, entries: &HashMap<(u64, u64), u64>) -> std::path::PathBuf {
+        use std::io::Write;
+        let mut sorted: Vec<_> = entries.iter().map(|(&k, &v)| (k, v)).collect();
+        sorted.sort_unstable_by_key(|&(k, _)| k);
+        let path = self.dir.join(format!(
+            "memo-{}.run",
+            self.seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        let mut w =
+            std::io::BufWriter::new(std::fs::File::create(&path).expect("create memo run file"));
+        for ((k0, k1), count) in sorted {
+            for word in [k0, k1, count] {
+                w.write_all(&word.to_le_bytes()).expect("write memo run");
+            }
+        }
+        w.flush().expect("flush memo run");
+        path
+    }
+
+    /// Binary-searches one sorted run file for `key` (24-byte records).
+    fn probe(path: &std::path::Path, key: (u64, u64)) -> Option<u64> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut f = std::fs::File::open(path).ok()?;
+        let records = f.metadata().ok()?.len() / 24;
+        let (mut lo, mut hi) = (0u64, records);
+        let mut buf = [0u8; 24];
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            f.seek(SeekFrom::Start(mid * 24)).ok()?;
+            f.read_exact(&mut buf).ok()?;
+            let k = (
+                u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes")),
+                u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes")),
+            );
+            match k.cmp(&key) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => {
+                    return Some(u64::from_le_bytes(buf[16..24].try_into().expect("8 bytes")));
+                }
+            }
+        }
+        None
+    }
 }
 
 /// The visited-node memo: configuration fingerprint → exact subtree leaf
@@ -319,17 +395,45 @@ struct Memo {
     /// Per-generation entry cap per shard (`usize::MAX` when unbounded).
     /// Resident entries are bounded by `2 × cap × SHARDS ≈ budget`.
     shard_cap: usize,
+    /// Disk tier for evicted generations ([`ExploreConfig::disk_dir`]).
+    disk: Option<MemoDisk>,
+}
+
+/// Monotone memo-directory counter so concurrent explorations under one
+/// `disk_dir` never collide.
+static MEMO_DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+impl Drop for Memo {
+    fn drop(&mut self) {
+        if let Some(disk) = &self.disk {
+            let _ = std::fs::remove_dir_all(&disk.dir);
+        }
+    }
 }
 
 impl Memo {
     const SHARDS: usize = 64;
 
-    fn new(budget: Option<usize>) -> Self {
+    fn new(budget: Option<usize>, disk_dir: Option<&std::path::Path>) -> Self {
+        let disk = disk_dir.map(|base| {
+            let dir = base.join(format!(
+                "explore-memo-{}-{}",
+                std::process::id(),
+                MEMO_DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&dir).expect("create memo spill dir");
+            MemoDisk {
+                dir,
+                seq: AtomicUsize::new(0),
+                disk_hits: AtomicUsize::new(0),
+            }
+        });
         Memo {
             shards: (0..Self::SHARDS)
                 .map(|_| Mutex::new(MemoShard::default()))
                 .collect(),
             shard_cap: budget.map_or(usize::MAX, |b| b.div_ceil(Self::SHARDS * 2).max(1)),
+            disk,
         }
     }
 
@@ -348,9 +452,22 @@ impl Memo {
         // eviction count honest — a promoted entry is resident, not
         // dropped, when its old generation retires. Promotion may itself
         // rotate, which is fine: the value is already copied out.
-        let count = shard.prev.remove(&key)?;
-        self.insert_locked(&mut shard, key, count);
-        Some(count)
+        if let Some(count) = shard.prev.remove(&key) {
+            self.insert_locked(&mut shard, key, count);
+            return Some(count);
+        }
+        // Double miss: consult the spilled generations, newest first (a
+        // re-spilled hot entry supersedes its older copies — the values are
+        // identical anyway, counts are deterministic per configuration).
+        let disk = self.disk.as_ref()?;
+        for run in shard.runs.iter().rev() {
+            if let Some(count) = MemoDisk::probe(run, key) {
+                disk.disk_hits.fetch_add(1, Ordering::Relaxed);
+                self.insert_locked(&mut shard, key, count);
+                return Some(count);
+            }
+        }
+        None
     }
 
     fn insert(&self, key: (u64, u64), count: u64) {
@@ -362,6 +479,11 @@ impl Memo {
         if shard.cur.len() >= self.shard_cap && !shard.cur.contains_key(&key) {
             let full = std::mem::take(&mut shard.cur);
             let dropped = std::mem::replace(&mut shard.prev, full);
+            if let Some(disk) = &self.disk {
+                if !dropped.is_empty() {
+                    shard.runs.push(disk.spill(&dropped));
+                }
+            }
             shard.evicted += dropped.len();
         }
         shard.cur.insert(key, count);
@@ -372,6 +494,12 @@ impl Memo {
             .iter()
             .map(|s| s.lock().expect("memo shard poisoned").evicted)
             .sum()
+    }
+
+    fn disk_hits(&self) -> usize {
+        self.disk
+            .as_ref()
+            .map_or(0, |d| d.disk_hits.load(Ordering::Relaxed))
     }
 }
 
@@ -386,13 +514,13 @@ struct Progress {
 }
 
 impl Progress {
-    fn new(max_leaves: usize, memo_budget: Option<usize>) -> Self {
+    fn new(cfg: &ExploreConfig) -> Self {
         Progress {
             leaves: AtomicUsize::new(0),
             abort: AtomicBool::new(false),
             min_violation: AtomicUsize::new(usize::MAX),
-            max_leaves,
-            memo: Memo::new(memo_budget),
+            max_leaves: cfg.max_leaves,
+            memo: Memo::new(cfg.memo_budget, cfg.disk_dir.as_deref()),
         }
     }
 
@@ -945,7 +1073,7 @@ pub fn explore_engine(
     cfg: &ExploreConfig,
 ) -> ExploreOutcome {
     let root = Node::root(obj.processes());
-    let progress = Progress::new(cfg.max_leaves, cfg.memo_budget);
+    let progress = Progress::new(cfg);
     let sym = symmetry_supported(obj, mem, source, cfg);
     if cfg.parallelism <= 1 {
         let mut engine = Engine::new(obj, cfg, source, &progress, 0, sym);
@@ -958,6 +1086,7 @@ pub fn explore_engine(
             memo_hits: engine.memo_hits,
             symmetry: sym,
             memo_evictions: progress.memo.evictions(),
+            memo_disk_hits: progress.memo.disk_hits(),
         };
     }
     explore_parallel(obj, mem, source, cfg, root, &progress, sym)
@@ -1154,6 +1283,7 @@ fn explore_parallel(
         memo_hits,
         symmetry: sym,
         memo_evictions: progress.memo.evictions(),
+        memo_disk_hits: progress.memo.disk_hits(),
     }
 }
 
@@ -1498,6 +1628,63 @@ mod tests {
             tiny.unique_nodes >= unbounded.unique_nodes,
             "eviction can only add re-exploration"
         );
+    }
+
+    #[test]
+    fn memo_disk_tier_preserves_totals_and_serves_hits() {
+        let (cas, mem) = build_world(|b| DetectableCas::new(b, 2, 0));
+        let w = vec![
+            vec![
+                OpSpec::Cas { old: 0, new: 1 },
+                OpSpec::Cas { old: 1, new: 2 },
+            ],
+            vec![OpSpec::Cas { old: 0, new: 2 }, OpSpec::Read],
+        ];
+        let unbounded = explore_engine(
+            &cas,
+            &mem,
+            OpSource::PerProcess(&w),
+            &ExploreConfig {
+                memo_budget: None,
+                ..Default::default()
+            },
+        );
+        assert_eq!(unbounded.memo_disk_hits, 0, "no disk tier configured");
+        let disk_dir =
+            std::env::temp_dir().join(format!("explore-disk-test-{}", std::process::id()));
+        std::fs::create_dir_all(&disk_dir).expect("test dir");
+        let spilled = explore_engine(
+            &cas,
+            &mem,
+            OpSource::PerProcess(&w),
+            &ExploreConfig {
+                memo_budget: Some(128),
+                disk_dir: Some(disk_dir.clone()),
+                ..Default::default()
+            },
+        );
+        unbounded.assert_clean();
+        spilled.assert_clean();
+        assert_eq!(
+            spilled.leaves, unbounded.leaves,
+            "totals are disk-invariant"
+        );
+        assert!(
+            spilled.memo_disk_hits > 0,
+            "a budget of 128 over {} unique nodes must spill and re-hit",
+            unbounded.unique_nodes
+        );
+        // Spilled pruning knowledge survives eviction: strictly less
+        // re-exploration than the RAM-only budgeted run would need, never
+        // more than the budgeted run's node count.
+        assert!(spilled.unique_nodes >= unbounded.unique_nodes);
+        // The unique memo subdirectory is removed when the run finishes.
+        assert_eq!(
+            std::fs::read_dir(&disk_dir).unwrap().count(),
+            0,
+            "memo run files must be cleaned up"
+        );
+        let _ = std::fs::remove_dir_all(&disk_dir);
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod aux_state;
 pub mod census;
 pub mod driver;
 pub mod explore;
+pub mod external;
 pub mod history;
 pub mod linearize;
 pub mod perturb;
@@ -63,6 +64,7 @@ pub use census::{
 };
 pub use driver::{op_key, Driver, ProcState, RetryPolicy, StepOutcome};
 pub use explore::{explore_engine, ExploreConfig, ExploreOutcome, OpSource, SymmetryMode};
+pub use external::{census_bfs_external_engine, SpillStats};
 pub use history::{Event, History, OpRecord, Outcome};
 pub use linearize::{check_execution, check_history, check_records, Violation, MAX_CHECKED_OPS};
 pub use perturb::{

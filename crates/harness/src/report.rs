@@ -73,7 +73,8 @@ fn stats_json(s: &RunStats) -> String {
     format!(
         "{{\"executions\":{},\"resolved_ops\":{},\"crashes\":{},\"steps\":{},\
          \"persists\":{},\"distinct_configs\":{},\"theorem_bound\":{},\
-         \"truncated\":{},\"shared_bits\":{},\"private_bits\":{}}}",
+         \"truncated\":{},\"shared_bits\":{},\"private_bits\":{},\
+         \"peak_resident_bytes\":{},\"spilled_bytes\":{}}}",
         s.executions,
         s.resolved_ops,
         s.crashes,
@@ -84,6 +85,8 @@ fn stats_json(s: &RunStats) -> String {
         s.truncated,
         s.shared_bits,
         s.private_bits,
+        s.peak_resident_bytes,
+        s.spilled_bytes,
     )
 }
 

@@ -54,6 +54,7 @@ use nvm::{CacheMode, CrashPolicy, LayoutBuilder, SimMemory};
 
 use crate::census::{census_bfs_engine, census_drive_engine, BfsConfig};
 use crate::explore::{explore_engine, ExploreConfig, OpSource, SymmetryMode};
+use crate::external::census_bfs_external_engine;
 use crate::linearize::check_execution;
 use crate::perturb::{validate_witness_on_impl, witness_search, PerturbWitness};
 use crate::sim::{sim_engine, SimConfig, SimReport};
@@ -513,7 +514,13 @@ impl Scenario {
                         private_bits,
                     );
                 }
-                census_bfs_engine(&*obj, &mem, &alphabet, cfg)
+                if cfg.disk_dir.is_some() && obj.decodable() {
+                    // Disk tier requested and the object can rebuild its
+                    // machines from their encodings: spill the frontier.
+                    census_bfs_external_engine(&*obj, &mem, &alphabet, cfg)
+                } else {
+                    census_bfs_engine(&*obj, &mem, &alphabet, cfg)
+                }
             }
         };
         let bound_met =
@@ -553,6 +560,8 @@ impl Scenario {
                 truncated: report.truncated,
                 shared_bits,
                 private_bits,
+                peak_resident_bytes: report.peak_resident_bytes,
+                spilled_bytes: report.spill.map_or(0, |s| s.bytes_spilled),
                 ..RunStats::default()
             },
         }
@@ -697,6 +706,13 @@ pub struct RunStats {
     pub shared_bits: u64,
     /// Logical private NVM bits allocated by the layout.
     pub private_bits: u64,
+    /// Estimated peak resident bytes of the runner's data structures
+    /// (census engines report it; other runners leave it zero). See
+    /// [`CensusReport::peak_resident_bytes`](crate::CensusReport).
+    pub peak_resident_bytes: u64,
+    /// Bytes the external-memory census spilled to disk (frontier
+    /// generations, sort runs, seen files; zero for in-RAM runs).
+    pub spilled_bytes: u64,
 }
 
 impl RunStats {
@@ -712,6 +728,10 @@ impl RunStats {
         self.distinct_configs += other.distinct_configs;
         self.theorem_bound = self.theorem_bound.max(other.theorem_bound);
         self.truncated |= other.truncated;
+        // Peak is a high-water mark, not a flow: cells may run
+        // concurrently, but the max is the honest lower bound either way.
+        self.peak_resident_bytes = self.peak_resident_bytes.max(other.peak_resident_bytes);
+        self.spilled_bytes += other.spilled_bytes;
         if self.shared_bits == 0 {
             self.shared_bits = other.shared_bits;
             self.private_bits = other.private_bits;

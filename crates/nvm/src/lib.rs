@@ -51,6 +51,7 @@
 
 pub mod ann;
 pub mod arena;
+pub mod external;
 pub mod layout;
 pub mod machine;
 pub mod memory;
@@ -59,6 +60,7 @@ pub mod word;
 
 pub use ann::AnnBank;
 pub use arena::{CompactState, StateArena};
+pub use external::{SpillArenaStats, SpillConfig, SpillableArena};
 pub use layout::{Layout, LayoutBuilder, Loc, Region, Space};
 pub use machine::{run_to_completion, Machine, Poll, StepLimitError};
 pub use memory::{

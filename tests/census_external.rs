@@ -1,0 +1,206 @@
+//! Differential pin of the external-memory census engine against the
+//! in-RAM engine, across every object kind.
+//!
+//! The external engine ([`census_bfs_external_engine`]) replaces the
+//! resident visited set, frontier and image arena with sorted spill files
+//! and a segment-spilling arena; its admission semantics are argued
+//! equivalent to the sequential in-RAM engine in the module docs. These
+//! tests *pin* that equivalence empirically on all eight object kinds, in
+//! exact and dominance mode, complete and truncated, with the RAM budget
+//! forced tiny enough that every run actually spills (multi-segment
+//! arena, multi-run external sorts) — a disk tier that silently kept
+//! everything resident would prove nothing.
+
+use detectable::{
+    DetectableCas, DetectableCounter, DetectableFaa, DetectableQueue, DetectableRegister,
+    DetectableSwap, DetectableTas, MaxRegister, ObjectKind, RecoverableObject,
+};
+use harness::{
+    build_world, census_bfs_engine, census_bfs_external_engine, default_alphabet, BfsConfig,
+    Scenario, Workload,
+};
+use nvm::SimMemory;
+
+/// Debug builds explore 3-process worlds, release 4 — same contract the
+/// other scale-sensitive integration tests use.
+fn world_n() -> u32 {
+    if cfg!(debug_assertions) {
+        3
+    } else {
+        4
+    }
+}
+
+fn spill_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("census-ext-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&d).expect("spill dir");
+    d
+}
+
+/// Builds one world per object kind at `n` processes.
+fn worlds(n: u32) -> Vec<(ObjectKind, Box<dyn RecoverableObject>, SimMemory)> {
+    let mut out: Vec<(ObjectKind, Box<dyn RecoverableObject>, SimMemory)> = Vec::new();
+    macro_rules! world {
+        ($kind:expr, $ctor:expr) => {{
+            let (obj, mem) = build_world($ctor);
+            out.push(($kind, Box::new(obj), mem));
+        }};
+    }
+    world!(ObjectKind::Cas, |b| DetectableCas::new(b, n, 0));
+    world!(ObjectKind::Register, |b| DetectableRegister::new(b, n, 0));
+    world!(ObjectKind::MaxRegister, |b| MaxRegister::new(b, n));
+    world!(ObjectKind::Counter, |b| DetectableCounter::new(b, n));
+    world!(ObjectKind::Faa, |b| DetectableFaa::new(b, n));
+    world!(ObjectKind::Swap, |b| DetectableSwap::new(b, n));
+    world!(ObjectKind::Tas, |b| DetectableTas::new(b, n));
+    world!(ObjectKind::Queue, |b| DetectableQueue::new(b, n, 16));
+    out
+}
+
+/// The pin: for each kind and each (mode, cap) cell, the external engine
+/// reports byte-identical counts to the sequential in-RAM engine.
+#[test]
+fn external_engine_matches_in_ram_on_every_kind() {
+    let n = world_n();
+    let dir = spill_dir("diff");
+    for (kind, obj, mem) in worlds(n) {
+        assert!(obj.decodable(), "{kind:?} must support machine decoding");
+        let alphabet = default_alphabet(kind);
+        for (dominance, max_states) in [(false, 300_000), (true, 300_000), (false, 61), (true, 61)]
+        {
+            let cfg = BfsConfig {
+                max_ops: 3,
+                max_states,
+                dominance,
+                disk_dir: Some(dir.clone()),
+                // Tiny on purpose: forces multi-segment arena spill and
+                // multi-run sorts on every kind (asserted below).
+                ram_budget: Some(8 * 1024),
+                ..Default::default()
+            };
+            let ext = census_bfs_external_engine(&*obj, &mem, &alphabet, &cfg);
+            let ram = census_bfs_engine(
+                &*obj,
+                &mem,
+                &alphabet,
+                &BfsConfig {
+                    disk_dir: None,
+                    ..cfg.clone()
+                },
+            );
+            let tag = format!("{kind:?} dominance={dominance} cap={max_states}");
+            assert_eq!(ext.distinct_shared, ram.distinct_shared, "{tag}");
+            assert_eq!(ext.work, ram.work, "{tag}");
+            assert_eq!(ext.steps, ram.steps, "{tag}");
+            assert_eq!(ext.resolved_ops, ram.resolved_ops, "{tag}");
+            assert_eq!(ext.persists, ram.persists, "{tag}");
+            assert_eq!(ext.truncated, ram.truncated, "{tag}");
+            assert_eq!(ext.theorem_bound, ram.theorem_bound, "{tag}");
+            let spill = ext.spill.expect("external runs report spill stats");
+            assert!(spill.bytes_spilled > 0, "{tag}: no bytes spilled");
+            if max_states > 1_000 {
+                // The uncapped cells are big enough that the tiny budget
+                // must force real external behavior, not a resident run
+                // that happens to have files open.
+                assert!(
+                    spill.arena_segments_spilled >= 2,
+                    "{tag}: single-segment run proves nothing: {spill:?}"
+                );
+                assert!(
+                    spill.sort_runs >= 2,
+                    "{tag}: single-run sort proves nothing: {spill:?}"
+                );
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `Scenario::census` routes through the external engine when `disk_dir`
+/// is set and the object is decodable, and the verdict surfaces the new
+/// observability fields (peak resident bytes, spilled bytes) end to end,
+/// JSON included.
+#[test]
+fn scenario_routes_disk_dir_to_the_external_engine() {
+    let dir = spill_dir("scenario");
+    let cfg = BfsConfig {
+        max_ops: 3,
+        max_states: 300_000,
+        disk_dir: Some(dir.clone()),
+        ram_budget: Some(8 * 1024),
+        ..Default::default()
+    };
+    let disk = Scenario::object(ObjectKind::Cas)
+        .processes(world_n())
+        .workload(Workload::round_robin(default_alphabet(ObjectKind::Cas), 4))
+        .census(&cfg);
+    let ram = Scenario::object(ObjectKind::Cas)
+        .processes(world_n())
+        .workload(Workload::round_robin(default_alphabet(ObjectKind::Cas), 4))
+        .census(&BfsConfig {
+            disk_dir: None,
+            ..cfg
+        });
+    assert!(disk.stats.spilled_bytes > 0, "external engine must be used");
+    assert_eq!(ram.stats.spilled_bytes, 0, "in-RAM engine spills nothing");
+    assert_eq!(disk.stats.distinct_configs, ram.stats.distinct_configs);
+    assert_eq!(disk.stats.executions, ram.stats.executions);
+    assert_eq!(disk.stats.steps, ram.stats.steps);
+    assert_eq!(disk.stats.truncated, ram.stats.truncated);
+    assert!(disk.stats.peak_resident_bytes > 0);
+    assert!(ram.stats.peak_resident_bytes > 0);
+    for v in [&disk, &ram] {
+        let json = v.to_json();
+        assert!(json.contains("\"peak_resident_bytes\":"));
+        assert!(json.contains("\"spilled_bytes\":"));
+    }
+    // All spill files live in a per-run subdirectory that is removed when
+    // the census returns.
+    assert_eq!(
+        std::fs::read_dir(&dir).unwrap().count(),
+        0,
+        "spill directory must be left empty"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The external engine honors the admission cap bit-for-bit: a deliberately
+/// small `--ram-budget` N = world_n() run under a tight cap truncates at
+/// exactly the cap with the same canonical admissions as the in-RAM engine
+/// (`work` equality above), and its peak resident estimate stays far below
+/// what the resident engine holds.
+#[test]
+fn external_peak_resident_tracks_the_budget_not_the_space() {
+    let dir = spill_dir("peak");
+    let (cas, mem) = build_world(|b| DetectableCas::new(b, world_n(), 0));
+    let alphabet = default_alphabet(ObjectKind::Cas);
+    let cfg = BfsConfig {
+        max_ops: if cfg!(debug_assertions) { 3 } else { 4 },
+        max_states: 2_000_000,
+        disk_dir: Some(dir.clone()),
+        ram_budget: Some(64 * 1024),
+        ..Default::default()
+    };
+    let ext = census_bfs_external_engine(&cas, &mem, &alphabet, &cfg);
+    let ram = census_bfs_engine(
+        &cas,
+        &mem,
+        &alphabet,
+        &BfsConfig {
+            disk_dir: None,
+            ..cfg
+        },
+    );
+    assert_eq!(ext.distinct_shared, ram.distinct_shared);
+    assert_eq!(ext.work, ram.work);
+    // The external engine's resident structures exclude the arena images
+    // and the frontier (both on disk): its peak must undercut the in-RAM
+    // engine, which holds every image and node resident.
+    assert!(
+        ext.peak_resident_bytes < ram.peak_resident_bytes,
+        "external {} vs in-RAM {}",
+        ext.peak_resident_bytes,
+        ram.peak_resident_bytes
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
