@@ -1,0 +1,271 @@
+//! **Experiment E16** — real-process SIGKILL/recover soak.
+//!
+//! Unlike `soak_table` (which *simulates* crash storms inside one
+//! process), every cycle here spawns a real child process driving real
+//! threads against file-mapped NVM, SIGKILLs it at a randomized point,
+//! remaps the files, recovers every in-flight operation, and checks the
+//! stitched pre-crash + recovery history for durable linearizability and
+//! detectability. The eight paper objects must come through with **zero
+//! lost operations and zero check failures**; the two non-detectable
+//! baselines are negative controls — their `fail`-for-everything recovery
+//! lies about operations that did linearize, and the stitched-history
+//! check is expected to catch them in the act.
+//!
+//! Run: `cargo run --release -p bench --bin soak -- \
+//!     [--cycles N] [--ops N] [--procs N] [--kill-window US] [--seed S] \
+//!     [--cache private|shared] [--json]`
+//!
+//! Exits nonzero if any *detectable* row loses an operation, fails a
+//! check, or errors.
+
+use baselines::{NonDetectableCas, NonDetectableRegister};
+use bench::{flag_value, json_mode, markdown_table};
+use detectable::{ObjectKind, RecoverableObject};
+use harness::process_crash::{
+    default_factory, kind_name, maybe_run_worker, run_cycle, CrashCycleConfig,
+};
+use nvm::{CacheMode, LayoutBuilder};
+
+/// The soak's object universe: the eight paper-default implementations
+/// plus the two non-detectable negative controls.
+fn factory(
+    name: &str,
+    b: &mut LayoutBuilder,
+    n: u32,
+    qcap: u32,
+) -> Option<Box<dyn RecoverableObject>> {
+    match name {
+        "nondetectable-register" => Some(Box::new(NonDetectableRegister::new(b, n))),
+        "nondetectable-cas" => Some(Box::new(NonDetectableCas::new(b, n))),
+        _ => default_factory(name, b, n, qcap),
+    }
+}
+
+struct Row {
+    object: String,
+    kind: ObjectKind,
+    detectable: bool,
+    cycles: u64,
+    crashed_cycles: u64,
+    ops_completed: u64,
+    in_flight: u64,
+    recovered_ok: u64,
+    recovered_failed: u64,
+    lost_ops: u64,
+    check_failures: u64,
+    errors: u64,
+    kill_us_sum: u64,
+    recovery_us_sum: u64,
+}
+
+impl Row {
+    fn json(&self) -> String {
+        format!(
+            "{{\"object\":\"{}\",\"kind\":\"{}\",\"detectable\":{},\"cycles\":{},\
+             \"crashed_cycles\":{},\"ops_completed\":{},\"in_flight\":{},\
+             \"recovered_ok\":{},\"recovered_failed\":{},\"lost_ops\":{},\
+             \"check_failures\":{},\"errors\":{},\"expected_failures\":{},\
+             \"avg_kill_latency_us\":{},\"avg_recovery_latency_us\":{}}}",
+            self.object,
+            kind_name(self.kind),
+            self.detectable,
+            self.cycles,
+            self.crashed_cycles,
+            self.ops_completed,
+            self.in_flight,
+            self.recovered_ok,
+            self.recovered_failed,
+            self.lost_ops,
+            self.check_failures,
+            self.errors,
+            !self.detectable,
+            self.kill_us_sum / self.cycles.max(1),
+            self.recovery_us_sum / self.cycles.max(1),
+        )
+    }
+
+    fn clean(&self) -> bool {
+        self.lost_ops == 0 && self.check_failures == 0 && self.errors == 0
+    }
+}
+
+fn main() {
+    maybe_run_worker(factory);
+
+    let cycles: u64 = flag_value("cycles").map_or(25, |v| v.parse().expect("--cycles"));
+    let total_ops: usize = flag_value("ops").map_or(900, |v| v.parse().expect("--ops"));
+    let procs: u32 = flag_value("procs").map_or(3, |v| v.parse().expect("--procs"));
+    let kill_window_us: u64 =
+        flag_value("kill-window").map_or(3_000, |v| v.parse().expect("--kill-window"));
+    let seed: u64 = flag_value("seed").map_or(1, |v| v.parse().expect("--seed"));
+    let cache = match flag_value("cache").as_deref() {
+        Some("shared") => CacheMode::SharedCache,
+        Some("private") | None => CacheMode::PrivateCache,
+        Some(other) => panic!("--cache expects private|shared, got {other:?}"),
+    };
+    let ops_per_proc = (total_ops / procs as usize).max(1);
+
+    let objects: Vec<(String, ObjectKind)> = [
+        ObjectKind::Register,
+        ObjectKind::Cas,
+        ObjectKind::MaxRegister,
+        ObjectKind::Counter,
+        ObjectKind::Faa,
+        ObjectKind::Swap,
+        ObjectKind::Tas,
+        ObjectKind::Queue,
+    ]
+    .into_iter()
+    .map(|k| (kind_name(k).to_string(), k))
+    .chain([
+        ("nondetectable-register".to_string(), ObjectKind::Register),
+        ("nondetectable-cas".to_string(), ObjectKind::Cas),
+    ])
+    .collect();
+
+    let root = std::env::temp_dir().join(format!("soak-{}", std::process::id()));
+    let mut rows = Vec::new();
+    for (object, kind) in objects {
+        // The queue arena never recycles nodes: capacity must cover every
+        // enqueue a full cycle can attempt.
+        let qcap = (procs as usize * ops_per_proc + 1) as u32;
+        let detectable = {
+            let mut b = LayoutBuilder::new();
+            factory(&object, &mut b, procs, qcap)
+                .expect("factory")
+                .detectable()
+        };
+        let mut cfg = CrashCycleConfig::new(kind);
+        cfg.object = object.clone();
+        cfg.procs = procs;
+        cfg.ops_per_proc = ops_per_proc;
+        cfg.queue_capacity = qcap;
+        cfg.cache_mode = cache;
+        cfg.seed = seed;
+        cfg.kill_window_us = kill_window_us;
+        cfg.dir = root.join(&object);
+
+        let mut row = Row {
+            object,
+            kind,
+            detectable,
+            cycles,
+            crashed_cycles: 0,
+            ops_completed: 0,
+            in_flight: 0,
+            recovered_ok: 0,
+            recovered_failed: 0,
+            lost_ops: 0,
+            check_failures: 0,
+            errors: 0,
+            kill_us_sum: 0,
+            recovery_us_sum: 0,
+        };
+        for cycle in 0..cycles {
+            match run_cycle(&cfg, factory, cycle) {
+                Ok(r) => {
+                    row.crashed_cycles += u64::from(r.crashed);
+                    row.ops_completed += r.ops_completed as u64;
+                    row.in_flight += r.in_flight as u64;
+                    row.recovered_ok += r.recovered_ok as u64;
+                    row.recovered_failed += r.recovered_failed as u64;
+                    row.lost_ops += r.lost_ops as u64;
+                    row.check_failures += u64::from(!r.check_ok);
+                    row.kill_us_sum += r.kill_latency_us;
+                    row.recovery_us_sum += r.recovery_latency_us;
+                    if !r.check_ok && detectable {
+                        eprintln!(
+                            "VIOLATION: {} cycle {cycle}:\n{}",
+                            row.object,
+                            r.violation.as_deref().unwrap_or("(unrendered)")
+                        );
+                    }
+                }
+                Err(e) => {
+                    row.errors += 1;
+                    eprintln!("ERROR: {} cycle {cycle}: {e}", row.object);
+                }
+            }
+        }
+        rows.push(row);
+    }
+    let _ = std::fs::remove_dir_all(&root);
+
+    let total_cycles: u64 = rows.iter().map(|r| r.cycles).sum();
+    if json_mode() {
+        let body: Vec<String> = rows.iter().map(Row::json).collect();
+        println!(
+            "{{\"kill_window_us\":{kill_window_us},\"procs\":{procs},\
+             \"ops_per_cycle\":{},\"cycles_per_object\":{cycles},\
+             \"total_cycles\":{total_cycles},\"cache\":\"{}\",\"rows\":[{}]}}",
+            ops_per_proc * procs as usize,
+            if cache == CacheMode::SharedCache {
+                "shared"
+            } else {
+                "private"
+            },
+            body.join(",")
+        );
+    } else {
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.object.clone(),
+                    format!("{}", r.crashed_cycles),
+                    format!("{}", r.ops_completed),
+                    format!("{}", r.in_flight),
+                    format!("{}/{}", r.recovered_ok, r.recovered_failed),
+                    format!("{}", r.lost_ops),
+                    if r.detectable {
+                        if r.clean() {
+                            "0 (clean)".into()
+                        } else {
+                            format!("{} VIOLATIONS", r.check_failures + r.lost_ops + r.errors)
+                        }
+                    } else {
+                        format!("{} (expected)", r.check_failures)
+                    },
+                ]
+            })
+            .collect();
+        println!(
+            "# E16 — real-process SIGKILL soak ({total_cycles} cycles, {procs} threads/child, \
+             {}-op cycles, {kill_window_us}us kill window)\n",
+            ops_per_proc * procs as usize
+        );
+        println!(
+            "{}",
+            markdown_table(
+                &[
+                    "object",
+                    "kills",
+                    "ops completed",
+                    "in flight",
+                    "recovered ok/fail",
+                    "lost ops",
+                    "check failures",
+                ],
+                &table,
+            )
+        );
+        println!(
+            "\nDetectable objects must lose nothing: every operation the durable log shows\n\
+             in flight at the kill resolves through Recover with a definite verdict, and the\n\
+             stitched history linearizes. The nondetectable baselines document the failure\n\
+             mode: their recovery disclaims operations that really linearized, and the\n\
+             history check catches the lie."
+        );
+    }
+
+    let bad: Vec<&Row> = rows.iter().filter(|r| r.detectable && !r.clean()).collect();
+    if !bad.is_empty() {
+        for r in bad {
+            eprintln!(
+                "FAIL: {} lost {} ops, {} check failures, {} errors",
+                r.object, r.lost_ops, r.check_failures, r.errors
+            );
+        }
+        std::process::exit(1);
+    }
+}

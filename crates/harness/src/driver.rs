@@ -287,6 +287,23 @@ impl Driver {
         self.states[i] = ProcState::Done;
     }
 
+    /// Marks an idle process as having crashed while executing `op`, so its
+    /// next step enters recovery — the re-entry point for histories whose
+    /// crash happened *outside* this driver (a SIGKILLed child process whose
+    /// in-flight operations are read back from a durable log). The memory is
+    /// untouched: the real crash already decided what survived.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process has an operation in flight in *this* driver.
+    pub fn mark_crashed(&mut self, i: usize, op: OpSpec) {
+        assert!(
+            self.states[i].is_idle(),
+            "p{i} marked crashed with an operation in flight"
+        );
+        self.states[i] = ProcState::NeedRecovery { op };
+    }
+
     /// Runs the caller protocol for a new operation: the announcement
     /// ([`RecoverableObject::prepare`]), the history record, and the
     /// operation machine. The process must be idle.

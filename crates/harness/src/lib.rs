@@ -51,6 +51,7 @@ pub mod external;
 pub mod history;
 pub mod linearize;
 pub mod perturb;
+pub mod process_crash;
 pub mod report;
 pub mod scenario;
 pub mod sim;
@@ -62,18 +63,25 @@ pub use census::{
     census_bfs_engine, census_bfs_snapshot_engine, census_drive_engine, gray_code_cas_ops,
     BfsConfig, CensusReport,
 };
-pub use driver::{op_key, Driver, ProcState, RetryPolicy, StepOutcome};
+pub use driver::{op_from_key, op_key, Driver, ProcState, RetryPolicy, StepOutcome};
 pub use explore::{explore_engine, ExploreConfig, ExploreOutcome, OpSource, SymmetryMode};
 pub use external::{census_bfs_external_engine, SpillStats};
 pub use history::{Event, History, OpRecord, Outcome};
-pub use linearize::{check_execution, check_history, check_records, Violation, MAX_CHECKED_OPS};
+pub use linearize::{
+    check_execution, check_history, check_records, check_records_windowed, Violation,
+    MAX_CHECKED_OPS,
+};
 pub use perturb::{
     default_alphabet, render_witness, validate_witness_on_impl, witness_search, PerturbWitness,
 };
+pub use process_crash::{
+    default_factory, kind_from_name, kind_name, maybe_run_worker, run_cycle, CrashCycleConfig,
+    CycleReport, WorldFactory,
+};
 pub use report::{census_table_json, markdown_table, verdicts_to_json};
 pub use scenario::{
-    AggregateRow, CrashModel, RunMode, RunStats, Runner, Scenario, Sweep, SweepCell, SweepReport,
-    Verdict,
+    build_kind, AggregateRow, CrashModel, RunMode, RunStats, Runner, Scenario, Sweep, SweepCell,
+    SweepReport, Verdict,
 };
 pub use sim::{build_world, build_world_mode, sim_engine, SimConfig, SimReport};
 pub use spec::{spec_apply, spec_init, spec_run, SpecState};

@@ -92,15 +92,7 @@ pub fn check_records(kind: ObjectKind, records: &[OpRecord]) -> Result<(), Viola
         kind,
         records,
         memo: HashSet::new(),
-        must_mask: {
-            let mut m: u64 = 0;
-            for (i, r) in records.iter().enumerate() {
-                if matches!(r.outcome, Outcome::Completed(_)) {
-                    m |= 1 << i;
-                }
-            }
-            m
-        },
+        must_mask: must_mask_of(records),
     };
     if searcher.dfs(&spec_init(kind), 0) {
         Ok(())
@@ -149,6 +141,112 @@ pub fn check_execution(
             v
         })
     }
+}
+
+/// Checks an arbitrarily long record set by splitting it at *quiescent
+/// cuts* and threading the set of reachable specification states across
+/// the segments.
+///
+/// A cut before record `k` (records sorted by invocation) is quiescent when
+/// every earlier record resolved before record `k` was invoked: no
+/// operation's interval spans the cut, so every linearization point of the
+/// earlier records lies before every point of the later ones. Checking is
+/// then compositional — a full-history linearization exists iff each
+/// segment linearizes starting from *some* final state of a successful
+/// linearization of its predecessor. Because optional records (pending or
+/// unresolved) may or may not take effect, a segment generally has several
+/// reachable final states; the checker carries the whole set forward, so
+/// the windowed verdict is exact, not an approximation.
+///
+/// The process-crash soak produces exactly such histories: worker threads
+/// rendezvous at a barrier every few operations, and each barrier is a
+/// quiescent cut.
+///
+/// # Errors
+///
+/// Returns a [`Violation`] carrying the records of the first segment that
+/// cannot be explained from any reachable predecessor state.
+///
+/// # Panics
+///
+/// Panics if more than [`MAX_CHECKED_OPS`] operations overlap without a
+/// quiescent cut (the bitmask search cannot window them), or if an
+/// operation is outside `kind`'s interface.
+pub fn check_records_windowed(kind: ObjectKind, records: &[OpRecord]) -> Result<(), Violation> {
+    if records.len() <= MAX_CHECKED_OPS {
+        return check_records(kind, records);
+    }
+    let mut sorted: Vec<OpRecord> = records.to_vec();
+    sorted.sort_by_key(|r| r.invoked_at);
+    let mut states: HashSet<SpecState> = HashSet::new();
+    states.insert(spec_init(kind));
+    let mut start = 0usize;
+    while start < sorted.len() {
+        let hard_end = (start + MAX_CHECKED_OPS).min(sorted.len());
+        let mut max_res = 0usize;
+        let mut end = None;
+        for k in start + 1..=hard_end {
+            max_res = max_res.max(sorted[k - 1].resolved_at);
+            if k == sorted.len() || max_res < sorted[k].invoked_at {
+                end = Some(k);
+            }
+        }
+        let end = end.unwrap_or_else(|| {
+            panic!(
+                "no quiescent cut within {MAX_CHECKED_OPS} operations \
+                 (segment starting at record {start} of {})",
+                sorted.len()
+            )
+        });
+        let segment = &sorted[start..end];
+        states = segment_finals(kind, segment, &states);
+        if states.is_empty() {
+            return Err(Violation {
+                kind,
+                records: segment.to_vec(),
+                rendered: format!(
+                    "(windowed check: records {start}..{end} of {}, \
+                     unexplainable from every reachable predecessor state)",
+                    sorted.len()
+                ),
+            });
+        }
+        start = end;
+    }
+    Ok(())
+}
+
+/// All final specification states of successful linearizations of
+/// `records`, starting from any state in `starts`. Empty means no
+/// linearization exists.
+fn segment_finals(
+    kind: ObjectKind,
+    records: &[OpRecord],
+    starts: &HashSet<SpecState>,
+) -> HashSet<SpecState> {
+    let mut all = SearcherAll {
+        inner: Searcher {
+            kind,
+            records,
+            memo: HashSet::new(),
+            must_mask: must_mask_of(records),
+        },
+        finals: HashSet::new(),
+    };
+    for s in starts {
+        all.dfs(s, 0);
+    }
+    all.finals
+}
+
+fn must_mask_of(records: &[OpRecord]) -> u64 {
+    let mut m: u64 = 0;
+    for (i, r) in records.iter().enumerate() {
+        if matches!(r.outcome, Outcome::Completed(_)) {
+            m |= 1 << i;
+        }
+    }
+    m
 }
 
 struct Searcher<'a> {
@@ -231,6 +329,48 @@ impl Searcher<'_> {
             }
         }
         false
+    }
+}
+
+/// The enumerating variant of [`Searcher`]: instead of stopping at the
+/// first successful linearization, it explores every reachable
+/// `(state, done)` configuration and records the specification state of
+/// each configuration that explains all required operations — the final
+/// states [`check_records_windowed`] threads into the next segment.
+/// Optional operations keep linearizing past the first success, because a
+/// pending write that *did* take effect leaves a different state for later
+/// segments than one that did not.
+struct SearcherAll<'a> {
+    inner: Searcher<'a>,
+    finals: HashSet<SpecState>,
+}
+
+impl SearcherAll<'_> {
+    fn dfs(&mut self, state: &SpecState, done: u64) {
+        if !self.inner.memo.insert((state.clone(), done)) {
+            return; // already fully explored from here
+        }
+        if done & self.inner.must_mask == self.inner.must_mask {
+            self.finals.insert(state.clone());
+        }
+        for i in 0..self.inner.records.len() {
+            if !self.inner.eligible(i, done) {
+                continue;
+            }
+            let r = &self.inner.records[i];
+            let Some((next, resp)) = spec_apply(self.inner.kind, state, &r.op) else {
+                panic!(
+                    "operation {} not in the interface of {:?}",
+                    r.op, self.inner.kind
+                );
+            };
+            if let Outcome::Completed(expected) = r.outcome {
+                if resp != expected {
+                    continue;
+                }
+            }
+            self.dfs(&next, done | (1 << i));
+        }
     }
 }
 
@@ -512,6 +652,92 @@ mod tests {
             rec_of(1, OpSpec::Read, Outcome::Completed(5), 4, 5),
         ];
         assert!(check_records(ObjectKind::Register, &records).is_err());
+    }
+
+    #[test]
+    fn windowed_check_spans_many_segments() {
+        // 150 sequential fetch-and-adds: far beyond MAX_CHECKED_OPS, but
+        // every gap is a quiescent cut, and each returns its pre-value.
+        let mut records = Vec::new();
+        for i in 0..150usize {
+            records.push(rec_of(
+                0,
+                OpSpec::Faa(1),
+                Outcome::Completed(i as Word),
+                2 * i,
+                2 * i + 1,
+            ));
+        }
+        check_records_windowed(ObjectKind::Faa, &records).unwrap();
+        // Corrupt one response deep in the run: the segment containing it
+        // must fail.
+        records[120].outcome = Outcome::Completed(7);
+        let err = check_records_windowed(ObjectKind::Faa, &records).unwrap_err();
+        assert!(err.rendered.contains("windowed"));
+    }
+
+    #[test]
+    fn windowed_check_threads_state_across_segments() {
+        // A write completed in the first segment must stay visible to a
+        // read 100 records later (cross-segment real-time order).
+        let mut records = vec![rec_of(0, OpSpec::Write(5), Outcome::Completed(ACK), 0, 1)];
+        for i in 0..100usize {
+            records.push(rec_of(
+                0,
+                OpSpec::Read,
+                Outcome::Completed(5),
+                2 * i + 2,
+                2 * i + 3,
+            ));
+        }
+        check_records_windowed(ObjectKind::Register, &records).unwrap();
+        // A read of the pre-write value deep in the run is a violation.
+        records[80].outcome = Outcome::Completed(0);
+        assert!(check_records_windowed(ObjectKind::Register, &records).is_err());
+    }
+
+    #[test]
+    fn windowed_check_keeps_optional_outcomes_ambiguous() {
+        // An unresolved write in the first segment may or may not have taken
+        // effect; reads far later may consistently see either value.
+        for seen in [0u64, 5] {
+            let mut records = vec![rec_of(0, OpSpec::Write(5), Outcome::Unresolved, 0, 1)];
+            for i in 0..100usize {
+                records.push(rec_of(
+                    0,
+                    OpSpec::Read,
+                    Outcome::Completed(seen),
+                    2 * i + 2,
+                    2 * i + 3,
+                ));
+            }
+            check_records_windowed(ObjectKind::Register, &records)
+                .unwrap_or_else(|v| panic!("seen={seen}: {v}"));
+        }
+        // But flip-flopping between them is inexplicable: once a read saw
+        // 0 after the write resolved, the write can never surface.
+        let mut records = vec![rec_of(0, OpSpec::Write(5), Outcome::Unresolved, 0, 1)];
+        for i in 0..100usize {
+            let seen = if i < 50 { 0 } else { 5 };
+            records.push(rec_of(
+                0,
+                OpSpec::Read,
+                Outcome::Completed(seen),
+                2 * i + 2,
+                2 * i + 3,
+            ));
+        }
+        assert!(check_records_windowed(ObjectKind::Register, &records).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "no quiescent cut")]
+    fn windowed_check_rejects_unbroken_overlap() {
+        // 65 mutually overlapping pending ops: no cut exists.
+        let records: Vec<OpRecord> = (0..65)
+            .map(|i| rec_of(0, OpSpec::Read, Outcome::Pending, i, usize::MAX))
+            .collect();
+        let _ = check_records_windowed(ObjectKind::Register, &records);
     }
 
     #[test]

@@ -1,0 +1,741 @@
+//! Real-process crash injection: SIGKILL a child full of live threads,
+//! remap its NVM, recover, and check the stitched history.
+//!
+//! The in-process engines ([`crate::sim`], [`crate::explore`]) *simulate*
+//! crashes: volatile state is dropped by code that runs at the crash point.
+//! This module removes that last layer of simulation. A **parent** process
+//! re-executes the current binary in *worker mode* (see
+//! [`maybe_run_worker`]); the **child** drives N real OS threads of mixed
+//! workload traffic through the object's step machines against a
+//! [`MappedMemory`] — the NVM half of the model lives in a `MAP_SHARED`
+//! file, so what survives the child's death is decided by the kernel, not
+//! by the harness. The parent kills the child with `SIGKILL` at a
+//! randomized point, remaps the files, runs
+//! [`RecoverableObject::recover`] for every operation the durable log
+//! proves was in flight, and checks the stitched pre-crash + recovery
+//! history with the windowed linearizability checker
+//! ([`check_records_windowed`]).
+//!
+//! # The durable operation log
+//!
+//! Alongside the data file the child appends to a second mapped file: a
+//! global sequence counter in header slot [`MappedFile::user`]`(0)` and a
+//! fixed region of 4-word records per thread —
+//! `[seq, tag, op_key, resp]`, with `seq` stored **last** as the commit
+//! marker (a record whose first word is still 0 was torn by the kill and
+//! is ignored; its thread wrote no later record). Invocation records are
+//! written *after* [`RecoverableObject::prepare`] — recovery must only run
+//! for fully-announced operations, otherwise it would read a stale
+//! previous announcement — and *before* the operation machine's first
+//! step, so the recorded interval covers every point at which the
+//! operation could have linearized.
+//!
+//! # Quiescent cuts
+//!
+//! The exact checker is exponential in the number of overlapping
+//! operations, so worker threads rendezvous at a [`std::sync::Barrier`]
+//! every [`CrashCycleConfig::barrier_every`] operations. Each barrier is a
+//! quiescent cut in the sequence order: every pre-barrier operation's
+//! return record precedes every post-barrier invocation record, which is
+//! exactly the split [`check_records_windowed`] needs. The kill lands
+//! inside one window, bounding the overlap the checker must untangle.
+
+use std::io;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+use detectable::{ObjectKind, OpSpec, RecoverableObject};
+use nvm::{
+    run_to_completion, CacheMode, CrashPolicy, LayoutBuilder, MappedFile, MappedMemory, Pid,
+    SimMemory, Word, RESP_FAIL,
+};
+
+use crate::driver::{op_from_key, op_key, Driver, RetryPolicy, StepOutcome};
+use crate::history::{Event, History};
+use crate::linearize::{check_records_windowed, MAX_CHECKED_OPS};
+use crate::scenario::build_kind;
+use crate::workload::mixed_op;
+
+/// Words per log record: `[seq, tag, op_key, resp]`.
+pub const RECORD_WORDS: usize = 4;
+/// Log record tag: the operation was invoked (announced and about to run).
+pub const TAG_INVOKE: Word = 1;
+/// Log record tag: the operation returned `resp`.
+pub const TAG_RETURN: Word = 2;
+
+/// Machine-step budget per operation in the worker (the algorithms are
+/// bounded, but real-thread contention stretches lock-free retry loops).
+const WORKER_STEP_LIMIT: usize = 10_000_000;
+/// Machine-step budget per recovery in the parent (recovery runs solo).
+const RECOVERY_STEP_LIMIT: usize = 1_000_000;
+
+const ENV_WORKER: &str = "PC_WORKER";
+const ENV_DATA: &str = "PC_DATA";
+const ENV_LOG: &str = "PC_LOG";
+const ENV_OBJECT: &str = "PC_OBJECT";
+const ENV_KIND: &str = "PC_KIND";
+const ENV_PROCS: &str = "PC_PROCS";
+const ENV_OPS: &str = "PC_OPS";
+const ENV_QCAP: &str = "PC_QCAP";
+const ENV_BARRIER: &str = "PC_BARRIER";
+const ENV_CACHE: &str = "PC_CACHE";
+const ENV_POLICY: &str = "PC_POLICY";
+const ENV_BASE: &str = "PC_BASE";
+
+/// Builds the object named `name` for `n` processes into `b`, or `None` if
+/// the name is unknown. Binaries that host crash cycles install one factory
+/// covering every object they run — the parent builds the recovery world and
+/// the re-executed worker builds the traffic world through the *same*
+/// factory, so both sides construct identical layouts.
+pub type WorldFactory =
+    fn(&str, &mut LayoutBuilder, u32, u32) -> Option<Box<dyn RecoverableObject>>;
+
+/// The canonical name of `kind`'s paper-default implementation — the
+/// [`WorldFactory`] key [`default_factory`] understands.
+pub fn kind_name(kind: ObjectKind) -> &'static str {
+    match kind {
+        ObjectKind::Register => "register",
+        ObjectKind::Cas => "cas",
+        ObjectKind::MaxRegister => "max-register",
+        ObjectKind::Counter => "counter",
+        ObjectKind::Faa => "faa",
+        ObjectKind::Swap => "swap",
+        ObjectKind::Tas => "tas",
+        ObjectKind::Queue => "queue",
+    }
+}
+
+/// Inverse of [`kind_name`].
+pub fn kind_from_name(name: &str) -> Option<ObjectKind> {
+    Some(match name {
+        "register" => ObjectKind::Register,
+        "cas" => ObjectKind::Cas,
+        "max-register" => ObjectKind::MaxRegister,
+        "counter" => ObjectKind::Counter,
+        "faa" => ObjectKind::Faa,
+        "swap" => ObjectKind::Swap,
+        "tas" => ObjectKind::Tas,
+        "queue" => ObjectKind::Queue,
+        _ => return None,
+    })
+}
+
+/// A [`WorldFactory`] over the eight paper-default implementations, keyed
+/// by [`kind_name`]. Extend by delegation:
+///
+/// ```ignore
+/// fn my_factory(name: &str, b: &mut LayoutBuilder, n: u32, qcap: u32)
+///     -> Option<Box<dyn RecoverableObject>> {
+///     match name {
+///         "nondetectable-register" => Some(Box::new(NonDetectableRegister::new(b, n))),
+///         _ => default_factory(name, b, n, qcap),
+///     }
+/// }
+/// ```
+pub fn default_factory(
+    name: &str,
+    b: &mut LayoutBuilder,
+    n: u32,
+    queue_capacity: u32,
+) -> Option<Box<dyn RecoverableObject>> {
+    kind_from_name(name).map(|kind| build_kind(kind, b, n, queue_capacity))
+}
+
+fn cache_to_str(mode: CacheMode) -> &'static str {
+    match mode {
+        CacheMode::PrivateCache => "private",
+        CacheMode::SharedCache => "shared",
+    }
+}
+
+fn cache_from_str(s: &str) -> Option<CacheMode> {
+    match s {
+        "private" => Some(CacheMode::PrivateCache),
+        "shared" => Some(CacheMode::SharedCache),
+        _ => None,
+    }
+}
+
+fn policy_to_str(policy: CrashPolicy) -> String {
+    match policy {
+        CrashPolicy::DropAll => "drop".into(),
+        CrashPolicy::PersistAll => "persist".into(),
+        CrashPolicy::RandomSubset(seed) => format!("rand:{seed}"),
+    }
+}
+
+fn policy_from_str(s: &str) -> Option<CrashPolicy> {
+    match s {
+        "drop" => Some(CrashPolicy::DropAll),
+        "persist" => Some(CrashPolicy::PersistAll),
+        _ => {
+            let seed = s.strip_prefix("rand:")?.parse().ok()?;
+            Some(CrashPolicy::RandomSubset(seed))
+        }
+    }
+}
+
+/// One SIGKILL/recover cycle's configuration.
+#[derive(Clone, Debug)]
+pub struct CrashCycleConfig {
+    /// [`WorldFactory`] key of the object under test.
+    pub object: String,
+    /// Abstract kind — drives the workload and the specification the
+    /// stitched history is checked against.
+    pub kind: ObjectKind,
+    /// Worker threads (= processes) in the child.
+    pub procs: u32,
+    /// Operations each thread attempts per cycle.
+    pub ops_per_proc: usize,
+    /// Queue capacity for [`ObjectKind::Queue`] worlds.
+    pub queue_capacity: u32,
+    /// Threads rendezvous every this many operations (the quiescent cut;
+    /// `procs * barrier_every` must stay within [`MAX_CHECKED_OPS`]).
+    pub barrier_every: usize,
+    /// Persistence model the mapped memory follows in the child.
+    pub cache_mode: CacheMode,
+    /// Write-through policy for shared-cache words (pre-decided per cell —
+    /// SIGKILL runs no crash code, so the dirty-subset coin is flipped at
+    /// write time; see [`nvm::write_through`]).
+    pub policy: CrashPolicy,
+    /// Seed for the kill-point randomization.
+    pub seed: u64,
+    /// The kill lands uniformly within this many microseconds of the first
+    /// logged operation.
+    pub kill_window_us: u64,
+    /// Directory holding the two mapped files (recreated each cycle).
+    pub dir: PathBuf,
+}
+
+impl CrashCycleConfig {
+    /// Defaults for `kind`'s paper implementation: 3 threads, 400 ops each,
+    /// a barrier every 16 ops (48-op windows), private-cache memory, a 3 ms
+    /// kill window, files under the system temp directory. The queue
+    /// capacity covers a full cycle of enqueues — the arena never recycles
+    /// nodes, so callers shrinking it below `procs * ops_per_proc + 1` will
+    /// exhaust a slab mid-cycle.
+    pub fn new(kind: ObjectKind) -> CrashCycleConfig {
+        CrashCycleConfig {
+            object: kind_name(kind).to_string(),
+            kind,
+            procs: 3,
+            ops_per_proc: 400,
+            queue_capacity: 3 * 400 + 1,
+            barrier_every: 16,
+            cache_mode: CacheMode::PrivateCache,
+            policy: CrashPolicy::DropAll,
+            seed: 1,
+            kill_window_us: 3_000,
+            dir: std::env::temp_dir().join(format!("process-crash-{}", std::process::id())),
+        }
+    }
+}
+
+/// What one kill/recover cycle observed.
+#[derive(Clone, Debug, Default)]
+pub struct CycleReport {
+    /// Whether the child was actually SIGKILLed (it may win the race and
+    /// finish its workload first — a clean cycle, still checked).
+    pub crashed: bool,
+    /// Operations with a committed return record.
+    pub ops_completed: usize,
+    /// Operations the log proves were in flight at the kill.
+    pub in_flight: usize,
+    /// In-flight operations whose recovery reported a response.
+    pub recovered_ok: usize,
+    /// In-flight operations whose recovery reported `fail` (never
+    /// linearized).
+    pub recovered_failed: usize,
+    /// In-flight operations recovery could not resolve within its step
+    /// budget — zero for every detectable object.
+    pub lost_ops: usize,
+    /// Whether the stitched history passed the windowed checker.
+    pub check_ok: bool,
+    /// The checker's rendering when it failed.
+    pub violation: Option<String>,
+    /// Microseconds from child spawn to kill (or clean exit).
+    pub kill_latency_us: u64,
+    /// Microseconds spent remapping, recovering and checking.
+    pub recovery_latency_us: u64,
+}
+
+/// Worker-mode entry point. **Must be called at the top of `main` in every
+/// binary that hosts crash cycles** — [`run_cycle`] re-executes
+/// `current_exe()` and relies on this call to divert the child into the
+/// traffic loop (it never returns in worker mode). A no-op otherwise.
+pub fn maybe_run_worker(factory: WorldFactory) {
+    if std::env::var_os(ENV_WORKER).is_none() {
+        return;
+    }
+    run_worker(factory);
+}
+
+fn env(k: &str) -> String {
+    std::env::var(k).unwrap_or_else(|_| panic!("crash worker: missing {k}"))
+}
+
+fn run_worker(factory: WorldFactory) -> ! {
+    let data_path = PathBuf::from(env(ENV_DATA));
+    let log_path = PathBuf::from(env(ENV_LOG));
+    let object = env(ENV_OBJECT);
+    let kind = kind_from_name(&env(ENV_KIND)).expect("crash worker: bad kind");
+    let procs: u32 = env(ENV_PROCS).parse().expect("crash worker: bad procs");
+    let ops: usize = env(ENV_OPS).parse().expect("crash worker: bad ops");
+    let qcap: u32 = env(ENV_QCAP).parse().expect("crash worker: bad qcap");
+    let barrier_every: usize = env(ENV_BARRIER).parse().expect("crash worker: bad barrier");
+    let mode = cache_from_str(&env(ENV_CACHE)).expect("crash worker: bad cache mode");
+    let policy = policy_from_str(&env(ENV_POLICY)).expect("crash worker: bad policy");
+    let base: usize = env(ENV_BASE).parse().expect("crash worker: bad base");
+
+    let mut b = LayoutBuilder::new();
+    let obj = factory(&object, &mut b, procs, qcap)
+        .unwrap_or_else(|| panic!("crash worker: unknown object {object}"));
+    let layout = b.finish();
+    let data = MappedFile::open(&data_path).expect("crash worker: open data file");
+    let log = MappedFile::open(&log_path).expect("crash worker: open log file");
+    assert_eq!(
+        log.words(),
+        procs as usize * ops * 2 * RECORD_WORDS,
+        "crash worker: log file does not match the workload"
+    );
+    // A panicking worker thread must fail the whole child: the siblings
+    // would otherwise hang at the barrier until the parent's kill, turning
+    // a harness bug into a silently-accepted "crash".
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        default_hook(info);
+        std::process::exit(101);
+    }));
+    let mem = MappedMemory::new(layout, data, mode, policy);
+    let barrier = std::sync::Barrier::new(procs as usize);
+
+    std::thread::scope(|s| {
+        for t in 0..procs {
+            let (obj, mem, log, barrier) = (&*obj, &mem, &log, &barrier);
+            s.spawn(move || {
+                let pid = Pid::new(t);
+                let slot0 = t as usize * ops * 2 * RECORD_WORDS;
+                for i in 0..ops {
+                    if i > 0 && i % barrier_every == 0 {
+                        barrier.wait();
+                    }
+                    let op = mixed_op(kind, pid, base + i);
+                    // Announce FIRST: recovery must only ever read a
+                    // current announcement, so an operation enters the log
+                    // only once fully prepared (a kill mid-prepare leaves
+                    // no record — and no linearized effect).
+                    obj.prepare(mem, pid, &op);
+                    append_record(
+                        log,
+                        slot0 + 2 * i * RECORD_WORDS,
+                        TAG_INVOKE,
+                        op_key(&op),
+                        0,
+                    );
+                    let mut m = obj.invoke(pid, &op);
+                    let resp = run_to_completion(&mut *m, mem, WORKER_STEP_LIMIT)
+                        .unwrap_or_else(|e| panic!("crash worker: p{t} op {op} hit {e:?}"));
+                    append_record(
+                        log,
+                        slot0 + (2 * i + 1) * RECORD_WORDS,
+                        TAG_RETURN,
+                        op_key(&op),
+                        resp,
+                    );
+                }
+            });
+        }
+    });
+    std::process::exit(0);
+}
+
+/// Commits one log record: payload words first, the sequence number last —
+/// a kill between the stores leaves the record invisible (`seq == 0`).
+fn append_record(log: &MappedFile, at: usize, tag: Word, key: Word, resp: Word) {
+    let seq = log.user(0).fetch_add(1, Ordering::SeqCst) + 1;
+    log.word(at + 1).store(tag, Ordering::SeqCst);
+    log.word(at + 2).store(key, Ordering::SeqCst);
+    log.word(at + 3).store(resp, Ordering::SeqCst);
+    log.word(at).store(seq, Ordering::SeqCst);
+}
+
+struct LogRecord {
+    seq: u64,
+    pid: u32,
+    tag: Word,
+    key: Word,
+    resp: Word,
+}
+
+fn corrupt(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Reads back every committed record, per-thread in slot order, validating
+/// the invoke/return alternation; returns the records (sequence-sorted)
+/// and, per thread, the operation left in flight by the kill.
+fn parse_log(
+    log: &MappedFile,
+    procs: u32,
+    ops: usize,
+) -> io::Result<(Vec<LogRecord>, Vec<Option<OpSpec>>)> {
+    let mut recs = Vec::new();
+    let mut in_flight = vec![None; procs as usize];
+    for (t, flight) in in_flight.iter_mut().enumerate() {
+        let base = t * ops * 2 * RECORD_WORDS;
+        let mut open: Option<(Word, OpSpec)> = None;
+        for j in 0..ops * 2 {
+            let at = base + j * RECORD_WORDS;
+            let seq = log.word(at).load(Ordering::SeqCst);
+            if seq == 0 {
+                break; // torn or never written; no later slot is committed
+            }
+            let tag = log.word(at + 1).load(Ordering::SeqCst);
+            let key = log.word(at + 2).load(Ordering::SeqCst);
+            let resp = log.word(at + 3).load(Ordering::SeqCst);
+            match tag {
+                TAG_INVOKE => {
+                    if open.is_some() {
+                        return Err(corrupt(format!("p{t}: two invokes without a return")));
+                    }
+                    let op = op_from_key(key)
+                        .ok_or_else(|| corrupt(format!("p{t}: bad op key {key:#x}")))?;
+                    open = Some((key, op));
+                }
+                TAG_RETURN => match open.take() {
+                    Some((k, _)) if k == key => {}
+                    _ => return Err(corrupt(format!("p{t}: return does not match invoke"))),
+                },
+                other => return Err(corrupt(format!("p{t}: bad record tag {other}"))),
+            }
+            recs.push(LogRecord {
+                seq,
+                pid: t as u32,
+                tag,
+                key,
+                resp,
+            });
+        }
+        *flight = open.map(|(_, op)| op);
+    }
+    recs.sort_by_key(|r| r.seq);
+    Ok((recs, in_flight))
+}
+
+fn xorshift(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
+
+/// Runs one full kill/recover cycle: spawn the worker child, SIGKILL it at
+/// a randomized point inside the kill window, remap the files, recover
+/// every in-flight operation, and check the stitched history.
+///
+/// `cycle` individualizes the kill point and the workload offset, so a
+/// soak's cycles explore different crash sites.
+///
+/// # Errors
+///
+/// I/O failures, a worker that exits nonzero (a panic in the child is a
+/// harness bug, not a verdict), and log corruption all surface as `Err`;
+/// *semantic* failures — lost operations, check violations — are reported
+/// in the [`CycleReport`] so callers can count them.
+pub fn run_cycle(
+    cfg: &CrashCycleConfig,
+    factory: WorldFactory,
+    cycle: u64,
+) -> io::Result<CycleReport> {
+    assert!(cfg.procs >= 1 && cfg.ops_per_proc >= 1 && cfg.barrier_every >= 1);
+    assert!(
+        cfg.procs as usize * cfg.barrier_every <= MAX_CHECKED_OPS,
+        "procs * barrier_every = {} overflows the {MAX_CHECKED_OPS}-op checker window",
+        cfg.procs as usize * cfg.barrier_every
+    );
+    std::fs::create_dir_all(&cfg.dir)?;
+    let data_path = cfg.dir.join("data.nvm");
+    let log_path = cfg.dir.join("log.nvm");
+
+    // Size the data file from the factory's layout (and fail fast on an
+    // unknown object name — the child would otherwise die reporting it).
+    let mut b = LayoutBuilder::new();
+    factory(&cfg.object, &mut b, cfg.procs, cfg.queue_capacity).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("unknown object {:?}", cfg.object),
+        )
+    })?;
+    let layout = b.finish();
+    MappedFile::create(&data_path, layout.total_words())?;
+    let log = MappedFile::create(
+        &log_path,
+        cfg.procs as usize * cfg.ops_per_proc * 2 * RECORD_WORDS,
+    )?;
+
+    let started = Instant::now();
+    let mut child = Command::new(std::env::current_exe()?)
+        .env(ENV_WORKER, "1")
+        .env(ENV_DATA, &data_path)
+        .env(ENV_LOG, &log_path)
+        .env(ENV_OBJECT, &cfg.object)
+        .env(ENV_KIND, kind_name(cfg.kind))
+        .env(ENV_PROCS, cfg.procs.to_string())
+        .env(ENV_OPS, cfg.ops_per_proc.to_string())
+        .env(ENV_QCAP, cfg.queue_capacity.to_string())
+        .env(ENV_BARRIER, cfg.barrier_every.to_string())
+        .env(ENV_CACHE, cache_to_str(cfg.cache_mode))
+        .env(ENV_POLICY, policy_to_str(cfg.policy))
+        .env(
+            ENV_BASE,
+            (cycle as usize).wrapping_mul(cfg.ops_per_proc).to_string(),
+        )
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .spawn()?;
+
+    let mut rng = cfg.seed ^ cycle.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let delay = Duration::from_micros(if cfg.kill_window_us == 0 {
+        0
+    } else {
+        xorshift(&mut rng) % cfg.kill_window_us
+    });
+
+    // Phase 1: wait for the first logged operation (or a clean finish).
+    let arm_deadline = Instant::now() + Duration::from_secs(60);
+    let mut exited = None;
+    while log.user(0).load(Ordering::SeqCst) == 0 {
+        if let Some(st) = child.try_wait()? {
+            exited = Some(st);
+            break;
+        }
+        if Instant::now() > arm_deadline {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "crash worker produced no traffic within 60s",
+            ));
+        }
+        std::thread::sleep(Duration::from_micros(100));
+    }
+    // Phase 2: let the traffic run for the randomized delay, then kill.
+    let status = match exited {
+        Some(st) => st,
+        None => {
+            let armed = Instant::now();
+            loop {
+                if let Some(st) = child.try_wait()? {
+                    break st;
+                }
+                let ran = armed.elapsed();
+                if ran >= delay {
+                    child.kill()?;
+                    break child.wait()?;
+                }
+                std::thread::sleep((delay - ran).min(Duration::from_micros(200)));
+            }
+        }
+    };
+    let kill_latency_us = started.elapsed().as_micros() as u64;
+    let killed = status.code().is_none();
+    if let Some(code) = status.code() {
+        if code != 0 {
+            return Err(io::Error::other(format!(
+                "crash worker exited with code {code}"
+            )));
+        }
+    }
+
+    // Remap both files fresh — exactly what a restarted system would see.
+    drop(log);
+    let recovering = Instant::now();
+    let data = MappedFile::open(&data_path)?;
+    let log = MappedFile::open(&log_path)?;
+    if killed {
+        data.bump_crash_count();
+    }
+    let (recs, in_flight) = parse_log(&log, cfg.procs, cfg.ops_per_proc)?;
+    if !killed {
+        let stray = in_flight.iter().flatten().count();
+        if stray != 0 {
+            return Err(corrupt(format!(
+                "clean worker exit left {stray} unmatched invoke records"
+            )));
+        }
+    }
+
+    let mut h = History::new();
+    for r in &recs {
+        let pid = Pid::new(r.pid);
+        match r.tag {
+            TAG_INVOKE => h.push(Event::Invoke {
+                pid,
+                op: op_from_key(r.key).expect("validated by parse_log"),
+            }),
+            _ => h.push(Event::Return { pid, resp: r.resp }),
+        }
+    }
+    let ops_completed = recs.iter().filter(|r| r.tag == TAG_RETURN).count();
+    let in_flight_count = in_flight.iter().flatten().count();
+
+    let (mut recovered_ok, mut recovered_failed, mut lost_ops) = (0, 0, 0);
+    if killed {
+        h.push(Event::Crash);
+        // The recovery world: the same factory over the remapped data file,
+        // driven by the deterministic engine (recovery runs crash-free).
+        let mut b = LayoutBuilder::new();
+        let obj = factory(&cfg.object, &mut b, cfg.procs, cfg.queue_capacity)
+            .expect("factory resolved above");
+        let layout = b.finish();
+        let mem = SimMemory::with_backing(layout, cfg.cache_mode, data);
+        let mut d = Driver::without_history(cfg.procs);
+        let retry = RetryPolicy {
+            retry_on_fail: false,
+            max_retries: 0,
+            reset_per_op: false,
+        };
+        for (i, op) in in_flight.iter().enumerate() {
+            let Some(op) = op else { continue };
+            d.mark_crashed(i, *op);
+            let mut verdict = None;
+            for _ in 0..RECOVERY_STEP_LIMIT {
+                if let StepOutcome::Recovered { verdict: v, .. } = d.step(&*obj, &mem, i, &retry) {
+                    verdict = Some(v);
+                    break;
+                }
+            }
+            match verdict {
+                Some(v) => {
+                    if v == RESP_FAIL {
+                        recovered_failed += 1;
+                    } else {
+                        recovered_ok += 1;
+                    }
+                    h.push(Event::RecoveryReturn {
+                        pid: Pid::new(i as u32),
+                        verdict: v,
+                    });
+                }
+                None => lost_ops += 1,
+            }
+        }
+        // Post-recovery probe: one solo read forces the recovered state
+        // into the history, so an object whose recovery *lied* (a
+        // non-detectable baseline reporting `fail` for a linearized
+        // operation) contradicts itself observably. Queues have no
+        // non-mutating operation; their enqueued values stay checked
+        // through the recovery verdicts alone.
+        if cfg.kind != ObjectKind::Queue && d.state(0).is_idle() {
+            if let Some(v) = d.try_run_solo(&*obj, &mem, 0, OpSpec::Read, RECOVERY_STEP_LIMIT) {
+                h.push(Event::Invoke {
+                    pid: Pid::new(0),
+                    op: OpSpec::Read,
+                });
+                h.push(Event::Return {
+                    pid: Pid::new(0),
+                    resp: v,
+                });
+            }
+        }
+    }
+
+    let records = h.to_records();
+    let check = check_records_windowed(cfg.kind, &records);
+    let recovery_latency_us = recovering.elapsed().as_micros() as u64;
+    Ok(CycleReport {
+        crashed: killed,
+        ops_completed,
+        in_flight: in_flight_count,
+        recovered_ok,
+        recovered_failed,
+        lost_ops,
+        check_ok: check.is_ok(),
+        violation: check.err().map(|v| v.to_string()),
+        kill_latency_us,
+        recovery_latency_us,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_roundtrip() {
+        for kind in [
+            ObjectKind::Register,
+            ObjectKind::Cas,
+            ObjectKind::MaxRegister,
+            ObjectKind::Counter,
+            ObjectKind::Faa,
+            ObjectKind::Swap,
+            ObjectKind::Tas,
+            ObjectKind::Queue,
+        ] {
+            assert_eq!(kind_from_name(kind_name(kind)), Some(kind));
+            let mut b = LayoutBuilder::new();
+            let obj = default_factory(kind_name(kind), &mut b, 2, 8).expect("default factory");
+            assert_eq!(obj.kind(), kind);
+        }
+        let mut b = LayoutBuilder::new();
+        assert!(default_factory("no-such-object", &mut b, 2, 8).is_none());
+    }
+
+    #[test]
+    fn cache_and_policy_env_codecs_roundtrip() {
+        for mode in [CacheMode::PrivateCache, CacheMode::SharedCache] {
+            assert_eq!(cache_from_str(cache_to_str(mode)), Some(mode));
+        }
+        for policy in [
+            CrashPolicy::DropAll,
+            CrashPolicy::PersistAll,
+            CrashPolicy::RandomSubset(0xABCD),
+        ] {
+            assert_eq!(policy_from_str(&policy_to_str(policy)), Some(policy));
+        }
+        assert_eq!(cache_from_str("write-back"), None);
+        assert_eq!(policy_from_str("rand:x"), None);
+    }
+
+    fn scratch_log(procs: u32, ops: usize, tag: &str) -> (std::path::PathBuf, MappedFile) {
+        let path =
+            std::env::temp_dir().join(format!("pc-log-test-{}-{tag}.nvm", std::process::id()));
+        let log = MappedFile::create(&path, procs as usize * ops * 2 * RECORD_WORDS).unwrap();
+        (path, log)
+    }
+
+    #[test]
+    fn log_records_roundtrip_and_detect_in_flight() {
+        let (path, log) = scratch_log(2, 4, "roundtrip");
+        // p0: one completed write, one in-flight read (no return record).
+        append_record(&log, 0, TAG_INVOKE, op_key(&OpSpec::Write(3)), 0);
+        append_record(&log, RECORD_WORDS, TAG_RETURN, op_key(&OpSpec::Write(3)), 1);
+        append_record(&log, 2 * RECORD_WORDS, TAG_INVOKE, op_key(&OpSpec::Read), 0);
+        // p1: a torn record (seq still 0) is invisible.
+        let p1 = 4 * 2 * RECORD_WORDS;
+        log.word(p1 + 1).store(TAG_INVOKE, Ordering::SeqCst);
+        log.word(p1 + 2)
+            .store(op_key(&OpSpec::Read), Ordering::SeqCst);
+
+        let (recs, in_flight) = parse_log(&log, 2, 4).unwrap();
+        assert_eq!(recs.len(), 3);
+        assert!(recs.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(in_flight[0], Some(OpSpec::Read));
+        assert_eq!(in_flight[1], None);
+        drop(log);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn log_parse_rejects_corruption() {
+        let (path, log) = scratch_log(1, 4, "corrupt");
+        append_record(&log, 0, TAG_INVOKE, op_key(&OpSpec::Read), 0);
+        append_record(&log, RECORD_WORDS, TAG_INVOKE, op_key(&OpSpec::Read), 0);
+        assert!(parse_log(&log, 1, 4).is_err());
+        drop(log);
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -71,13 +71,16 @@ fn json_opt_str(v: Option<&str>) -> String {
 
 fn stats_json(s: &RunStats) -> String {
     format!(
-        "{{\"executions\":{},\"resolved_ops\":{},\"crashes\":{},\"steps\":{},\
+        "{{\"executions\":{},\"resolved_ops\":{},\"crashes\":{},\
+         \"recovered_ok\":{},\"recovered_failed\":{},\"steps\":{},\
          \"persists\":{},\"distinct_configs\":{},\"theorem_bound\":{},\
          \"truncated\":{},\"shared_bits\":{},\"private_bits\":{},\
          \"peak_resident_bytes\":{},\"spilled_bytes\":{}}}",
         s.executions,
         s.resolved_ops,
         s.crashes,
+        s.recovered_ok,
+        s.recovered_failed,
         s.steps,
         s.persists,
         s.distinct_configs,

@@ -146,6 +146,33 @@ enum ObjectSpec {
     Custom(ObjectFactory),
 }
 
+/// Builds the paper's default implementation of `kind` for `n` processes
+/// into `b` (Algorithm 1 for registers, Algorithm 2 for CAS, Algorithm 3 for
+/// max registers, the composed objects otherwise). `queue_capacity` only
+/// affects [`ObjectKind::Queue`].
+///
+/// This is the same constructor mapping [`Scenario`] uses internally; it is
+/// public so out-of-process runners (the crash subsystem's worker re-exec,
+/// the soak binary) can rebuild the identical world from an [`ObjectKind`]
+/// alone.
+pub fn build_kind(
+    kind: ObjectKind,
+    b: &mut LayoutBuilder,
+    n: u32,
+    queue_capacity: u32,
+) -> Box<dyn RecoverableObject> {
+    match kind {
+        ObjectKind::Register => Box::new(DetectableRegister::new(b, n, 0)),
+        ObjectKind::Cas => Box::new(DetectableCas::new(b, n, 0)),
+        ObjectKind::MaxRegister => Box::new(MaxRegister::new(b, n)),
+        ObjectKind::Counter => Box::new(DetectableCounter::new(b, n)),
+        ObjectKind::Faa => Box::new(DetectableFaa::new(b, n)),
+        ObjectKind::Swap => Box::new(DetectableSwap::new(b, n)),
+        ObjectKind::Tas => Box::new(DetectableTas::new(b, n)),
+        ObjectKind::Queue => Box::new(DetectableQueue::new(b, n, queue_capacity)),
+    }
+}
+
 /// A composable experiment description: object + memory model + workload +
 /// fault model, executable under any of the terminal runners. See the
 /// [module docs](self) for an overview and `EXPERIMENTS.md` for one
@@ -261,19 +288,9 @@ impl Scenario {
     }
 
     fn make(&self, b: &mut LayoutBuilder) -> Box<dyn RecoverableObject> {
-        let n = self.processes;
         match &self.object {
             ObjectSpec::Custom(f) => f(b),
-            ObjectSpec::Kind(kind) => match kind {
-                ObjectKind::Register => Box::new(DetectableRegister::new(b, n, 0)),
-                ObjectKind::Cas => Box::new(DetectableCas::new(b, n, 0)),
-                ObjectKind::MaxRegister => Box::new(MaxRegister::new(b, n)),
-                ObjectKind::Counter => Box::new(DetectableCounter::new(b, n)),
-                ObjectKind::Faa => Box::new(DetectableFaa::new(b, n)),
-                ObjectKind::Swap => Box::new(DetectableSwap::new(b, n)),
-                ObjectKind::Tas => Box::new(DetectableTas::new(b, n)),
-                ObjectKind::Queue => Box::new(DetectableQueue::new(b, n, self.queue_capacity)),
-            },
+            ObjectSpec::Kind(kind) => build_kind(*kind, b, self.processes, self.queue_capacity),
         }
     }
 
@@ -376,6 +393,8 @@ impl Scenario {
                 executions: 1,
                 resolved_ops: report.resolved_ops as u64,
                 crashes: report.crashes,
+                recovered_ok: report.recovered_ok,
+                recovered_failed: report.recovered_failed,
                 steps: report.steps as u64,
                 persists: mem.stats().persists,
                 shared_bits,
@@ -690,6 +709,12 @@ pub struct RunStats {
     pub resolved_ops: u64,
     /// System-wide crashes injected.
     pub crashes: u64,
+    /// Recovery verdicts that reported a response — the interrupted
+    /// operation *did* linearize before the crash (simulate runs).
+    pub recovered_ok: u64,
+    /// Recovery verdicts that reported `fail` — never linearized
+    /// (simulate runs).
+    pub recovered_failed: u64,
     /// Scheduler steps consumed.
     pub steps: u64,
     /// Explicit persist instructions executed.
@@ -723,6 +748,8 @@ impl RunStats {
         self.executions += other.executions;
         self.resolved_ops += other.resolved_ops;
         self.crashes += other.crashes;
+        self.recovered_ok += other.recovered_ok;
+        self.recovered_failed += other.recovered_failed;
         self.steps += other.steps;
         self.persists += other.persists;
         self.distinct_configs += other.distinct_configs;

@@ -13,11 +13,11 @@
 //! recording) lives in the shared [`crate::driver::Driver`].
 
 use detectable::{OpSpec, RecoverableObject};
-use nvm::{CacheMode, CrashPolicy, LayoutBuilder, SimMemory};
+use nvm::{CacheMode, CrashPolicy, LayoutBuilder, SimMemory, RESP_FAIL};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::driver::{Driver, RetryPolicy};
+use crate::driver::{Driver, RetryPolicy, StepOutcome};
 use crate::history::History;
 
 /// Configuration of one simulation run.
@@ -68,6 +68,11 @@ pub struct SimReport {
     pub crashes: u64,
     /// Operations that resolved (returned or got a recovery verdict).
     pub resolved_ops: usize,
+    /// Recovery verdicts that reported a response (the operation did
+    /// linearize before the crash).
+    pub recovered_ok: u64,
+    /// Recovery verdicts that reported `fail` (never linearized).
+    pub recovered_failed: u64,
     /// Scheduler steps consumed.
     pub steps: usize,
 }
@@ -125,6 +130,8 @@ pub fn sim_engine(
     let mut next_op: Vec<usize> = vec![0; n];
     let mut crashes = 0u64;
     let mut resolved = 0usize;
+    let mut recovered_ok = 0u64;
+    let mut recovered_failed = 0u64;
     let mut steps = 0usize;
 
     while !driver.all_done() {
@@ -154,8 +161,18 @@ pub fn sim_engine(
                 next_op[i] += 1;
                 driver.invoke(obj, mem, i, op, &retry);
             }
-        } else if driver.step(obj, mem, i, &retry).resolved() {
-            resolved += 1;
+        } else {
+            let outcome = driver.step(obj, mem, i, &retry);
+            if outcome.resolved() {
+                resolved += 1;
+            }
+            if let StepOutcome::Recovered { verdict, .. } = outcome {
+                if verdict == RESP_FAIL {
+                    recovered_failed += 1;
+                } else {
+                    recovered_ok += 1;
+                }
+            }
         }
     }
 
@@ -163,6 +180,8 @@ pub fn sim_engine(
         history: driver.into_history(),
         crashes,
         resolved_ops: resolved,
+        recovered_ok,
+        recovered_failed,
         steps,
     }
 }

@@ -29,6 +29,12 @@
 //! * [`AtomicMemory`] — `AtomicU64`-backed, sequentially consistent; used by
 //!   the multi-threaded throughput benchmarks.
 //!
+//! A third backing, [`MappedMemory`] (and the [`MappedFile`] it maps), puts
+//! the NVM half of the model in a `MAP_SHARED` file so a *real* `SIGKILL`
+//! decides what survives a crash; [`SimMemory::with_backing`] runs the
+//! deterministic engine over the same file for parent-side recovery. See
+//! [`mapped`].
+//!
 //! # Example
 //!
 //! ```
@@ -46,7 +52,10 @@
 //! assert_eq!(mem.read(p, r), 43);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` (not `forbid`) so the one FFI module of [`mapped`] — the `mmap`
+// bindings behind `MappedFile` — can opt in with a scoped `allow`; every
+// other module still refuses unsafe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ann;
@@ -54,6 +63,7 @@ pub mod arena;
 pub mod external;
 pub mod layout;
 pub mod machine;
+pub mod mapped;
 pub mod memory;
 pub mod stats;
 pub mod word;
@@ -63,6 +73,7 @@ pub use arena::{CompactState, StateArena};
 pub use external::{SpillArenaStats, SpillConfig, SpillableArena};
 pub use layout::{Layout, LayoutBuilder, Loc, Region, Space};
 pub use machine::{run_to_completion, Machine, Poll, StepLimitError};
+pub use mapped::{write_through, MappedFile, MappedMemory};
 pub use memory::{
     AtomicMemory, CacheMode, Checkpoint, CrashPolicy, MemSnapshot, Memory, SimMemory,
 };

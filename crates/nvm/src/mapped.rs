@@ -1,0 +1,758 @@
+//! File-mmap'd NVM backing for real-process crash experiments.
+//!
+//! Everything else in this crate simulates persistence *inside one process*:
+//! [`SimMemory::crash`](crate::SimMemory::crash) decides what survives, so
+//! the harness is grading its own crash model. This module moves the NVM
+//! half of the model into a file shared between processes, so a `SIGKILL`
+//! delivered by a *different* process decides what survives:
+//!
+//! * [`MappedFile`] — a fixed-size file mapped `MAP_SHARED` into the
+//!   address space, exposed as a header plus an array of [`AtomicU64`]
+//!   words. Because the mapping is shared, every committed store is visible
+//!   to (and survives into) the parent process the instant it retires,
+//!   regardless of when the child dies; `msync` only adds power-failure
+//!   durability on top.
+//! * [`MappedMemory`] — a [`Memory`] implementation over a [`MappedFile`]
+//!   that honors the existing [`CacheMode`] / [`CrashPolicy`] semantics
+//!   *prospectively*: a SIGKILL cannot run crash code, so the decision the
+//!   simulator makes **at** a crash (which dirty cells write back) is made
+//!   **ahead of time** as a per-cell write-through discipline. Cached words
+//!   live only in this process's heap and genuinely vanish with the
+//!   process; persisted words are committed (store + `msync`) at exactly
+//!   the points [`SimMemory`](crate::SimMemory) would commit them.
+//!
+//! The `unsafe` needed for the `mmap` FFI is confined to the private [`sys`]
+//! module; the rest of the crate keeps denying unsafe code.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::layout::{Layout, Loc};
+use crate::memory::{CacheMode, CrashPolicy, Memory};
+use crate::word::{Pid, Word};
+
+/// Magic word identifying a mapped NVM file (first header word).
+pub const MAPPED_MAGIC: u64 = 0x4E56_4D4D_4150_0001; // "NVMMAP" + format 1
+/// Mapped-file format version (second header word).
+pub const MAPPED_VERSION: u64 = 1;
+/// Header words preceding the data array: magic, version, word count,
+/// crash count, then [`MappedFile::USER_SLOTS`] free slots for harness use
+/// (the process-crash log keeps its global sequence counter there).
+pub const HEADER_WORDS: usize = 8;
+
+/// The raw `mmap`/`munmap`/`msync` bindings. This is the only unsafe code
+/// in the crate: it maps a regular file `MAP_SHARED`, hands out
+/// `&AtomicU64` views into the (page-aligned, `u64`-aligned) mapping, and
+/// unmaps on drop. No other module can name these symbols.
+#[allow(unsafe_code)]
+mod sys {
+    use std::io;
+
+    const PROT_READ: i32 = 1;
+    const PROT_WRITE: i32 = 2;
+    const MAP_SHARED: i32 = 0x01;
+    pub const MS_SYNC: i32 = 4;
+    pub const MS_ASYNC: i32 = 1;
+
+    extern "C" {
+        fn mmap(addr: *mut u8, len: usize, prot: i32, flags: i32, fd: i32, offset: i64) -> *mut u8;
+        fn munmap(addr: *mut u8, len: usize) -> i32;
+        fn msync(addr: *mut u8, len: usize, flags: i32) -> i32;
+    }
+
+    /// Maps `len` bytes of the open file `fd` read/write + `MAP_SHARED`.
+    pub fn map_shared(fd: i32, len: usize) -> io::Result<*mut u8> {
+        let p = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ | PROT_WRITE,
+                MAP_SHARED,
+                fd,
+                0,
+            )
+        };
+        if p.is_null() || p as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(p)
+    }
+
+    /// Unmaps a region returned by [`map_shared`].
+    pub fn unmap(base: *mut u8, len: usize) {
+        unsafe {
+            munmap(base, len);
+        }
+    }
+
+    /// Schedules (or forces, with [`MS_SYNC`]) write-back of the mapping to
+    /// its file. Irrelevant for SIGKILL survival (the page cache is shared
+    /// either way); models the flush a power failure would need.
+    pub fn sync(base: *mut u8, len: usize, flags: i32) {
+        unsafe {
+            msync(base, len, flags);
+        }
+    }
+
+    /// A `&AtomicU64` view of the word at byte offset `off` in the mapping.
+    /// Safe because the mapping is page-aligned (so 8-byte alignment holds),
+    /// lives until `unmap`, and all access goes through atomic operations.
+    pub fn word_at<'a>(base: *mut u8, off: usize) -> &'a std::sync::atomic::AtomicU64 {
+        debug_assert_eq!(off % 8, 0);
+        unsafe { &*(base.add(off) as *const std::sync::atomic::AtomicU64) }
+    }
+}
+
+/// A fixed-size file mapped `MAP_SHARED` as a header plus `words` atomic
+/// `u64` cells. Multiple processes mapping the same file see one coherent
+/// array; a store committed by one process is durable against that
+/// process's death the moment it retires.
+pub struct MappedFile {
+    base: *mut u8,
+    bytes: usize,
+    words: usize,
+    // Keeps the fd open for the lifetime of the mapping (not strictly
+    // required by POSIX, but makes the ownership story obvious).
+    _file: std::fs::File,
+}
+
+// The mapping is a fixed region of atomics; all mutation goes through
+// `&AtomicU64`, so sharing across threads is sound.
+#[allow(unsafe_code)]
+unsafe impl Send for MappedFile {}
+#[allow(unsafe_code)]
+unsafe impl Sync for MappedFile {}
+
+impl MappedFile {
+    /// Free header slots available to harness code via [`user`](Self::user).
+    pub const USER_SLOTS: usize = HEADER_WORDS - 4;
+
+    /// Creates (truncating if present) a mapped file with `words` zeroed
+    /// data words.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation / `mmap` failures.
+    pub fn create(path: &Path, words: usize) -> io::Result<Self> {
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        let bytes = (HEADER_WORDS + words) * 8;
+        file.set_len(bytes as u64)?;
+        let base = sys::map_shared(Self::raw_fd(&file), bytes)?;
+        let mapped = MappedFile {
+            base,
+            bytes,
+            words,
+            _file: file,
+        };
+        mapped.header(0).store(MAPPED_MAGIC, Ordering::SeqCst);
+        mapped.header(1).store(MAPPED_VERSION, Ordering::SeqCst);
+        mapped.header(2).store(words as u64, Ordering::SeqCst);
+        mapped.header(3).store(0, Ordering::SeqCst);
+        mapped.sync();
+        Ok(mapped)
+    }
+
+    /// Maps an existing file created by [`create`](Self::create).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file is missing, too small, or carries the wrong
+    /// magic/version words.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)?;
+        let bytes = file.metadata()?.len() as usize;
+        if bytes < HEADER_WORDS * 8 || !bytes.is_multiple_of(8) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("mapped file too small: {bytes} bytes"),
+            ));
+        }
+        let base = sys::map_shared(Self::raw_fd(&file), bytes)?;
+        let mapped = MappedFile {
+            base,
+            bytes,
+            words: bytes / 8 - HEADER_WORDS,
+            _file: file,
+        };
+        let (magic, version) = (
+            mapped.header(0).load(Ordering::SeqCst),
+            mapped.header(1).load(Ordering::SeqCst),
+        );
+        if magic != MAPPED_MAGIC || version != MAPPED_VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad mapped-file header: magic={magic:#x} version={version}"),
+            ));
+        }
+        let declared = mapped.header(2).load(Ordering::SeqCst) as usize;
+        if declared != mapped.words {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "mapped-file word count mismatch: header says {declared}, size says {}",
+                    mapped.words
+                ),
+            ));
+        }
+        Ok(mapped)
+    }
+
+    fn raw_fd(file: &std::fs::File) -> i32 {
+        use std::os::unix::io::AsRawFd;
+        file.as_raw_fd()
+    }
+
+    fn header(&self, k: usize) -> &AtomicU64 {
+        debug_assert!(k < HEADER_WORDS);
+        sys::word_at(self.base, k * 8)
+    }
+
+    /// Number of data words (the header excluded).
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// The data word at `idx` as an atomic cell.
+    pub fn word(&self, idx: usize) -> &AtomicU64 {
+        assert!(idx < self.words, "mapped access outside file: {idx}");
+        sys::word_at(self.base, (HEADER_WORDS + idx) * 8)
+    }
+
+    /// One of the [`USER_SLOTS`](Self::USER_SLOTS) free header words, for
+    /// harness protocols (sequence counters, ready flags).
+    pub fn user(&self, k: usize) -> &AtomicU64 {
+        assert!(k < Self::USER_SLOTS, "user slot out of range: {k}");
+        self.header(4 + k)
+    }
+
+    /// The crash ordinal recorded in the header: how many times the owning
+    /// harness has declared a crash over this file. The analogue of
+    /// [`SimMemory::crash_count`](crate::SimMemory::crash_count), and the
+    /// seed input for [`CrashPolicy::RandomSubset`] write-through coins.
+    pub fn crash_count(&self) -> u64 {
+        self.header(3).load(Ordering::SeqCst)
+    }
+
+    /// Records one more crash in the header (the parent calls this after
+    /// reaping a killed child) and returns the new count.
+    pub fn bump_crash_count(&self) -> u64 {
+        let n = self.header(3).fetch_add(1, Ordering::SeqCst) + 1;
+        self.sync();
+        n
+    }
+
+    /// Forces write-back of the whole mapping to the file (`MS_SYNC`).
+    pub fn sync(&self) {
+        sys::sync(self.base, self.bytes, sys::MS_SYNC);
+    }
+
+    /// Schedules asynchronous write-back of the whole mapping (`MS_ASYNC`)
+    /// — the per-commit flush [`MappedMemory`] issues at persist points.
+    pub fn sync_async(&self) {
+        sys::sync(self.base, self.bytes, sys::MS_ASYNC);
+    }
+
+    /// Copies the data words into a fresh vector (for stitch-time
+    /// inspection and tests).
+    pub fn to_vec(&self) -> Vec<Word> {
+        (0..self.words)
+            .map(|i| self.word(i).load(Ordering::SeqCst))
+            .collect()
+    }
+}
+
+impl Drop for MappedFile {
+    fn drop(&mut self) {
+        sys::unmap(self.base, self.bytes);
+    }
+}
+
+impl fmt::Debug for MappedFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MappedFile")
+            .field("words", &self.words)
+            .field("crash_count", &self.crash_count())
+            .finish()
+    }
+}
+
+/// Decides, ahead of time, whether writes to cell `idx` write through to
+/// the file under `policy` for crash ordinal `epoch`.
+///
+/// A SIGKILL cannot run the write-back loop [`SimMemory::crash`]
+/// (crate::SimMemory::crash) runs, so the dirty-subset decision is made
+/// *per cell, before the crash*, and enforced as a write-through
+/// discipline: a `persist` coin means every store to the cell is committed
+/// as it happens (so the file holds the cell's latest value at the kill,
+/// exactly as write-back would leave it); a `drop` coin means stores stay
+/// in the volatile overlay (so the file keeps the last explicitly persisted
+/// value, exactly as dropping the dirty cell would).
+///
+/// The coin is deliberately **value-independent**: deciding per *write*
+/// rather than per *cell* could commit an intermediate value (write 1
+/// through, keep 2 cached, die — the file says 1), a state no
+/// [`CrashPolicy`] write-back can produce.
+pub fn write_through(policy: CrashPolicy, epoch: u64, idx: u32) -> bool {
+    match policy {
+        CrashPolicy::DropAll => false,
+        CrashPolicy::PersistAll => true,
+        CrashPolicy::RandomSubset(seed) => {
+            // One xorshift64* draw per (seed, crash ordinal, cell), mixing
+            // the cell index with an odd multiplier so adjacent cells get
+            // independent coins — the per-cell analogue of the sequential
+            // draws in `SimMemory::crash`.
+            let mut s = seed
+                ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (u64::from(idx) + 1).wrapping_mul(0xD6E8_FEB8_6659_FD93);
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s & 1 == 1
+        }
+    }
+}
+
+/// Multi-thread-capable [`Memory`] over a [`MappedFile`], honoring the
+/// simulator's persistence semantics under real crashes.
+///
+/// * [`CacheMode::PrivateCache`] — every primitive is applied directly to
+///   the file, as the paper's presentation model applies primitives
+///   directly to NVM. Nothing but in-flight machine state dies with the
+///   process.
+/// * [`CacheMode::SharedCache`] — primitives land in a volatile overlay
+///   (this process's heap, genuinely lost on SIGKILL); each cell
+///   additionally writes through to the file iff its [`write_through`]
+///   coin says it would have been written back at the next crash.
+///   [`Memory::persist`] commits the cell unconditionally and drops it
+///   from the overlay, exactly like the simulator.
+///
+/// All file stores are `SeqCst`, matching [`AtomicMemory`]
+/// (crate::AtomicMemory); overlay access is serialized by a mutex, which
+/// also gives SharedCache `cas` its atomicity.
+#[derive(Debug)]
+pub struct MappedMemory {
+    layout: Arc<Layout>,
+    file: MappedFile,
+    mode: CacheMode,
+    policy: CrashPolicy,
+    epoch: u64,
+    cache: Mutex<BTreeMap<u32, Word>>,
+}
+
+impl MappedMemory {
+    /// Wraps `file` (created with exactly `layout.total_words()` data
+    /// words) in the given persistence model. The write-through epoch is
+    /// the file's next crash ordinal, so coins line up with the crash the
+    /// parent will declare.
+    pub fn new(layout: Layout, file: MappedFile, mode: CacheMode, policy: CrashPolicy) -> Self {
+        assert_eq!(
+            file.words(),
+            layout.total_words(),
+            "mapped file does not span the layout"
+        );
+        let epoch = file.crash_count() + 1;
+        MappedMemory {
+            layout: Arc::new(layout),
+            file,
+            mode,
+            policy,
+            epoch,
+            cache: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The underlying mapped file.
+    pub fn file(&self) -> &MappedFile {
+        &self.file
+    }
+
+    fn check_access(&self, pid: Pid, loc: Loc) {
+        if let Some(owner) = self.layout.owner_of(loc) {
+            assert_eq!(
+                owner, pid,
+                "model violation: {pid} accessed private cell {loc} owned by {owner}"
+            );
+        }
+        assert!(
+            loc.index() < self.layout.total_words(),
+            "access outside layout: {loc}"
+        );
+    }
+
+    fn commit(&self, idx: usize, val: Word) {
+        self.file.word(idx).store(val, Ordering::SeqCst);
+        self.file.sync_async();
+    }
+}
+
+impl Memory for MappedMemory {
+    fn read(&self, pid: Pid, loc: Loc) -> Word {
+        self.check_access(pid, loc);
+        match self.mode {
+            CacheMode::PrivateCache => self.file.word(loc.index()).load(Ordering::SeqCst),
+            CacheMode::SharedCache => {
+                let cache = self.cache.lock().expect("cache mutex");
+                match cache.get(&(loc.index() as u32)) {
+                    Some(&w) => w,
+                    None => self.file.word(loc.index()).load(Ordering::SeqCst),
+                }
+            }
+        }
+    }
+
+    fn write(&self, pid: Pid, loc: Loc, val: Word) {
+        self.check_access(pid, loc);
+        match self.mode {
+            CacheMode::PrivateCache => self.commit(loc.index(), val),
+            CacheMode::SharedCache => {
+                let idx = loc.index() as u32;
+                let mut cache = self.cache.lock().expect("cache mutex");
+                cache.insert(idx, val);
+                if write_through(self.policy, self.epoch, idx) {
+                    self.commit(loc.index(), val);
+                }
+            }
+        }
+    }
+
+    fn cas(&self, pid: Pid, loc: Loc, old: Word, new: Word) -> bool {
+        self.check_access(pid, loc);
+        match self.mode {
+            CacheMode::PrivateCache => {
+                let ok = self
+                    .file
+                    .word(loc.index())
+                    .compare_exchange(old, new, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok();
+                if ok {
+                    self.file.sync_async();
+                }
+                ok
+            }
+            CacheMode::SharedCache => {
+                let idx = loc.index() as u32;
+                let mut cache = self.cache.lock().expect("cache mutex");
+                let cur = match cache.get(&idx) {
+                    Some(&w) => w,
+                    None => self.file.word(loc.index()).load(Ordering::SeqCst),
+                };
+                if cur != old {
+                    return false;
+                }
+                cache.insert(idx, new);
+                if write_through(self.policy, self.epoch, idx) {
+                    self.commit(loc.index(), new);
+                }
+                true
+            }
+        }
+    }
+
+    fn persist(&self, pid: Pid, loc: Loc) {
+        self.check_access(pid, loc);
+        if self.mode == CacheMode::SharedCache {
+            let idx = loc.index() as u32;
+            let mut cache = self.cache.lock().expect("cache mutex");
+            if let Some(w) = cache.remove(&idx) {
+                self.commit(loc.index(), w);
+            }
+        }
+    }
+
+    fn layout(&self) -> &Layout {
+        &self.layout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::LayoutBuilder;
+    use crate::memory::SimMemory;
+    use std::path::PathBuf;
+    use std::sync::atomic::AtomicUsize;
+
+    static TEST_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let n = TEST_SEQ.fetch_add(1, Ordering::SeqCst);
+        std::env::temp_dir().join(format!(
+            "nvm-mapped-{}-{}-{}.bin",
+            std::process::id(),
+            tag,
+            n
+        ))
+    }
+
+    fn layout() -> (crate::layout::Layout, Loc) {
+        let mut b = LayoutBuilder::new();
+        let x = b.shared("X", 6, 64);
+        (b.finish(), x)
+    }
+
+    #[test]
+    fn create_open_roundtrip() {
+        let path = temp_path("roundtrip");
+        {
+            let f = MappedFile::create(&path, 4).unwrap();
+            f.word(2).store(77, Ordering::SeqCst);
+            f.user(0).store(5, Ordering::SeqCst);
+            assert_eq!(f.crash_count(), 0);
+            assert_eq!(f.bump_crash_count(), 1);
+        }
+        let f = MappedFile::open(&path).unwrap();
+        assert_eq!(f.words(), 4);
+        assert_eq!(f.word(2).load(Ordering::SeqCst), 77);
+        assert_eq!(f.user(0).load(Ordering::SeqCst), 5);
+        assert_eq!(f.crash_count(), 1);
+        drop(f);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn open_rejects_garbage() {
+        let path = temp_path("garbage");
+        std::fs::write(&path, vec![0u8; 256]).unwrap();
+        assert!(MappedFile::open(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// A tiny shadow of the simulator's cache/NVM split, so the tests can
+    /// state "a state `SimMemory::crash(policy)` could have produced"
+    /// without reaching into private fields.
+    struct Shadow {
+        nvm: Vec<Word>,
+        cache: BTreeMap<u32, Word>,
+        mode: CacheMode,
+    }
+
+    impl Shadow {
+        fn new(words: usize, mode: CacheMode) -> Self {
+            Shadow {
+                nvm: vec![0; words],
+                cache: BTreeMap::new(),
+                mode,
+            }
+        }
+        fn logical(&self, i: usize) -> Word {
+            self.cache.get(&(i as u32)).copied().unwrap_or(self.nvm[i])
+        }
+        fn write(&mut self, i: usize, w: Word) {
+            match self.mode {
+                CacheMode::PrivateCache => self.nvm[i] = w,
+                CacheMode::SharedCache => {
+                    self.cache.insert(i as u32, w);
+                }
+            }
+        }
+        fn persist(&mut self, i: usize) {
+            if let Some(w) = self.cache.remove(&(i as u32)) {
+                self.nvm[i] = w;
+            }
+        }
+    }
+
+    /// Runs the same mixed write/cas/persist script against a
+    /// [`MappedMemory`], a twin [`SimMemory`], and the shadow model.
+    fn run_script(mapped: &MappedMemory, twin: &SimMemory, shadow: &mut Shadow) {
+        let p = Pid::new(0);
+        let (_, x) = layout();
+        let mut rng: u64 = 0x5EED_1234;
+        let mut next = || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for step in 0..200 {
+            let i = (next() % 6) as usize;
+            let loc = x.at(i);
+            match next() % 4 {
+                0 | 1 => {
+                    let v = next() % 1000;
+                    mapped.write(p, loc, v);
+                    twin.write(p, loc, v);
+                    shadow.write(i, v);
+                }
+                2 => {
+                    let old = shadow.logical(i);
+                    let v = next() % 1000;
+                    let a = mapped.cas(p, loc, old, v);
+                    let b = twin.cas(p, loc, old, v);
+                    assert_eq!(a, b, "cas outcomes diverge at step {step}");
+                    if a {
+                        shadow.write(i, v);
+                    }
+                }
+                _ => {
+                    mapped.persist(p, loc);
+                    twin.persist(p, loc);
+                    shadow.persist(i);
+                }
+            }
+            assert_eq!(
+                mapped.read(p, loc),
+                twin.read(p, loc),
+                "logical views diverge at step {step}"
+            );
+        }
+    }
+
+    /// Satellite contract: after a (simulated-SIGKILL) drop of the
+    /// `MappedMemory` and a remap, the file holds word-for-word a state
+    /// `SimMemory::crash(policy)` could have produced, for every
+    /// `CacheMode` × `CrashPolicy` combination. For the deterministic
+    /// policies the state is unique, so the comparison is exact equality
+    /// against the twin; for `RandomSubset` the simulator's subset depends
+    /// on its own draw sequence, so the test checks membership in the
+    /// policy's reachable set: every clean cell equals the pre-crash NVM
+    /// word, and every dirty cell holds either its NVM word (dropped) or
+    /// its cached word (written back).
+    #[test]
+    fn sigkill_state_matches_simulated_crash() {
+        let policies = [
+            CrashPolicy::DropAll,
+            CrashPolicy::PersistAll,
+            CrashPolicy::RandomSubset(0xDEAD_BEEF),
+        ];
+        for mode in [CacheMode::PrivateCache, CacheMode::SharedCache] {
+            for policy in policies {
+                let path = temp_path("crashpair");
+                let (lay, _) = layout();
+                let words = lay.total_words();
+                let file = MappedFile::create(&path, words).unwrap();
+                let mapped = MappedMemory::new(lay, file, mode, policy);
+                let (lay2, _) = layout();
+                let twin = SimMemory::with_mode(lay2, mode);
+                let mut shadow = Shadow::new(words, mode);
+                run_script(&mapped, &twin, &mut shadow);
+
+                // SIGKILL: the overlay (volatile heap) dies with the
+                // process; only the file survives.
+                drop(mapped);
+                let survivor = MappedFile::open(&path).unwrap();
+                twin.crash(policy);
+
+                match policy {
+                    CrashPolicy::DropAll | CrashPolicy::PersistAll => {
+                        for i in 0..words {
+                            assert_eq!(
+                                survivor.word(i).load(Ordering::SeqCst),
+                                twin.peek(Loc(i as u32)),
+                                "cell {i} diverges from the simulated crash \
+                                 ({mode:?}, {policy:?})"
+                            );
+                        }
+                    }
+                    CrashPolicy::RandomSubset(_) => {
+                        for i in 0..words {
+                            let got = survivor.word(i).load(Ordering::SeqCst);
+                            let dirty = shadow.cache.contains_key(&(i as u32));
+                            if dirty {
+                                assert!(
+                                    got == shadow.nvm[i] || got == shadow.logical(i),
+                                    "dirty cell {i} holds {got}, reachable values are \
+                                     {} (dropped) / {} (written back)",
+                                    shadow.nvm[i],
+                                    shadow.logical(i)
+                                );
+                            } else {
+                                assert_eq!(
+                                    got, shadow.nvm[i],
+                                    "clean cell {i} must ride through the crash"
+                                );
+                            }
+                        }
+                    }
+                }
+                drop(survivor);
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+    }
+
+    #[test]
+    fn private_cache_commits_every_store() {
+        let path = temp_path("private");
+        let (lay, x) = layout();
+        let file = MappedFile::create(&path, lay.total_words()).unwrap();
+        let mapped = MappedMemory::new(lay, file, CacheMode::PrivateCache, CrashPolicy::DropAll);
+        let p = Pid::new(0);
+        mapped.write(p, x, 9);
+        assert!(mapped.cas(p, x.at(1), 0, 4));
+        drop(mapped); // SIGKILL
+        let survivor = MappedFile::open(&path).unwrap();
+        assert_eq!(survivor.word(0).load(Ordering::SeqCst), 9);
+        assert_eq!(survivor.word(1).load(Ordering::SeqCst), 4);
+        drop(survivor);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn shared_cache_drop_all_loses_unpersisted() {
+        let path = temp_path("droppy");
+        let (lay, x) = layout();
+        let file = MappedFile::create(&path, lay.total_words()).unwrap();
+        let mapped = MappedMemory::new(lay, file, CacheMode::SharedCache, CrashPolicy::DropAll);
+        let p = Pid::new(0);
+        mapped.write(p, x, 7); // dirty: must die with the process
+        mapped.write(p, x.at(1), 8);
+        mapped.persist(p, x.at(1)); // explicitly persisted: must survive
+        assert_eq!(mapped.read(p, x), 7, "visible before the crash");
+        drop(mapped); // SIGKILL
+        let survivor = MappedFile::open(&path).unwrap();
+        assert_eq!(survivor.word(0).load(Ordering::SeqCst), 0);
+        assert_eq!(survivor.word(1).load(Ordering::SeqCst), 8);
+        drop(survivor);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn write_through_coin_is_value_independent_and_deterministic() {
+        for idx in 0..64u32 {
+            assert!(!write_through(CrashPolicy::DropAll, 1, idx));
+            assert!(write_through(CrashPolicy::PersistAll, 1, idx));
+            let a = write_through(CrashPolicy::RandomSubset(42), 1, idx);
+            let b = write_through(CrashPolicy::RandomSubset(42), 1, idx);
+            assert_eq!(a, b);
+        }
+        // Different epochs draw different subsets (with overwhelming
+        // probability over 64 cells).
+        let e1: Vec<bool> = (0..64)
+            .map(|i| write_through(CrashPolicy::RandomSubset(42), 1, i))
+            .collect();
+        let e2: Vec<bool> = (0..64)
+            .map(|i| write_through(CrashPolicy::RandomSubset(42), 2, i))
+            .collect();
+        assert_ne!(e1, e2);
+    }
+
+    #[test]
+    fn mapped_backed_sim_memory_persists_into_the_file() {
+        let path = temp_path("simback");
+        let (lay, x) = layout();
+        let file = MappedFile::create(&path, lay.total_words()).unwrap();
+        let (lay2, _) = layout();
+        let mem = SimMemory::with_backing(lay2, CacheMode::PrivateCache, file);
+        let p = Pid::new(0);
+        mem.write(p, x, 31);
+        assert_eq!(mem.read(p, x), 31);
+        drop(mem);
+        let survivor = MappedFile::open(&path).unwrap();
+        assert_eq!(survivor.word(0).load(Ordering::SeqCst), 31);
+        drop(survivor);
+        let _ = std::fs::remove_file(&path);
+    }
+}

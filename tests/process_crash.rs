@@ -1,0 +1,138 @@
+//! Integration: real-process SIGKILL/recover cycles for every paper
+//! object, plus the nondetectable negative control.
+//!
+//! This test re-execs itself as the crash worker (the parent spawns
+//! `current_exe()` with `PC_WORKER` set), so it cannot run under the
+//! default libtest harness — libtest's `main` would swallow the worker
+//! mode. `Cargo.toml` declares it `harness = false` and `main` calls
+//! [`maybe_run_worker`] before anything else.
+
+use baselines::{NonDetectableCas, NonDetectableRegister};
+use detectable::{ObjectKind, RecoverableObject};
+use harness::process_crash::{
+    default_factory, kind_name, maybe_run_worker, run_cycle, CrashCycleConfig,
+};
+use nvm::{CacheMode, LayoutBuilder};
+
+/// Same universe as the soak binary: the eight paper objects by kind
+/// name, plus the two nondetectable baselines.
+fn factory(
+    name: &str,
+    b: &mut LayoutBuilder,
+    n: u32,
+    qcap: u32,
+) -> Option<Box<dyn RecoverableObject>> {
+    match name {
+        "nondetectable-register" => Some(Box::new(NonDetectableRegister::new(b, n))),
+        "nondetectable-cas" => Some(Box::new(NonDetectableCas::new(b, n))),
+        _ => default_factory(name, b, n, qcap),
+    }
+}
+
+const ALL_KINDS: [ObjectKind; 8] = [
+    ObjectKind::Register,
+    ObjectKind::Cas,
+    ObjectKind::MaxRegister,
+    ObjectKind::Counter,
+    ObjectKind::Faa,
+    ObjectKind::Swap,
+    ObjectKind::Tas,
+    ObjectKind::Queue,
+];
+
+fn config(object: &str, kind: ObjectKind, cache: CacheMode, seed: u64) -> CrashCycleConfig {
+    let mut cfg = CrashCycleConfig::new(kind);
+    cfg.object = object.to_string();
+    cfg.ops_per_proc = 400;
+    cfg.queue_capacity = (cfg.procs as usize * cfg.ops_per_proc + 1) as u32;
+    cfg.cache_mode = cache;
+    cfg.seed = seed;
+    cfg.kill_window_us = 2_000;
+    cfg.dir = std::env::temp_dir().join(format!(
+        "process-crash-test-{}-{object}-{seed}",
+        std::process::id()
+    ));
+    cfg
+}
+
+/// Every detectable kind survives real SIGKILLs: no in-flight operation
+/// is lost, every recovery verdict is definite, and the stitched
+/// pre-crash + recovery history passes the windowed durable-linearizability
+/// check.
+fn detectable_kinds_survive_sigkill(cache: CacheMode) {
+    let mut kills = 0u64;
+    for (k, kind) in ALL_KINDS.into_iter().enumerate() {
+        let object = kind_name(kind);
+        let cfg = config(object, kind, cache, 11 + k as u64);
+        for cycle in 0..3 {
+            let r = run_cycle(&cfg, factory, cycle)
+                .unwrap_or_else(|e| panic!("{object} cycle {cycle}: {e}"));
+            kills += u64::from(r.crashed);
+            assert_eq!(r.lost_ops, 0, "{object} cycle {cycle} lost in-flight ops");
+            assert_eq!(
+                r.recovered_ok + r.recovered_failed,
+                r.in_flight,
+                "{object} cycle {cycle}: recovery verdicts must cover in-flight ops"
+            );
+            assert!(
+                r.check_ok,
+                "{object} cycle {cycle}: {}",
+                r.violation.as_deref().unwrap_or("(unrendered)")
+            );
+        }
+        let _ = std::fs::remove_dir_all(&cfg.dir);
+    }
+    // The kill window is sized so most cycles die mid-run; a kill-free
+    // pass would prove nothing about recovery.
+    assert!(
+        kills > 0,
+        "no cycle was SIGKILLed; kill window too generous"
+    );
+}
+
+/// The nondetectable baselines are the negative control: their recovery
+/// disclaims every interrupted operation, so with enough kills the
+/// stitched-history check must eventually catch a disclaimed operation
+/// that really linearized. Detection needs a kill to land mid-op, so we
+/// iterate cycles (fresh seeds each round) until the lie surfaces.
+fn nondetectable_baselines_get_caught() {
+    let mut caught = 0u64;
+    'outer: for round in 0..40u64 {
+        for (object, kind) in [
+            ("nondetectable-register", ObjectKind::Register),
+            ("nondetectable-cas", ObjectKind::Cas),
+        ] {
+            let mut cfg = config(object, kind, CacheMode::PrivateCache, 100 + round);
+            cfg.ops_per_proc = 700;
+            cfg.queue_capacity = (cfg.procs as usize * cfg.ops_per_proc + 1) as u32;
+            let r = run_cycle(&cfg, factory, round)
+                .unwrap_or_else(|e| panic!("{object} round {round}: {e}"));
+            let _ = std::fs::remove_dir_all(&cfg.dir);
+            if !r.check_ok {
+                caught += 1;
+            }
+            if caught > 0 {
+                break 'outer;
+            }
+        }
+    }
+    assert!(
+        caught > 0,
+        "negative control never failed a check in 40 rounds — the checker \
+         would not catch a lying recovery"
+    );
+}
+
+fn main() {
+    // Worker mode first: when the parent re-execs this binary with
+    // PC_WORKER set, this call never returns.
+    maybe_run_worker(factory);
+
+    println!("running process_crash: detectable kinds, private cache");
+    detectable_kinds_survive_sigkill(CacheMode::PrivateCache);
+    println!("running process_crash: detectable kinds, shared cache");
+    detectable_kinds_survive_sigkill(CacheMode::SharedCache);
+    println!("running process_crash: nondetectable negative control");
+    nondetectable_baselines_get_caught();
+    println!("process_crash: ok");
+}
