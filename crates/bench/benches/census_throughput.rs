@@ -5,17 +5,18 @@
 //!
 //! The arena engine expands each successor under an undo-log checkpoint
 //! (O(writes) instead of a full-memory restore), stores frontier states as
-//! 8-byte handles into a deduplicating arena, and schedules expansion by
-//! work-stealing, so its states/sec figure is the headline number future
-//! PRs track via the committed `BENCH_census.json` baseline (regenerate it
-//! with `cargo bench -p bench --bench census_throughput`).
+//! 8-byte handles into a deduplicating arena, and schedules expansion on
+//! per-worker work-stealing deques (`harness::sched`), so its states/sec
+//! figure is the headline number future PRs track via the committed
+//! `BENCH_census.json` baseline (regenerate it with
+//! `cargo bench -p bench --bench census_throughput`).
 //!
-//! Every sample records the host's CPU count. **Parallel samples are
-//! skipped (with a note in the baseline) when the host has a single CPU**:
-//! threads cannot beat sequential expansion without cores to run on, and a
-//! committed slowdown row would misread as an engine regression. The
-//! fork-par speedup targets (≥ 1.8× fork-seq at 4 threads) are only
-//! meaningful on `host_cpus ≥ 4` runs.
+//! The `fork-par{2,4,8}` rows are the E17 scaling curve; each sample
+//! embeds the scheduler counters (steals, parks, per-worker expansions)
+//! and the host's CPU count. Parallel rows are measured wherever the
+//! bench runs — a 1-CPU host commits honest no-speedup rows (they still
+//! pin count determinism and exercise the steal/park paths); the ≥ 1.8×
+//! fork-seq target at 4 threads applies on `host_cpus ≥ 4` runs.
 
 use std::time::Instant;
 
@@ -59,18 +60,13 @@ fn host_cpus() -> usize {
 
 fn census_throughput(c: &mut Criterion) {
     let (cas, mem) = world();
-    let cpus = host_cpus();
     let mut g = c.benchmark_group("census_throughput");
     let probe = census_bfs_snapshot_engine(&cas, &mem, &alphabet(), &config(1));
     g.throughput(criterion::Throughput::Elements(probe.work as u64));
     g.bench_with_input(BenchmarkId::new("snapshot-seq", probe.work), &(), |b, _| {
         b.iter(|| census_bfs_snapshot_engine(&cas, &mem, &alphabet(), &config(1)));
     });
-    for threads in [1usize, 2, 4] {
-        if threads > 1 && cpus == 1 {
-            eprintln!("skipping fork-par{threads}: host_cpus == 1 (parallel rows meaningless)");
-            continue;
-        }
+    for threads in [1usize, 2, 4, 8] {
         let label = if threads == 1 {
             "fork-seq".to_string()
         } else {
@@ -93,18 +89,19 @@ criterion_main!(benches);
 
 /// Records `BENCH_census.json` next to the workspace root: one sample per
 /// engine variant with the expanded-state count, wall time, derived
-/// states/sec, peak resident bytes, spilled bytes and the host CPU count it
-/// ran under, plus a `table` document (the `census_table --json` schema)
-/// that CI diffs live output against. Disk-tier rows (`ext-n5-seq`,
-/// `ext-n6-dom`) run the external-memory engine under a 512 MiB budget next
-/// to their in-RAM twins and assert the E15 acceptance contract: identical
-/// counts, measured peak under the budget. Parallel variants are skipped —
-/// and listed under `"skipped"` — on single-CPU hosts.
+/// states/sec, peak resident bytes, spilled bytes, scheduler counters and
+/// the host CPU count it ran under, plus a `table` document (the
+/// `census_table --json` schema) that CI diffs live output against.
+/// Disk-tier rows (`ext-n5-seq`, `ext-n6-dom`) run the external-memory
+/// engine under a 512 MiB budget next to their in-RAM twins and assert the
+/// E15 acceptance contract: identical counts, measured peak under the
+/// budget. The `fork-par{2,4,8}` rows (experiment E17) are measured on
+/// every host — `host_cpus` tells a reader whether to read them as a
+/// scaling curve or as a determinism pin.
 fn record_baseline(_c: &mut Criterion) {
     let (cas, mem) = world();
     let cpus = host_cpus();
     let mut entries = Vec::new();
-    let mut skipped: Vec<String> = Vec::new();
 
     let mut sample = |label: &str, warm: bool, run: &dyn Fn() -> CensusReport| -> CensusReport {
         if warm {
@@ -114,6 +111,13 @@ fn record_baseline(_c: &mut Criterion) {
         let out = run();
         let elapsed = start.elapsed();
         assert!(!out.truncated, "baseline worlds must complete");
+        let per_worker = out
+            .sched
+            .per_worker_expansions
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
         entries.push(format!(
             concat!(
                 "    {{\n",
@@ -124,7 +128,9 @@ fn record_baseline(_c: &mut Criterion) {
                 "      \"mean_seconds\": {:.6},\n",
                 "      \"states_per_sec\": {:.0},\n",
                 "      \"peak_resident_bytes\": {},\n",
-                "      \"spilled_bytes\": {}\n",
+                "      \"spilled_bytes\": {},\n",
+                "      \"sched\": {{\"workers\":{},\"steals\":{},\"steal_failures\":{},\
+                 \"parks\":{},\"flush_batches\":{},\"per_worker_expansions\":[{}]}}\n",
                 "    }}"
             ),
             label,
@@ -135,6 +141,12 @@ fn record_baseline(_c: &mut Criterion) {
             out.work as f64 / elapsed.as_secs_f64(),
             out.peak_resident_bytes,
             out.spill.map_or(0, |s| s.bytes_spilled),
+            out.sched.workers,
+            out.sched.steals,
+            out.sched.steal_failures,
+            out.sched.parks,
+            out.sched.flush_batches,
+            per_worker,
         ));
         out
     };
@@ -157,23 +169,27 @@ fn record_baseline(_c: &mut Criterion) {
             truncated: v.stats.truncated,
             peak_resident_bytes: v.stats.peak_resident_bytes,
             spill: None,
+            sched: v.stats.sched,
         }
     };
-    for threads in [1usize, 2, 4] {
+    let mut seq_counts = None;
+    for threads in [1usize, 2, 4, 8] {
         let label = if threads == 1 {
             "fork-seq".to_string()
         } else {
             format!("fork-par{threads}")
         };
-        if threads > 1 && cpus == 1 {
-            skipped.push(format!(
-                "{label}: host_cpus == 1 — parallel expansion cannot beat \
-                 sequential without cores; rerun on a multi-core host for \
-                 meaningful parallel rows"
-            ));
-            continue;
+        let out = sample(&label, true, &|| scenario_report(config(threads)));
+        // The E17 determinism contract, asserted at record time: every
+        // thread level reports the sequential counts.
+        match seq_counts {
+            None => seq_counts = Some((out.work, out.distinct_shared)),
+            Some(counts) => assert_eq!(
+                (out.work, out.distinct_shared),
+                counts,
+                "{label}: counts moved across thread levels"
+            ),
         }
-        sample(&label, true, &|| scenario_report(config(threads)));
     }
     // The dominance-pruned engine: fewer expansions for the same verdict,
     // tracked so pruning regressions surface in the baseline diff.
@@ -238,19 +254,12 @@ fn record_baseline(_c: &mut Criterion) {
         })
         .collect();
 
-    let skipped_json = skipped
-        .iter()
-        .map(|s| format!("\"{s}\""))
-        .collect::<Vec<_>>()
-        .join(", ");
     let json = format!(
         "{{\n  \"benchmark\": \"census_throughput\",\n  \"workload\": \
          \"theorem1 census, detectable CAS N=4, 2-op alphabet, max_ops 5\",\n  \
          \"host_cpus\": {},\n  \
-         \"skipped\": [{}],\n  \
          \"samples\": [\n{}\n  ],\n  \"table\": {}\n}}\n",
         cpus,
-        skipped_json,
         entries.join(",\n"),
         census_table_json(1, &table_verdicts),
     );

@@ -19,6 +19,11 @@
 //!   private-cache state counts — they are a mode-coverage baseline;
 //!   dirty-set state blow-up needs deliberately-unpersisted workloads
 //!   (see ROADMAP).
+//! * **par{2,4,8}** (E17) — the pruned triangle on 2/4/8 subtree workers
+//!   scheduled by `harness::sched`; each sample embeds the scheduler
+//!   counters and leaf totals stay pinned to the sequential row. Rows
+//!   are measured on every host (`host_cpus` says whether to read them
+//!   as a scaling curve or a determinism pin).
 
 use std::time::Instant;
 
@@ -116,6 +121,22 @@ fn rows() -> Vec<Row> {
             cfg: symmetric_config(symmetry),
         });
     }
+    // E17 scaling rows: the pruned triangle on subtree workers. "pruned"
+    // above is the 1-thread point of the same curve.
+    for (engine, threads) in [("par2", 2usize), ("par4", 4), ("par8", 8)] {
+        let (obj, mem) = build_world(|b| DetectableCas::new(b, 2, 0));
+        out.push(Row {
+            workload: "cas-triangle 2p x 2op, 1 crash, max_leaves 100000",
+            engine,
+            mem,
+            obj,
+            ops: triangle_workload(),
+            cfg: ExploreConfig {
+                parallelism: threads,
+                ..triangle_config(true)
+            },
+        });
+    }
     out
 }
 
@@ -138,9 +159,14 @@ fn explore_throughput(c: &mut Criterion) {
 
 /// Records `BENCH_explore.json` next to the workspace root (or to
 /// `$BENCH_EXPLORE_OUT`): one sample per grid row with leaves, unique node
-/// expansions, memo hits, wall time, and the derived leaves/sec.
+/// expansions, memo hits, wall time, the derived leaves/sec and the
+/// scheduler counters (nonzero on the `par*` rows). The `par*` rows'
+/// leaf totals are asserted equal to the sequential pruned row at record
+/// time — the E17 determinism contract.
 fn record_baseline(_c: &mut Criterion) {
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut entries = Vec::new();
+    let mut pruned_leaves = None;
     for row in rows() {
         // Warm once, then time a fixed number of runs.
         let _ = explore_engine(&row.obj, &row.mem, OpSource::PerProcess(&row.ops), &row.cfg);
@@ -158,6 +184,23 @@ fn record_baseline(_c: &mut Criterion) {
         let elapsed = start.elapsed() / runs;
         let out = out.expect("at least one run");
         let leaves_per_sec = out.leaves as f64 / elapsed.as_secs_f64();
+        if row.engine == "pruned" {
+            pruned_leaves = Some(out.leaves);
+        } else if row.engine.starts_with("par") {
+            assert_eq!(
+                Some(out.leaves),
+                pruned_leaves,
+                "{}: leaf totals moved across thread levels",
+                row.engine
+            );
+        }
+        let per_worker = out
+            .sched
+            .per_worker_expansions
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
         entries.push(format!(
             concat!(
                 "    {{\n",
@@ -168,7 +211,9 @@ fn record_baseline(_c: &mut Criterion) {
                 "      \"unique_nodes\": {},\n",
                 "      \"memo_hits\": {},\n",
                 "      \"mean_seconds\": {:.6},\n",
-                "      \"leaves_per_sec\": {:.0}\n",
+                "      \"leaves_per_sec\": {:.0},\n",
+                "      \"sched\": {{\"workers\":{},\"steals\":{},\"steal_failures\":{},\
+                 \"parks\":{},\"flush_batches\":{},\"per_worker_expansions\":[{}]}}\n",
                 "    }}"
             ),
             row.workload,
@@ -178,11 +223,19 @@ fn record_baseline(_c: &mut Criterion) {
             out.unique_nodes,
             out.memo_hits,
             elapsed.as_secs_f64(),
-            leaves_per_sec
+            leaves_per_sec,
+            out.sched.workers,
+            out.sched.steals,
+            out.sched.steal_failures,
+            out.sched.parks,
+            out.sched.flush_batches,
+            per_worker,
         ));
     }
     let json = format!(
-        "{{\n  \"benchmark\": \"explore_throughput\",\n  \"samples\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"benchmark\": \"explore_throughput\",\n  \"host_cpus\": {},\n  \
+         \"samples\": [\n{}\n  ]\n}}\n",
+        cpus,
         entries.join(",\n")
     );
     let default_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_explore.json");

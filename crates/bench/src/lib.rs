@@ -104,15 +104,29 @@ pub fn flag_present(name: &str) -> bool {
     std::env::args().any(|a| a == flag)
 }
 
-/// Worker threads requested via `--threads N` (default 1). Experiment
-/// binaries with parallel engines (the census BFS) pass this through.
+/// Worker threads requested via `--threads N`. Experiment binaries with
+/// parallel engines (the census BFS, the explorer) pass this through.
+///
+/// `--threads 0` is rejected: the auto default is spelled by *omitting*
+/// the flag, which returns 0 so the harness's `resolve_parallelism` picks
+/// the host's available parallelism. Values above the host's CPU count
+/// are allowed (oversubscription is sometimes useful for scheduler
+/// stress) but warn on stderr.
 pub fn threads_flag() -> usize {
-    flag_value("threads")
-        .map(|v| {
-            v.parse()
-                .unwrap_or_else(|_| panic!("--threads expects a number, got {v:?}"))
-        })
-        .unwrap_or(1)
+    let Some(v) = flag_value("threads") else {
+        return 0; // auto: resolve to the host's available parallelism
+    };
+    let n: usize = v
+        .parse()
+        .unwrap_or_else(|_| panic!("--threads expects a number, got {v:?}"));
+    if n == 0 {
+        panic!("--threads 0 is invalid; omit the flag to use the host's available parallelism");
+    }
+    let host = std::thread::available_parallelism().map_or(1, |c| c.get());
+    if n > host {
+        eprintln!("warning: --threads {n} exceeds the host's {host} available CPUs");
+    }
+    n
 }
 
 /// Builds an `(object, AtomicMemory)` world for the thread benches.

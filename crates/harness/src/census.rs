@@ -42,16 +42,22 @@
 //!   under a [`checkpoint`](SimMemory::checkpoint) and leaves via
 //!   [`rollback`](SimMemory::rollback) — O(writes of one step) per
 //!   successor.
-//! * **Work-stealing scheduling** — in the scheduling-discipline sense:
-//!   one chunked shared frontier deque, not per-worker deques with
-//!   stealing. Workers pull chunks of nodes from the shared deque and push
-//!   admitted successors back, so a worker never idles at a wave barrier
-//!   while a slow sibling finishes (the old wave-synchronous engine lost
-//!   its parallel speedup exactly there). A pending-node count drives
-//!   termination. The visited set (sharded
-//!   128-bit configuration fingerprints) and the shared-configuration set
-//!   (sharded **exact** logical shared-memory keys — the quantity Theorem 1
-//!   bounds is never approximated) are unchanged.
+//! * **Work-stealing scheduling** on the shared [`crate::sched`]
+//!   substrate: each worker owns a deque (Chase-Lev discipline — the owner
+//!   pushes and pops its own back, idle workers steal chunks from victims'
+//!   fronts, randomized victim order, exponential backoff, parking), and
+//!   termination is detected by sharded per-worker created/finished
+//!   counters with a quiescence sweep — no shared frontier lock, no
+//!   global pending count on a contended cache line, no wave barrier. The
+//!   visited set (sharded 128-bit configuration fingerprints) and the
+//!   shared-configuration set (sharded **exact** logical shared-memory
+//!   keys — the quantity Theorem 1 bounds is never approximated) are
+//!   unchanged.
+//! * **Batched interning**: a worker stages the admitted successors of
+//!   each expansion in a local [`InternStage`] and flushes them to the
+//!   sharded arena in one [`StateArena::intern_batch`] call — one lock
+//!   acquisition per distinct shard per flush instead of one per
+//!   successor, same exact-dedup contract, same handles.
 //! * **Dominance pruning** ([`BfsConfig::dominance`]) — see below.
 //!
 //! `visited` admission is capped at [`BfsConfig::max_states`]: a node
@@ -102,13 +108,14 @@ use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::Mutex;
 
 use detectable::{OpSpec, RecoverableObject};
-use nvm::{Memory, Pid, SimMemory, StateArena, Word};
+use nvm::{InternStage, Memory, Pid, SimMemory, StateArena, Word};
 
 use crate::driver::{Driver, RetryPolicy};
 use crate::external::SpillStats;
+use crate::sched::{SchedStats, Scheduler};
 
 /// Result of a census run.
 #[derive(Clone, Debug)]
@@ -143,6 +150,10 @@ pub struct CensusReport {
     /// Disk-tier counters when the external engine ran; `None` for the
     /// in-RAM engines.
     pub spill: Option<SpillStats>,
+    /// Scheduler-action counters (steals, parks, per-worker expansions,
+    /// intern-flush batches). All-zero for engines that neither schedule
+    /// nor batch-intern (the solo drive and the snapshot reference).
+    pub sched: SchedStats,
 }
 
 impl CensusReport {
@@ -217,6 +228,7 @@ pub fn census_drive_engine(
         truncated,
         peak_resident_bytes: set_bytes(seen.len(), mem.shared_key().len() * 8),
         spill: None,
+        sched: SchedStats::default(),
     }
 }
 
@@ -259,10 +271,12 @@ pub struct BfsConfig {
     /// the cap binds, and the report is flagged
     /// [`truncated`](CensusReport::truncated).
     pub max_states: usize,
-    /// Worker threads for frontier expansion. `0` and `1` both mean
-    /// sequential search. Runs that complete within `max_states` report
-    /// identical counts at every setting (see the [module docs](self) for
-    /// the truncation caveat).
+    /// Worker threads for frontier expansion. At this layer `0` and `1`
+    /// both mean sequential search; the [`Scenario`](crate::Scenario)
+    /// runner resolves `0` (the default) to the host's available
+    /// parallelism before the engine sees it. Runs that complete within
+    /// `max_states` report identical counts at every setting (see the
+    /// [module docs](self) for the truncation caveat).
     pub parallelism: usize,
     /// ops_used-dominance pruning: expand only the lowest-remaining-budget
     /// copy of each configuration. **Non-count-preserving** — `work`
@@ -295,7 +309,7 @@ impl Default for BfsConfig {
         BfsConfig {
             max_ops: 6,
             max_states: 2_000_000,
-            parallelism: 1,
+            parallelism: 0,
             dominance: false,
             disk_dir: None,
             ram_budget: None,
@@ -527,112 +541,6 @@ pub(crate) const CENSUS_RETRY: RetryPolicy = RetryPolicy {
     reset_per_op: false,
 };
 
-/// Nodes a worker pulls from the shared frontier per lock acquisition:
-/// large enough to amortize the mutex, small enough to keep siblings fed.
-const STEAL_CHUNK: usize = 16;
-
-/// The shared work-stealing frontier: one deque of admitted-but-unexpanded
-/// nodes plus a pending-node count for termination. A node is *pending*
-/// from admission until its expansion has pushed all of its admitted
-/// successors, so `pending == 0` ⇒ the deque is empty and no expansion can
-/// refill it ⇒ the search is done.
-///
-/// `aborted` is the panic escape hatch: a worker that unwinds mid-node
-/// never calls [`node_done`](Self::node_done), so `pending` would stay
-/// positive and every sibling would sleep in
-/// [`pop_chunk`](Self::pop_chunk) forever while `thread::scope` waits to
-/// join them. Each worker therefore holds an [`AbortOnExit`] guard whose
-/// drop (normal or unwinding) flips the flag and wakes all sleepers; once
-/// every worker has exited, the scope propagates the original panic.
-struct Frontier {
-    queue: Mutex<VecDeque<BfsNode>>,
-    ready: Condvar,
-    pending: AtomicUsize,
-    aborted: AtomicBool,
-}
-
-/// Drop guard a census worker holds for its whole run: aborts the frontier
-/// on the way out. After a panic this unblocks the siblings (see
-/// [`Frontier::aborted`]); after a normal exit it is a no-op in effect,
-/// because a worker only returns once `pending == 0`, when every sibling
-/// is exiting anyway.
-struct AbortOnExit<'a>(&'a Frontier);
-
-impl Drop for AbortOnExit<'_> {
-    fn drop(&mut self) {
-        self.0.abort();
-    }
-}
-
-impl Frontier {
-    fn new() -> Self {
-        Frontier {
-            queue: Mutex::new(VecDeque::new()),
-            ready: Condvar::new(),
-            pending: AtomicUsize::new(0),
-            aborted: AtomicBool::new(false),
-        }
-    }
-
-    /// Flags the search as dead and wakes every sleeping worker (the lock
-    /// is taken so a worker between its checks and its wait cannot miss the
-    /// wakeup). Safe to call at any time; all `pop_chunk` calls return
-    /// `false` from then on.
-    fn abort(&self) {
-        self.aborted.store(true, Ordering::SeqCst);
-        if let Ok(_q) = self.queue.lock() {
-            self.ready.notify_all();
-        }
-    }
-
-    /// Registers and enqueues freshly admitted successors. The pending
-    /// count rises before the expanding node's own pending is released
-    /// ([`node_done`](Self::node_done)), so the count never transits zero
-    /// while work exists.
-    fn enqueue(&self, nodes: &mut Vec<BfsNode>) {
-        if nodes.is_empty() {
-            return;
-        }
-        self.pending.fetch_add(nodes.len(), Ordering::SeqCst);
-        let mut q = self.queue.lock().expect("frontier poisoned");
-        q.extend(nodes.drain(..));
-        drop(q);
-        self.ready.notify_all();
-    }
-
-    /// Releases one expanded node's pending slot; the last release wakes
-    /// every idle worker so they can observe termination.
-    fn node_done(&self) {
-        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
-            // Take the lock before notifying: a worker between its empty
-            // check and its wait must not miss the final wakeup.
-            let _q = self.queue.lock().expect("frontier poisoned");
-            self.ready.notify_all();
-        }
-    }
-
-    /// Pops up to [`STEAL_CHUNK`] nodes into `out`, blocking while the
-    /// deque is empty but expansions are still outstanding. Returns `false`
-    /// when the search has drained (or was aborted by a panicking sibling).
-    fn pop_chunk(&self, out: &mut Vec<BfsNode>) -> bool {
-        let mut q = self.queue.lock().expect("frontier poisoned");
-        loop {
-            if self.aborted.load(Ordering::SeqCst) {
-                return false;
-            }
-            if !q.is_empty() {
-                let take = STEAL_CHUNK.min(q.len());
-                out.extend(q.drain(..take));
-                return true;
-            }
-            if self.pending.load(Ordering::SeqCst) == 0 {
-                return false;
-            }
-            q = self.ready.wait(q).expect("frontier poisoned");
-        }
-    }
-}
-
 /// Per-worker scratch buffers, reused across every successor.
 #[derive(Default)]
 struct Scratch {
@@ -642,6 +550,47 @@ struct Scratch {
     image: Vec<Word>,
     /// Driver-key encoding buffer for fingerprints.
     key: Vec<Word>,
+}
+
+/// A worker-local batch of admitted-but-not-yet-interned successors: one
+/// expansion's worth of images staged for [`StateArena::intern_batch`],
+/// with the non-image node halves kept alongside in staging order.
+/// Flushing interns the whole batch (one lock per distinct shard) and
+/// emits the finished [`BfsNode`]s — in generation order, so the
+/// sequential engine's canonical FIFO admission order is untouched.
+struct PendingBatch {
+    stage: InternStage,
+    /// `(driver, ops_used)` per staged image, same order.
+    meta: Vec<(Driver, u32)>,
+    handles: Vec<nvm::CompactState>,
+}
+
+impl PendingBatch {
+    fn new(stride: usize) -> Self {
+        PendingBatch {
+            stage: InternStage::new(stride),
+            meta: Vec::new(),
+            handles: Vec::new(),
+        }
+    }
+
+    /// Interns every staged image and appends the finished nodes to `out`
+    /// in staging order. Returns whether anything was flushed (the
+    /// scheduler's `flush_batches` stat counts non-empty flushes only).
+    fn flush(&mut self, arena: &StateArena, out: &mut Vec<BfsNode>) -> bool {
+        if self.stage.is_empty() {
+            return false;
+        }
+        arena.intern_batch(&mut self.stage, &mut self.handles);
+        for (&state, (driver, ops_used)) in self.handles.iter().zip(self.meta.drain(..)) {
+            out.push(BfsNode {
+                state,
+                driver,
+                ops_used: ops_used as usize,
+            });
+        }
+        true
+    }
 }
 
 /// Per-worker scheduler-action tallies, summed into the report.
@@ -663,11 +612,14 @@ struct Census<'a> {
 
 impl Census<'_> {
     /// Observes one generated successor: its shared key always, and — if it
-    /// wins admission — interns its image and queues it in `out`.
+    /// wins admission — stages its image and node halves in `batch` for
+    /// the end-of-expansion flush. Admission order (the thing sequential
+    /// determinism rests on) is decided here, per successor; only the
+    /// interning is deferred.
     fn successor(
         &self,
         mem: &SimMemory,
-        out: &mut Vec<BfsNode>,
+        batch: &mut PendingBatch,
         scratch: &mut Scratch,
         driver: Driver,
         ops_used: usize,
@@ -684,22 +636,21 @@ impl Census<'_> {
             &mut scratch.key,
         );
         if self.visited.try_admit(fp, ops_used) {
-            out.push(BfsNode {
-                state: self.arena.intern(&scratch.image, hashes.0),
-                driver,
-                ops_used,
-            });
+            batch.stage.push(&scratch.image, hashes.0);
+            batch.meta.push((driver, ops_used as u32));
         }
     }
 
     /// Expands one node on a scratch memory: install its image once, then
     /// enter every successor under a checkpoint and roll it back — O(writes
-    /// of one step) per successor. Admitted successors land in `out`.
+    /// of one step) per successor. Admitted successors are staged in
+    /// `batch`; the caller flushes it ([`PendingBatch::flush`]) after the
+    /// expansion.
     fn expand(
         &self,
         mem: &SimMemory,
         node: &BfsNode,
-        out: &mut Vec<BfsNode>,
+        batch: &mut PendingBatch,
         scratch: &mut Scratch,
         tally: &mut Tally,
     ) {
@@ -713,7 +664,7 @@ impl Census<'_> {
                 let outcome = driver.step(self.obj, mem, i, &CENSUS_RETRY);
                 tally.steps += 1;
                 tally.resolved += u64::from(outcome.resolved());
-                self.successor(mem, out, scratch, driver, node.ops_used);
+                self.successor(mem, batch, scratch, driver, node.ops_used);
                 mem.rollback(cp);
             } else if node.ops_used < self.cfg.max_ops {
                 for op in self.alphabet {
@@ -721,7 +672,7 @@ impl Census<'_> {
                     let mut driver = node.driver.clone();
                     driver.invoke(self.obj, mem, i, *op, &CENSUS_RETRY);
                     tally.steps += 1;
-                    self.successor(mem, out, scratch, driver, node.ops_used + 1);
+                    self.successor(mem, batch, scratch, driver, node.ops_used + 1);
                     mem.rollback(cp);
                 }
             }
@@ -776,54 +727,69 @@ pub fn census_bfs_engine(
     let steps = AtomicU64::new(0);
     let resolved = AtomicU64::new(0);
     let persists = AtomicU64::new(0);
+    let stride = mem.layout().total_words();
 
-    if workers <= 1 {
+    let sched_stats = if workers <= 1 {
         // Sequential path: a plain FIFO keeps admission in canonical BFS
         // order, so truncated sequential runs stay deterministic (and,
         // without dominance, match the snapshot reference engine's
-        // admissions exactly — the reference never prunes).
+        // admissions exactly — the reference never prunes). Interning is
+        // still batched per expansion; the flush preserves staging order,
+        // so the queue order is exactly the old per-successor order.
         let fork = mem.fork();
         let mut tally = Tally::default();
+        let mut batch = PendingBatch::new(stride);
         let mut queue: VecDeque<BfsNode> = VecDeque::new();
         let mut out = Vec::new();
+        let mut expanded = 0u64;
+        let mut flushes = 0u64;
         queue.extend(root);
         while let Some(node) = queue.pop_front() {
-            census.expand(&fork, &node, &mut out, &mut scratch, &mut tally);
+            census.expand(&fork, &node, &mut batch, &mut scratch, &mut tally);
+            expanded += 1;
+            flushes += u64::from(batch.flush(&arena, &mut out));
             queue.extend(out.drain(..));
         }
         steps.store(tally.steps, Ordering::Relaxed);
         resolved.store(tally.resolved, Ordering::Relaxed);
         persists.store(fork.stats().persists, Ordering::Relaxed);
-    } else {
-        let frontier = Frontier::new();
-        if let Some(root) = root {
-            frontier.pending.store(1, Ordering::SeqCst);
-            frontier
-                .queue
-                .lock()
-                .expect("frontier poisoned")
-                .push_back(root);
+        SchedStats {
+            workers: 1,
+            flush_batches: flushes,
+            per_worker_expansions: vec![expanded],
+            ..SchedStats::default()
         }
+    } else {
+        let sched: Scheduler<BfsNode> = Scheduler::new(workers);
+        sched.seed(root);
         std::thread::scope(|s| {
-            for _ in 0..workers {
+            for id in 0..workers {
                 let census = &census;
-                let frontier = &frontier;
+                let sched = &sched;
                 let steps = &steps;
                 let resolved = &resolved;
                 let persists = &persists;
                 let fork = mem.fork();
                 s.spawn(move || {
-                    let _abort_guard = AbortOnExit(frontier);
+                    // The worker handle doubles as the panic guard: its
+                    // drop (normal or unwinding) aborts the scheduler, so
+                    // a panicking sibling can never leave the others
+                    // parked while the scope waits to join.
+                    let mut worker = sched.worker(id);
                     let mut scratch = Scratch::default();
                     let mut tally = Tally::default();
-                    let mut chunk = Vec::new();
+                    let mut batch = PendingBatch::new(stride);
                     let mut out = Vec::new();
-                    while frontier.pop_chunk(&mut chunk) {
-                        for node in chunk.drain(..) {
-                            census.expand(&fork, &node, &mut out, &mut scratch, &mut tally);
-                            frontier.enqueue(&mut out);
-                            frontier.node_done();
+                    while let Some(node) = worker.next() {
+                        census.expand(&fork, &node, &mut batch, &mut scratch, &mut tally);
+                        if batch.flush(census.arena, &mut out) {
+                            worker.note_flush();
                         }
+                        // Push the successors before releasing the node:
+                        // the quiescence sweep must never see created
+                        // work it has not counted.
+                        worker.push(&mut out);
+                        worker.complete();
                     }
                     steps.fetch_add(tally.steps, Ordering::Relaxed);
                     resolved.fetch_add(tally.resolved, Ordering::Relaxed);
@@ -831,7 +797,8 @@ pub fn census_bfs_engine(
                 });
             }
         });
-    }
+        sched.stats()
+    };
 
     let admitted = visited.admitted.load(Ordering::Relaxed);
     // Peak estimate from final sizes: the arena, the visited set and the
@@ -856,6 +823,7 @@ pub fn census_bfs_engine(
         truncated: visited.truncated.load(Ordering::Relaxed),
         peak_resident_bytes: peak,
         spill: None,
+        sched: sched_stats,
     }
 }
 
@@ -963,6 +931,7 @@ pub fn census_bfs_snapshot_engine(
         truncated,
         peak_resident_bytes: peak,
         spill: None,
+        sched: SchedStats::default(),
     }
 }
 

@@ -81,6 +81,7 @@ use nvm::{CacheMode, Checkpoint, CrashPolicy, Pid, SimMemory, Word};
 use crate::driver::{op_key, Driver, ProcState, RetryPolicy};
 use crate::history::{OpRecord, Outcome};
 use crate::linearize::{check_execution, Violation};
+use crate::sched::{SchedStats, Scheduler};
 
 /// Where operations come from (the engine's borrowed view; the owned
 /// [`Workload`](crate::Workload) type resolves onto it).
@@ -163,10 +164,13 @@ pub struct ExploreConfig {
     /// unchanged either way; the run files live in a unique subdirectory
     /// removed when the exploration finishes.
     pub disk_dir: Option<std::path::PathBuf>,
-    /// Worker threads for subtree exploration. `0` and `1` both mean
-    /// in-place sequential search; results on runs that finish within the
-    /// leaf budget are deterministic regardless of the setting (see the
-    /// [module docs](self) for the truncation caveat).
+    /// Worker threads for subtree exploration. At this layer `0` and `1`
+    /// both mean in-place sequential search; the
+    /// [`Scenario`](crate::Scenario) runner resolves `0` (the default) to
+    /// the host's available parallelism before the engine sees it. Results
+    /// on runs that finish within the leaf budget are deterministic
+    /// regardless of the setting (see the [module docs](self) for the
+    /// truncation caveat).
     pub parallelism: usize,
 }
 
@@ -185,7 +189,7 @@ impl Default for ExploreConfig {
             // degrades to re-exploration instead of OOM.
             memo_budget: Some(4_000_000),
             disk_dir: None,
-            parallelism: 1,
+            parallelism: 0,
         }
     }
 }
@@ -218,6 +222,10 @@ pub struct ExploreOutcome {
     /// ([`ExploreConfig::disk_dir`]): pruning that a RAM-only budgeted run
     /// would have lost to eviction.
     pub memo_disk_hits: usize,
+    /// Scheduler-action counters of the parallel subtree workers (steals,
+    /// parks, per-worker subtree counts). All-zero for sequential runs —
+    /// they never start a scheduler.
+    pub sched: SchedStats,
 }
 
 impl ExploreOutcome {
@@ -1087,6 +1095,7 @@ pub fn explore_engine(
             symmetry: sym,
             memo_evictions: progress.memo.evictions(),
             memo_disk_hits: progress.memo.disk_hits(),
+            sched: SchedStats::default(),
         };
     }
     explore_parallel(obj, mem, source, cfg, root, &progress, sym)
@@ -1222,21 +1231,26 @@ fn explore_parallel(
         }
     }
 
+    // Subtree jobs run on the shared work-stealing scheduler (the same
+    // substrate as the census BFS): seeded round-robin, idle workers steal
+    // from siblings' fronts, and each worker handle doubles as the panic
+    // guard — a worker that unwinds aborts the scheduler so its siblings
+    // drain out and `thread::scope` propagates the original panic instead
+    // of hanging. Subtrees never spawn new jobs, so the deques only drain;
+    // canonical merge order is restored by the index sort below.
     let workers = cfg.parallelism.min(jobs.len().max(1));
-    let mut lanes: Vec<Vec<SubtreeJob>> = (0..workers).map(|_| Vec::new()).collect();
-    for (k, job) in jobs.into_iter().enumerate() {
-        lanes[k % workers].push(job);
-    }
-    let lane_results: Vec<Vec<SubtreeResult>> = std::thread::scope(|s| {
-        let handles: Vec<_> = lanes
-            .into_iter()
-            .map(|lane| {
-                s.spawn(move || {
-                    let mut out = Vec::with_capacity(lane.len());
-                    for job in lane {
-                        if progress.moot(job.index) {
-                            continue;
-                        }
+    let sched: Scheduler<SubtreeJob> = Scheduler::new(workers);
+    sched.seed(jobs);
+    let done = Mutex::new(Vec::new());
+    std::thread::scope(|s| {
+        for id in 0..workers {
+            let sched = &sched;
+            let done = &done;
+            s.spawn(move || {
+                let mut worker = sched.worker(id);
+                let mut out = Vec::new();
+                while let Some(job) = worker.next() {
+                    if !progress.moot(job.index) {
                         let mut engine = Engine::new(obj, cfg, source, progress, job.index, sym);
                         engine.run(&job.mem, job.node);
                         out.push(SubtreeResult {
@@ -1248,17 +1262,15 @@ fn explore_parallel(
                             memo_hits: engine.memo_hits,
                         });
                     }
-                    out
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
+                    worker.complete();
+                }
+                done.lock().expect("result sink poisoned").append(&mut out);
+            });
+        }
     });
-    results.extend(lane_results.into_iter().flatten());
+    results.extend(done.into_inner().expect("result sink poisoned"));
     results.sort_by_key(|r| r.index);
+    let sched_stats = sched.stats();
 
     // Merge in canonical order: the first violating subtree wins.
     let mut leaves = 0usize;
@@ -1284,6 +1296,7 @@ fn explore_parallel(
         symmetry: sym,
         memo_evictions: progress.memo.evictions(),
         memo_disk_hits: progress.memo.disk_hits(),
+        sched: sched_stats,
     }
 }
 

@@ -70,6 +70,7 @@ use nvm::{Memory, SimMemory, SpillConfig, SpillableArena, Word};
 
 use crate::census::{fingerprint_image, image_hashes, BfsConfig, CensusReport, CENSUS_RETRY};
 use crate::driver::Driver;
+use crate::sched::SchedStats;
 
 /// Disk-tier counters for one external census run.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
@@ -344,6 +345,18 @@ fn run(
     let mut scratch_key: Vec<Word> = Vec::new();
     let mut image: Vec<Word> = Vec::new();
     let mut node_image: Vec<Word> = Vec::new();
+    let mut expanded = 0u64;
+    let mut flush_batches = 0u64;
+    // Per-expansion staging buffers for batched interning (flat images,
+    // their 128-bit hashes/fingerprints, budgets, and driver encodings
+    // packed end to end with offsets).
+    let mut b_images: Vec<Word> = Vec::new();
+    let mut b_hashes: Vec<(u64, u64)> = Vec::new();
+    let mut b_fps: Vec<(u64, u64)> = Vec::new();
+    let mut b_ops: Vec<usize> = Vec::new();
+    let mut b_drv: Vec<Word> = Vec::new();
+    let mut b_drv_off: Vec<usize> = Vec::new();
+    let mut b_handles: Vec<u64> = Vec::new();
     // Peak of the per-generation transient buffers (sort chunk, bitmap,
     // merge cursors); resident sets are added at the end.
     let mut transient_peak = 0u64;
@@ -393,32 +406,33 @@ fn run(
         let mut drv_words: Vec<Word> = Vec::new();
         while let Some(node) = read_node(&mut nodes_r)? {
             expanded_any = true;
+            expanded += 1;
             let driver = Driver::decode_frontier(obj, n, &node.drv)
                 .expect("decodable object failed to decode its own frontier encoding");
             arena.read_into(node.handle, &mut node_image);
             fork.load_words(&node_image);
-            let mut successor = |fork: &SimMemory,
-                                 driver: &Driver,
-                                 ops_used: usize,
-                                 seq: &mut u64,
-                                 fps_w: &mut WordWriter,
-                                 pay_w: &mut WordWriter|
-             -> std::io::Result<()> {
+            // Stage this node's successors (image, 128-bit hash,
+            // fingerprint, budget, driver encoding) and intern the whole
+            // batch in one arena lock acquisition after the expansion;
+            // the write-out below replays staging order, so the candidate
+            // files are byte-identical to the per-successor path.
+            let mut successor = |fork: &SimMemory, driver: &Driver, ops_used: usize| {
                 fork.logical_words_into(&mut image);
                 shared_seen.insert(fork.layout().shared_words(&image));
                 let hashes = image_hashes(&image);
                 let fp =
                     fingerprint_image(hashes, driver, ops_used, cfg.dominance, &mut scratch_key);
-                let handle = arena.intern128(&image, hashes);
+                b_images.extend_from_slice(&image);
+                b_hashes.push(hashes);
+                b_fps.push(fp);
+                b_ops.push(ops_used);
                 drv_words.clear();
                 assert!(
                     driver.try_encode_frontier(&mut drv_words),
                     "crash-free census produced a non-frontier driver state"
                 );
-                fps_w.put_all(&[fp.0, fp.1, *seq, ops_used as Word])?;
-                write_node(pay_w, ops_used, handle, &drv_words)?;
-                *seq += 1;
-                Ok(())
+                b_drv_off.push(b_drv.len());
+                b_drv.extend_from_slice(&drv_words);
             };
             for i in 0..n as usize {
                 if driver.state(i).in_flight() {
@@ -427,7 +441,7 @@ fn run(
                     let outcome = d.step(obj, &fork, i, &CENSUS_RETRY);
                     steps += 1;
                     resolved += u64::from(outcome.resolved());
-                    successor(&fork, &d, node.ops_used, &mut seq, &mut fps_w, &mut pay_w)?;
+                    successor(&fork, &d, node.ops_used);
                     fork.rollback(cp);
                 } else if node.ops_used < cfg.max_ops {
                     for op in alphabet {
@@ -435,17 +449,31 @@ fn run(
                         let mut d = driver.clone();
                         d.invoke(obj, &fork, i, *op, &CENSUS_RETRY);
                         steps += 1;
-                        successor(
-                            &fork,
-                            &d,
-                            node.ops_used + 1,
-                            &mut seq,
-                            &mut fps_w,
-                            &mut pay_w,
-                        )?;
+                        successor(&fork, &d, node.ops_used + 1);
                         fork.rollback(cp);
                     }
                 }
+            }
+            if !b_hashes.is_empty() {
+                arena.intern128_batch(&b_images, &b_hashes, &mut b_handles);
+                b_drv_off.push(b_drv.len());
+                for i in 0..b_hashes.len() {
+                    fps_w.put_all(&[b_fps[i].0, b_fps[i].1, seq, b_ops[i] as Word])?;
+                    write_node(
+                        &mut pay_w,
+                        b_ops[i],
+                        b_handles[i],
+                        &b_drv[b_drv_off[i]..b_drv_off[i + 1]],
+                    )?;
+                    seq += 1;
+                }
+                flush_batches += 1;
+                b_images.clear();
+                b_hashes.clear();
+                b_fps.clear();
+                b_ops.clear();
+                b_drv.clear();
+                b_drv_off.clear();
             }
         }
         spill.bytes_spilled += fps_w.finish()? + pay_w.finish()?;
@@ -690,6 +718,12 @@ fn run(
         truncated,
         peak_resident_bytes: peak,
         spill: Some(spill),
+        sched: SchedStats {
+            workers: 1,
+            flush_batches,
+            per_worker_expansions: vec![expanded],
+            ..SchedStats::default()
+        },
     })
 }
 

@@ -54,6 +54,7 @@ pub mod perturb;
 pub mod process_crash;
 pub mod report;
 pub mod scenario;
+pub mod sched;
 pub mod sim;
 pub mod spec;
 pub mod workload;
@@ -80,9 +81,10 @@ pub use process_crash::{
 };
 pub use report::{census_table_json, markdown_table, verdicts_to_json};
 pub use scenario::{
-    build_kind, AggregateRow, CrashModel, RunMode, RunStats, Runner, Scenario, Sweep, SweepCell,
-    SweepReport, Verdict,
+    build_kind, resolve_parallelism, AggregateRow, CrashModel, RunMode, RunStats, Runner, Scenario,
+    Sweep, SweepCell, SweepReport, Verdict,
 };
+pub use sched::SchedStats;
 pub use sim::{build_world, build_world_mode, sim_engine, SimConfig, SimReport};
 pub use spec::{spec_apply, spec_init, spec_run, SpecState};
 pub use workload::{mixed_op, ResolvedWorkload, Workload};

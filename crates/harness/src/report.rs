@@ -69,13 +69,27 @@ fn json_opt_str(v: Option<&str>) -> String {
     }
 }
 
+fn sched_json(s: &crate::sched::SchedStats) -> String {
+    let per_worker: Vec<String> = s.per_worker_expansions.iter().map(u64::to_string).collect();
+    format!(
+        "{{\"workers\":{},\"steals\":{},\"steal_failures\":{},\
+         \"parks\":{},\"flush_batches\":{},\"per_worker_expansions\":[{}]}}",
+        s.workers,
+        s.steals,
+        s.steal_failures,
+        s.parks,
+        s.flush_batches,
+        per_worker.join(","),
+    )
+}
+
 fn stats_json(s: &RunStats) -> String {
     format!(
         "{{\"executions\":{},\"resolved_ops\":{},\"crashes\":{},\
          \"recovered_ok\":{},\"recovered_failed\":{},\"steps\":{},\
          \"persists\":{},\"distinct_configs\":{},\"theorem_bound\":{},\
          \"truncated\":{},\"shared_bits\":{},\"private_bits\":{},\
-         \"peak_resident_bytes\":{},\"spilled_bytes\":{}}}",
+         \"peak_resident_bytes\":{},\"spilled_bytes\":{},\"sched\":{}}}",
         s.executions,
         s.resolved_ops,
         s.crashes,
@@ -90,6 +104,7 @@ fn stats_json(s: &RunStats) -> String {
         s.private_bits,
         s.peak_resident_bytes,
         s.spilled_bytes,
+        sched_json(&s.sched),
     )
 }
 

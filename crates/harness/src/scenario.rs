@@ -57,6 +57,7 @@ use crate::explore::{explore_engine, ExploreConfig, OpSource, SymmetryMode};
 use crate::external::census_bfs_external_engine;
 use crate::linearize::check_execution;
 use crate::perturb::{validate_witness_on_impl, witness_search, PerturbWitness};
+use crate::sched::SchedStats;
 use crate::sim::{sim_engine, SimConfig, SimReport};
 use crate::workload::{ResolvedWorkload, Workload};
 
@@ -335,6 +336,8 @@ impl Scenario {
     }
 
     /// The runner-effective exploration config (same precedence rule).
+    /// A `parallelism` of 0 (the [`ExploreConfig::default`]) resolves to
+    /// the host's available parallelism here.
     fn effective_explore(&self, cfg: &ExploreConfig) -> ExploreConfig {
         let mut eff = cfg.clone();
         if let Some(f) = self.faults {
@@ -343,6 +346,7 @@ impl Scenario {
             eff.retry_on_fail = f.retry_on_fail;
             eff.max_retries = f.max_retries;
         }
+        eff.parallelism = resolve_parallelism(eff.parallelism);
         eff
     }
 
@@ -453,6 +457,7 @@ impl Scenario {
                 truncated: out.truncated,
                 shared_bits,
                 private_bits,
+                sched: out.sched,
                 ..RunStats::default()
             },
         }
@@ -533,12 +538,17 @@ impl Scenario {
                         private_bits,
                     );
                 }
+                // A `parallelism` of 0 (the config default) resolves to
+                // the host's available parallelism at this layer; the
+                // engines themselves treat 0 as sequential.
+                let mut eff = cfg.clone();
+                eff.parallelism = resolve_parallelism(cfg.parallelism);
                 if cfg.disk_dir.is_some() && obj.decodable() {
                     // Disk tier requested and the object can rebuild its
                     // machines from their encodings: spill the frontier.
-                    census_bfs_external_engine(&*obj, &mem, &alphabet, cfg)
+                    census_bfs_external_engine(&*obj, &mem, &alphabet, &eff)
                 } else {
-                    census_bfs_engine(&*obj, &mem, &alphabet, cfg)
+                    census_bfs_engine(&*obj, &mem, &alphabet, &eff)
                 }
             }
         };
@@ -581,6 +591,7 @@ impl Scenario {
                 private_bits,
                 peak_resident_bytes: report.peak_resident_bytes,
                 spilled_bytes: report.spill.map_or(0, |s| s.bytes_spilled),
+                sched: report.sched,
                 ..RunStats::default()
             },
         }
@@ -670,6 +681,18 @@ impl Scenario {
     }
 }
 
+/// Resolves a requested worker-thread count: `0` — the [`BfsConfig`] and
+/// [`ExploreConfig`] default — means "use the host", i.e.
+/// `std::thread::available_parallelism()` (falling back to 1 when the host
+/// cannot report it). Any explicit nonzero request is honored as given.
+pub fn resolve_parallelism(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        requested
+    }
+}
+
 /// Which terminal runner produced a [`Verdict`].
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum RunMode {
@@ -738,6 +761,9 @@ pub struct RunStats {
     /// Bytes the external-memory census spilled to disk (frontier
     /// generations, sort runs, seen files; zero for in-RAM runs).
     pub spilled_bytes: u64,
+    /// Work-stealing scheduler counters (census BFS and parallel explore
+    /// runs; all-zero — empty per-worker vector — elsewhere).
+    pub sched: SchedStats,
 }
 
 impl RunStats {
@@ -759,6 +785,7 @@ impl RunStats {
         // concurrently, but the max is the honest lower bound either way.
         self.peak_resident_bytes = self.peak_resident_bytes.max(other.peak_resident_bytes);
         self.spilled_bytes += other.spilled_bytes;
+        self.sched.accumulate(&other.sched);
         if self.shared_bits == 0 {
             self.shared_bits = other.shared_bits;
             self.private_bits = other.private_bits;
@@ -1293,6 +1320,10 @@ mod tests {
         ));
         let cfg = ExploreConfig {
             max_crashes: 0,
+            // Sequential: whole-verdict equality below includes the
+            // scheduler counters, which are nondeterministic run to run
+            // under parallelism.
+            parallelism: 1,
             ..Default::default()
         };
         let a = base.clone().workload_seed(1).explore(&cfg);

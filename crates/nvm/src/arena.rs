@@ -118,7 +118,65 @@ impl StateArena {
         assert_eq!(image.len(), self.stride, "image width != arena stride");
         let shard_idx = (hash as usize) % SHARDS;
         let mut shard = self.shards[shard_idx].lock().expect("arena shard poisoned");
-        let Shard { index, words } = &mut *shard;
+        self.intern_locked(shard_idx, &mut shard, image, hash)
+    }
+
+    /// Interns every image staged in `stage`, writing one handle per
+    /// staged image (in staging order) into `out`, and drains the stage
+    /// for reuse.
+    ///
+    /// Semantically identical to calling [`intern`](Self::intern) once per
+    /// staged image in order — same exact-dedup contract, same handles —
+    /// but the staged images are grouped by destination shard first, so
+    /// each distinct shard is locked **once per flush** instead of once
+    /// per successor. Worker threads of a parallel search stage a whole
+    /// expansion's admitted successors locally and flush in one call,
+    /// cutting the shard-lock round-trips and the cache-line traffic they
+    /// cause. Duplicates *within* one batch dedup like any others: the
+    /// first staged copy appends, later copies hit the shard index it
+    /// just extended.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stage's stride differs from the arena's.
+    pub fn intern_batch(&self, stage: &mut InternStage, out: &mut Vec<CompactState>) {
+        assert_eq!(stage.stride, self.stride, "stage width != arena stride");
+        let n = stage.hashes.len();
+        out.clear();
+        out.resize(n, CompactState { shard: 0, slot: 0 });
+        // Sort (shard, staging-index) pairs: groups by shard while keeping
+        // staging order within each shard, so slot assignment matches the
+        // one-call-per-image order exactly.
+        let mut order: Vec<(usize, usize)> = stage
+            .hashes
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| ((h as usize) % SHARDS, i))
+            .collect();
+        order.sort_unstable();
+        let mut at = 0;
+        while at < order.len() {
+            let shard_idx = order[at].0;
+            let mut shard = self.shards[shard_idx].lock().expect("arena shard poisoned");
+            while at < order.len() && order[at].0 == shard_idx {
+                let i = order[at].1;
+                let image = &stage.words[i * self.stride..(i + 1) * self.stride];
+                out[i] = self.intern_locked(shard_idx, &mut shard, image, stage.hashes[i]);
+                at += 1;
+            }
+        }
+        stage.clear();
+    }
+
+    /// The single-image intern body, run under `shard`'s lock.
+    fn intern_locked(
+        &self,
+        shard_idx: usize,
+        shard: &mut Shard,
+        image: &[Word],
+        hash: u64,
+    ) -> CompactState {
+        let Shard { index, words } = shard;
         let slots = index.entry(hash).or_default();
         // Hash routing only: membership is decided by exact comparison.
         for &slot in slots.iter() {
@@ -157,6 +215,63 @@ impl StateArena {
         );
         out.clear();
         out.extend_from_slice(&shard.words[at..at + self.stride]);
+    }
+}
+
+/// A worker-local staging buffer for [`StateArena::intern_batch`]: images
+/// (stored flat) plus their routing hashes, accumulated lock-free and
+/// flushed to the sharded arena in one call. Reusable across flushes — the
+/// flush drains it — so a long-running worker allocates once.
+pub struct InternStage {
+    stride: usize,
+    words: Vec<Word>,
+    hashes: Vec<u64>,
+}
+
+impl InternStage {
+    /// An empty stage for images of exactly `stride` words (must match the
+    /// arena it will flush into).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero.
+    pub fn new(stride: usize) -> Self {
+        assert!(stride > 0, "stage stride must be positive");
+        InternStage {
+            stride,
+            words: Vec::new(),
+            hashes: Vec::new(),
+        }
+    }
+
+    /// Stages one image under its routing `hash` (same purity contract as
+    /// [`StateArena::intern`]), returning its staging index — the position
+    /// of its handle in the flush's output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image.len()` differs from the stage stride.
+    pub fn push(&mut self, image: &[Word], hash: u64) -> usize {
+        assert_eq!(image.len(), self.stride, "image width != stage stride");
+        self.words.extend_from_slice(image);
+        self.hashes.push(hash);
+        self.hashes.len() - 1
+    }
+
+    /// Number of images currently staged.
+    pub fn len(&self) -> usize {
+        self.hashes.len()
+    }
+
+    /// Whether the stage is empty (a flush of an empty stage is a no-op).
+    pub fn is_empty(&self) -> bool {
+        self.hashes.is_empty()
+    }
+
+    /// Drops every staged image (flushing does this automatically).
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.hashes.clear();
     }
 }
 
@@ -206,5 +321,44 @@ mod tests {
     #[should_panic(expected = "stride")]
     fn wrong_width_is_rejected() {
         intern(&StateArena::new(2), &[1]);
+    }
+
+    #[test]
+    fn batch_interning_matches_per_image_interning() {
+        // The batch path must hand out exactly the handles the one-call
+        // path would: same dedup, same slots, staging order preserved.
+        let reference = StateArena::new(2);
+        let batched = StateArena::new(2);
+        let images: Vec<[Word; 2]> = (0..200u64).map(|i| [i % 13, i % 7]).collect();
+        let one_by_one: Vec<CompactState> =
+            images.iter().map(|im| intern(&reference, im)).collect();
+
+        let mut stage = InternStage::new(2);
+        let mut out = Vec::new();
+        let mut via_batch = Vec::new();
+        for chunk in images.chunks(9) {
+            for im in chunk {
+                stage.push(im, StateArena::hash_image(im));
+            }
+            batched.intern_batch(&mut stage, &mut out);
+            assert!(stage.is_empty(), "flush drains the stage");
+            via_batch.extend(out.iter().copied());
+        }
+        assert_eq!(via_batch, one_by_one);
+        assert_eq!(batched.distinct(), reference.distinct());
+    }
+
+    #[test]
+    fn duplicates_within_one_batch_share_a_handle() {
+        let arena = StateArena::new(2);
+        let mut stage = InternStage::new(2);
+        stage.push(&[1, 2], StateArena::hash_image(&[1, 2]));
+        stage.push(&[3, 4], StateArena::hash_image(&[3, 4]));
+        stage.push(&[1, 2], StateArena::hash_image(&[1, 2]));
+        let mut out = Vec::new();
+        arena.intern_batch(&mut stage, &mut out);
+        assert_eq!(out[0], out[2], "in-batch duplicate dedups");
+        assert_ne!(out[0], out[1]);
+        assert_eq!(arena.distinct(), 2);
     }
 }

@@ -184,6 +184,36 @@ impl SpillableArena {
     pub fn intern128(&self, image: &[Word], hash: (u64, u64)) -> u64 {
         assert_eq!(image.len(), self.stride, "image width != arena stride");
         let mut inner = self.lock();
+        self.intern128_locked(&mut inner, image, hash)
+    }
+
+    /// Interns a batch of staged images in one lock acquisition: `images`
+    /// holds `hashes.len()` stride-sized images back to back, and `out`
+    /// receives one handle per image in order. Semantically identical to
+    /// calling [`intern128`](Self::intern128) per image — same dedup, same
+    /// handles — but the arena mutex is taken once per flush instead of
+    /// once per successor, which is the census expansion hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images.len() != hashes.len() * stride`, or if sealing a
+    /// segment to disk fails.
+    pub fn intern128_batch(&self, images: &[Word], hashes: &[(u64, u64)], out: &mut Vec<u64>) {
+        assert_eq!(
+            images.len(),
+            hashes.len() * self.stride,
+            "batch width != images × arena stride"
+        );
+        out.clear();
+        let mut inner = self.lock();
+        for (i, &hash) in hashes.iter().enumerate() {
+            let image = &images[i * self.stride..(i + 1) * self.stride];
+            out.push(self.intern128_locked(&mut inner, image, hash));
+        }
+    }
+
+    /// The single-image intern body, run under the arena lock.
+    fn intern128_locked(&self, inner: &mut Inner, image: &[Word], hash: (u64, u64)) -> u64 {
         if let Some(&handle) = inner.index.get(&hash) {
             return handle;
         }
@@ -193,9 +223,9 @@ impl SpillableArena {
         inner.active.extend_from_slice(image);
         inner.index.insert(hash, handle);
         if slot + 1 == self.cfg.seg_slots {
-            self.seal(&mut inner);
+            self.seal(inner);
         }
-        self.note_resident(&mut inner);
+        self.note_resident(inner);
         handle
     }
 

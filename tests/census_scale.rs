@@ -34,6 +34,10 @@ fn truncated_census_is_flagged_end_to_end() {
     let cfg = BfsConfig {
         max_ops: 6,
         max_states: 50,
+        // Sequential: which configurations win the 50 admission slots —
+        // and hence whether the truncated run already meets the bound —
+        // is scheduling-dependent under parallelism.
+        parallelism: 1,
         ..Default::default()
     };
     let v = cas_census(3, &cfg);
@@ -230,6 +234,10 @@ fn dominance_work_divergence_is_pinned() {
     let cfg = BfsConfig {
         max_ops: 4,
         max_states: 2_000_000,
+        // Pinned sequentially: dominance-mode `work` is scheduling-
+        // dependent, and the Scenario layer resolves the 0 default to the
+        // host's parallelism.
+        parallelism: 1,
         ..Default::default()
     };
     let exact = cas_census(2, &cfg);
@@ -313,6 +321,9 @@ fn n4_census_counts_are_pinned_at_every_thread_level() {
         4,
         &BfsConfig {
             dominance: true,
+            // Sequential: the pinned dominance expansion count is only
+            // canonical under FIFO admission order.
+            parallelism: 1,
             ..base
         },
     );
