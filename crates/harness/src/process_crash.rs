@@ -1,48 +1,73 @@
-//! Real-process crash injection: SIGKILL a child full of live threads,
-//! remap its NVM, recover, and check the stitched history.
+//! Real-process crash injection: SIGKILL live processes mid-traffic (and
+//! mid-*recovery*), remap their NVM, recover, and check the stitched
+//! history.
 //!
 //! The in-process engines ([`crate::sim`], [`crate::explore`]) *simulate*
 //! crashes: volatile state is dropped by code that runs at the crash point.
 //! This module removes that last layer of simulation. A **parent** process
-//! re-executes the current binary in *worker mode* (see
-//! [`maybe_run_worker`]); the **child** drives N real OS threads of mixed
-//! workload traffic through the object's step machines against a
-//! [`MappedMemory`] — the NVM half of the model lives in a `MAP_SHARED`
-//! file, so what survives the child's death is decided by the kernel, not
-//! by the harness. The parent kills the child with `SIGKILL` at a
-//! randomized point, remaps the files, runs
-//! [`RecoverableObject::recover`] for every operation the durable log
-//! proves was in flight, and checks the stitched pre-crash + recovery
-//! history with the windowed linearizability checker
-//! ([`check_records_windowed`]).
+//! re-executes the current binary in worker mode (see [`maybe_run_worker`])
+//! and drives one of two topologies:
+//!
+//! * **Threads mode** (the default): one child runs N OS threads of mixed
+//!   workload traffic against a [`MappedMemory`] — the NVM half of the
+//!   model lives in a `MAP_SHARED` file, so what survives the child's death
+//!   is decided by the kernel, not by the harness. The parent SIGKILLs the
+//!   whole child at a randomized point.
+//! * **Fabric mode** ([`CrashCycleConfig::procs_as_processes`]): one child
+//!   *per paper process*, all mapping the same NVM files — the paper's
+//!   per-process crash model made literal. The parent SIGKILLs a randomized
+//!   *subset* of the workers mid-traffic ([`CrashCycleConfig::kill_subset`])
+//!   while the survivors keep running and re-barrier, then runs each dead
+//!   process's recovery **in its own child**, SIGKILLing that recoverer
+//!   mid-recovery up to [`CrashCycleConfig::recovery_kills`] nested times
+//!   before letting the final re-entry converge. Every kill — worker or
+//!   recoverer — bumps the data file's crash ordinal
+//!   ([`MappedFile::bump_crash_count`]).
+//!
+//! Either way the parent finally remaps the files, resolves every
+//! operation the durable log proves was in flight, and checks the stitched
+//! pre-crash + partial-recovery + re-recovery history with the windowed
+//! linearizability checker ([`check_records_windowed`]).
 //!
 //! # The durable operation log
 //!
-//! Alongside the data file the child appends to a second mapped file: a
+//! Alongside the data file the workers append to a second mapped file: a
 //! global sequence counter in header slot [`MappedFile::user`]`(0)` and a
-//! fixed region of 4-word records per thread —
+//! fixed region of 4-word records per process —
 //! `[seq, tag, op_key, resp]`, with `seq` stored **last** as the commit
 //! marker (a record whose first word is still 0 was torn by the kill and
-//! is ignored; its thread wrote no later record). Invocation records are
+//! is ignored; its process wrote no later record). Invocation records are
 //! written *after* [`RecoverableObject::prepare`] — recovery must only run
 //! for fully-announced operations, otherwise it would read a stale
 //! previous announcement — and *before* the operation machine's first
 //! step, so the recorded interval covers every point at which the
-//! operation could have linearized.
+//! operation could have linearized. A recoverer that converges appends a
+//! [`TAG_RECOVERY`] record *into the dead process's region*, closing the
+//! open invocation; because the record commits with one final `seq` store,
+//! a recoverer killed mid-append leaves the invocation open and the next
+//! re-entry simply recovers again — the on-log image of the paper's
+//! idempotent `Op.Recover`.
 //!
-//! # Quiescent cuts
+//! # Quiescent cuts and the cross-process barrier
 //!
 //! The exact checker is exponential in the number of overlapping
-//! operations, so worker threads rendezvous at a [`std::sync::Barrier`]
-//! every [`CrashCycleConfig::barrier_every`] operations. Each barrier is a
+//! operations, so workers rendezvous every
+//! [`CrashCycleConfig::barrier_every`] operations. Each rendezvous is a
 //! quiescent cut in the sequence order: every pre-barrier operation's
 //! return record precedes every post-barrier invocation record, which is
-//! exactly the split [`check_records_windowed`] needs. The kill lands
-//! inside one window, bounding the overlap the checker must untangle.
+//! exactly the split [`check_records_windowed`] needs. Threads-mode workers
+//! use a [`std::sync::Barrier`]; fabric workers share no address space, so
+//! the barrier runs over the log file's header: worker `p` stores its round
+//! in user slot `3 + p` and spins until the parent-owned release word (user
+//! slot 1) reaches that round. The parent releases a round only when every
+//! *live* worker has arrived — and deliberately **withholds** releases
+//! while recoveries run, so the survivors park at their next cut and a dead
+//! process's operation overlaps at most one window of survivor traffic
+//! before its recovery verdict lands.
 
 use std::io;
 use std::path::PathBuf;
-use std::process::{Command, Stdio};
+use std::process::{Child, Command, ExitStatus, Stdio};
 use std::sync::atomic::Ordering;
 use std::time::{Duration, Instant};
 
@@ -55,7 +80,7 @@ use nvm::{
 use crate::driver::{op_from_key, op_key, Driver, RetryPolicy, StepOutcome};
 use crate::history::{Event, History};
 use crate::linearize::{check_records_windowed, MAX_CHECKED_OPS};
-use crate::scenario::build_kind;
+use crate::scenario::{build_kind, RunStats};
 use crate::workload::mixed_op;
 
 /// Words per log record: `[seq, tag, op_key, resp]`.
@@ -64,12 +89,45 @@ pub const RECORD_WORDS: usize = 4;
 pub const TAG_INVOKE: Word = 1;
 /// Log record tag: the operation returned `resp`.
 pub const TAG_RETURN: Word = 2;
+/// Log record tag: a recoverer resolved the open invocation with this
+/// verdict (`resp` holds [`RESP_FAIL`] or the operation's response).
+pub const TAG_RECOVERY: Word = 3;
 
 /// Machine-step budget per operation in the worker (the algorithms are
 /// bounded, but real-thread contention stretches lock-free retry loops).
 const WORKER_STEP_LIMIT: usize = 10_000_000;
-/// Machine-step budget per recovery in the parent (recovery runs solo).
+/// Machine-step budget per recovery (recovery runs solo).
 const RECOVERY_STEP_LIMIT: usize = 1_000_000;
+
+/// Log-header user slots (see [`MappedFile::user`]): the global record
+/// sequence counter, the parent-owned barrier release round, the
+/// recoverer's armed flag, the parent-owned stall mask (bit `p` asks
+/// fabric worker `p` to pause mid-operation so a SIGKILL — which loses a
+/// race against microsecond-scale operations — lands inside one, the way
+/// a real scheduler preemption would), then one arrival word per fabric
+/// worker.
+const SLOT_SEQ: usize = 0;
+const SLOT_RELEASE: usize = 1;
+const SLOT_ARMED: usize = 2;
+const SLOT_STALL: usize = 3;
+const SLOT_ARRIVAL0: usize = 4;
+
+/// How long a stalled fabric worker waits for its SIGKILL before giving
+/// up and continuing (the parent kills within microseconds; the bound
+/// only matters if the kill never comes).
+const STALL_LIMIT: Duration = Duration::from_millis(5);
+
+/// Recovery is solo and typically resolves in a handful of machine steps —
+/// far too fast for a SIGKILL racing from another process to land inside
+/// it. When the parent *plans* a mid-recovery kill it asks the recoverer to
+/// pace itself: sleep this long between machine steps for the first
+/// [`PACED_STEPS`] steps, stretching the mutation sequence across a window
+/// the kill can actually hit (the final, clean re-entry runs unpaced).
+const RECOVERY_PACE_US: u64 = 40;
+const PACED_STEPS: usize = 500;
+/// The mid-recovery kill lands uniformly within this many microseconds of
+/// the recoverer arming (storing 1 into user slot [`SLOT_ARMED`]).
+const RECOVERY_KILL_WINDOW_US: u64 = 600;
 
 const ENV_WORKER: &str = "PC_WORKER";
 const ENV_DATA: &str = "PC_DATA";
@@ -83,6 +141,18 @@ const ENV_BARRIER: &str = "PC_BARRIER";
 const ENV_CACHE: &str = "PC_CACHE";
 const ENV_POLICY: &str = "PC_POLICY";
 const ENV_BASE: &str = "PC_BASE";
+/// Fabric worker index — present only in fabric mode, one child per pid.
+const ENV_PID: &str = "PC_PID";
+/// Recoverer mode: the pid whose open invocation this child must resolve.
+const ENV_RECOVER: &str = "PC_RECOVER";
+/// Microseconds slept per machine step for the recoverer's first
+/// [`PACED_STEPS`] steps (absent or 0 = unpaced).
+const ENV_PACE: &str = "PC_RECOVER_PACE";
+
+/// Exit code of a worker whose barrier spin was abandoned (parent gone).
+const EXIT_ABANDONED: i32 = 103;
+/// Exit code of a recoverer whose step budget ran out before a verdict.
+const EXIT_UNRESOLVED: i32 = 102;
 
 /// Builds the object named `name` for `n` processes into `b`, or `None` if
 /// the name is unknown. Binaries that host crash cycles install one factory
@@ -185,16 +255,20 @@ pub struct CrashCycleConfig {
     /// Abstract kind — drives the workload and the specification the
     /// stitched history is checked against.
     pub kind: ObjectKind,
-    /// Worker threads (= processes) in the child.
+    /// Paper processes: worker threads in the child (threads mode) or
+    /// worker child processes (fabric mode).
     pub procs: u32,
-    /// Operations each thread attempts per cycle.
+    /// Operations each process attempts per cycle.
     pub ops_per_proc: usize,
     /// Queue capacity for [`ObjectKind::Queue`] worlds.
     pub queue_capacity: u32,
-    /// Threads rendezvous every this many operations (the quiescent cut;
+    /// Processes rendezvous every this many operations (the quiescent cut;
     /// `procs * barrier_every` must stay within [`MAX_CHECKED_OPS`]).
     pub barrier_every: usize,
-    /// Persistence model the mapped memory follows in the child.
+    /// Persistence model the mapped memory follows in the workers. Fabric
+    /// mode requires [`CacheMode::PrivateCache`]: the shared-cache overlay
+    /// is volatile per-address-space state and cannot stay coherent across
+    /// real worker processes.
     pub cache_mode: CacheMode,
     /// Write-through policy for shared-cache words (pre-decided per cell —
     /// SIGKILL runs no crash code, so the dirty-subset coin is flipped at
@@ -205,17 +279,30 @@ pub struct CrashCycleConfig {
     /// The kill lands uniformly within this many microseconds of the first
     /// logged operation.
     pub kill_window_us: u64,
+    /// Fabric mode: run each paper process as its own OS process over the
+    /// shared files instead of as a thread in one child.
+    pub procs_as_processes: bool,
+    /// Fabric mode: how many workers the parent SIGKILLs per cycle
+    /// (`1..=procs`; membership is randomized per cycle). Ignored in
+    /// threads mode, where the single child — all processes — dies.
+    pub kill_subset: u32,
+    /// Maximum nested SIGKILLs the parent lands on each dead process's
+    /// recoverer before the final re-entry runs to convergence. With 0 (in
+    /// threads mode) recovery runs unharmed inside the parent; any other
+    /// configuration runs recovery in per-process children.
+    pub recovery_kills: u32,
     /// Directory holding the two mapped files (recreated each cycle).
     pub dir: PathBuf,
 }
 
 impl CrashCycleConfig {
-    /// Defaults for `kind`'s paper implementation: 3 threads, 400 ops each,
-    /// a barrier every 16 ops (48-op windows), private-cache memory, a 3 ms
-    /// kill window, files under the system temp directory. The queue
-    /// capacity covers a full cycle of enqueues — the arena never recycles
-    /// nodes, so callers shrinking it below `procs * ops_per_proc + 1` will
-    /// exhaust a slab mid-cycle.
+    /// Defaults for `kind`'s paper implementation: 3 processes (as threads
+    /// in one child), 400 ops each, a barrier every 16 ops (48-op windows),
+    /// private-cache memory, a 3 ms kill window, no recovery kills, files
+    /// under the system temp directory. The queue capacity covers a full
+    /// cycle of enqueues — the arena never recycles nodes, so callers
+    /// shrinking it below `procs * ops_per_proc + 1` will exhaust a slab
+    /// mid-cycle.
     pub fn new(kind: ObjectKind) -> CrashCycleConfig {
         CrashCycleConfig {
             object: kind_name(kind).to_string(),
@@ -228,6 +315,9 @@ impl CrashCycleConfig {
             policy: CrashPolicy::DropAll,
             seed: 1,
             kill_window_us: 3_000,
+            procs_as_processes: false,
+            kill_subset: 1,
+            recovery_kills: 0,
             dir: std::env::temp_dir().join(format!("process-crash-{}", std::process::id())),
         }
     }
@@ -236,9 +326,15 @@ impl CrashCycleConfig {
 /// What one kill/recover cycle observed.
 #[derive(Clone, Debug, Default)]
 pub struct CycleReport {
-    /// Whether the child was actually SIGKILLed (it may win the race and
-    /// finish its workload first — a clean cycle, still checked).
+    /// Whether any worker was actually SIGKILLed (workers may win the race
+    /// and finish the workload first — a clean cycle, still checked).
     pub crashed: bool,
+    /// SIGKILLs landed on workers (threads mode: 1 when crashed; fabric
+    /// mode: the subset members that had not already exited).
+    pub worker_kills: usize,
+    /// Operations surviving workers completed *after* the first kill
+    /// (fabric mode; zero in threads mode, where nothing survives).
+    pub survivor_ops: usize,
     /// Operations with a committed return record.
     pub ops_completed: usize,
     /// Operations the log proves were in flight at the kill.
@@ -250,24 +346,57 @@ pub struct CycleReport {
     pub recovered_failed: usize,
     /// In-flight operations recovery could not resolve within its step
     /// budget — zero for every detectable object.
-    pub lost_ops: usize,
+    pub recovered_unresolved: usize,
+    /// SIGKILLs landed on recoverers mid-recovery.
+    pub recovery_kills: usize,
+    /// Recovery re-entries: recoverer children spawned *after* a previous
+    /// recoverer for the same operation was killed. Each landed recovery
+    /// kill is followed by exactly one re-entry.
+    pub recovery_reentries: usize,
     /// Whether the stitched history passed the windowed checker.
     pub check_ok: bool,
     /// The checker's rendering when it failed.
     pub violation: Option<String>,
-    /// Microseconds from child spawn to kill (or clean exit).
+    /// Microseconds from worker spawn to the kill (or clean exit).
     pub kill_latency_us: u64,
-    /// Microseconds spent remapping, recovering and checking.
+    /// Microseconds spent recovering (including nested recovery kills and
+    /// re-entries), remapping, stitching and checking.
     pub recovery_latency_us: u64,
+}
+
+impl CycleReport {
+    /// This cycle's contribution to the shared [`RunStats`] counters, so
+    /// process-crash results flow through the same stats plumbing as every
+    /// other runner: one execution, resolved ops, one crash per landed
+    /// kill, and the recovery verdict split including
+    /// [`recovered_unresolved`](CycleReport::recovered_unresolved).
+    pub fn stats(&self) -> RunStats {
+        RunStats {
+            executions: 1,
+            resolved_ops: (self.ops_completed + self.recovered_ok + self.recovered_failed) as u64,
+            crashes: (self.worker_kills + self.recovery_kills) as u64,
+            recovered_ok: self.recovered_ok as u64,
+            recovered_failed: self.recovered_failed as u64,
+            recovered_unresolved: self.recovered_unresolved as u64,
+            ..RunStats::default()
+        }
+    }
 }
 
 /// Worker-mode entry point. **Must be called at the top of `main` in every
 /// binary that hosts crash cycles** — [`run_cycle`] re-executes
 /// `current_exe()` and relies on this call to divert the child into the
-/// traffic loop (it never returns in worker mode). A no-op otherwise.
+/// traffic loop, the fabric worker loop, or the recoverer (it never returns
+/// in any worker mode). A no-op otherwise.
 pub fn maybe_run_worker(factory: WorldFactory) {
     if std::env::var_os(ENV_WORKER).is_none() {
         return;
+    }
+    if std::env::var_os(ENV_RECOVER).is_some() {
+        run_recoverer(factory);
+    }
+    if std::env::var_os(ENV_PID).is_some() {
+        run_fabric_worker(factory);
     }
     run_worker(factory);
 }
@@ -276,74 +405,76 @@ fn env(k: &str) -> String {
     std::env::var(k).unwrap_or_else(|_| panic!("crash worker: missing {k}"))
 }
 
-fn run_worker(factory: WorldFactory) -> ! {
-    let data_path = PathBuf::from(env(ENV_DATA));
-    let log_path = PathBuf::from(env(ENV_LOG));
-    let object = env(ENV_OBJECT);
-    let kind = kind_from_name(&env(ENV_KIND)).expect("crash worker: bad kind");
-    let procs: u32 = env(ENV_PROCS).parse().expect("crash worker: bad procs");
-    let ops: usize = env(ENV_OPS).parse().expect("crash worker: bad ops");
-    let qcap: u32 = env(ENV_QCAP).parse().expect("crash worker: bad qcap");
-    let barrier_every: usize = env(ENV_BARRIER).parse().expect("crash worker: bad barrier");
-    let mode = cache_from_str(&env(ENV_CACHE)).expect("crash worker: bad cache mode");
-    let policy = policy_from_str(&env(ENV_POLICY)).expect("crash worker: bad policy");
-    let base: usize = env(ENV_BASE).parse().expect("crash worker: bad base");
+/// The cycle parameters every worker mode decodes from the environment.
+struct WorkerEnv {
+    data_path: PathBuf,
+    log_path: PathBuf,
+    object: String,
+    kind: ObjectKind,
+    procs: u32,
+    ops: usize,
+    qcap: u32,
+    barrier_every: usize,
+    mode: CacheMode,
+    policy: CrashPolicy,
+    base: usize,
+}
 
-    let mut b = LayoutBuilder::new();
-    let obj = factory(&object, &mut b, procs, qcap)
-        .unwrap_or_else(|| panic!("crash worker: unknown object {object}"));
-    let layout = b.finish();
-    let data = MappedFile::open(&data_path).expect("crash worker: open data file");
-    let log = MappedFile::open(&log_path).expect("crash worker: open log file");
-    assert_eq!(
-        log.words(),
-        procs as usize * ops * 2 * RECORD_WORDS,
-        "crash worker: log file does not match the workload"
-    );
-    // A panicking worker thread must fail the whole child: the siblings
-    // would otherwise hang at the barrier until the parent's kill, turning
-    // a harness bug into a silently-accepted "crash".
+fn worker_env() -> WorkerEnv {
+    WorkerEnv {
+        data_path: PathBuf::from(env(ENV_DATA)),
+        log_path: PathBuf::from(env(ENV_LOG)),
+        object: env(ENV_OBJECT),
+        kind: kind_from_name(&env(ENV_KIND)).expect("crash worker: bad kind"),
+        procs: env(ENV_PROCS).parse().expect("crash worker: bad procs"),
+        ops: env(ENV_OPS).parse().expect("crash worker: bad ops"),
+        qcap: env(ENV_QCAP).parse().expect("crash worker: bad qcap"),
+        barrier_every: env(ENV_BARRIER).parse().expect("crash worker: bad barrier"),
+        mode: cache_from_str(&env(ENV_CACHE)).expect("crash worker: bad cache mode"),
+        policy: policy_from_str(&env(ENV_POLICY)).expect("crash worker: bad policy"),
+        base: env(ENV_BASE).parse().expect("crash worker: bad base"),
+    }
+}
+
+/// A panicking worker thread or child must fail loudly: siblings would
+/// otherwise hang at the barrier until the parent's kill, turning a
+/// harness bug into a silently-accepted "crash".
+fn install_exit_on_panic() {
     let default_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(move |info| {
         default_hook(info);
         std::process::exit(101);
     }));
-    let mem = MappedMemory::new(layout, data, mode, policy);
-    let barrier = std::sync::Barrier::new(procs as usize);
+}
+
+fn run_worker(factory: WorldFactory) -> ! {
+    let e = worker_env();
+    let mut b = LayoutBuilder::new();
+    let obj = factory(&e.object, &mut b, e.procs, e.qcap)
+        .unwrap_or_else(|| panic!("crash worker: unknown object {}", e.object));
+    let layout = b.finish();
+    let data = MappedFile::open(&e.data_path).expect("crash worker: open data file");
+    let log = MappedFile::open(&e.log_path).expect("crash worker: open log file");
+    assert_eq!(
+        log.words(),
+        e.procs as usize * e.ops * 2 * RECORD_WORDS,
+        "crash worker: log file does not match the workload"
+    );
+    install_exit_on_panic();
+    let mem = MappedMemory::new(layout, data, e.mode, e.policy);
+    let barrier = std::sync::Barrier::new(e.procs as usize);
 
     std::thread::scope(|s| {
-        for t in 0..procs {
-            let (obj, mem, log, barrier) = (&*obj, &mem, &log, &barrier);
+        for t in 0..e.procs {
+            let (obj, mem, log, barrier, e) = (&*obj, &mem, &log, &barrier, &e);
             s.spawn(move || {
                 let pid = Pid::new(t);
-                let slot0 = t as usize * ops * 2 * RECORD_WORDS;
-                for i in 0..ops {
-                    if i > 0 && i % barrier_every == 0 {
+                let slot0 = t as usize * e.ops * 2 * RECORD_WORDS;
+                for i in 0..e.ops {
+                    if i > 0 && i % e.barrier_every == 0 {
                         barrier.wait();
                     }
-                    let op = mixed_op(kind, pid, base + i);
-                    // Announce FIRST: recovery must only ever read a
-                    // current announcement, so an operation enters the log
-                    // only once fully prepared (a kill mid-prepare leaves
-                    // no record — and no linearized effect).
-                    obj.prepare(mem, pid, &op);
-                    append_record(
-                        log,
-                        slot0 + 2 * i * RECORD_WORDS,
-                        TAG_INVOKE,
-                        op_key(&op),
-                        0,
-                    );
-                    let mut m = obj.invoke(pid, &op);
-                    let resp = run_to_completion(&mut *m, mem, WORKER_STEP_LIMIT)
-                        .unwrap_or_else(|e| panic!("crash worker: p{t} op {op} hit {e:?}"));
-                    append_record(
-                        log,
-                        slot0 + (2 * i + 1) * RECORD_WORDS,
-                        TAG_RETURN,
-                        op_key(&op),
-                        resp,
-                    );
+                    run_one_op(obj, mem, log, e, pid, slot0, i);
                 }
             });
         }
@@ -351,10 +482,188 @@ fn run_worker(factory: WorldFactory) -> ! {
     std::process::exit(0);
 }
 
+/// One worker operation: announce, log the invocation, run the machine,
+/// log the return. The announcement runs FIRST — recovery must only ever
+/// read a current announcement, so an operation enters the log only once
+/// fully prepared (a kill mid-prepare leaves no record — and no linearized
+/// effect).
+fn run_one_op(
+    obj: &dyn RecoverableObject,
+    mem: &MappedMemory,
+    log: &MappedFile,
+    e: &WorkerEnv,
+    pid: Pid,
+    slot0: usize,
+    i: usize,
+) {
+    let op = mixed_op(e.kind, pid, e.base + i);
+    obj.prepare(mem, pid, &op);
+    append_record(
+        log,
+        slot0 + 2 * i * RECORD_WORDS,
+        TAG_INVOKE,
+        op_key(&op),
+        0,
+    );
+    let mut m = obj.invoke(pid, &op);
+    let resp = run_to_completion(&mut *m, mem, WORKER_STEP_LIMIT)
+        .unwrap_or_else(|err| panic!("crash worker: {pid} op {op} hit {err:?}"));
+    append_record(
+        log,
+        slot0 + (2 * i + 1) * RECORD_WORDS,
+        TAG_RETURN,
+        op_key(&op),
+        resp,
+    );
+}
+
+/// Fabric worker: ONE paper process in its own address space, sharing the
+/// mapped files with its siblings. The rendezvous runs over the log header
+/// (arrive: store the round in this pid's arrival word; wait: spin until
+/// the parent's release word reaches the round), so a dead sibling cannot
+/// wedge the survivors — the parent excludes it from the arrival quorum.
+fn run_fabric_worker(factory: WorldFactory) -> ! {
+    let e = worker_env();
+    let me: u32 = env(ENV_PID).parse().expect("crash worker: bad pid");
+    assert!(
+        me < e.procs,
+        "crash worker: pid {me} outside 0..{}",
+        e.procs
+    );
+    let mut b = LayoutBuilder::new();
+    let obj = factory(&e.object, &mut b, e.procs, e.qcap)
+        .unwrap_or_else(|| panic!("crash worker: unknown object {}", e.object));
+    let layout = b.finish();
+    let data = MappedFile::open(&e.data_path).expect("crash worker: open data file");
+    let log = MappedFile::open(&e.log_path).expect("crash worker: open log file");
+    assert_eq!(
+        log.words(),
+        e.procs as usize * e.ops * 2 * RECORD_WORDS,
+        "crash worker: log file does not match the workload"
+    );
+    install_exit_on_panic();
+    assert_eq!(
+        e.mode,
+        CacheMode::PrivateCache,
+        "crash worker: fabric requires private-cache memory"
+    );
+    let mem = MappedMemory::new(layout, data, e.mode, e.policy);
+    let pid = Pid::new(me);
+    let slot0 = me as usize * e.ops * 2 * RECORD_WORDS;
+    // If the parent dies (or stalls beyond any plausible recovery pause),
+    // abandon the spin instead of leaking an orphan that burns CPU forever.
+    let abandon = Instant::now() + Duration::from_secs(120);
+    let stall_requested = || log.user(SLOT_STALL).load(Ordering::SeqCst) >> me & 1 == 1;
+    let stall = || {
+        let give_up = Instant::now() + STALL_LIMIT;
+        while stall_requested() && Instant::now() < give_up {
+            std::thread::sleep(Duration::from_micros(50));
+        }
+    };
+    for i in 0..e.ops {
+        if i > 0 && i % e.barrier_every == 0 {
+            let round = (i / e.barrier_every) as u64;
+            log.user(SLOT_ARRIVAL0 + me as usize)
+                .store(round, Ordering::SeqCst);
+            while log.user(SLOT_RELEASE).load(Ordering::SeqCst) < round {
+                if Instant::now() > abandon {
+                    std::process::exit(EXIT_ABANDONED);
+                }
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        }
+        // Same announce → invoke-record → machine → return-record sequence
+        // as [`run_one_op`], with the stall points spliced in: when the
+        // parent raises this worker's stall bit, pause either before the
+        // machine runs (the kill interrupts an announced-but-unlinearized
+        // operation) or after it (the kill interrupts a fully linearized
+        // operation whose return never committed) — alternating by op so
+        // recovery faces both fates.
+        let op = mixed_op(e.kind, pid, e.base + i);
+        obj.prepare(&mem, pid, &op);
+        append_record(
+            &log,
+            slot0 + 2 * i * RECORD_WORDS,
+            TAG_INVOKE,
+            op_key(&op),
+            0,
+        );
+        let pre_machine = (e.base + i).is_multiple_of(2);
+        if pre_machine && stall_requested() {
+            stall();
+        }
+        let mut m = obj.invoke(pid, &op);
+        let resp = run_to_completion(&mut *m, &mem, WORKER_STEP_LIMIT)
+            .unwrap_or_else(|err| panic!("crash worker: {pid} op {op} hit {err:?}"));
+        if !pre_machine && stall_requested() {
+            stall();
+        }
+        append_record(
+            &log,
+            slot0 + (2 * i + 1) * RECORD_WORDS,
+            TAG_RETURN,
+            op_key(&op),
+            resp,
+        );
+    }
+    std::process::exit(0);
+}
+
+/// Recoverer: resolves the open invocation of one dead process, in its own
+/// address space so the parent can SIGKILL *recovery itself*. Reads the
+/// dead pid's log region; if the invocation is already closed (a previous
+/// recoverer converged and committed its verdict before dying) this
+/// re-entry is a no-op — recovery is idempotent. Otherwise it arms the
+/// [`SLOT_ARMED`] flag, drives [`RecoverableObject::recover`] over the real
+/// mapped memory (optionally pacing its first steps so a planned kill can
+/// land mid-mutation), and commits the verdict as a [`TAG_RECOVERY`]
+/// record sequenced like any other.
+fn run_recoverer(factory: WorldFactory) -> ! {
+    let e = worker_env();
+    let me: u32 = env(ENV_RECOVER).parse().expect("recoverer: bad pid");
+    let pace_us: u64 = std::env::var(ENV_PACE)
+        .ok()
+        .map(|v| v.parse().expect("recoverer: bad pace"))
+        .unwrap_or(0);
+    install_exit_on_panic();
+    let data = MappedFile::open(&e.data_path).expect("recoverer: open data file");
+    let log = MappedFile::open(&e.log_path).expect("recoverer: open log file");
+    let (_, open) = parse_region(&log, me, e.ops)
+        .unwrap_or_else(|err| panic!("recoverer: corrupt log region for p{me}: {err}"));
+    let Some(flight) = open else {
+        // Nothing in flight (or a predecessor already committed the
+        // verdict): the idempotent re-entry converges by doing nothing.
+        std::process::exit(0);
+    };
+    let mut b = LayoutBuilder::new();
+    let obj = factory(&e.object, &mut b, e.procs, e.qcap)
+        .unwrap_or_else(|| panic!("recoverer: unknown object {}", e.object));
+    let layout = b.finish();
+    let mem = MappedMemory::new(layout, data, e.mode, e.policy);
+    let mut d = Driver::without_history(e.procs);
+    d.mark_crashed(me as usize, flight.op);
+    let retry = RetryPolicy {
+        retry_on_fail: false,
+        max_retries: 0,
+        reset_per_op: false,
+    };
+    log.user(SLOT_ARMED).store(1, Ordering::SeqCst);
+    for step in 0..RECOVERY_STEP_LIMIT {
+        if pace_us > 0 && step < PACED_STEPS {
+            std::thread::sleep(Duration::from_micros(pace_us));
+        }
+        if let StepOutcome::Recovered { verdict, .. } = d.step(&*obj, &mem, me as usize, &retry) {
+            append_record(&log, flight.at, TAG_RECOVERY, op_key(&flight.op), verdict);
+            std::process::exit(0);
+        }
+    }
+    std::process::exit(EXIT_UNRESOLVED);
+}
+
 /// Commits one log record: payload words first, the sequence number last —
 /// a kill between the stores leaves the record invisible (`seq == 0`).
 fn append_record(log: &MappedFile, at: usize, tag: Word, key: Word, resp: Word) {
-    let seq = log.user(0).fetch_add(1, Ordering::SeqCst) + 1;
+    let seq = log.user(SLOT_SEQ).fetch_add(1, Ordering::SeqCst) + 1;
     log.word(at + 1).store(tag, Ordering::SeqCst);
     log.word(at + 2).store(key, Ordering::SeqCst);
     log.word(at + 3).store(resp, Ordering::SeqCst);
@@ -369,56 +678,83 @@ struct LogRecord {
     resp: Word,
 }
 
+/// An invocation the log proves open: the operation, and the word offset
+/// where its closing record (return or recovery verdict) goes.
+struct InFlight {
+    op: OpSpec,
+    at: usize,
+}
+
 fn corrupt(msg: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
-/// Reads back every committed record, per-thread in slot order, validating
-/// the invoke/return alternation; returns the records (sequence-sorted)
-/// and, per thread, the operation left in flight by the kill.
+/// Reads back one process's committed records in slot order, validating
+/// that every invoke is closed by a return or recovery verdict before the
+/// next invoke; returns the records and the invocation left open, if any.
+fn parse_region(
+    log: &MappedFile,
+    t: u32,
+    ops: usize,
+) -> io::Result<(Vec<LogRecord>, Option<InFlight>)> {
+    let base = t as usize * ops * 2 * RECORD_WORDS;
+    let mut recs = Vec::new();
+    let mut open: Option<(Word, OpSpec)> = None;
+    let mut committed = 0usize;
+    for j in 0..ops * 2 {
+        let at = base + j * RECORD_WORDS;
+        let seq = log.word(at).load(Ordering::SeqCst);
+        if seq == 0 {
+            break; // torn or never written; no later slot is committed
+        }
+        let tag = log.word(at + 1).load(Ordering::SeqCst);
+        let key = log.word(at + 2).load(Ordering::SeqCst);
+        let resp = log.word(at + 3).load(Ordering::SeqCst);
+        match tag {
+            TAG_INVOKE => {
+                if open.is_some() {
+                    return Err(corrupt(format!("p{t}: two invokes without a return")));
+                }
+                let op = op_from_key(key)
+                    .ok_or_else(|| corrupt(format!("p{t}: bad op key {key:#x}")))?;
+                open = Some((key, op));
+            }
+            TAG_RETURN | TAG_RECOVERY => match open.take() {
+                Some((k, _)) if k == key => {}
+                _ => return Err(corrupt(format!("p{t}: close does not match invoke"))),
+            },
+            other => return Err(corrupt(format!("p{t}: bad record tag {other}"))),
+        }
+        recs.push(LogRecord {
+            seq,
+            pid: t,
+            tag,
+            key,
+            resp,
+        });
+        committed += 1;
+    }
+    let open = open.map(|(_, op)| InFlight {
+        op,
+        at: base + committed * RECORD_WORDS,
+    });
+    Ok((recs, open))
+}
+
+/// Reads back every committed record, per-process in slot order; returns
+/// the records (sequence-sorted) and, per process, the invocation left
+/// open by a kill.
 fn parse_log(
     log: &MappedFile,
     procs: u32,
     ops: usize,
-) -> io::Result<(Vec<LogRecord>, Vec<Option<OpSpec>>)> {
+) -> io::Result<(Vec<LogRecord>, Vec<Option<InFlight>>)> {
     let mut recs = Vec::new();
-    let mut in_flight = vec![None; procs as usize];
-    for (t, flight) in in_flight.iter_mut().enumerate() {
-        let base = t * ops * 2 * RECORD_WORDS;
-        let mut open: Option<(Word, OpSpec)> = None;
-        for j in 0..ops * 2 {
-            let at = base + j * RECORD_WORDS;
-            let seq = log.word(at).load(Ordering::SeqCst);
-            if seq == 0 {
-                break; // torn or never written; no later slot is committed
-            }
-            let tag = log.word(at + 1).load(Ordering::SeqCst);
-            let key = log.word(at + 2).load(Ordering::SeqCst);
-            let resp = log.word(at + 3).load(Ordering::SeqCst);
-            match tag {
-                TAG_INVOKE => {
-                    if open.is_some() {
-                        return Err(corrupt(format!("p{t}: two invokes without a return")));
-                    }
-                    let op = op_from_key(key)
-                        .ok_or_else(|| corrupt(format!("p{t}: bad op key {key:#x}")))?;
-                    open = Some((key, op));
-                }
-                TAG_RETURN => match open.take() {
-                    Some((k, _)) if k == key => {}
-                    _ => return Err(corrupt(format!("p{t}: return does not match invoke"))),
-                },
-                other => return Err(corrupt(format!("p{t}: bad record tag {other}"))),
-            }
-            recs.push(LogRecord {
-                seq,
-                pid: t as u32,
-                tag,
-                key,
-                resp,
-            });
-        }
-        *flight = open.map(|(_, op)| op);
+    let mut in_flight = Vec::with_capacity(procs as usize);
+    for t in 0..procs {
+        let (mut r, open) = parse_region(log, t, ops)?;
+        recs.append(&mut r);
+        in_flight.push(open);
     }
     recs.sort_by_key(|r| r.seq);
     Ok((recs, in_flight))
@@ -431,9 +767,85 @@ fn xorshift(s: &mut u64) -> u64 {
     *s
 }
 
-/// Runs one full kill/recover cycle: spawn the worker child, SIGKILL it at
-/// a randomized point inside the kill window, remap the files, recover
-/// every in-flight operation, and check the stitched history.
+/// Whether `pid`'s log region currently shows an open invoke (an odd
+/// number of committed records — invoke/return strictly alternate until a
+/// recovery record exists). `cursor` caches the committed-record count so
+/// repeated polling is O(new records), not O(region).
+fn region_mid_op(log: &MappedFile, pid: usize, ops: usize, cursor: &mut usize) -> bool {
+    let base = pid * ops * 2 * RECORD_WORDS;
+    while *cursor < ops * 2 {
+        let at = base + *cursor * RECORD_WORDS;
+        if log.word(at).load(Ordering::SeqCst) == 0 {
+            break;
+        }
+        *cursor += 1;
+    }
+    *cursor % 2 == 1
+}
+
+/// The parent side of one cycle's child management.
+struct Children {
+    procs: Vec<Child>,
+    exited: Vec<Option<ExitStatus>>,
+    killed: Vec<bool>,
+}
+
+impl Children {
+    fn reap(&mut self) -> io::Result<()> {
+        for (c, slot) in self.procs.iter_mut().zip(self.exited.iter_mut()) {
+            if slot.is_none() {
+                *slot = c.try_wait()?;
+            }
+        }
+        Ok(())
+    }
+
+    fn all_exited(&self) -> bool {
+        self.exited.iter().all(Option::is_some)
+    }
+
+    fn kill(&mut self, i: usize) -> io::Result<bool> {
+        if self.exited[i].is_some() {
+            return Ok(false); // won the race: finished before the kill
+        }
+        self.procs[i].kill()?;
+        self.exited[i] = Some(self.procs[i].wait()?);
+        self.killed[i] = true;
+        Ok(true)
+    }
+
+    fn kill_all(&mut self) {
+        for i in 0..self.procs.len() {
+            let _ = self.kill(i);
+        }
+    }
+}
+
+/// Releases the next barrier round iff every live (not-killed) fabric
+/// worker has arrived at it. Exited workers keep their final arrival word,
+/// so they never gate a release; killed workers are excluded outright —
+/// that exclusion is what lets the survivors re-barrier across a dead
+/// peer.
+fn pump_barrier(log: &MappedFile, killed: &[bool]) {
+    let next = log.user(SLOT_RELEASE).load(Ordering::SeqCst) + 1;
+    let live = (0..killed.len()).filter(|&p| !killed[p]);
+    let mut any = false;
+    for p in live {
+        any = true;
+        if log.user(SLOT_ARRIVAL0 + p).load(Ordering::SeqCst) < next {
+            return;
+        }
+    }
+    if any {
+        log.user(SLOT_RELEASE).store(next, Ordering::SeqCst);
+    }
+}
+
+/// Runs one full kill/recover cycle: spawn the worker(s), SIGKILL at a
+/// randomized point inside the kill window (a whole-child kill in threads
+/// mode, a randomized subset of workers in fabric mode), run recovery —
+/// in-parent, or as nested-killable recoverer children — then remap the
+/// files and check the stitched history.
 ///
 /// `cycle` individualizes the kill point and the workload offset, so a
 /// soak's cycles explore different crash sites.
@@ -441,9 +853,11 @@ fn xorshift(s: &mut u64) -> u64 {
 /// # Errors
 ///
 /// I/O failures, a worker that exits nonzero (a panic in the child is a
-/// harness bug, not a verdict), and log corruption all surface as `Err`;
-/// *semantic* failures — lost operations, check violations — are reported
-/// in the [`CycleReport`] so callers can count them.
+/// harness bug, not a verdict), an invalid fabric configuration
+/// (shared-cache memory, `kill_subset` outside `1..=procs`, more workers
+/// than the header has barrier words for), and log corruption all surface
+/// as `Err`; *semantic* failures — unresolved operations, check violations
+/// — are reported in the [`CycleReport`] so callers can count them.
 pub fn run_cycle(
     cfg: &CrashCycleConfig,
     factory: WorldFactory,
@@ -455,6 +869,31 @@ pub fn run_cycle(
         "procs * barrier_every = {} overflows the {MAX_CHECKED_OPS}-op checker window",
         cfg.procs as usize * cfg.barrier_every
     );
+    let fabric = cfg.procs_as_processes;
+    let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidInput, msg);
+    if fabric {
+        if cfg.cache_mode != CacheMode::PrivateCache {
+            return Err(invalid(
+                "multi-process fabric requires private-cache memory: the shared-cache \
+                 overlay is volatile per-address-space state and cannot stay coherent \
+                 across worker processes"
+                    .into(),
+            ));
+        }
+        let max_workers = MappedFile::USER_SLOTS - SLOT_ARRIVAL0;
+        if cfg.procs as usize > max_workers {
+            return Err(invalid(format!(
+                "fabric supports at most {max_workers} workers (header barrier words), got {}",
+                cfg.procs
+            )));
+        }
+        if cfg.kill_subset == 0 || cfg.kill_subset > cfg.procs {
+            return Err(invalid(format!(
+                "kill_subset must be in 1..={}, got {}",
+                cfg.procs, cfg.kill_subset
+            )));
+        }
+    }
     std::fs::create_dir_all(&cfg.dir)?;
     let data_path = cfg.dir.join("data.nvm");
     let log_path = cfg.dir.join("log.nvm");
@@ -469,32 +908,58 @@ pub fn run_cycle(
         )
     })?;
     let layout = b.finish();
-    MappedFile::create(&data_path, layout.total_words())?;
+    let data = MappedFile::create(&data_path, layout.total_words())?;
     let log = MappedFile::create(
         &log_path,
         cfg.procs as usize * cfg.ops_per_proc * 2 * RECORD_WORDS,
     )?;
 
+    let exe = std::env::current_exe()?;
+    let spawn = |extra: &[(&str, String)]| -> io::Result<Child> {
+        let mut c = Command::new(&exe);
+        c.env(ENV_WORKER, "1")
+            .env(ENV_DATA, &data_path)
+            .env(ENV_LOG, &log_path)
+            .env(ENV_OBJECT, &cfg.object)
+            .env(ENV_KIND, kind_name(cfg.kind))
+            .env(ENV_PROCS, cfg.procs.to_string())
+            .env(ENV_OPS, cfg.ops_per_proc.to_string())
+            .env(ENV_QCAP, cfg.queue_capacity.to_string())
+            .env(ENV_BARRIER, cfg.barrier_every.to_string())
+            .env(ENV_CACHE, cache_to_str(cfg.cache_mode))
+            .env(ENV_POLICY, policy_to_str(cfg.policy))
+            .env(
+                ENV_BASE,
+                (cycle as usize).wrapping_mul(cfg.ops_per_proc).to_string(),
+            )
+            .env_remove(ENV_PID)
+            .env_remove(ENV_RECOVER)
+            .env_remove(ENV_PACE)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null());
+        for (k, v) in extra {
+            c.env(k, v);
+        }
+        c.spawn()
+    };
+
     let started = Instant::now();
-    let mut child = Command::new(std::env::current_exe()?)
-        .env(ENV_WORKER, "1")
-        .env(ENV_DATA, &data_path)
-        .env(ENV_LOG, &log_path)
-        .env(ENV_OBJECT, &cfg.object)
-        .env(ENV_KIND, kind_name(cfg.kind))
-        .env(ENV_PROCS, cfg.procs.to_string())
-        .env(ENV_OPS, cfg.ops_per_proc.to_string())
-        .env(ENV_QCAP, cfg.queue_capacity.to_string())
-        .env(ENV_BARRIER, cfg.barrier_every.to_string())
-        .env(ENV_CACHE, cache_to_str(cfg.cache_mode))
-        .env(ENV_POLICY, policy_to_str(cfg.policy))
-        .env(
-            ENV_BASE,
-            (cycle as usize).wrapping_mul(cfg.ops_per_proc).to_string(),
-        )
-        .stdin(Stdio::null())
-        .stdout(Stdio::null())
-        .spawn()?;
+    let mut kids = {
+        let procs: io::Result<Vec<Child>> = if fabric {
+            (0..cfg.procs)
+                .map(|p| spawn(&[(ENV_PID, p.to_string())]))
+                .collect()
+        } else {
+            Ok(vec![spawn(&[])?])
+        };
+        let procs = procs?;
+        let n = procs.len();
+        Children {
+            procs,
+            exited: vec![None; n],
+            killed: vec![false; n],
+        }
+    };
 
     let mut rng = cfg.seed ^ cycle.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
     let delay = Duration::from_micros(if cfg.kill_window_us == 0 {
@@ -503,17 +968,21 @@ pub fn run_cycle(
         xorshift(&mut rng) % cfg.kill_window_us
     });
 
-    // Phase 1: wait for the first logged operation (or a clean finish).
+    let mut report = CycleReport::default();
+
+    // Phase 1: wait for the first logged operation (or a clean finish),
+    // pumping the fabric barrier the whole time.
     let arm_deadline = Instant::now() + Duration::from_secs(60);
-    let mut exited = None;
-    while log.user(0).load(Ordering::SeqCst) == 0 {
-        if let Some(st) = child.try_wait()? {
-            exited = Some(st);
+    while log.user(SLOT_SEQ).load(Ordering::SeqCst) == 0 {
+        kids.reap()?;
+        if kids.all_exited() {
             break;
         }
+        if fabric {
+            pump_barrier(&log, &kids.killed);
+        }
         if Instant::now() > arm_deadline {
-            let _ = child.kill();
-            let _ = child.wait();
+            kids.kill_all();
             return Err(io::Error::new(
                 io::ErrorKind::TimedOut,
                 "crash worker produced no traffic within 60s",
@@ -522,43 +991,260 @@ pub fn run_cycle(
         std::thread::sleep(Duration::from_micros(100));
     }
     // Phase 2: let the traffic run for the randomized delay, then kill.
-    let status = match exited {
-        Some(st) => st,
-        None => {
-            let armed = Instant::now();
+    let armed = Instant::now();
+    loop {
+        kids.reap()?;
+        if kids.all_exited() {
+            break; // clean finish: the workers won the race
+        }
+        if fabric {
+            pump_barrier(&log, &kids.killed);
+        }
+        let ran = armed.elapsed();
+        if ran >= delay {
+            if fabric {
+                // A randomized subset of kill_subset distinct workers dies
+                // (partial Fisher–Yates over the pid space). A SIGKILL
+                // loses the race against microsecond-scale operations —
+                // fabric workers spend most wall time parked at the
+                // barrier, where a kill lands between operations and gives
+                // recovery nothing to recover. So first raise the victims'
+                // stall bits and keep pumping the barrier until every
+                // victim is either finished or stably mid-operation
+                // (paused at its stall point, the way a preempted process
+                // would be); the un-stalled survivors run ahead and park at
+                // their next barrier. Then freeze — no further releases
+                // until recovery is done, so every victim's open operation
+                // overlaps at most this one window of survivor traffic —
+                // and land the kills.
+                let mut pids: Vec<usize> = (0..cfg.procs as usize).collect();
+                for v in 0..cfg.kill_subset as usize {
+                    let j = v + (xorshift(&mut rng) as usize) % (pids.len() - v);
+                    pids.swap(v, j);
+                }
+                let victims = &pids[..cfg.kill_subset as usize];
+                let mut mask = 0u64;
+                for &v in victims {
+                    mask |= 1 << v;
+                }
+                log.user(SLOT_STALL).store(mask, Ordering::SeqCst);
+                let mut probes = vec![(0usize, Instant::now()); cfg.procs as usize];
+                let deadline = Instant::now() + Duration::from_millis(50);
+                loop {
+                    kids.reap()?;
+                    pump_barrier(&log, &kids.killed);
+                    let mut ready = true;
+                    for &v in victims {
+                        if kids.exited[v].is_some() {
+                            continue;
+                        }
+                        let (cursor, since) = &mut probes[v];
+                        let before = *cursor;
+                        let mid = region_mid_op(&log, v, cfg.ops_per_proc, cursor);
+                        if *cursor != before {
+                            *since = Instant::now();
+                        }
+                        // Stable mid-op: an open invoke whose region has
+                        // not advanced for a few polls — the worker is
+                        // sitting at its stall point, not racing through.
+                        if !mid || since.elapsed() < Duration::from_micros(200) {
+                            ready = false;
+                        }
+                    }
+                    if ready || Instant::now() > deadline {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+                for &victim in victims {
+                    if kids.kill(victim)? {
+                        data.bump_crash_count();
+                        report.worker_kills += 1;
+                    }
+                }
+                log.user(SLOT_STALL).store(0, Ordering::SeqCst);
+            } else if kids.kill(0)? {
+                data.bump_crash_count();
+                report.worker_kills += 1;
+            }
+            break;
+        }
+        std::thread::sleep((delay - ran).min(Duration::from_micros(200)));
+    }
+    let kill_seq = log.user(SLOT_SEQ).load(Ordering::SeqCst);
+    report.kill_latency_us = started.elapsed().as_micros() as u64;
+    report.crashed = report.worker_kills > 0;
+    let recovering = Instant::now();
+
+    // The pids the crash model considers dead: the killed workers in
+    // fabric mode, every paper process in threads mode (they all shared
+    // the one killed child).
+    let dead_pids: Vec<u32> = if fabric {
+        (0..cfg.procs)
+            .filter(|&p| kids.killed[p as usize])
+            .collect()
+    } else if report.crashed {
+        (0..cfg.procs).collect()
+    } else {
+        Vec::new()
+    };
+
+    // Recovery, child-per-process, with nested mid-recovery kills. Runs
+    // while the fabric survivors are parked: barrier releases are withheld
+    // here, so each dead operation's interval overlaps at most one window
+    // of survivor traffic before its verdict record lands. The legacy
+    // in-parent path (threads mode, recovery_kills == 0) runs after the
+    // final remap instead, exactly as before.
+    let legacy_recovery = !fabric && cfg.recovery_kills == 0;
+    if report.crashed && !legacy_recovery {
+        for &pid in &dead_pids {
+            let (_, open) = parse_region(&log, pid, cfg.ops_per_proc)?;
+            if open.is_none() {
+                continue; // died between operations: nothing to recover
+            }
+            let mut landed = 0u32;
             loop {
-                if let Some(st) = child.try_wait()? {
-                    break st;
+                let plan_kill = landed < cfg.recovery_kills;
+                log.user(SLOT_ARMED).store(0, Ordering::SeqCst);
+                let mut extra = vec![(ENV_RECOVER, pid.to_string())];
+                if plan_kill {
+                    extra.push((ENV_PACE, RECOVERY_PACE_US.to_string()));
                 }
-                let ran = armed.elapsed();
-                if ran >= delay {
-                    child.kill()?;
-                    break child.wait()?;
+                let mut rc = spawn(&extra)?;
+                let status = if plan_kill {
+                    // Wait for the recoverer to arm (recovery underway),
+                    // then kill it a randomized beat later — unless it
+                    // converges first.
+                    let deadline = Instant::now() + Duration::from_secs(30);
+                    let early = loop {
+                        if let Some(st) = rc.try_wait()? {
+                            break Some(st);
+                        }
+                        if log.user(SLOT_ARMED).load(Ordering::SeqCst) != 0 {
+                            break None;
+                        }
+                        if Instant::now() > deadline {
+                            let _ = rc.kill();
+                            let _ = rc.wait();
+                            return Err(io::Error::new(
+                                io::ErrorKind::TimedOut,
+                                format!("recoverer for p{pid} never armed"),
+                            ));
+                        }
+                        std::thread::sleep(Duration::from_micros(30));
+                    };
+                    match early {
+                        Some(st) => st,
+                        None => {
+                            let beat = xorshift(&mut rng) % RECOVERY_KILL_WINDOW_US;
+                            std::thread::sleep(Duration::from_micros(beat));
+                            match rc.try_wait()? {
+                                Some(st) => st,
+                                None => {
+                                    rc.kill()?;
+                                    rc.wait()?;
+                                    data.bump_crash_count();
+                                    landed += 1;
+                                    report.recovery_kills += 1;
+                                    report.recovery_reentries += 1;
+                                    continue; // nested re-entry
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    rc.wait()?
+                };
+                match status.code() {
+                    Some(0) => break,
+                    Some(EXIT_UNRESOLVED) => {
+                        report.recovered_unresolved += 1;
+                        break;
+                    }
+                    code => {
+                        return Err(io::Error::other(format!(
+                            "recoverer for p{pid} failed: {code:?}"
+                        )));
+                    }
                 }
-                std::thread::sleep((delay - ran).min(Duration::from_micros(200)));
             }
         }
-    };
-    let kill_latency_us = started.elapsed().as_micros() as u64;
-    let killed = status.code().is_none();
-    if let Some(code) = status.code() {
-        if code != 0 {
+
+        // Mid-cycle probe: one solo read, committed to a recovered
+        // process's log region *while the survivors are still parked*.
+        // The end-of-run probe can miss a lying recovery — by the time it
+        // reads, resumed survivors have usually overwritten the disclaimed
+        // value — but nothing runs between the verdict records and this
+        // read, so a disclaimed-but-linearized write is still sitting in
+        // NVM for it to observe. Queues have no non-mutating operation and
+        // keep their recovery-verdict checks.
+        if cfg.kind != ObjectKind::Queue {
+            let prober = dead_pids.iter().copied().find_map(|p| {
+                let (recs, open) = parse_region(&log, p, cfg.ops_per_proc).ok()?;
+                (open.is_none() && recs.len() + 2 <= cfg.ops_per_proc * 2)
+                    .then_some((p, recs.len()))
+            });
+            if let Some((pid, committed)) = prober {
+                let mut b = LayoutBuilder::new();
+                let obj = factory(&cfg.object, &mut b, cfg.procs, cfg.queue_capacity)
+                    .expect("factory resolved above");
+                let layout = b.finish();
+                let probe_data = MappedFile::open(&data_path)?;
+                let mem = MappedMemory::new(layout, probe_data, cfg.cache_mode, cfg.policy);
+                let mut d = Driver::without_history(cfg.procs);
+                if let Some(v) =
+                    d.try_run_solo(&*obj, &mem, pid as usize, OpSpec::Read, RECOVERY_STEP_LIMIT)
+                {
+                    let at = pid as usize * cfg.ops_per_proc * 2 * RECORD_WORDS
+                        + committed * RECORD_WORDS;
+                    append_record(&log, at, TAG_INVOKE, op_key(&OpSpec::Read), 0);
+                    append_record(
+                        &log,
+                        at + RECORD_WORDS,
+                        TAG_RETURN,
+                        op_key(&OpSpec::Read),
+                        v,
+                    );
+                }
+            }
+        }
+    }
+
+    // Resume the survivors (fabric) and wait everything out.
+    let drain_deadline = Instant::now() + Duration::from_secs(120);
+    while !kids.all_exited() {
+        kids.reap()?;
+        if fabric {
+            pump_barrier(&log, &kids.killed);
+        }
+        if Instant::now() > drain_deadline {
+            kids.kill_all();
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "surviving workers did not finish within 120s",
+            ));
+        }
+        std::thread::sleep(Duration::from_micros(100));
+    }
+    for (i, st) in kids.exited.iter().enumerate() {
+        if kids.killed[i] {
+            continue;
+        }
+        let st = st.expect("reaped above");
+        if st.code() != Some(0) {
             return Err(io::Error::other(format!(
-                "crash worker exited with code {code}"
+                "crash worker {i} exited with {st}"
             )));
         }
     }
 
     // Remap both files fresh — exactly what a restarted system would see.
     drop(log);
-    let recovering = Instant::now();
+    drop(data);
     let data = MappedFile::open(&data_path)?;
     let log = MappedFile::open(&log_path)?;
-    if killed {
-        data.bump_crash_count();
-    }
     let (recs, in_flight) = parse_log(&log, cfg.procs, cfg.ops_per_proc)?;
-    if !killed {
+    if !report.crashed {
         let stray = in_flight.iter().flatten().count();
         if stray != 0 {
             return Err(corrupt(format!(
@@ -568,24 +1254,54 @@ pub fn run_cycle(
     }
 
     let mut h = History::new();
+    let mut crash_marked = !report.crashed;
     for r in &recs {
+        if !crash_marked && r.seq > kill_seq {
+            h.push(Event::Crash);
+            crash_marked = true;
+        }
         let pid = Pid::new(r.pid);
         match r.tag {
             TAG_INVOKE => h.push(Event::Invoke {
                 pid,
                 op: op_from_key(r.key).expect("validated by parse_log"),
             }),
-            _ => h.push(Event::Return { pid, resp: r.resp }),
+            TAG_RETURN => {
+                if r.seq > kill_seq && !kids.killed.get(r.pid as usize).copied().unwrap_or(false) {
+                    report.survivor_ops += 1;
+                }
+                h.push(Event::Return { pid, resp: r.resp });
+            }
+            _ => h.push(Event::RecoveryReturn {
+                pid,
+                verdict: r.resp,
+            }),
         }
     }
-    let ops_completed = recs.iter().filter(|r| r.tag == TAG_RETURN).count();
-    let in_flight_count = in_flight.iter().flatten().count();
-
-    let (mut recovered_ok, mut recovered_failed, mut lost_ops) = (0, 0, 0);
-    if killed {
+    if !crash_marked {
         h.push(Event::Crash);
+    }
+    report.ops_completed = recs.iter().filter(|r| r.tag == TAG_RETURN).count();
+    // Fabric mode indexes `killed` by pid; in threads mode every pid rode
+    // in child 0, so no return record can be a survivor's (handled above
+    // by the per-pid lookup defaulting to "killed" semantics via
+    // `dead_pids`). Threads mode keeps survivor_ops at zero:
+    if !fabric {
+        report.survivor_ops = 0;
+    }
+    let recovery_recs = recs.iter().filter(|r| r.tag == TAG_RECOVERY);
+    report.recovered_ok = recovery_recs
+        .clone()
+        .filter(|r| r.resp != RESP_FAIL)
+        .count();
+    report.recovered_failed = recovery_recs.filter(|r| r.resp == RESP_FAIL).count();
+    let still_open = in_flight.iter().flatten().count();
+    report.in_flight = report.recovered_ok + report.recovered_failed + still_open;
+
+    if report.crashed && legacy_recovery {
         // The recovery world: the same factory over the remapped data file,
-        // driven by the deterministic engine (recovery runs crash-free).
+        // driven by the deterministic engine (recovery runs crash-free in
+        // the parent — the recovery_kills == 0 baseline).
         let mut b = LayoutBuilder::new();
         let obj = factory(&cfg.object, &mut b, cfg.procs, cfg.queue_capacity)
             .expect("factory resolved above");
@@ -597,9 +1313,10 @@ pub fn run_cycle(
             max_retries: 0,
             reset_per_op: false,
         };
-        for (i, op) in in_flight.iter().enumerate() {
-            let Some(op) = op else { continue };
-            d.mark_crashed(i, *op);
+        report.in_flight = in_flight.iter().flatten().count();
+        for (i, open) in in_flight.iter().enumerate() {
+            let Some(flight) = open else { continue };
+            d.mark_crashed(i, flight.op);
             let mut verdict = None;
             for _ in 0..RECOVERY_STEP_LIMIT {
                 if let StepOutcome::Recovered { verdict: v, .. } = d.step(&*obj, &mem, i, &retry) {
@@ -610,16 +1327,16 @@ pub fn run_cycle(
             match verdict {
                 Some(v) => {
                     if v == RESP_FAIL {
-                        recovered_failed += 1;
+                        report.recovered_failed += 1;
                     } else {
-                        recovered_ok += 1;
+                        report.recovered_ok += 1;
                     }
                     h.push(Event::RecoveryReturn {
                         pid: Pid::new(i as u32),
                         verdict: v,
                     });
                 }
-                None => lost_ops += 1,
+                None => report.recovered_unresolved += 1,
             }
         }
         // Post-recovery probe: one solo read forces the recovered state
@@ -640,23 +1357,34 @@ pub fn run_cycle(
                 });
             }
         }
+    } else if report.crashed && cfg.kind != ObjectKind::Queue && in_flight[0].is_none() {
+        // Same probe for the child-recovery paths, over a fresh world —
+        // the verdicts themselves already sit in the log as TAG_RECOVERY
+        // records.
+        let mut b = LayoutBuilder::new();
+        let obj = factory(&cfg.object, &mut b, cfg.procs, cfg.queue_capacity)
+            .expect("factory resolved above");
+        let layout = b.finish();
+        let mem = SimMemory::with_backing(layout, cfg.cache_mode, data);
+        let mut d = Driver::without_history(cfg.procs);
+        if let Some(v) = d.try_run_solo(&*obj, &mem, 0, OpSpec::Read, RECOVERY_STEP_LIMIT) {
+            h.push(Event::Invoke {
+                pid: Pid::new(0),
+                op: OpSpec::Read,
+            });
+            h.push(Event::Return {
+                pid: Pid::new(0),
+                resp: v,
+            });
+        }
     }
 
     let records = h.to_records();
     let check = check_records_windowed(cfg.kind, &records);
-    let recovery_latency_us = recovering.elapsed().as_micros() as u64;
-    Ok(CycleReport {
-        crashed: killed,
-        ops_completed,
-        in_flight: in_flight_count,
-        recovered_ok,
-        recovered_failed,
-        lost_ops,
-        check_ok: check.is_ok(),
-        violation: check.err().map(|v| v.to_string()),
-        kill_latency_us,
-        recovery_latency_us,
-    })
+    report.recovery_latency_us = recovering.elapsed().as_micros() as u64;
+    report.check_ok = check.is_ok();
+    report.violation = check.err().map(|v| v.to_string());
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -723,8 +1451,30 @@ mod tests {
         let (recs, in_flight) = parse_log(&log, 2, 4).unwrap();
         assert_eq!(recs.len(), 3);
         assert!(recs.windows(2).all(|w| w[0].seq < w[1].seq));
-        assert_eq!(in_flight[0], Some(OpSpec::Read));
-        assert_eq!(in_flight[1], None);
+        let open = in_flight[0].as_ref().expect("p0 read is in flight");
+        assert_eq!(open.op, OpSpec::Read);
+        // Its closing record goes in the very next slot of p0's region.
+        assert_eq!(open.at, 3 * RECORD_WORDS);
+        assert!(in_flight[1].is_none());
+        drop(log);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn recovery_record_closes_the_invocation() {
+        let (path, log) = scratch_log(1, 4, "recovery");
+        append_record(&log, 0, TAG_INVOKE, op_key(&OpSpec::Write(9)), 0);
+        let (_, open) = parse_log(&log, 1, 4)
+            .map(|(r, mut f)| (r, f.remove(0)))
+            .unwrap();
+        let open = open.expect("write is in flight");
+        // A recoverer commits its verdict into the open slot; re-parsing
+        // shows the invocation closed — the idempotent re-entry is a no-op.
+        append_record(&log, open.at, TAG_RECOVERY, op_key(&OpSpec::Write(9)), 1);
+        let (recs, in_flight) = parse_log(&log, 1, 4).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1].tag, TAG_RECOVERY);
+        assert!(in_flight[0].is_none());
         drop(log);
         let _ = std::fs::remove_file(path);
     }
@@ -737,5 +1487,25 @@ mod tests {
         assert!(parse_log(&log, 1, 4).is_err());
         drop(log);
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn cycle_report_feeds_run_stats() {
+        let report = CycleReport {
+            crashed: true,
+            worker_kills: 2,
+            ops_completed: 40,
+            in_flight: 2,
+            recovered_ok: 1,
+            recovered_failed: 0,
+            recovered_unresolved: 1,
+            recovery_kills: 3,
+            ..CycleReport::default()
+        };
+        let s = report.stats();
+        assert_eq!(s.executions, 1);
+        assert_eq!(s.resolved_ops, 41);
+        assert_eq!(s.crashes, 5);
+        assert_eq!(s.recovered_unresolved, 1);
     }
 }

@@ -86,7 +86,8 @@ fn sched_json(s: &crate::sched::SchedStats) -> String {
 fn stats_json(s: &RunStats) -> String {
     format!(
         "{{\"executions\":{},\"resolved_ops\":{},\"crashes\":{},\
-         \"recovered_ok\":{},\"recovered_failed\":{},\"steps\":{},\
+         \"recovered_ok\":{},\"recovered_failed\":{},\
+         \"recovered_unresolved\":{},\"steps\":{},\
          \"persists\":{},\"distinct_configs\":{},\"theorem_bound\":{},\
          \"truncated\":{},\"shared_bits\":{},\"private_bits\":{},\
          \"peak_resident_bytes\":{},\"spilled_bytes\":{},\"sched\":{}}}",
@@ -95,6 +96,7 @@ fn stats_json(s: &RunStats) -> String {
         s.crashes,
         s.recovered_ok,
         s.recovered_failed,
+        s.recovered_unresolved,
         s.steps,
         s.persists,
         s.distinct_configs,

@@ -738,6 +738,9 @@ pub struct RunStats {
     /// Recovery verdicts that reported `fail` — never linearized
     /// (simulate runs).
     pub recovered_failed: u64,
+    /// In-flight operations recovery could not resolve within its step
+    /// budget (process-crash runs; zero for every detectable object).
+    pub recovered_unresolved: u64,
     /// Scheduler steps consumed.
     pub steps: u64,
     /// Explicit persist instructions executed.
@@ -776,6 +779,7 @@ impl RunStats {
         self.crashes += other.crashes;
         self.recovered_ok += other.recovered_ok;
         self.recovered_failed += other.recovered_failed;
+        self.recovered_unresolved += other.recovered_unresolved;
         self.steps += other.steps;
         self.persists += other.persists;
         self.distinct_configs += other.distinct_configs;

@@ -37,12 +37,16 @@ use crate::word::{Pid, Word};
 
 /// Magic word identifying a mapped NVM file (first header word).
 pub const MAPPED_MAGIC: u64 = 0x4E56_4D4D_4150_0001; // "NVMMAP" + format 1
-/// Mapped-file format version (second header word).
-pub const MAPPED_VERSION: u64 = 1;
+/// Mapped-file format version (second header word). Version 2 grew the
+/// header from 8 to 16 words so the crash fabric's cross-process barrier
+/// protocol fits in the [`MappedFile::user`] area (one release word plus
+/// one arrival word per worker process) alongside the log sequence counter.
+pub const MAPPED_VERSION: u64 = 2;
 /// Header words preceding the data array: magic, version, word count,
 /// crash count, then [`MappedFile::USER_SLOTS`] free slots for harness use
-/// (the process-crash log keeps its global sequence counter there).
-pub const HEADER_WORDS: usize = 8;
+/// (the process-crash log keeps its global sequence counter and the
+/// multi-process barrier words there).
+pub const HEADER_WORDS: usize = 16;
 
 /// The raw `mmap`/`munmap`/`msync` bindings. This is the only unsafe code
 /// in the crate: it maps a regular file `MAP_SHARED`, hands out
@@ -231,7 +235,11 @@ impl MappedFile {
     }
 
     /// One of the [`USER_SLOTS`](Self::USER_SLOTS) free header words, for
-    /// harness protocols (sequence counters, ready flags).
+    /// harness protocols. The process-crash harness reserves, on its log
+    /// file: slot 0 for the global record sequence counter, slot 1 for the
+    /// barrier release round, slot 2 for the recoverer's armed flag, slot
+    /// 3 for the parent's mid-operation stall mask, and slots `4 + p` for
+    /// worker `p`'s barrier arrival round.
     pub fn user(&self, k: usize) -> &AtomicU64 {
         assert!(k < Self::USER_SLOTS, "user slot out of range: {k}");
         self.header(4 + k)
@@ -245,8 +253,10 @@ impl MappedFile {
         self.header(3).load(Ordering::SeqCst)
     }
 
-    /// Records one more crash in the header (the parent calls this after
-    /// reaping a killed child) and returns the new count.
+    /// Records one more crash in the header and returns the new count. The
+    /// crash-fabric parent calls this once per SIGKILL it lands — worker
+    /// kills *and* recovery kills — so every subsequently constructed
+    /// [`MappedMemory`] draws its write-through coins for a fresh epoch.
     pub fn bump_crash_count(&self) -> u64 {
         let n = self.header(3).fetch_add(1, Ordering::SeqCst) + 1;
         self.sync();
@@ -517,6 +527,25 @@ mod tests {
         assert_eq!(f.word(2).load(Ordering::SeqCst), 77);
         assert_eq!(f.user(0).load(Ordering::SeqCst), 5);
         assert_eq!(f.crash_count(), 1);
+        drop(f);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn header_has_room_for_the_fabric_barrier() {
+        // The crash fabric needs seq + release + armed + stall mask + one
+        // arrival word per worker; 12 user slots cover up to 8 worker
+        // processes, beyond what the 64-op checker window admits.
+        assert_eq!(MappedFile::USER_SLOTS, 12);
+        let path = temp_path("userslots");
+        let f = MappedFile::create(&path, 1).unwrap();
+        for k in 0..MappedFile::USER_SLOTS {
+            f.user(k).store(k as u64 + 1, Ordering::SeqCst);
+        }
+        for k in 0..MappedFile::USER_SLOTS {
+            assert_eq!(f.user(k).load(Ordering::SeqCst), k as u64 + 1);
+        }
+        assert_eq!(f.word(0).load(Ordering::SeqCst), 0, "data must not alias");
         drop(f);
         let _ = std::fs::remove_file(&path);
     }

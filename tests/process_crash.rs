@@ -1,5 +1,7 @@
 //! Integration: real-process SIGKILL/recover cycles for every paper
-//! object, plus the nondetectable negative control.
+//! object — whole-child kills, per-process subset kills over the shared
+//! fabric, and kills landing *inside recovery itself* — plus the
+//! nondetectable negative controls.
 //!
 //! This test re-execs itself as the crash worker (the parent spawns
 //! `current_exe()` with `PC_WORKER` set), so it cannot run under the
@@ -55,6 +57,26 @@ fn config(object: &str, kind: ObjectKind, cache: CacheMode, seed: u64) -> CrashC
     cfg
 }
 
+/// Asserts one cycle's report is clean for a detectable object: nothing
+/// unresolved, every in-flight operation covered by a definite verdict,
+/// and the stitched history linearizable.
+fn assert_clean(r: &harness::process_crash::CycleReport, object: &str, cycle: u64) {
+    assert_eq!(
+        r.recovered_unresolved, 0,
+        "{object} cycle {cycle}: recovery left ops unresolved"
+    );
+    assert_eq!(
+        r.recovered_ok + r.recovered_failed,
+        r.in_flight,
+        "{object} cycle {cycle}: recovery verdicts must cover in-flight ops"
+    );
+    assert!(
+        r.check_ok,
+        "{object} cycle {cycle}: {}",
+        r.violation.as_deref().unwrap_or("(unrendered)")
+    );
+}
+
 /// Every detectable kind survives real SIGKILLs: no in-flight operation
 /// is lost, every recovery verdict is definite, and the stitched
 /// pre-crash + recovery history passes the windowed durable-linearizability
@@ -67,18 +89,8 @@ fn detectable_kinds_survive_sigkill(cache: CacheMode) {
         for cycle in 0..3 {
             let r = run_cycle(&cfg, factory, cycle)
                 .unwrap_or_else(|e| panic!("{object} cycle {cycle}: {e}"));
-            kills += u64::from(r.crashed);
-            assert_eq!(r.lost_ops, 0, "{object} cycle {cycle} lost in-flight ops");
-            assert_eq!(
-                r.recovered_ok + r.recovered_failed,
-                r.in_flight,
-                "{object} cycle {cycle}: recovery verdicts must cover in-flight ops"
-            );
-            assert!(
-                r.check_ok,
-                "{object} cycle {cycle}: {}",
-                r.violation.as_deref().unwrap_or("(unrendered)")
-            );
+            kills += r.worker_kills as u64;
+            assert_clean(&r, object, cycle);
         }
         let _ = std::fs::remove_dir_all(&cfg.dir);
     }
@@ -90,12 +102,101 @@ fn detectable_kinds_survive_sigkill(cache: CacheMode) {
     );
 }
 
+/// Kill-during-recovery regression: with `recovery_kills = k`, recovery
+/// runs in its own child and the parent SIGKILLs it mid-recovery up to k
+/// nested times; every re-entry must converge idempotently — same clean
+/// verdicts, same passing check — and each landed recovery kill must be
+/// followed by exactly one re-entry. Runs for all 8 kinds in the given
+/// cache mode (recovery is solo, so even shared-cache recovery state is
+/// coherent within the one recoverer child).
+fn recovery_survives_nested_kills(cache: CacheMode, k: u32) {
+    let mut recovery_kills = 0u64;
+    for (i, kind) in ALL_KINDS.into_iter().enumerate() {
+        let object = kind_name(kind);
+        let mut cfg = config(object, kind, cache, 300 + 31 * k as u64 + i as u64);
+        cfg.recovery_kills = k;
+        for cycle in 0..2 {
+            let r = run_cycle(&cfg, factory, cycle)
+                .unwrap_or_else(|e| panic!("{object} k={k} cycle {cycle}: {e}"));
+            assert_clean(&r, object, cycle);
+            assert_eq!(
+                r.recovery_reentries, r.recovery_kills,
+                "{object} k={k} cycle {cycle}: every landed recovery kill must be \
+                 followed by exactly one re-entry"
+            );
+            assert!(
+                r.recovery_kills <= k as usize * r.in_flight.max(1),
+                "{object} k={k} cycle {cycle}: more recovery kills than planned"
+            );
+            recovery_kills += r.recovery_kills as u64;
+        }
+        let _ = std::fs::remove_dir_all(&cfg.dir);
+    }
+    // Across 16 cycles some kill must land mid-op, arming a recoverer the
+    // parent then kills — otherwise this test never exercised re-entry.
+    assert!(
+        recovery_kills > 0,
+        "k={k}: no SIGKILL ever landed inside recovery; pacing too short"
+    );
+}
+
+/// Multi-process fabric: one child per paper process over the shared
+/// files, a randomized 2-of-3 subset dies mid-traffic, survivors keep
+/// running and re-barrier, each dead process recovers in its own child
+/// (one nested recovery kill), and the stitched history still checks.
+fn fabric_subset_kills_survive(k: u32) {
+    let mut kills = 0u64;
+    let mut survivor_ops = 0u64;
+    for (i, kind) in ALL_KINDS.into_iter().enumerate() {
+        let object = kind_name(kind);
+        let mut cfg = config(object, kind, CacheMode::PrivateCache, 500 + i as u64);
+        cfg.procs_as_processes = true;
+        cfg.kill_subset = 2;
+        cfg.recovery_kills = k;
+        for cycle in 0..2 {
+            let r = run_cycle(&cfg, factory, cycle)
+                .unwrap_or_else(|e| panic!("{object} fabric cycle {cycle}: {e}"));
+            kills += r.worker_kills as u64;
+            survivor_ops += r.survivor_ops as u64;
+            assert_clean(&r, object, cycle);
+        }
+        let _ = std::fs::remove_dir_all(&cfg.dir);
+    }
+    assert!(kills > 0, "fabric: no worker was ever SIGKILLed");
+    assert!(
+        survivor_ops > 0,
+        "fabric: survivors never completed an operation after a peer died"
+    );
+}
+
+/// The fabric rejects configurations it cannot model: shared-cache memory
+/// (the volatile overlay is per-address-space) and kill subsets outside
+/// `1..=procs`.
+fn fabric_rejects_invalid_configs() {
+    let mut cfg = config("register", ObjectKind::Register, CacheMode::SharedCache, 1);
+    cfg.procs_as_processes = true;
+    assert!(
+        run_cycle(&cfg, factory, 0).is_err(),
+        "fabric must reject shared-cache memory"
+    );
+    let mut cfg = config("register", ObjectKind::Register, CacheMode::PrivateCache, 1);
+    cfg.procs_as_processes = true;
+    cfg.kill_subset = cfg.procs + 1;
+    assert!(
+        run_cycle(&cfg, factory, 0).is_err(),
+        "fabric must reject kill_subset > procs"
+    );
+    let _ = std::fs::remove_dir_all(&cfg.dir);
+}
+
 /// The nondetectable baselines are the negative control: their recovery
 /// disclaims every interrupted operation, so with enough kills the
 /// stitched-history check must eventually catch a disclaimed operation
 /// that really linearized. Detection needs a kill to land mid-op, so we
 /// iterate cycles (fresh seeds each round) until the lie surfaces.
-fn nondetectable_baselines_get_caught() {
+/// `fabric` runs the same control with per-process subset death: even
+/// when only 2 of 3 processes die, the dead ones' lies are caught.
+fn nondetectable_baselines_get_caught(fabric: bool) {
     let mut caught = 0u64;
     'outer: for round in 0..40u64 {
         for (object, kind) in [
@@ -105,6 +206,11 @@ fn nondetectable_baselines_get_caught() {
             let mut cfg = config(object, kind, CacheMode::PrivateCache, 100 + round);
             cfg.ops_per_proc = 700;
             cfg.queue_capacity = (cfg.procs as usize * cfg.ops_per_proc + 1) as u32;
+            if fabric {
+                cfg.procs_as_processes = true;
+                cfg.kill_subset = 2;
+                cfg.recovery_kills = 1;
+            }
             let r = run_cycle(&cfg, factory, round)
                 .unwrap_or_else(|e| panic!("{object} round {round}: {e}"));
             let _ = std::fs::remove_dir_all(&cfg.dir);
@@ -118,8 +224,8 @@ fn nondetectable_baselines_get_caught() {
     }
     assert!(
         caught > 0,
-        "negative control never failed a check in 40 rounds — the checker \
-         would not catch a lying recovery"
+        "negative control (fabric={fabric}) never failed a check in 40 rounds — \
+         the checker would not catch a lying recovery"
     );
 }
 
@@ -132,7 +238,22 @@ fn main() {
     detectable_kinds_survive_sigkill(CacheMode::PrivateCache);
     println!("running process_crash: detectable kinds, shared cache");
     detectable_kinds_survive_sigkill(CacheMode::SharedCache);
-    println!("running process_crash: nondetectable negative control");
-    nondetectable_baselines_get_caught();
+    for (cache, tag) in [
+        (CacheMode::PrivateCache, "private"),
+        (CacheMode::SharedCache, "shared"),
+    ] {
+        for k in [1u32, 2] {
+            println!("running process_crash: kill-during-recovery, {tag} cache, k={k}");
+            recovery_survives_nested_kills(cache, k);
+        }
+    }
+    println!("running process_crash: multi-process fabric, 2-of-3 subset kills");
+    fabric_subset_kills_survive(1);
+    println!("running process_crash: fabric config validation");
+    fabric_rejects_invalid_configs();
+    println!("running process_crash: nondetectable negative control (threads)");
+    nondetectable_baselines_get_caught(false);
+    println!("running process_crash: nondetectable negative control (fabric subset)");
+    nondetectable_baselines_get_caught(true);
     println!("process_crash: ok");
 }
